@@ -1,0 +1,327 @@
+// Benchmarks regenerating the paper's figures and scenarios; one Benchmark*
+// per experiment in DESIGN.md's index. Absolute numbers are machine-local —
+// the reproduced artifact is the *shape* (who wins, by what factor), which
+// the custom metrics expose: queries/op wall time plus tokenize/convert/
+// cache-hit counters.
+package nodb_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nodb"
+	"nodb/internal/datagen"
+	"nodb/internal/harness"
+	"nodb/internal/value"
+	"nodb/internal/workload"
+)
+
+// benchRows keeps every benchmark laptop-fast while staying large enough
+// for the adaptive effects to dominate constant overheads.
+const (
+	benchRows  = 30_000
+	benchAttrs = 10
+)
+
+// genBench writes the standard benchmark file once per process.
+func genBench(b *testing.B, name string, spec datagen.Spec) string {
+	b.Helper()
+	path := filepath.Join(os.TempDir(), fmt.Sprintf("nodb-bench-%s-%d.csv", name, spec.Seed))
+	if _, err := os.Stat(path); err != nil {
+		if _, err := spec.WriteFile(path); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return path
+}
+
+func benchQuery(b *testing.B, db *nodb.DB, q string) *nodb.Result {
+	b.Helper()
+	res, err := db.Query(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res
+}
+
+// BenchmarkFig3Breakdown measures the Figure-3 contenders on the same
+// 10-query sequence: load-first (PostgreSQL stand-in), external-files
+// baseline, and PostgresRaw. One op = registration/initialization plus the
+// whole sequence, i.e. total data-to-last-answer time.
+func BenchmarkFig3Breakdown(b *testing.B) {
+	spec := datagen.IntTable(benchRows, benchAttrs, 1)
+	path := genBench(b, "fig3", spec)
+	q := fmt.Sprintf("SELECT a%d, a%d FROM t WHERE a%d < 250", benchAttrs/3, 2*benchAttrs/3, benchAttrs/3)
+	const queries = 10
+
+	b.Run("loadfirst", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db, _ := nodb.Open(nodb.Config{})
+			if _, _, err := db.Load("t", path, spec.SchemaSpec(), nodb.ProfilePostgres); err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < queries; j++ {
+				benchQuery(b, db, q)
+			}
+			db.Close()
+		}
+	})
+	b.Run("baseline", func(b *testing.B) {
+		var tokenized int64
+		for i := 0; i < b.N; i++ {
+			db, _ := nodb.Open(nodb.Config{})
+			if err := db.RegisterBaseline("t", path, spec.SchemaSpec()); err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < queries; j++ {
+				tokenized += benchQuery(b, db, q).Stats.FieldsTokenized
+			}
+			db.Close()
+		}
+		b.ReportMetric(float64(tokenized)/float64(b.N), "tokenized/op")
+	})
+	b.Run("postgresraw", func(b *testing.B) {
+		var tokenized, cacheHits int64
+		for i := 0; i < b.N; i++ {
+			db, _ := nodb.Open(nodb.Config{})
+			if err := db.RegisterRaw("t", path, spec.SchemaSpec(), nil); err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < queries; j++ {
+				st := benchQuery(b, db, q).Stats
+				tokenized += st.FieldsTokenized
+				cacheHits += st.CacheHitFields
+			}
+			db.Close()
+		}
+		b.ReportMetric(float64(tokenized)/float64(b.N), "tokenized/op")
+		b.ReportMetric(float64(cacheHits)/float64(b.N), "cachehits/op")
+	})
+}
+
+// BenchmarkFig2MonitorSequence measures the monitored shifting workload of
+// the Figure-2 panel (query + panel snapshot per step) under tight budgets.
+func BenchmarkFig2MonitorSequence(b *testing.B) {
+	spec := datagen.IntTable(benchRows, benchAttrs, 2)
+	path := genBench(b, "fig2", spec)
+	qs := workload.ShiftingWindows("t", spec.Schema(), 3, 3, 2)
+	for i := 0; i < b.N; i++ {
+		db, _ := nodb.Open(nodb.Config{})
+		opts := &nodb.RawOptions{PosMapBudget: 256 << 10, CacheBudget: 256 << 10}
+		if err := db.RegisterRaw("t", path, spec.SchemaSpec(), opts); err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range qs {
+			benchQuery(b, db, q.SQL)
+			if _, err := db.Panel("t"); err != nil {
+				b.Fatal(err)
+			}
+		}
+		db.Close()
+	}
+}
+
+// BenchmarkAdaptEpochs measures the Part-II adaptation workload: three
+// epochs of select-project queries over shifting attribute windows.
+func BenchmarkAdaptEpochs(b *testing.B) {
+	spec := datagen.IntTable(benchRows, 12, 3)
+	path := genBench(b, "adapt", spec)
+	qs := workload.ShiftingWindows("t", spec.Schema(), 3, 4, 3)
+	for i := 0; i < b.N; i++ {
+		db, _ := nodb.Open(nodb.Config{})
+		if err := db.RegisterRaw("t", path, spec.SchemaSpec(), nil); err != nil {
+			b.Fatal(err)
+		}
+		for _, q := range qs {
+			benchQuery(b, db, q.SQL)
+		}
+		db.Close()
+	}
+}
+
+// BenchmarkUpdatesAppend measures the Part-II updates scenario: query,
+// append outside the database, query again (detection + incremental
+// re-learning included).
+func BenchmarkUpdatesAppend(b *testing.B) {
+	spec := datagen.IntTable(benchRows, 6, 4)
+	row := "1,2,3,4,5,6\n"
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		dir := b.TempDir()
+		path := filepath.Join(dir, "u.csv")
+		if _, err := spec.WriteFile(path); err != nil {
+			b.Fatal(err)
+		}
+		db, _ := nodb.Open(nodb.Config{})
+		if err := db.RegisterRaw("t", path, spec.SchemaSpec(), nil); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+
+		benchQuery(b, db, "SELECT COUNT(*) FROM t")
+		f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 500; j++ {
+			f.WriteString(row)
+		}
+		f.Close()
+		res := benchQuery(b, db, "SELECT COUNT(*) FROM t")
+		if res.Rows[0][0].(int64) != int64(benchRows+500) {
+			b.Fatalf("count=%v", res.Rows[0][0])
+		}
+		db.Close()
+	}
+}
+
+// BenchmarkRace measures the Part-III friendly race end to end (all four
+// contestants, init + query sequence each).
+func BenchmarkRace(b *testing.B) {
+	dir := b.TempDir()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Race(harness.Config{
+			Dir: dir, Rows: benchRows, Attrs: benchAttrs, Queries: 6, Seed: 5,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepAttrs measures the attribute-count knob: cold and warm
+// queries against the last attribute of increasingly wide tuples.
+func BenchmarkSweepAttrs(b *testing.B) {
+	for _, na := range []int{5, 20, 50} {
+		b.Run(fmt.Sprintf("attrs=%d", na), func(b *testing.B) {
+			spec := datagen.IntTable(benchRows, na, 6)
+			path := genBench(b, fmt.Sprintf("sweepa%d", na), spec)
+			q := fmt.Sprintf("SELECT a%d FROM t WHERE a%d < 250", na-1, na-1)
+			for i := 0; i < b.N; i++ {
+				db, _ := nodb.Open(nodb.Config{})
+				if err := db.RegisterRaw("t", path, spec.SchemaSpec(), &nodb.RawOptions{DisableCache: true}); err != nil {
+					b.Fatal(err)
+				}
+				benchQuery(b, db, q) // cold
+				benchQuery(b, db, q) // warm (map jumps)
+				db.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkSweepWidth measures the attribute-width knob over text payloads.
+func BenchmarkSweepWidth(b *testing.B) {
+	for _, w := range []int{4, 32} {
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) {
+			cols := make([]datagen.ColumnSpec, 6)
+			for i := range cols {
+				cols[i] = datagen.ColumnSpec{Name: fmt.Sprintf("a%d", i), Kind: kindText(i), Card: 1000, Width: w}
+			}
+			spec := datagen.Spec{Rows: benchRows, Cols: cols, Seed: 7}
+			path := genBench(b, fmt.Sprintf("sweepw%d", w), spec)
+			for i := 0; i < b.N; i++ {
+				db, _ := nodb.Open(nodb.Config{})
+				if err := db.RegisterRaw("t", path, spec.SchemaSpec(), nil); err != nil {
+					b.Fatal(err)
+				}
+				benchQuery(b, db, "SELECT a3 FROM t")
+				benchQuery(b, db, "SELECT a3 FROM t")
+				db.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkSweepBudget measures the storage-budget knob: a shifting
+// workload under three budget levels.
+func BenchmarkSweepBudget(b *testing.B) {
+	spec := datagen.IntTable(benchRows, benchAttrs, 8)
+	path := genBench(b, "sweepb", spec)
+	qs := workload.ShiftingWindows("t", spec.Schema(), 2, 3, 8)
+	for _, budget := range []int64{64 << 10, 1 << 20, 0} {
+		name := fmt.Sprintf("budget=%d", budget)
+		if budget == 0 {
+			name = "budget=unlimited"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				db, _ := nodb.Open(nodb.Config{})
+				opts := &nodb.RawOptions{PosMapBudget: budget, CacheBudget: budget}
+				if err := db.RegisterRaw("t", path, spec.SchemaSpec(), opts); err != nil {
+					b.Fatal(err)
+				}
+				for _, q := range qs {
+					benchQuery(b, db, q.SQL)
+				}
+				db.Close()
+			}
+		})
+	}
+}
+
+// BenchmarkAblation measures the steady-state query under each component
+// configuration (warm structures; one op = one query).
+func BenchmarkAblation(b *testing.B) {
+	spec := datagen.IntTable(benchRows, benchAttrs, 9)
+	path := genBench(b, "ablation", spec)
+	q := fmt.Sprintf("SELECT a%d, a%d FROM t", benchAttrs/3, 2*benchAttrs/3)
+	configs := []struct {
+		name string
+		opts *nodb.RawOptions
+	}{
+		{"none", &nodb.RawOptions{DisablePosMap: true, DisableCache: true, DisableStats: true}},
+		{"posmap", &nodb.RawOptions{DisableCache: true}},
+		{"cache", &nodb.RawOptions{DisablePosMap: true}},
+		{"posmap+cache", nil},
+	}
+	for _, c := range configs {
+		b.Run(c.name, func(b *testing.B) {
+			db, _ := nodb.Open(nodb.Config{})
+			defer db.Close()
+			if err := db.RegisterRaw("t", path, spec.SchemaSpec(), c.opts); err != nil {
+				b.Fatal(err)
+			}
+			benchQuery(b, db, q) // warm the structures outside the loop
+			b.ResetTimer()
+			var rows int64
+			for i := 0; i < b.N; i++ {
+				res := benchQuery(b, db, q)
+				rows += int64(len(res.Rows))
+			}
+			b.ReportMetric(float64(rows)/b.Elapsed().Seconds(), "rows/s")
+		})
+	}
+}
+
+func kindText(i int) value.Kind {
+	if i%2 == 0 {
+		return value.KindText
+	}
+	return value.KindInt
+}
+
+// BenchmarkSweepMapGrain measures the map-granularity knob: probe queries
+// between stored positions under increasingly sparse maps.
+func BenchmarkSweepMapGrain(b *testing.B) {
+	spec := datagen.IntTable(benchRows, benchAttrs, 10)
+	path := genBench(b, "sweepg", spec)
+	warmQ := fmt.Sprintf("SELECT a%d FROM t", benchAttrs-1)
+	probeQ := fmt.Sprintf("SELECT a%d FROM t", benchAttrs/2+1)
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("everyNth=%d", n), func(b *testing.B) {
+			db, _ := nodb.Open(nodb.Config{})
+			defer db.Close()
+			opts := &nodb.RawOptions{DisableCache: true, MapEveryNth: n}
+			if err := db.RegisterRaw("t", path, spec.SchemaSpec(), opts); err != nil {
+				b.Fatal(err)
+			}
+			benchQuery(b, db, warmQ)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchQuery(b, db, probeQ)
+			}
+		})
+	}
+}

@@ -1,0 +1,55 @@
+// Command experiments regenerates the paper's figures and demo scenarios
+// (see DESIGN.md for the experiment index). Each experiment prints the rows
+// or series the paper's panel shows.
+//
+// Usage:
+//
+//	experiments [-run ALL|F2|F3|ADAPT|UPDATES|RACE|SWEEP-ATTRS|SWEEP-WIDTH|SWEEP-BUDGET|ABLATION]
+//	            [-rows N] [-attrs N] [-queries N] [-seed N] [-dir DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nodb/internal/harness"
+)
+
+func main() {
+	var (
+		run     = flag.String("run", "ALL", "experiment id (see DESIGN.md)")
+		rows    = flag.Int("rows", 200_000, "rows in the generated raw file")
+		attrs   = flag.Int("attrs", 10, "attributes in the generated raw file")
+		queries = flag.Int("queries", 10, "query sequence length")
+		seed    = flag.Int64("seed", 1, "workload/data seed")
+		dir     = flag.String("dir", "", "workspace directory (default: temp)")
+	)
+	flag.Parse()
+
+	cfg := harness.Config{Dir: *dir, Rows: *rows, Attrs: *attrs, Queries: *queries, Seed: *seed}
+	if cfg.Dir == "" {
+		d, err := os.MkdirTemp("", "nodb-exp-*")
+		if err != nil {
+			fatal(err)
+		}
+		defer os.RemoveAll(d)
+		cfg.Dir = d
+	}
+
+	reports, err := harness.Run(*run, cfg)
+	if err != nil {
+		fatal(err)
+	}
+	for i, r := range reports {
+		if i > 0 {
+			fmt.Println()
+		}
+		fmt.Print(r)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+	os.Exit(1)
+}

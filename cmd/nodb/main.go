@@ -1,0 +1,109 @@
+// Command nodb is the interactive front end: register a raw CSV file and
+// run SQL over it in situ, with optional per-query execution breakdowns and
+// the Figure-2 monitoring panel after each statement.
+//
+// Usage:
+//
+//	nodb -file data.csv -schema "id:int,name:text" [-table t] [-mode insitu]
+//	     [-breakdown] [-panel] ["SELECT ..." ...]
+//
+// Queries come from the command line; with none given, statements are read
+// line by line from stdin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nodb"
+)
+
+func main() {
+	var (
+		file      = flag.String("file", "", "raw CSV file to register (required)")
+		schemaStr = flag.String("schema", "", "schema spec name:type,... (empty = infer)")
+		table     = flag.String("table", "t", "table name")
+		mode      = flag.String("mode", "insitu", "access mode: insitu | baseline | load")
+		delim     = flag.String("delim", ",", "field separator (one byte)")
+		breakdown = flag.Bool("breakdown", false, "print the execution breakdown after each query")
+		panel     = flag.Bool("panel", false, "print the monitoring panel after each query")
+		posBudget = flag.Int64("posmap-budget", 0, "positional map byte budget (0 = unlimited)")
+		cacheBud  = flag.Int64("cache-budget", 0, "cache byte budget (0 = unlimited)")
+	)
+	flag.Parse()
+	if *file == "" {
+		fmt.Fprintln(os.Stderr, "nodb: -file is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(*delim) != 1 {
+		fmt.Fprintln(os.Stderr, "nodb: -delim must be a single byte")
+		os.Exit(2)
+	}
+
+	db, err := nodb.Open(nodb.Config{})
+	if err != nil {
+		fatal(err)
+	}
+	defer db.Close()
+
+	opts := &nodb.RawOptions{Delim: (*delim)[0], PosMapBudget: *posBudget, CacheBudget: *cacheBud}
+	switch *mode {
+	case "insitu":
+		err = db.RegisterRaw(*table, *file, *schemaStr, opts)
+	case "baseline":
+		err = db.RegisterBaseline(*table, *file, *schemaStr)
+	case "load":
+		var init any
+		init, _, err = db.Load(*table, *file, *schemaStr, nodb.ProfilePostgres)
+		if err == nil {
+			fmt.Printf("-- loaded in %v\n", init)
+		}
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	runOne := func(q string) {
+		q = strings.TrimSpace(q)
+		if q == "" {
+			return
+		}
+		res, err := db.Query(q)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		}
+		fmt.Print(res)
+		if *breakdown {
+			fmt.Printf("-- %v total; %s\n", res.Stats.Total, res.Stats.Breakdown())
+		}
+		if *panel && *mode != "load" {
+			if p, err := db.Panel(*table); err == nil {
+				fmt.Print(p)
+			}
+		}
+	}
+
+	if flag.NArg() > 0 {
+		for _, q := range flag.Args() {
+			runOne(q)
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		runOne(sc.Text())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "nodb: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,46 @@
+// Command race runs the paper's Part III "friendly race" between
+// PostgresRaw and the conventional load-first contenders (PostgreSQL,
+// MySQL, DBMS X stand-ins): same raw file, same query sequence, winner is
+// data-to-query time.
+//
+// Usage:
+//
+//	race [-rows N] [-attrs N] [-queries N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nodb/internal/harness"
+)
+
+func main() {
+	var (
+		rows    = flag.Int("rows", 500_000, "rows in the generated raw file")
+		attrs   = flag.Int("attrs", 10, "attributes in the generated raw file")
+		queries = flag.Int("queries", 10, "query sequence length")
+		seed    = flag.Int64("seed", 1, "workload/data seed")
+	)
+	flag.Parse()
+
+	dir, err := os.MkdirTemp("", "nodb-race-*")
+	if err != nil {
+		fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	rep, err := harness.Race(harness.Config{
+		Dir: dir, Rows: *rows, Attrs: *attrs, Queries: *queries, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(rep)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "race: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,33 @@
+// Race: the Part-III "friendly race". Four engines get the same raw file
+// and the same query sequence. PostgresRaw starts answering immediately;
+// the conventional engines must load (and DBMS X builds an index) first.
+// The output shows cumulative time-to-answer for every query.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nodb/internal/harness"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "nodb-race-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	rep, err := harness.Race(harness.Config{
+		Dir:     dir,
+		Rows:    300_000,
+		Attrs:   10,
+		Queries: 8,
+		Seed:    3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(rep)
+}

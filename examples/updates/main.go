@@ -1,0 +1,76 @@
+// Updates: the Part-II updates scenario. The raw file is modified outside
+// the database — first an append (as if a user edited it in a text editor),
+// then a full replacement — and the very next query reflects the change.
+// Appends keep everything learned about the unchanged prefix; rewrites
+// discard the structures, which then re-adapt.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"nodb"
+	"nodb/internal/datagen"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "nodb-updates-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	spec := datagen.IntTable(50_000, 6, 5)
+	csv := filepath.Join(dir, "live.csv")
+	if _, err := spec.WriteFile(csv); err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := nodb.Open(nodb.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.RegisterRaw("t", csv, spec.SchemaSpec(), nil); err != nil {
+		log.Fatal(err)
+	}
+
+	count := func(label string) {
+		res, err := db.Query("SELECT COUNT(*) FROM t")
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-28s COUNT(*) = %v  (%v)\n", label, res.Rows[0][0], res.Stats.Total)
+	}
+
+	count("initial")
+	db.Query("SELECT a0, a1 FROM t WHERE a0 < 100") // warm the structures
+
+	// Append rows, as a user would with a text editor.
+	f, err := os.OpenFile(csv, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintln(f, "1,2,3,4,5,6")
+	}
+	f.Close()
+	count("after appending 1000 rows")
+
+	p, _ := db.Panel("t")
+	fmt.Printf("structures kept after append: %d map grains, %d cache fragments\n",
+		p.PosMap.Grains, p.Cache.Fragments)
+
+	// Replace the file outright ("here is a pointer to a new data file").
+	smaller := datagen.IntTable(10_000, 6, 9)
+	if _, err := smaller.WriteFile(csv); err != nil {
+		log.Fatal(err)
+	}
+	count("after replacing the file")
+
+	p, _ = db.Panel("t")
+	fmt.Printf("structures after rewrite: %d map grains, %d cache fragments (discarded, re-adapting)\n",
+		p.PosMap.Grains, p.Cache.Fragments)
+}

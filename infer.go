@@ -1,0 +1,71 @@
+package nodb
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+
+	"nodb/internal/rawfile"
+	"nodb/internal/schema"
+	"nodb/internal/value"
+)
+
+// inferSampleLines is how many rows schema inference examines.
+const inferSampleLines = 200
+
+// resolveSchema parses an explicit schema spec or infers one from the file.
+func (db *DB) resolveSchema(csvPath, schemaSpec string, opts *RawOptions) (*schema.Schema, error) {
+	if schemaSpec != "" {
+		return schema.ParseSpec(schemaSpec)
+	}
+	delim := byte(',')
+	if opts != nil && opts.Delim != 0 {
+		delim = opts.Delim
+	}
+	return InferSchema(csvPath, delim)
+}
+
+// InferSchema derives a schema from a sample of the file's rows: column
+// count from the first row, kinds from merging per-row inference (ints
+// widen to floats, conflicts fall back to text, all-empty columns become
+// text). Columns are named c0, c1, ....
+func InferSchema(csvPath string, delim byte) (*schema.Schema, error) {
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, fmt.Errorf("nodb: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+
+	var kinds []value.Kind
+	lines := 0
+	for sc.Scan() && lines < inferSampleLines {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		fields := rawfile.SplitAll(line, delim)
+		if kinds == nil {
+			kinds = make([]value.Kind, len(fields))
+		}
+		for i := 0; i < len(kinds) && i < len(fields); i++ {
+			kinds[i] = value.MergeKinds(kinds[i], value.Infer(fields[i]))
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("nodb: %w", err)
+	}
+	if kinds == nil {
+		return nil, fmt.Errorf("nodb: cannot infer schema from empty file %s", csvPath)
+	}
+	cols := make([]schema.Column, len(kinds))
+	for i, k := range kinds {
+		if k == value.KindNull {
+			k = value.KindText
+		}
+		cols[i] = schema.Column{Name: fmt.Sprintf("c%d", i), Kind: k}
+	}
+	return schema.New(cols)
+}

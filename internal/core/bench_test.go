@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodb/internal/metrics"
+)
+
+// benchTable builds a 20k-row table for scan micro-benchmarks.
+func benchTable(b *testing.B, opts Options) *Table {
+	b.Helper()
+	path := filepath.Join(os.TempDir(), "nodb-core-bench.csv")
+	if _, err := os.Stat(path); err != nil {
+		var sb strings.Builder
+		for i := 0; i < 20000; i++ {
+			fmt.Fprintf(&sb, "%d,name-%d,%d.5,%d,%d\n", i, i, i, i%7, i%100)
+		}
+		if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl, err := NewTable(path, testSchema, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tbl
+}
+
+func drainScan(b *testing.B, tbl *Table, needed []int) *metrics.Breakdown {
+	b.Helper()
+	var m metrics.Breakdown
+	sc, err := tbl.NewScan(ScanSpec{Needed: needed, B: &m})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer sc.Close()
+	for {
+		_, ok, err := sc.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !ok {
+			return &m
+		}
+	}
+}
+
+func BenchmarkScanCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tbl := benchTable(b, BaselineOptions())
+		drainScan(b, tbl, []int{0, 3})
+	}
+}
+
+func BenchmarkScanWarmPosMap(b *testing.B) {
+	tbl := benchTable(b, Options{EnablePosMap: true})
+	drainScan(b, tbl, []int{0, 3}) // learn
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainScan(b, tbl, []int{0, 3})
+	}
+}
+
+func BenchmarkScanWarmCache(b *testing.B) {
+	tbl := benchTable(b, InSituOptions())
+	drainScan(b, tbl, []int{0, 3}) // learn + cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainScan(b, tbl, []int{0, 3})
+	}
+}

@@ -1,0 +1,324 @@
+// Package core implements the paper's primary contribution: the
+// PostgresRaw-style in-situ scan. A Table wraps a raw CSV file plus the
+// three adaptive auxiliary structures — positional map, binary cache and
+// on-the-fly statistics — all initially empty and populated exclusively as
+// a side effect of query execution. Scans practice selective tokenizing
+// (stop splitting a row at the highest attribute a query needs), selective
+// parsing (convert only needed fields) and selective tuple formation
+// (convert projection-only attributes after the filter qualifies a row).
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"nodb/internal/posmap"
+	"nodb/internal/rawcache"
+	"nodb/internal/schema"
+	"nodb/internal/stats"
+	"nodb/internal/watch"
+)
+
+// Default tuning knobs.
+const (
+	DefaultChunkRows        = 1024
+	DefaultStatsSampleEvery = 16
+)
+
+// Options configure a raw table. The enable flags and budgets are the demo's
+// interactive knobs: they can be changed between queries and the structures
+// adapt (shrinking a budget evicts immediately).
+type Options struct {
+	Delim            byte  // field separator; default ','
+	ChunkRows        int   // rows per processing chunk; default 1024
+	BlockSize        int   // raw-file read granularity; default rawfile.DefaultBlockSize
+	PosMapBudget     int64 // positional-map byte budget; 0 = unlimited
+	CacheBudget      int64 // cache byte budget; 0 = unlimited
+	EnablePosMap     bool
+	EnableCache      bool
+	EnableStats      bool
+	StatsSampleEvery int // sample one row in N for statistics; default 16
+	MapEveryNth      int // keep every Nth tokenized delimiter in the map; default 1 (all)
+}
+
+func (o *Options) fillDefaults() {
+	if o.Delim == 0 {
+		o.Delim = ','
+	}
+	if o.ChunkRows <= 0 {
+		o.ChunkRows = DefaultChunkRows
+	}
+	if o.StatsSampleEvery <= 0 {
+		o.StatsSampleEvery = DefaultStatsSampleEvery
+	}
+	if o.MapEveryNth <= 0 {
+		o.MapEveryNth = 1
+	}
+}
+
+// InSituOptions returns the paper's PostgresRaw (PM+C) configuration.
+func InSituOptions() Options {
+	return Options{EnablePosMap: true, EnableCache: true, EnableStats: true}
+}
+
+// BaselineOptions returns the paper's "external files" baseline: every query
+// re-tokenizes and re-parses the raw file, no auxiliary structures.
+func BaselineOptions() Options { return Options{} }
+
+// Table is a raw CSV file registered for in-situ querying.
+type Table struct {
+	path string
+	sch  *schema.Schema
+	opts Options
+
+	pm    *posmap.Map
+	cache *rawcache.Cache
+	stats *stats.Collector
+
+	mu sync.Mutex
+	// Structural metadata learned on the first sequential scan. This is the
+	// chunk-granularity slice of the positional map (row starts of chunk
+	// boundaries plus the total row count); it is O(#chunks) and kept
+	// outside the LRU budget so that skipping and chunk addressing stay
+	// possible after evictions.
+	chunkBases []int64
+	rowCount   int64 // -1 until a scan reaches EOF
+	snap       watch.Snapshot
+
+	accessCounts []int64 // per-attribute access tally (monitoring panel)
+	queries      int64
+	statsSeen    map[[2]int]struct{} // (chunk, attr) pairs already sampled
+}
+
+// NewTable registers a raw file. The file must exist; its contents are not
+// read (zero data-to-query time — reading happens when the first query
+// scans).
+func NewTable(path string, sch *schema.Schema, opts Options) (*Table, error) {
+	opts.fillDefaults()
+	snap, err := watch.Take(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	t := &Table{
+		path:         path,
+		sch:          sch,
+		opts:         opts,
+		pm:           posmap.New(opts.PosMapBudget),
+		cache:        rawcache.New(opts.CacheBudget),
+		stats:        stats.NewCollector(sch.Len(), 0),
+		rowCount:     -1,
+		snap:         snap,
+		accessCounts: make([]int64, sch.Len()),
+	}
+	return t, nil
+}
+
+// Path returns the raw file path.
+func (t *Table) Path() string { return t.path }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *schema.Schema { return t.sch }
+
+// Options returns the current option set.
+func (t *Table) Options() Options {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.opts
+}
+
+// SetEnabled toggles the adaptive components at run time (the demo's
+// checkboxes). Disabling does not discard existing contents; they resume
+// serving when re-enabled.
+func (t *Table) SetEnabled(posMap, cache, statsOn bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.opts.EnablePosMap = posMap
+	t.opts.EnableCache = cache
+	t.opts.EnableStats = statsOn
+}
+
+// SetBudgets adjusts the storage budgets (the demo's sliders), evicting
+// immediately when shrinking.
+func (t *Table) SetBudgets(posMapBudget, cacheBudget int64) {
+	t.mu.Lock()
+	t.opts.PosMapBudget = posMapBudget
+	t.opts.CacheBudget = cacheBudget
+	t.mu.Unlock()
+	t.pm.SetBudget(posMapBudget)
+	t.cache.SetBudget(cacheBudget)
+}
+
+// RowCount returns the learned row count, or -1 before any full scan.
+func (t *Table) RowCount() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rowCount
+}
+
+// NumChunks returns the number of known chunks (grows during the first
+// scan).
+func (t *Table) NumChunks() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.chunkBases)
+}
+
+// PosMap exposes the positional map (monitoring).
+func (t *Table) PosMap() *posmap.Map { return t.pm }
+
+// Cache exposes the binary cache (monitoring).
+func (t *Table) Cache() *rawcache.Cache { return t.cache }
+
+// StatsCollector exposes the on-the-fly statistics (planner, monitoring).
+func (t *Table) StatsCollector() *stats.Collector { return t.stats }
+
+// AccessCounts returns a copy of the per-attribute access tally.
+func (t *Table) AccessCounts() []int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]int64, len(t.accessCounts))
+	copy(out, t.accessCounts)
+	return out
+}
+
+// Queries returns the number of scans started against this table.
+func (t *Table) Queries() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.queries
+}
+
+// noteAccess tallies one scan's attribute set.
+func (t *Table) noteAccess(attrs []int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.queries++
+	for _, a := range attrs {
+		if a >= 0 && a < len(t.accessCounts) {
+			t.accessCounts[a]++
+		}
+	}
+}
+
+// markStatsSeen records that (chunk, attr) was sampled for statistics,
+// returning false if it already was (avoiding double counting across
+// repeated queries over the same data).
+func (t *Table) markStatsSeen(chunk, attr int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.statsSeen == nil {
+		t.statsSeen = make(map[[2]int]struct{})
+	}
+	k := [2]int{chunk, attr}
+	if _, ok := t.statsSeen[k]; ok {
+		return false
+	}
+	t.statsSeen[k] = struct{}{}
+	return true
+}
+
+// chunkBase returns the base offset of chunk c if known.
+func (t *Table) chunkBase(c int) (int64, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c < len(t.chunkBases) {
+		return t.chunkBases[c], true
+	}
+	return 0, false
+}
+
+// learnChunkBase records the base offset of chunk c discovered during a
+// sequential scan. Appends are idempotent: offsets are a deterministic
+// function of the file contents.
+func (t *Table) learnChunkBase(c int, base int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if c == len(t.chunkBases) {
+		t.chunkBases = append(t.chunkBases, base)
+	}
+}
+
+// learnRowCount records the total row count at EOF.
+func (t *Table) learnRowCount(n int64) {
+	t.mu.Lock()
+	changed := t.rowCount != n
+	t.rowCount = n
+	t.mu.Unlock()
+	if changed {
+		t.stats.SetRowCount(n)
+	}
+}
+
+// chunkRows returns the row count of chunk c when the total is known.
+func (t *Table) chunkRows(c int) (int, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.rowCount < 0 {
+		return 0, false
+	}
+	start := int64(c) * int64(t.opts.ChunkRows)
+	if start >= t.rowCount {
+		return 0, true
+	}
+	n := t.rowCount - start
+	if n > int64(t.opts.ChunkRows) {
+		n = int64(t.opts.ChunkRows)
+	}
+	return int(n), true
+}
+
+// Refresh checks the underlying file for changes and adapts the auxiliary
+// structures: appends keep everything learned about the unchanged prefix
+// (only the trailing partial chunk is dropped); rewrites discard all
+// structures. Returns the detected change.
+func (t *Table) Refresh() (watch.Change, error) {
+	t.mu.Lock()
+	snap := t.snap
+	t.mu.Unlock()
+
+	change, newSnap, err := watch.Detect(t.path, snap)
+	if err != nil {
+		return change, err
+	}
+	switch change {
+	case watch.Unchanged:
+		return change, nil
+	case watch.Appended:
+		t.mu.Lock()
+		// The previous final chunk may have been partial; re-learn it. All
+		// earlier chunks are untouched by an append.
+		lastFull := 0
+		if t.rowCount >= 0 {
+			lastFull = int(t.rowCount) / t.opts.ChunkRows // index of the partial chunk
+		} else if len(t.chunkBases) > 0 {
+			lastFull = len(t.chunkBases) - 1
+		}
+		if len(t.chunkBases) > lastFull {
+			t.chunkBases = t.chunkBases[:lastFull+1]
+		}
+		t.rowCount = -1
+		t.snap = newSnap
+		for k := range t.statsSeen {
+			if k[0] >= lastFull {
+				delete(t.statsSeen, k)
+			}
+		}
+		t.mu.Unlock()
+		t.pm.DropChunk(lastFull)
+		t.cache.DropChunk(lastFull)
+		return change, nil
+	case watch.Rewritten:
+		t.mu.Lock()
+		t.chunkBases = nil
+		t.rowCount = -1
+		t.snap = newSnap
+		t.statsSeen = nil
+		t.mu.Unlock()
+		t.pm.Clear()
+		t.cache.Clear()
+		t.stats.Clear()
+		return change, nil
+	default: // watch.Missing
+		return change, fmt.Errorf("core: raw file %s disappeared", t.path)
+	}
+}

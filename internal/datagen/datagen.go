@@ -1,0 +1,193 @@
+// Package datagen produces deterministic synthetic CSV files with the knobs
+// the demo exposes to its audience: number of tuples, number of attributes,
+// attribute widths, types and value distributions. The same seed always
+// yields the same file, so experiments are reproducible.
+package datagen
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"strconv"
+
+	"nodb/internal/schema"
+	"nodb/internal/value"
+)
+
+// Distribution selects how values are drawn.
+type Distribution uint8
+
+// Distributions.
+const (
+	Uniform Distribution = iota
+	Zipf                 // skewed; s=1.3
+	Sequential
+)
+
+// ColumnSpec describes one generated column.
+type ColumnSpec struct {
+	Name string
+	Kind value.Kind
+
+	// Int/date columns draw from [0, Card); text columns draw one of Card
+	// distinct strings; float columns draw from [0, Card).
+	Card int64
+	// Width pads text values (and zero-pads ints) to at least Width bytes,
+	// the demo's "width of attributes" knob. 0 = natural width.
+	Width int
+	Dist  Distribution
+	// NullEvery makes every Nth value NULL (empty field); 0 = no nulls.
+	NullEvery int
+}
+
+// Spec describes a whole file.
+type Spec struct {
+	Rows  int
+	Cols  []ColumnSpec
+	Delim byte // default ','
+	Seed  int64
+}
+
+// IntTable returns a spec with nattrs integer attributes of cardinality
+// 1000, the workhorse shape of the demo's experiments.
+func IntTable(rows, nattrs int, seed int64) Spec {
+	cols := make([]ColumnSpec, nattrs)
+	for i := range cols {
+		cols[i] = ColumnSpec{Name: fmt.Sprintf("a%d", i), Kind: value.KindInt, Card: 1000}
+	}
+	return Spec{Rows: rows, Cols: cols, Seed: seed}
+}
+
+// MixedTable returns a spec mixing ints, floats and text (realistic log-like
+// rows).
+func MixedTable(rows int, seed int64) Spec {
+	return Spec{
+		Rows: rows,
+		Seed: seed,
+		Cols: []ColumnSpec{
+			{Name: "id", Kind: value.KindInt, Card: int64(rows), Dist: Sequential},
+			{Name: "user", Kind: value.KindText, Card: 500, Width: 12},
+			{Name: "score", Kind: value.KindFloat, Card: 10000},
+			{Name: "grp", Kind: value.KindInt, Card: 16, Dist: Zipf},
+			{Name: "note", Kind: value.KindText, Card: 2000, Width: 24},
+		},
+	}
+}
+
+// Schema derives the table schema for the spec.
+func (s *Spec) Schema() *schema.Schema {
+	cols := make([]schema.Column, len(s.Cols))
+	for i, c := range s.Cols {
+		cols[i] = schema.Column{Name: c.Name, Kind: c.Kind}
+	}
+	return schema.MustNew(cols)
+}
+
+// SchemaSpec renders the "name:type,..." spec string for the public API.
+func (s *Spec) SchemaSpec() string { return s.Schema().String() }
+
+// WriteTo streams the file. The generator is resettable: the same Spec
+// always writes identical bytes.
+func (s *Spec) WriteTo(w io.Writer) (int64, error) {
+	delim := s.Delim
+	if delim == 0 {
+		delim = ','
+	}
+	cw := bufio.NewWriterSize(w, 1<<20)
+	rng := rand.New(rand.NewSource(s.Seed))
+	var zipfs []*rand.Zipf
+	for _, c := range s.Cols {
+		if c.Dist == Zipf && c.Card > 1 {
+			zipfs = append(zipfs, rand.NewZipf(rng, 1.3, 1, uint64(c.Card-1)))
+		} else {
+			zipfs = append(zipfs, nil)
+		}
+	}
+	var n int64
+	scratch := make([]byte, 0, 64)
+	for r := 0; r < s.Rows; r++ {
+		for ci, c := range s.Cols {
+			if ci > 0 {
+				cw.WriteByte(delim)
+				n++
+			}
+			if c.NullEvery > 0 && (r+ci)%c.NullEvery == 0 {
+				continue
+			}
+			scratch = appendValue(scratch[:0], &c, zipfs[ci], rng, r)
+			cw.Write(scratch)
+			n += int64(len(scratch))
+		}
+		cw.WriteByte('\n')
+		n++
+	}
+	if err := cw.Flush(); err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+// appendValue renders one field.
+func appendValue(dst []byte, c *ColumnSpec, z *rand.Zipf, rng *rand.Rand, row int) []byte {
+	card := c.Card
+	if card <= 0 {
+		card = 1000
+	}
+	var v int64
+	switch c.Dist {
+	case Sequential:
+		v = int64(row) % card
+	case Zipf:
+		if z != nil {
+			v = int64(z.Uint64())
+		}
+	default:
+		v = rng.Int63n(card)
+	}
+	switch c.Kind {
+	case value.KindInt:
+		if c.Width > 0 {
+			digits := len(strconv.FormatInt(v, 10))
+			for pad := c.Width - digits; pad > 0; pad-- {
+				dst = append(dst, '0')
+			}
+		}
+		return strconv.AppendInt(dst, v, 10)
+	case value.KindFloat:
+		f := float64(v) + float64(rng.Intn(100))/100
+		return strconv.AppendFloat(dst, f, 'f', 2, 64)
+	case value.KindBool:
+		if v%2 == 0 {
+			return append(dst, "true"...)
+		}
+		return append(dst, "false"...)
+	case value.KindDate:
+		return append(dst, value.FormatDate(v%20000)...)
+	default: // text
+		dst = append(dst, 'v')
+		dst = strconv.AppendInt(dst, v, 10)
+		for len(dst) < c.Width {
+			dst = append(dst, 'x')
+		}
+		return dst
+	}
+}
+
+// WriteFile generates the file at path, returning its size in bytes.
+func (s *Spec) WriteFile(path string) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("datagen: %w", err)
+	}
+	n, werr := s.WriteTo(f)
+	cerr := f.Close()
+	if werr != nil {
+		return n, fmt.Errorf("datagen: %w", werr)
+	}
+	if cerr != nil {
+		return n, fmt.Errorf("datagen: %w", cerr)
+	}
+	return n, nil
+}

@@ -1,0 +1,187 @@
+package datagen
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodb/internal/rawfile"
+	"nodb/internal/value"
+)
+
+func TestDeterministic(t *testing.T) {
+	spec := MixedTable(500, 42)
+	var a, b bytes.Buffer
+	if _, err := spec.WriteTo(&a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := spec.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("same spec produced different bytes")
+	}
+	spec2 := MixedTable(500, 43)
+	var c bytes.Buffer
+	spec2.WriteTo(&c)
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Error("different seeds produced identical bytes")
+	}
+}
+
+func TestRowAndFieldCounts(t *testing.T) {
+	spec := IntTable(200, 7, 1)
+	var buf bytes.Buffer
+	n, err := spec.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("reported %d bytes, wrote %d", n, buf.Len())
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("rows=%d", len(lines))
+	}
+	for _, l := range lines[:5] {
+		if got := rawfile.CountFields([]byte(l), ','); got != 7 {
+			t.Fatalf("fields=%d in %q", got, l)
+		}
+	}
+}
+
+func TestValuesParseUnderSchema(t *testing.T) {
+	spec := MixedTable(300, 7)
+	var buf bytes.Buffer
+	spec.WriteTo(&buf)
+	sch := spec.Schema()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	for _, l := range lines {
+		fields := rawfile.SplitAll([]byte(l), ',')
+		if len(fields) != sch.Len() {
+			t.Fatalf("fields=%d, want %d", len(fields), sch.Len())
+		}
+		for i, f := range fields {
+			if _, err := value.Parse(f, sch.Col(i).Kind); err != nil {
+				t.Fatalf("col %d %q does not parse as %v: %v", i, f, sch.Col(i).Kind, err)
+			}
+		}
+	}
+}
+
+func TestWidthKnob(t *testing.T) {
+	spec := Spec{
+		Rows: 50,
+		Seed: 1,
+		Cols: []ColumnSpec{
+			{Name: "a", Kind: value.KindText, Card: 10, Width: 30},
+			{Name: "b", Kind: value.KindInt, Card: 10, Width: 8},
+		},
+	}
+	var buf bytes.Buffer
+	spec.WriteTo(&buf)
+	for _, l := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		fields := rawfile.SplitAll([]byte(l), ',')
+		if len(fields[0]) < 30 {
+			t.Fatalf("text width %d < 30: %q", len(fields[0]), fields[0])
+		}
+		if len(fields[1]) != 8 {
+			t.Fatalf("int width %d != 8: %q", len(fields[1]), fields[1])
+		}
+	}
+}
+
+func TestNullEvery(t *testing.T) {
+	spec := Spec{
+		Rows: 100,
+		Seed: 1,
+		Cols: []ColumnSpec{{Name: "a", Kind: value.KindInt, Card: 10, NullEvery: 4}},
+	}
+	var buf bytes.Buffer
+	spec.WriteTo(&buf)
+	empties := 0
+	for _, l := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		if l == "" {
+			empties++
+		}
+	}
+	if empties != 25 {
+		t.Errorf("empties=%d, want 25", empties)
+	}
+}
+
+func TestDistributions(t *testing.T) {
+	// Sequential: row r gets r % card.
+	seq := Spec{Rows: 10, Seed: 1, Cols: []ColumnSpec{{Name: "a", Kind: value.KindInt, Card: 4, Dist: Sequential}}}
+	var buf bytes.Buffer
+	seq.WriteTo(&buf)
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	for r, l := range lines {
+		want := r % 4
+		if l != strings.TrimSpace(string(rune('0'+want))) {
+			t.Fatalf("row %d=%q", r, l)
+		}
+	}
+	// Zipf: most-frequent value should dominate.
+	zipf := Spec{Rows: 5000, Seed: 1, Cols: []ColumnSpec{{Name: "a", Kind: value.KindInt, Card: 100, Dist: Zipf}}}
+	buf.Reset()
+	zipf.WriteTo(&buf)
+	counts := map[string]int{}
+	for _, l := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		counts[l]++
+	}
+	if counts["0"] < 1000 {
+		t.Errorf("zipf head count=%d, expected heavy skew", counts["0"])
+	}
+}
+
+func TestBoolAndDateKinds(t *testing.T) {
+	spec := Spec{
+		Rows: 20,
+		Seed: 1,
+		Cols: []ColumnSpec{
+			{Name: "b", Kind: value.KindBool, Card: 10},
+			{Name: "d", Kind: value.KindDate, Card: 100},
+		},
+	}
+	var buf bytes.Buffer
+	spec.WriteTo(&buf)
+	for _, l := range strings.Split(strings.TrimRight(buf.String(), "\n"), "\n") {
+		fields := rawfile.SplitAll([]byte(l), ',')
+		if string(fields[0]) != "true" && string(fields[0]) != "false" {
+			t.Fatalf("bool=%q", fields[0])
+		}
+		if _, err := value.ParseDate(string(fields[1])); err != nil {
+			t.Fatalf("date=%q: %v", fields[1], err)
+		}
+	}
+}
+
+func TestWriteFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.csv")
+	spec := IntTable(100, 3, 9)
+	n, err := spec.WriteFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != n {
+		t.Errorf("size=%d, reported %d", st.Size(), n)
+	}
+	if _, err := spec.WriteFile("/nonexistent/dir/x.csv"); err == nil {
+		t.Error("bad path accepted")
+	}
+}
+
+func TestSchemaSpecRoundTrip(t *testing.T) {
+	spec := MixedTable(10, 1)
+	s := spec.SchemaSpec()
+	if !strings.Contains(s, "id:INT") || !strings.Contains(s, "score:FLOAT") {
+		t.Errorf("schema spec=%q", s)
+	}
+}

@@ -1,0 +1,216 @@
+package engine
+
+import (
+	"sort"
+
+	"nodb/internal/expr"
+	"nodb/internal/metrics"
+	"nodb/internal/value"
+)
+
+// AggSpec describes one aggregate computed by HashAgg.
+type AggSpec struct {
+	Name     string    // COUNT, SUM, AVG, MIN, MAX (upper case)
+	Arg      expr.Node // nil for COUNT(*)
+	Star     bool
+	Distinct bool
+}
+
+// HashAgg groups input rows by key expressions and computes aggregates.
+// Output layout: group key values first, then aggregate results. With no
+// keys it emits exactly one row (aggregates over the whole input, even when
+// the input is empty).
+type HashAgg struct {
+	in     Operator
+	keys   []expr.Node
+	aggs   []AggSpec
+	b      *metrics.Breakdown
+	built  bool
+	groups []*aggGroup
+	pos    int
+	out    []value.Value
+}
+
+type aggGroup struct {
+	keyVals []value.Value
+	states  []expr.Aggregator
+	order   int // first-seen order for stable output
+}
+
+// NewHashAgg constructs the aggregation operator.
+func NewHashAgg(in Operator, keys []expr.Node, aggs []AggSpec, b *metrics.Breakdown) *HashAgg {
+	return &HashAgg{in: in, keys: keys, aggs: aggs, b: b,
+		out: make([]value.Value, len(keys)+len(aggs))}
+}
+
+func (o *HashAgg) build() error {
+	table := make(map[string]*aggGroup)
+	keyBuf := make([]value.Value, len(o.keys))
+	for {
+		row, ok, err := o.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		for i, k := range o.keys {
+			v, err := k.Eval(row)
+			if err != nil {
+				return err
+			}
+			keyBuf[i] = v
+		}
+		key := rowKey(keyBuf)
+		g := table[key]
+		if g == nil {
+			g = &aggGroup{keyVals: copyRow(keyBuf), order: len(o.groups)}
+			for _, a := range o.aggs {
+				st, err := expr.NewAggregator(a.Name, a.Star, a.Distinct)
+				if err != nil {
+					return err
+				}
+				g.states = append(g.states, st)
+			}
+			table[key] = g
+			o.groups = append(o.groups, g)
+		}
+		for i, a := range o.aggs {
+			var v value.Value
+			if a.Star {
+				v = value.Int(1) // any non-null; COUNT(*) counts rows
+			} else {
+				var err error
+				v, err = a.Arg.Eval(row)
+				if err != nil {
+					return err
+				}
+			}
+			g.states[i].Step(v)
+		}
+	}
+	// Global aggregate over empty input still yields one row.
+	if len(o.keys) == 0 && len(o.groups) == 0 {
+		g := &aggGroup{}
+		for _, a := range o.aggs {
+			st, err := expr.NewAggregator(a.Name, a.Star, a.Distinct)
+			if err != nil {
+				return err
+			}
+			g.states = append(g.states, st)
+		}
+		o.groups = append(o.groups, g)
+	}
+	sort.Slice(o.groups, func(i, j int) bool { return o.groups[i].order < o.groups[j].order })
+	return nil
+}
+
+// Next implements Operator.
+func (o *HashAgg) Next() ([]value.Value, bool, error) {
+	if !o.built {
+		if err := o.build(); err != nil {
+			return nil, false, err
+		}
+		o.built = true
+	}
+	if o.pos >= len(o.groups) {
+		return nil, false, nil
+	}
+	g := o.groups[o.pos]
+	o.pos++
+	copy(o.out, g.keyVals)
+	for i, st := range g.states {
+		o.out[len(o.keys)+i] = st.Result()
+	}
+	return o.out, true, nil
+}
+
+// Close implements Operator.
+func (o *HashAgg) Close() error { return o.in.Close() }
+
+// SortKey is one ORDER BY key for the Sort operator.
+type SortKey struct {
+	Expr expr.Node
+	Desc bool
+}
+
+// Sort materializes the input and emits it ordered by the keys.
+type Sort struct {
+	in    Operator
+	keys  []SortKey
+	b     *metrics.Breakdown
+	built bool
+	rows  [][]value.Value
+	pos   int
+}
+
+// NewSort constructs the sort operator.
+func NewSort(in Operator, keys []SortKey, b *metrics.Breakdown) *Sort {
+	return &Sort{in: in, keys: keys, b: b}
+}
+
+func (o *Sort) build() error {
+	type sortable struct {
+		row  []value.Value
+		keys []value.Value
+	}
+	var items []sortable
+	for {
+		row, ok, err := o.in.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		cp := copyRow(row)
+		kv := make([]value.Value, len(o.keys))
+		for i, k := range o.keys {
+			v, err := k.Expr.Eval(cp)
+			if err != nil {
+				return err
+			}
+			kv[i] = v
+		}
+		items = append(items, sortable{row: cp, keys: kv})
+	}
+	sw := metrics.NewStopwatch(o.b)
+	sort.SliceStable(items, func(i, j int) bool {
+		for k := range o.keys {
+			c := value.Compare(items[i].keys[k], items[j].keys[k])
+			if c == 0 {
+				continue
+			}
+			if o.keys[k].Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	})
+	sw.Stop(metrics.Processing)
+	o.rows = make([][]value.Value, len(items))
+	for i, it := range items {
+		o.rows[i] = it.row
+	}
+	return nil
+}
+
+// Next implements Operator.
+func (o *Sort) Next() ([]value.Value, bool, error) {
+	if !o.built {
+		if err := o.build(); err != nil {
+			return nil, false, err
+		}
+		o.built = true
+	}
+	if o.pos >= len(o.rows) {
+		return nil, false, nil
+	}
+	row := o.rows[o.pos]
+	o.pos++
+	return row, true, nil
+}
+
+// Close implements Operator.
+func (o *Sort) Close() error { return o.in.Close() }

@@ -1,0 +1,325 @@
+// Package engine implements the volcano-style (iterator) execution
+// operators shared by every access mode. Only the leaf operators know how a
+// table is stored — RawScan runs over raw CSV through the adaptive in-situ
+// scan, HeapScan and IndexScan over loaded binary heaps — mirroring the
+// paper's design where PostgresRaw overrides just the scan operator and the
+// rest of the query plan is unchanged.
+package engine
+
+import (
+	"nodb/internal/core"
+	"nodb/internal/expr"
+	"nodb/internal/metrics"
+	"nodb/internal/storage"
+	"nodb/internal/value"
+)
+
+// Operator is a pull-based executor node. Next returns a row whose backing
+// slice may be reused by the operator; consumers that retain rows must copy.
+type Operator interface {
+	Next() ([]value.Value, bool, error)
+	Close() error
+}
+
+// RawScan adapts core.Scan (in-situ or baseline raw access) to the operator
+// interface. Filter pushdown happened at construction via the ScanSpec.
+type RawScan struct {
+	sc *core.Scan
+}
+
+// NewRawScan opens the in-situ scan.
+func NewRawScan(t *core.Table, spec core.ScanSpec) (*RawScan, error) {
+	sc, err := t.NewScan(spec)
+	if err != nil {
+		return nil, err
+	}
+	return &RawScan{sc: sc}, nil
+}
+
+// Next implements Operator.
+func (o *RawScan) Next() ([]value.Value, bool, error) { return o.sc.Next() }
+
+// Close implements Operator.
+func (o *RawScan) Close() error { return o.sc.Close() }
+
+// HeapScan reads a loaded heap table, emitting only the referenced
+// attributes (in refAttrs order). Pages are decoded as whole batches so the
+// per-row cost is a slice handoff.
+type HeapScan struct {
+	t        *storage.Table
+	refAttrs []int
+	want     []bool
+	b        *metrics.Breakdown
+
+	pageBuf []byte
+	decoded []value.Value
+	batch   []value.Value // page rows, len = nrows*len(refAttrs)
+	nrows   int
+	row     int
+	page    int
+}
+
+// NewHeapScan creates a heap scan producing refAttrs in order.
+func NewHeapScan(t *storage.Table, refAttrs []int, b *metrics.Breakdown) *HeapScan {
+	want := make([]bool, t.Schema.Len())
+	for _, a := range refAttrs {
+		want[a] = true
+	}
+	return &HeapScan{
+		t:        t,
+		refAttrs: refAttrs,
+		want:     want,
+		b:        b,
+		pageBuf:  make([]byte, storage.PageSize),
+		decoded:  make([]value.Value, t.Schema.Len()),
+	}
+}
+
+// Next implements Operator.
+func (o *HeapScan) Next() ([]value.Value, bool, error) {
+	for {
+		if o.row < o.nrows {
+			w := len(o.refAttrs)
+			out := o.batch[o.row*w : (o.row+1)*w]
+			o.row++
+			return out, true, nil
+		}
+		if o.page >= o.t.NumPages() {
+			return nil, false, nil
+		}
+		p, err := o.t.ReadPage(o.page, o.pageBuf, o.b)
+		if err != nil {
+			return nil, false, err
+		}
+		o.page++
+		n := p.NumSlots()
+		w := len(o.refAttrs)
+		if cap(o.batch) < n*w {
+			o.batch = make([]value.Value, n*w)
+		}
+		o.batch = o.batch[:n*w]
+		for s := 0; s < n; s++ {
+			tb, err := p.Tuple(s)
+			if err != nil {
+				return nil, false, err
+			}
+			if err := storage.DecodeTuple(tb, o.t.Schema, o.want, o.decoded); err != nil {
+				return nil, false, err
+			}
+			for i, a := range o.refAttrs {
+				o.batch[s*w+i] = o.decoded[a]
+			}
+		}
+		o.b.RowsScanned += int64(n)
+		o.nrows = n
+		o.row = 0
+	}
+}
+
+// Close implements Operator.
+func (o *HeapScan) Close() error { return nil }
+
+// IndexScan fetches rows through a B+tree (the DBMS X access path after its
+// load+index initialization), emitting refAttrs in order.
+type IndexScan struct {
+	t        *storage.Table
+	rids     []storage.RID
+	refAttrs []int
+	want     []bool
+	b        *metrics.Breakdown
+
+	pageBuf []byte
+	decoded []value.Value
+	out     []value.Value
+	pos     int
+}
+
+// NewIndexScan creates an index scan over a precomputed RID list.
+func NewIndexScan(t *storage.Table, rids []storage.RID, refAttrs []int, b *metrics.Breakdown) *IndexScan {
+	want := make([]bool, t.Schema.Len())
+	for _, a := range refAttrs {
+		want[a] = true
+	}
+	return &IndexScan{
+		t:        t,
+		rids:     rids,
+		refAttrs: refAttrs,
+		want:     want,
+		b:        b,
+		pageBuf:  make([]byte, storage.PageSize),
+		decoded:  make([]value.Value, t.Schema.Len()),
+		out:      make([]value.Value, len(refAttrs)),
+	}
+}
+
+// Next implements Operator.
+func (o *IndexScan) Next() ([]value.Value, bool, error) {
+	if o.pos >= len(o.rids) {
+		return nil, false, nil
+	}
+	rid := o.rids[o.pos]
+	o.pos++
+	if err := o.t.Fetch(rid, o.want, o.pageBuf, o.decoded, o.b); err != nil {
+		return nil, false, err
+	}
+	for i, a := range o.refAttrs {
+		o.out[i] = o.decoded[a]
+	}
+	o.b.RowsScanned++
+	return o.out, true, nil
+}
+
+// Close implements Operator.
+func (o *IndexScan) Close() error { return nil }
+
+// Filter drops rows whose predicate is not TRUE.
+type Filter struct {
+	in   Operator
+	pred expr.Node
+	b    *metrics.Breakdown
+}
+
+// NewFilter wraps in with a predicate.
+func NewFilter(in Operator, pred expr.Node, b *metrics.Breakdown) *Filter {
+	return &Filter{in: in, pred: pred, b: b}
+}
+
+// Next implements Operator.
+func (o *Filter) Next() ([]value.Value, bool, error) {
+	for {
+		row, ok, err := o.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		v, err := o.pred.Eval(row)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsTrue() {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (o *Filter) Close() error { return o.in.Close() }
+
+// Project computes output expressions.
+type Project struct {
+	in    Operator
+	exprs []expr.Node
+	b     *metrics.Breakdown
+	out   []value.Value
+}
+
+// NewProject wraps in with projection expressions.
+func NewProject(in Operator, exprs []expr.Node, b *metrics.Breakdown) *Project {
+	return &Project{in: in, exprs: exprs, b: b, out: make([]value.Value, len(exprs))}
+}
+
+// Next implements Operator.
+func (o *Project) Next() ([]value.Value, bool, error) {
+	row, ok, err := o.in.Next()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	for i, e := range o.exprs {
+		v, err := e.Eval(row)
+		if err != nil {
+			return nil, false, err
+		}
+		o.out[i] = v
+	}
+	return o.out, true, nil
+}
+
+// Close implements Operator.
+func (o *Project) Close() error { return o.in.Close() }
+
+// Limit implements OFFSET/LIMIT.
+type Limit struct {
+	in      Operator
+	offset  int64
+	limit   int64 // -1 = unlimited
+	skipped int64
+	emitted int64
+}
+
+// NewLimit wraps in with offset/limit (limit -1 = no limit).
+func NewLimit(in Operator, offset, limit int64) *Limit {
+	return &Limit{in: in, offset: offset, limit: limit}
+}
+
+// Next implements Operator.
+func (o *Limit) Next() ([]value.Value, bool, error) {
+	for {
+		if o.limit >= 0 && o.emitted >= o.limit {
+			return nil, false, nil
+		}
+		row, ok, err := o.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if o.skipped < o.offset {
+			o.skipped++
+			continue
+		}
+		o.emitted++
+		return row, true, nil
+	}
+}
+
+// Close implements Operator.
+func (o *Limit) Close() error { return o.in.Close() }
+
+// Distinct deduplicates rows by all columns.
+type Distinct struct {
+	in   Operator
+	b    *metrics.Breakdown
+	seen map[string]bool
+}
+
+// NewDistinct wraps in with duplicate elimination.
+func NewDistinct(in Operator, b *metrics.Breakdown) *Distinct {
+	return &Distinct{in: in, b: b, seen: make(map[string]bool)}
+}
+
+// Next implements Operator.
+func (o *Distinct) Next() ([]value.Value, bool, error) {
+	for {
+		row, ok, err := o.in.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		key := rowKey(row)
+		dup := o.seen[key]
+		if !dup {
+			o.seen[key] = true
+		}
+		if !dup {
+			return row, true, nil
+		}
+	}
+}
+
+// Close implements Operator.
+func (o *Distinct) Close() error { return o.in.Close() }
+
+// rowKey builds a collision-safe string key for grouping/dedup: kind byte,
+// length-prefixed text, canonical numeric rendering.
+func rowKey(row []value.Value) string {
+	buf := make([]byte, 0, 16*len(row))
+	for _, v := range row {
+		buf = append(buf, byte(v.K))
+		s := v.String()
+		buf = append(buf, byte(len(s)), byte(len(s)>>8))
+		buf = append(buf, s...)
+	}
+	return string(buf)
+}
+
+func copyRow(row []value.Value) []value.Value {
+	cp := make([]value.Value, len(row))
+	copy(cp, row)
+	return cp
+}

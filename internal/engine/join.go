@@ -1,0 +1,286 @@
+package engine
+
+import (
+	"nodb/internal/expr"
+	"nodb/internal/metrics"
+	"nodb/internal/value"
+)
+
+// HashJoin performs an equi-join: it materializes the right (build) side
+// into a hash table keyed by the build key expressions, then streams the
+// left (probe) side. Output rows are the concatenation left ++ right. With
+// LeftOuter set, unmatched left rows are emitted padded with NULLs.
+type HashJoin struct {
+	left, right          Operator
+	probeKeys, buildKeys []expr.Node
+	residual             expr.Node // extra non-equi ON conjuncts; may be nil
+	leftOuter            bool
+	rightWidth           int
+	b                    *metrics.Breakdown
+
+	built   bool
+	table   map[string][][]value.Value
+	cur     []([]value.Value) // matches for the current probe row
+	curRow  []value.Value     // current probe row (copied)
+	curIdx  int
+	matched bool
+	out     []value.Value
+}
+
+// NewHashJoin constructs a hash join. rightWidth is the arity of the build
+// side (needed for NULL padding in outer joins).
+func NewHashJoin(left, right Operator, probeKeys, buildKeys []expr.Node, residual expr.Node, leftOuter bool, rightWidth int, b *metrics.Breakdown) *HashJoin {
+	return &HashJoin{
+		left: left, right: right,
+		probeKeys: probeKeys, buildKeys: buildKeys,
+		residual: residual, leftOuter: leftOuter,
+		rightWidth: rightWidth, b: b,
+	}
+}
+
+func (o *HashJoin) build() error {
+	o.table = make(map[string][][]value.Value)
+	keyBuf := make([]value.Value, len(o.buildKeys))
+	for {
+		row, ok, err := o.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		skip := false
+		for i, k := range o.buildKeys {
+			v, err := k.Eval(row)
+			if err != nil {
+				return err
+			}
+			if v.IsNull() {
+				skip = true // NULL keys never join
+				break
+			}
+			keyBuf[i] = v
+		}
+		if !skip {
+			key := rowKey(keyBuf)
+			o.table[key] = append(o.table[key], copyRow(row))
+		}
+	}
+}
+
+// Next implements Operator.
+func (o *HashJoin) Next() ([]value.Value, bool, error) {
+	if !o.built {
+		if err := o.build(); err != nil {
+			return nil, false, err
+		}
+		o.built = true
+	}
+	keyBuf := make([]value.Value, len(o.probeKeys))
+	for {
+		// Emit pending matches for the current probe row.
+		for o.cur != nil && o.curIdx < len(o.cur) {
+			right := o.cur[o.curIdx]
+			o.curIdx++
+			out := o.emit(o.curRow, right)
+			if o.residual != nil {
+				v, err := o.residual.Eval(out)
+				if err != nil {
+					return nil, false, err
+				}
+				if !v.IsTrue() {
+					continue
+				}
+			}
+			o.matched = true
+			return out, true, nil
+		}
+		if o.cur != nil && o.leftOuter && !o.matched {
+			o.cur = nil
+			return o.emit(o.curRow, nil), true, nil
+		}
+		o.cur = nil
+
+		// Advance the probe side.
+		row, ok, err := o.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		nullKey := false
+		for i, k := range o.probeKeys {
+			v, err := k.Eval(row)
+			if err != nil {
+				return nil, false, err
+			}
+			if v.IsNull() {
+				nullKey = true
+				break
+			}
+			keyBuf[i] = v
+		}
+		o.curRow = copyRow(row)
+		o.matched = false
+		if nullKey {
+			o.cur = [][]value.Value{}
+		} else {
+			o.cur = o.table[rowKey(keyBuf)]
+			if o.cur == nil {
+				o.cur = [][]value.Value{}
+			}
+		}
+		o.curIdx = 0
+	}
+}
+
+// emit concatenates a probe row with a build row (nil build = NULL padding).
+func (o *HashJoin) emit(left, right []value.Value) []value.Value {
+	if cap(o.out) < len(left)+o.rightWidth {
+		o.out = make([]value.Value, len(left)+o.rightWidth)
+	}
+	o.out = o.out[:len(left)+o.rightWidth]
+	copy(o.out, left)
+	if right == nil {
+		for i := 0; i < o.rightWidth; i++ {
+			o.out[len(left)+i] = value.Null()
+		}
+	} else {
+		copy(o.out[len(left):], right)
+	}
+	return o.out
+}
+
+// Close implements Operator.
+func (o *HashJoin) Close() error {
+	err1 := o.left.Close()
+	err2 := o.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// NLJoin is a nested-loop join for CROSS joins and non-equi ON conditions.
+// The right side is materialized once. On (may be nil for CROSS) is
+// evaluated over the concatenated row. LeftOuter pads unmatched left rows.
+type NLJoin struct {
+	left, right Operator
+	on          expr.Node
+	leftOuter   bool
+	rightWidth  int
+	b           *metrics.Breakdown
+
+	built   bool
+	rights  [][]value.Value
+	curRow  []value.Value
+	curIdx  int
+	haveCur bool
+	matched bool
+	out     []value.Value
+}
+
+// NewNLJoin constructs a nested-loop join.
+func NewNLJoin(left, right Operator, on expr.Node, leftOuter bool, rightWidth int, b *metrics.Breakdown) *NLJoin {
+	return &NLJoin{left: left, right: right, on: on, leftOuter: leftOuter, rightWidth: rightWidth, b: b}
+}
+
+func (o *NLJoin) build() error {
+	for {
+		row, ok, err := o.right.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		o.rights = append(o.rights, copyRow(row))
+	}
+}
+
+// Next implements Operator.
+func (o *NLJoin) Next() ([]value.Value, bool, error) {
+	if !o.built {
+		if err := o.build(); err != nil {
+			return nil, false, err
+		}
+		o.built = true
+	}
+	for {
+		if o.haveCur {
+			for o.curIdx < len(o.rights) {
+				right := o.rights[o.curIdx]
+				o.curIdx++
+				out := o.emit(o.curRow, right)
+				if o.on != nil {
+					v, err := o.on.Eval(out)
+					if err != nil {
+						return nil, false, err
+					}
+					if !v.IsTrue() {
+						continue
+					}
+				}
+				o.matched = true
+				return out, true, nil
+			}
+			if o.leftOuter && !o.matched {
+				o.haveCur = false
+				return o.emit(o.curRow, nil), true, nil
+			}
+			o.haveCur = false
+		}
+		row, ok, err := o.left.Next()
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		o.curRow = copyRow(row)
+		o.curIdx = 0
+		o.matched = false
+		o.haveCur = true
+	}
+}
+
+func (o *NLJoin) emit(left, right []value.Value) []value.Value {
+	if cap(o.out) < len(left)+o.rightWidth {
+		o.out = make([]value.Value, len(left)+o.rightWidth)
+	}
+	o.out = o.out[:len(left)+o.rightWidth]
+	copy(o.out, left)
+	if right == nil {
+		for i := 0; i < o.rightWidth; i++ {
+			o.out[len(left)+i] = value.Null()
+		}
+	} else {
+		copy(o.out[len(left):], right)
+	}
+	return o.out
+}
+
+// Close implements Operator.
+func (o *NLJoin) Close() error {
+	err1 := o.left.Close()
+	err2 := o.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// ValuesOp replays a fixed set of rows; used by tests and by the planner for
+// metadata-only answers.
+type ValuesOp struct {
+	Rows [][]value.Value
+	pos  int
+}
+
+// Next implements Operator.
+func (o *ValuesOp) Next() ([]value.Value, bool, error) {
+	if o.pos >= len(o.Rows) {
+		return nil, false, nil
+	}
+	r := o.Rows[o.pos]
+	o.pos++
+	return r, true, nil
+}
+
+// Close implements Operator.
+func (o *ValuesOp) Close() error { return nil }

@@ -1,0 +1,190 @@
+package expr
+
+import (
+	"fmt"
+
+	"nodb/internal/value"
+)
+
+// IsAggregate reports whether name (upper-case) is an aggregate function.
+func IsAggregate(name string) bool {
+	switch name {
+	case "COUNT", "SUM", "AVG", "MIN", "MAX":
+		return true
+	}
+	return false
+}
+
+// Aggregator accumulates values for one aggregate over one group.
+type Aggregator interface {
+	// Step feeds one input value. NULLs are ignored except by COUNT(*).
+	Step(v value.Value)
+	// Result finalizes the aggregate for the group.
+	Result() value.Value
+}
+
+// NewAggregator builds the state machine for an aggregate call. star marks
+// COUNT(*); distinct wraps the aggregator to ignore duplicate inputs.
+func NewAggregator(name string, star, distinct bool) (Aggregator, error) {
+	var a Aggregator
+	switch name {
+	case "COUNT":
+		a = &countAgg{star: star}
+	case "SUM":
+		a = &sumAgg{}
+	case "AVG":
+		a = &avgAgg{}
+	case "MIN":
+		a = &minMaxAgg{min: true}
+	case "MAX":
+		a = &minMaxAgg{}
+	default:
+		return nil, fmt.Errorf("expr: unknown aggregate %s", name)
+	}
+	if distinct {
+		if star {
+			return nil, fmt.Errorf("expr: COUNT(DISTINCT *) is not valid")
+		}
+		a = &distinctAgg{inner: a, seen: make(map[distinctKey]bool)}
+	}
+	return a, nil
+}
+
+// AggKind returns the result kind of an aggregate given its input kind.
+func AggKind(name string, argKind value.Kind) value.Kind {
+	switch name {
+	case "COUNT":
+		return value.KindInt
+	case "AVG":
+		return value.KindFloat
+	case "SUM":
+		if argKind == value.KindFloat {
+			return value.KindFloat
+		}
+		return value.KindInt
+	default: // MIN, MAX preserve input kind
+		return argKind
+	}
+}
+
+type countAgg struct {
+	star bool
+	n    int64
+}
+
+func (a *countAgg) Step(v value.Value) {
+	if a.star || !v.IsNull() {
+		a.n++
+	}
+}
+func (a *countAgg) Result() value.Value { return value.Int(a.n) }
+
+type sumAgg struct {
+	any   bool
+	isFlt bool
+	i     int64
+	f     float64
+}
+
+func (a *sumAgg) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.any = true
+	if v.K == value.KindFloat || a.isFlt {
+		if !a.isFlt {
+			a.isFlt = true
+			a.f = float64(a.i)
+		}
+		a.f += v.Num()
+		return
+	}
+	a.i += v.I
+}
+
+func (a *sumAgg) Result() value.Value {
+	if !a.any {
+		return value.Null()
+	}
+	if a.isFlt {
+		return value.Float(a.f)
+	}
+	return value.Int(a.i)
+}
+
+type avgAgg struct {
+	n   int64
+	sum float64
+}
+
+func (a *avgAgg) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	a.n++
+	a.sum += v.Num()
+}
+
+func (a *avgAgg) Result() value.Value {
+	if a.n == 0 {
+		return value.Null()
+	}
+	return value.Float(a.sum / float64(a.n))
+}
+
+type minMaxAgg struct {
+	min  bool
+	any  bool
+	best value.Value
+}
+
+func (a *minMaxAgg) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	if !a.any {
+		a.any = true
+		a.best = v
+		return
+	}
+	c := value.Compare(v, a.best)
+	if (a.min && c < 0) || (!a.min && c > 0) {
+		a.best = v
+	}
+}
+
+func (a *minMaxAgg) Result() value.Value {
+	if !a.any {
+		return value.Null()
+	}
+	return a.best
+}
+
+type distinctKey struct {
+	k value.Kind
+	s string
+}
+
+type distinctAgg struct {
+	inner Aggregator
+	seen  map[distinctKey]bool
+}
+
+func (a *distinctAgg) Step(v value.Value) {
+	if v.IsNull() {
+		return
+	}
+	key := distinctKey{k: v.K, s: v.String()}
+	// Canonicalize numeric kinds so Int(2) and Float(2.0) dedupe together,
+	// matching value.Equal.
+	if v.K != value.KindText {
+		key.k = value.KindInt
+	}
+	if a.seen[key] {
+		return
+	}
+	a.seen[key] = true
+	a.inner.Step(v)
+}
+
+func (a *distinctAgg) Result() value.Value { return a.inner.Result() }

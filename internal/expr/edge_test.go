@@ -1,0 +1,120 @@
+package expr
+
+import (
+	"testing"
+
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+// TestEvalErrorPropagation checks that runtime errors inside nested
+// expressions surface through every composite node type.
+func TestEvalErrorPropagation(t *testing.T) {
+	env := testEnv()
+	// row with b = 0 so "a / b" errors when evaluated.
+	row := []value.Value{value.Int(1), value.Int(0), value.Float(1), value.Text("x"), value.Int(0)}
+	conds := []string{
+		"(a / b) = 1 AND TRUE",
+		"TRUE AND (a / b) = 1",
+		"FALSE OR (a / b) = 1",
+		"NOT ((a / b) = 1)",
+		"-(a / b) = 1",
+		"(a / b) IS NULL",
+		"(a / b) IN (1, 2)",
+		"a IN (99, a / b)", // first item misses, error term is reached
+		"(a / b) BETWEEN 1 AND 2",
+		"a BETWEEN (a / b) AND 9",
+		"a BETWEEN 0 AND (a / b)",
+		"s LIKE UPPER(SUBSTR(s, a / b))",
+		"ABS(a / b) = 1",
+	}
+	for _, cond := range conds {
+		n := compileWhere(t, cond, env)
+		if _, err := n.Eval(row); err == nil {
+			t.Errorf("%q: error did not propagate", cond)
+		}
+	}
+}
+
+func TestNegateEdgeCases(t *testing.T) {
+	env := testEnv()
+	// Negating NULL yields NULL; negating text errors.
+	row := []value.Value{value.Null(), value.Int(1), value.Float(1), value.Text("x"), value.Int(0)}
+	n := compileWhere(t, "-a IS NULL", env)
+	v, err := n.Eval(row)
+	if err != nil || !v.IsTrue() {
+		t.Errorf("-NULL: v=%v err=%v", v, err)
+	}
+	sel, _ := sql.Parse("SELECT x FROM t WHERE -s = 1")
+	neg, err := Compile(sel.Where, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := neg.Eval(row); err == nil {
+		t.Error("negating text did not error")
+	}
+}
+
+func TestScalarFuncArityAndNullArgs(t *testing.T) {
+	env := testEnv()
+	bad := []string{
+		"ABS(a, b) = 1",
+		"SUBSTR(s) = 'x'",
+		"LENGTH() = 0",
+	}
+	for _, cond := range bad {
+		sel, err := sql.Parse("SELECT x FROM t WHERE " + cond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Compile(sel.Where, env); err == nil {
+			t.Errorf("%q compiled", cond)
+		}
+	}
+	// SUBSTR with NULL start yields NULL.
+	row := []value.Value{value.Int(1), value.Int(2), value.Float(1), value.Text("hello"), value.Int(0)}
+	n := compileWhere(t, "SUBSTR(s, b / b - b / b + 1 - 1, 2) IS NOT NULL", testEnv())
+	if _, err := n.Eval(row); err != nil {
+		t.Fatalf("eval: %v", err)
+	}
+	n2 := compileWhere(t, "SUBSTR(s, a, -5) = ''", testEnv())
+	v, err := n2.Eval(row)
+	if err != nil || !v.IsTrue() {
+		t.Errorf("negative length: v=%v err=%v", v, err)
+	}
+}
+
+func TestColumnsOnLiterals(t *testing.T) {
+	sel, _ := sql.Parse("SELECT x FROM t WHERE 1 = 1 AND 'a' LIKE 'a'")
+	if cols := Columns(sel.Where, nil); len(cols) != 0 {
+		t.Errorf("literal expr has columns: %v", cols)
+	}
+}
+
+func TestSlotNode(t *testing.T) {
+	env := NewEnv()
+	env.Add("", "a", value.KindInt)
+	env.Add("", "b", value.KindText)
+	n := Slot(env, 1)
+	if n.Kind() != value.KindText {
+		t.Errorf("slot kind=%v", n.Kind())
+	}
+	v, err := n.Eval([]value.Value{value.Int(1), value.Text("hi")})
+	if err != nil || v.S != "hi" {
+		t.Errorf("slot eval: %v %v", v, err)
+	}
+	// Out-of-range row errors rather than panicking.
+	if _, err := n.Eval([]value.Value{value.Int(1)}); err == nil {
+		t.Error("short row accepted")
+	}
+}
+
+func TestCompileBadArity(t *testing.T) {
+	env := testEnv()
+	// COALESCE over max arity is fine up to 99; ensure a plain aggregate in
+	// a nested position is still rejected.
+	sel, _ := sql.Parse("SELECT x FROM t WHERE ABS(SUM(a)) > 1")
+	if _, err := Compile(sel.Where, env); err == nil {
+		t.Error("nested aggregate compiled in scalar context")
+	}
+}

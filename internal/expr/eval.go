@@ -1,0 +1,450 @@
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+type constNode struct{ v value.Value }
+
+func (n constNode) Eval([]value.Value) (value.Value, error) { return n.v, nil }
+func (n constNode) Kind() value.Kind                        { return n.v.K }
+
+type colNode struct {
+	slot int
+	kind value.Kind
+}
+
+func (n colNode) Eval(row []value.Value) (value.Value, error) {
+	if n.slot >= len(row) {
+		return value.Null(), fmt.Errorf("expr: row has %d slots, need %d", len(row), n.slot+1)
+	}
+	return row[n.slot], nil
+}
+func (n colNode) Kind() value.Kind { return n.kind }
+
+type arithNode struct {
+	op   string
+	l, r Node
+	kind value.Kind
+}
+
+func (n arithNode) Kind() value.Kind { return n.kind }
+
+func (n arithNode) Eval(row []value.Value) (value.Value, error) {
+	lv, err := n.l.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	rv, err := n.r.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return value.Null(), nil
+	}
+	if lv.K == value.KindText || rv.K == value.KindText {
+		return value.Null(), fmt.Errorf("expr: arithmetic %s on text value", n.op)
+	}
+	// Integer fast path (int, bool, date all store in I).
+	if lv.K != value.KindFloat && rv.K != value.KindFloat && n.kind == value.KindInt {
+		a, b := lv.I, rv.I
+		switch n.op {
+		case sql.OpAdd:
+			return value.Int(a + b), nil
+		case sql.OpSub:
+			return value.Int(a - b), nil
+		case sql.OpMul:
+			return value.Int(a * b), nil
+		case sql.OpDiv:
+			if b == 0 {
+				return value.Null(), fmt.Errorf("expr: division by zero")
+			}
+			return value.Int(a / b), nil
+		case sql.OpMod:
+			if b == 0 {
+				return value.Null(), fmt.Errorf("expr: modulo by zero")
+			}
+			return value.Int(a % b), nil
+		}
+	}
+	a, b := lv.Num(), rv.Num()
+	switch n.op {
+	case sql.OpAdd:
+		return value.Float(a + b), nil
+	case sql.OpSub:
+		return value.Float(a - b), nil
+	case sql.OpMul:
+		return value.Float(a * b), nil
+	case sql.OpDiv:
+		if b == 0 {
+			return value.Null(), fmt.Errorf("expr: division by zero")
+		}
+		return value.Float(a / b), nil
+	}
+	return value.Null(), fmt.Errorf("expr: bad arithmetic op %q", n.op)
+}
+
+type cmpNode struct {
+	op   string
+	l, r Node
+}
+
+func (n cmpNode) Kind() value.Kind { return value.KindBool }
+
+func (n cmpNode) Eval(row []value.Value) (value.Value, error) {
+	lv, err := n.l.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	rv, err := n.r.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return value.Null(), nil
+	}
+	c := value.Compare(lv, rv)
+	var ok bool
+	switch n.op {
+	case sql.OpEq:
+		ok = c == 0
+	case sql.OpNe:
+		ok = c != 0
+	case sql.OpLt:
+		ok = c < 0
+	case sql.OpLe:
+		ok = c <= 0
+	case sql.OpGt:
+		ok = c > 0
+	case sql.OpGe:
+		ok = c >= 0
+	default:
+		return value.Null(), fmt.Errorf("expr: bad comparison op %q", n.op)
+	}
+	return value.Bool(ok), nil
+}
+
+type logicNode struct {
+	op   string
+	l, r Node
+}
+
+func (n logicNode) Kind() value.Kind { return value.KindBool }
+
+func (n logicNode) Eval(row []value.Value) (value.Value, error) {
+	lv, err := n.l.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	// Short circuit with three-valued logic.
+	if n.op == sql.OpAnd {
+		if lv.K == value.KindBool && lv.I == 0 {
+			return value.Bool(false), nil
+		}
+		rv, err := n.r.Eval(row)
+		if err != nil {
+			return value.Null(), err
+		}
+		if rv.K == value.KindBool && rv.I == 0 {
+			return value.Bool(false), nil
+		}
+		if lv.IsNull() || rv.IsNull() {
+			return value.Null(), nil
+		}
+		return value.Bool(lv.IsTrue() && rv.IsTrue()), nil
+	}
+	if lv.K == value.KindBool && lv.I != 0 {
+		return value.Bool(true), nil
+	}
+	rv, err := n.r.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if rv.K == value.KindBool && rv.I != 0 {
+		return value.Bool(true), nil
+	}
+	if lv.IsNull() || rv.IsNull() {
+		return value.Null(), nil
+	}
+	return value.Bool(false), nil
+}
+
+type notNode struct{ x Node }
+
+func (n notNode) Kind() value.Kind { return value.KindBool }
+
+func (n notNode) Eval(row []value.Value) (value.Value, error) {
+	v, err := n.x.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if v.IsNull() {
+		return value.Null(), nil
+	}
+	return value.Bool(!v.IsTrue()), nil
+}
+
+type negNode struct{ x Node }
+
+func (n negNode) Kind() value.Kind { return n.x.Kind() }
+
+func (n negNode) Eval(row []value.Value) (value.Value, error) {
+	v, err := n.x.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	switch v.K {
+	case value.KindNull:
+		return value.Null(), nil
+	case value.KindInt:
+		return value.Int(-v.I), nil
+	case value.KindFloat:
+		return value.Float(-v.F), nil
+	default:
+		return value.Null(), fmt.Errorf("expr: cannot negate %s", v.K)
+	}
+}
+
+type isNullNode struct {
+	x   Node
+	not bool
+}
+
+func (n isNullNode) Kind() value.Kind { return value.KindBool }
+
+func (n isNullNode) Eval(row []value.Value) (value.Value, error) {
+	v, err := n.x.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	return value.Bool(v.IsNull() != n.not), nil
+}
+
+type inNode struct {
+	x    Node
+	list []Node
+	not  bool
+}
+
+func (n inNode) Kind() value.Kind { return value.KindBool }
+
+func (n inNode) Eval(row []value.Value) (value.Value, error) {
+	v, err := n.x.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if v.IsNull() {
+		return value.Null(), nil
+	}
+	sawNull := false
+	for _, item := range n.list {
+		iv, err := item.Eval(row)
+		if err != nil {
+			return value.Null(), err
+		}
+		if iv.IsNull() {
+			sawNull = true
+			continue
+		}
+		if value.Equal(v, iv) {
+			return value.Bool(!n.not), nil
+		}
+	}
+	if sawNull {
+		return value.Null(), nil
+	}
+	return value.Bool(n.not), nil
+}
+
+type betweenNode struct {
+	x, lo, hi Node
+	not       bool
+}
+
+func (n betweenNode) Kind() value.Kind { return value.KindBool }
+
+func (n betweenNode) Eval(row []value.Value) (value.Value, error) {
+	v, err := n.x.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	lo, err := n.lo.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	hi, err := n.hi.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if v.IsNull() || lo.IsNull() || hi.IsNull() {
+		return value.Null(), nil
+	}
+	in := value.Compare(v, lo) >= 0 && value.Compare(v, hi) <= 0
+	return value.Bool(in != n.not), nil
+}
+
+type likeNode struct {
+	x, pat Node
+	not    bool
+}
+
+func (n likeNode) Kind() value.Kind { return value.KindBool }
+
+func (n likeNode) Eval(row []value.Value) (value.Value, error) {
+	v, err := n.x.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	p, err := n.pat.Eval(row)
+	if err != nil {
+		return value.Null(), err
+	}
+	if v.IsNull() || p.IsNull() {
+		return value.Null(), nil
+	}
+	ok := Like(v.String(), p.String())
+	return value.Bool(ok != n.not), nil
+}
+
+// Like matches s against a SQL LIKE pattern where % matches any (possibly
+// empty) sequence and _ matches exactly one byte.
+func Like(s, pat string) bool {
+	// Iterative matcher with single-level backtracking on %.
+	si, pi := 0, 0
+	star, mark := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pat) && (pat[pi] == '_' || pat[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pat) && pat[pi] == '%':
+			star = pi
+			mark = si
+			pi++
+		case star >= 0:
+			pi = star + 1
+			mark++
+			si = mark
+		default:
+			return false
+		}
+	}
+	for pi < len(pat) && pat[pi] == '%' {
+		pi++
+	}
+	return pi == len(pat)
+}
+
+type scalarFuncNode struct {
+	name string
+	args []Node
+	kind value.Kind
+}
+
+func (n scalarFuncNode) Kind() value.Kind { return n.kind }
+
+func compileScalarFunc(x sql.FuncCall, env *Env) (Node, error) {
+	args := make([]Node, len(x.Args))
+	for i, a := range x.Args {
+		n, err := Compile(a, env)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = n
+	}
+	arity := map[string][2]int{
+		"ABS": {1, 1}, "LENGTH": {1, 1}, "UPPER": {1, 1}, "LOWER": {1, 1},
+		"SUBSTR": {2, 3}, "COALESCE": {1, 99},
+	}
+	lim, ok := arity[x.Name]
+	if !ok {
+		return nil, fmt.Errorf("expr: unknown function %s", x.Name)
+	}
+	if len(args) < lim[0] || len(args) > lim[1] {
+		return nil, fmt.Errorf("expr: %s takes %d..%d arguments, got %d", x.Name, lim[0], lim[1], len(args))
+	}
+	kind := value.KindText
+	switch x.Name {
+	case "ABS":
+		kind = args[0].Kind()
+	case "LENGTH":
+		kind = value.KindInt
+	case "COALESCE":
+		kind = args[0].Kind()
+	}
+	return scalarFuncNode{name: x.Name, args: args, kind: kind}, nil
+}
+
+func (n scalarFuncNode) Eval(row []value.Value) (value.Value, error) {
+	vals := make([]value.Value, len(n.args))
+	for i, a := range n.args {
+		v, err := a.Eval(row)
+		if err != nil {
+			return value.Null(), err
+		}
+		vals[i] = v
+	}
+	switch n.name {
+	case "COALESCE":
+		for _, v := range vals {
+			if !v.IsNull() {
+				return v, nil
+			}
+		}
+		return value.Null(), nil
+	}
+	if vals[0].IsNull() {
+		return value.Null(), nil
+	}
+	switch n.name {
+	case "ABS":
+		switch vals[0].K {
+		case value.KindInt:
+			if vals[0].I < 0 {
+				return value.Int(-vals[0].I), nil
+			}
+			return vals[0], nil
+		case value.KindFloat:
+			if vals[0].F < 0 {
+				return value.Float(-vals[0].F), nil
+			}
+			return vals[0], nil
+		default:
+			return value.Null(), fmt.Errorf("expr: ABS of %s", vals[0].K)
+		}
+	case "LENGTH":
+		return value.Int(int64(len(vals[0].String()))), nil
+	case "UPPER":
+		return value.Text(strings.ToUpper(vals[0].String())), nil
+	case "LOWER":
+		return value.Text(strings.ToLower(vals[0].String())), nil
+	case "SUBSTR":
+		s := vals[0].String()
+		if vals[1].IsNull() {
+			return value.Null(), nil
+		}
+		start := int(vals[1].I) - 1 // SQL is 1-based
+		if start < 0 {
+			start = 0
+		}
+		if start > len(s) {
+			start = len(s)
+		}
+		end := len(s)
+		if len(vals) == 3 && !vals[2].IsNull() {
+			end = start + int(vals[2].I)
+			if end > len(s) {
+				end = len(s)
+			}
+			if end < start {
+				end = start
+			}
+		}
+		return value.Text(s[start:end]), nil
+	}
+	return value.Null(), fmt.Errorf("expr: unknown function %s", n.name)
+}

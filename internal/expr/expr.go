@@ -1,0 +1,274 @@
+// Package expr compiles parsed SQL expressions (package sql) into evaluable
+// nodes over value rows, with SQL three-valued NULL semantics. It also
+// provides the aggregate state machines (COUNT/SUM/AVG/MIN/MAX, with
+// DISTINCT) used by the aggregation operator.
+//
+// Aggregate calls are not evaluated here: the planner rewrites them into
+// column references over the aggregation operator's output before compiling.
+package expr
+
+import (
+	"fmt"
+	"strings"
+
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+// EnvCol describes one resolvable column: an optional qualifier (table name
+// or alias), the column name, and its type.
+type EnvCol struct {
+	Qual string
+	Name string
+	Kind value.Kind
+}
+
+// Env is the name-resolution environment: an ordered list of columns whose
+// positions are the row slots expressions read from.
+type Env struct {
+	cols []EnvCol
+}
+
+// NewEnv returns an empty environment.
+func NewEnv() *Env { return &Env{} }
+
+// Add appends a column and returns its slot index.
+func (e *Env) Add(qual, name string, kind value.Kind) int {
+	e.cols = append(e.cols, EnvCol{Qual: strings.ToLower(qual), Name: strings.ToLower(name), Kind: kind})
+	return len(e.cols) - 1
+}
+
+// Len returns the number of columns in the environment.
+func (e *Env) Len() int { return len(e.cols) }
+
+// Col returns column i.
+func (e *Env) Col(i int) EnvCol { return e.cols[i] }
+
+// Resolve finds the slot of a (possibly qualified) column name. Unqualified
+// names matching more than one column are ambiguous.
+func (e *Env) Resolve(qual, name string) (int, error) {
+	qual = strings.ToLower(qual)
+	name = strings.ToLower(name)
+	found := -1
+	for i, c := range e.cols {
+		if c.Name != name {
+			continue
+		}
+		if qual != "" && c.Qual != qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("expr: ambiguous column %q", name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if qual != "" {
+			return 0, fmt.Errorf("expr: unknown column %q.%q", qual, name)
+		}
+		return 0, fmt.Errorf("expr: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// Slot returns a node that reads environment slot i directly, bypassing name
+// resolution. The planner uses it for synthetic plumbing columns.
+func Slot(env *Env, i int) Node {
+	return colNode{slot: i, kind: env.Col(i).Kind}
+}
+
+// Node is a compiled, evaluable expression.
+type Node interface {
+	// Eval computes the expression over one row. The row slice is indexed by
+	// environment slot.
+	Eval(row []value.Value) (value.Value, error)
+	// Kind is the statically inferred result type (KindNull when unknown).
+	Kind() value.Kind
+}
+
+// Compile translates a parsed expression to an evaluable node. Aggregate
+// function calls are rejected; the planner must rewrite them first.
+func Compile(e sql.Expr, env *Env) (Node, error) {
+	switch x := e.(type) {
+	case sql.IntLit:
+		return constNode{v: value.Int(x.V)}, nil
+	case sql.FloatLit:
+		return constNode{v: value.Float(x.V)}, nil
+	case sql.StringLit:
+		return constNode{v: value.Text(x.V)}, nil
+	case sql.BoolLit:
+		return constNode{v: value.Bool(x.V)}, nil
+	case sql.NullLit:
+		return constNode{v: value.Null()}, nil
+	case sql.Star:
+		return nil, fmt.Errorf("expr: * is only valid in SELECT list or COUNT(*)")
+	case sql.ColumnRef:
+		slot, err := env.Resolve(x.Table, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		return colNode{slot: slot, kind: env.Col(slot).Kind}, nil
+	case sql.UnaryExpr:
+		inner, err := Compile(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		if x.Op == "NOT" {
+			return notNode{x: inner}, nil
+		}
+		return negNode{x: inner}, nil
+	case sql.BinaryExpr:
+		return compileBinary(x, env)
+	case sql.IsNullExpr:
+		inner, err := Compile(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		return isNullNode{x: inner, not: x.Not}, nil
+	case sql.InExpr:
+		inner, err := Compile(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		list := make([]Node, len(x.List))
+		for i, le := range x.List {
+			n, err := Compile(le, env)
+			if err != nil {
+				return nil, err
+			}
+			list[i] = n
+		}
+		return inNode{x: inner, list: list, not: x.Not}, nil
+	case sql.BetweenExpr:
+		inner, err := Compile(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		lo, err := Compile(x.Lo, env)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := Compile(x.Hi, env)
+		if err != nil {
+			return nil, err
+		}
+		return betweenNode{x: inner, lo: lo, hi: hi, not: x.Not}, nil
+	case sql.LikeExpr:
+		inner, err := Compile(x.X, env)
+		if err != nil {
+			return nil, err
+		}
+		pat, err := Compile(x.Pattern, env)
+		if err != nil {
+			return nil, err
+		}
+		return likeNode{x: inner, pat: pat, not: x.Not}, nil
+	case sql.FuncCall:
+		if IsAggregate(x.Name) {
+			return nil, fmt.Errorf("expr: aggregate %s not allowed here", x.Name)
+		}
+		return compileScalarFunc(x, env)
+	default:
+		return nil, fmt.Errorf("expr: unsupported expression %T", e)
+	}
+}
+
+func compileBinary(x sql.BinaryExpr, env *Env) (Node, error) {
+	l, err := Compile(x.Left, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Compile(x.Right, env)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case sql.OpAnd, sql.OpOr:
+		return logicNode{op: x.Op, l: l, r: r}, nil
+	case sql.OpEq, sql.OpNe, sql.OpLt, sql.OpLe, sql.OpGt, sql.OpGe:
+		return cmpNode{op: x.Op, l: l, r: r}, nil
+	case sql.OpAdd, sql.OpSub, sql.OpMul, sql.OpDiv, sql.OpMod:
+		lk, rk := l.Kind(), r.Kind()
+		if lk == value.KindText || rk == value.KindText {
+			return nil, fmt.Errorf("expr: arithmetic %s on text operand", x.Op)
+		}
+		kind := value.KindInt
+		if lk == value.KindFloat || rk == value.KindFloat {
+			kind = value.KindFloat
+		}
+		if x.Op == sql.OpMod && kind != value.KindInt {
+			return nil, fmt.Errorf("expr: %% requires integer operands")
+		}
+		return arithNode{op: x.Op, l: l, r: r, kind: kind}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown operator %q", x.Op)
+	}
+}
+
+// ContainsAggregate reports whether the parsed expression contains an
+// aggregate function call at any depth.
+func ContainsAggregate(e sql.Expr) bool {
+	switch x := e.(type) {
+	case sql.FuncCall:
+		if IsAggregate(x.Name) {
+			return true
+		}
+		for _, a := range x.Args {
+			if ContainsAggregate(a) {
+				return true
+			}
+		}
+	case sql.BinaryExpr:
+		return ContainsAggregate(x.Left) || ContainsAggregate(x.Right)
+	case sql.UnaryExpr:
+		return ContainsAggregate(x.X)
+	case sql.IsNullExpr:
+		return ContainsAggregate(x.X)
+	case sql.InExpr:
+		if ContainsAggregate(x.X) {
+			return true
+		}
+		for _, a := range x.List {
+			if ContainsAggregate(a) {
+				return true
+			}
+		}
+	case sql.BetweenExpr:
+		return ContainsAggregate(x.X) || ContainsAggregate(x.Lo) || ContainsAggregate(x.Hi)
+	case sql.LikeExpr:
+		return ContainsAggregate(x.X) || ContainsAggregate(x.Pattern)
+	}
+	return false
+}
+
+// Columns appends to dst the column references in e (without deduplication)
+// and returns the extended slice. Used by the planner to compute which
+// attributes a scan must produce.
+func Columns(e sql.Expr, dst []sql.ColumnRef) []sql.ColumnRef {
+	switch x := e.(type) {
+	case sql.ColumnRef:
+		return append(dst, x)
+	case sql.BinaryExpr:
+		return Columns(x.Right, Columns(x.Left, dst))
+	case sql.UnaryExpr:
+		return Columns(x.X, dst)
+	case sql.IsNullExpr:
+		return Columns(x.X, dst)
+	case sql.InExpr:
+		dst = Columns(x.X, dst)
+		for _, a := range x.List {
+			dst = Columns(a, dst)
+		}
+		return dst
+	case sql.BetweenExpr:
+		return Columns(x.Hi, Columns(x.Lo, Columns(x.X, dst)))
+	case sql.LikeExpr:
+		return Columns(x.Pattern, Columns(x.X, dst))
+	case sql.FuncCall:
+		for _, a := range x.Args {
+			dst = Columns(a, dst)
+		}
+		return dst
+	}
+	return dst
+}

@@ -1,0 +1,367 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+// compileWhere parses "SELECT a FROM t WHERE <cond>" and compiles the cond.
+func compileWhere(t *testing.T, cond string, env *Env) Node {
+	t.Helper()
+	sel, err := sql.Parse("SELECT x FROM t WHERE " + cond)
+	if err != nil {
+		t.Fatalf("parse %q: %v", cond, err)
+	}
+	n, err := Compile(sel.Where, env)
+	if err != nil {
+		t.Fatalf("compile %q: %v", cond, err)
+	}
+	return n
+}
+
+func testEnv() *Env {
+	env := NewEnv()
+	env.Add("t", "a", value.KindInt)
+	env.Add("t", "b", value.KindInt)
+	env.Add("t", "f", value.KindFloat)
+	env.Add("t", "s", value.KindText)
+	env.Add("t", "x", value.KindInt)
+	return env
+}
+
+func evalCond(t *testing.T, cond string, row []value.Value) value.Value {
+	t.Helper()
+	n := compileWhere(t, cond, testEnv())
+	v, err := n.Eval(row)
+	if err != nil {
+		t.Fatalf("eval %q: %v", cond, err)
+	}
+	return v
+}
+
+func TestEvalPredicates(t *testing.T) {
+	row := []value.Value{value.Int(5), value.Int(10), value.Float(2.5), value.Text("hello"), value.Int(0)}
+	cases := []struct {
+		cond string
+		want value.Value
+	}{
+		{"a = 5", value.Bool(true)},
+		{"a != 5", value.Bool(false)},
+		{"a < b", value.Bool(true)},
+		{"a >= 5", value.Bool(true)},
+		{"a + b = 15", value.Bool(true)},
+		{"b - a = 5", value.Bool(true)},
+		{"a * 2 = b", value.Bool(true)},
+		{"b / a = 2", value.Bool(true)},
+		{"b % 3 = 1", value.Bool(true)},
+		{"f * 2 = 5", value.Bool(true)},
+		{"a > 3 AND b > 3", value.Bool(true)},
+		{"a > 99 OR b = 10", value.Bool(true)},
+		{"NOT a = 5", value.Bool(false)},
+		{"a IN (1, 5, 7)", value.Bool(true)},
+		{"a NOT IN (1, 5, 7)", value.Bool(false)},
+		{"a IN (1, 2)", value.Bool(false)},
+		{"a BETWEEN 1 AND 5", value.Bool(true)},
+		{"a BETWEEN 6 AND 9", value.Bool(false)},
+		{"a NOT BETWEEN 6 AND 9", value.Bool(true)},
+		{"s LIKE 'he%'", value.Bool(true)},
+		{"s LIKE '%llo'", value.Bool(true)},
+		{"s LIKE 'h_llo'", value.Bool(true)},
+		{"s LIKE 'x%'", value.Bool(false)},
+		{"s NOT LIKE 'x%'", value.Bool(true)},
+		{"s IS NULL", value.Bool(false)},
+		{"s IS NOT NULL", value.Bool(true)},
+		{"-a = -5", value.Bool(true)},
+		{"a = 5 AND f = 2.5 AND s = 'hello'", value.Bool(true)},
+	}
+	for _, c := range cases {
+		got := evalCond(t, c.cond, row)
+		if !value.Equal(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestEvalNullSemantics(t *testing.T) {
+	row := []value.Value{value.Null(), value.Int(10), value.Null(), value.Null(), value.Int(0)}
+	cases := []struct {
+		cond string
+		want value.Value
+	}{
+		{"a = 1", value.Null()},
+		{"a + 1 = 2", value.Null()},
+		{"a IS NULL", value.Bool(true)},
+		{"a IS NOT NULL", value.Bool(false)},
+		{"b IS NULL", value.Bool(false)},
+		{"NOT (a = 1)", value.Null()},
+		{"a = 1 AND b = 10", value.Null()},
+		{"a = 1 AND b = 99", value.Bool(false)}, // false AND null = false
+		{"a = 1 OR b = 10", value.Bool(true)},   // true OR null = true
+		{"a = 1 OR b = 99", value.Null()},
+		{"a IN (1, 2)", value.Null()},
+		{"b IN (1, NULL)", value.Null()},
+		{"b IN (10, NULL)", value.Bool(true)},
+		{"a BETWEEN 1 AND 2", value.Null()},
+		{"s LIKE 'x%'", value.Null()},
+	}
+	for _, c := range cases {
+		got := evalCond(t, c.cond, row)
+		if got.K != c.want.K || (got.K == value.KindBool && got.I != c.want.I) {
+			t.Errorf("%q = %v, want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	env := testEnv()
+	row := []value.Value{value.Int(5), value.Int(0), value.Float(1), value.Text("x"), value.Int(0)}
+	for _, cond := range []string{"a / b = 1", "a % b = 1"} {
+		n := compileWhere(t, cond, env)
+		if _, err := n.Eval(row); err == nil {
+			t.Errorf("%q: expected division-by-zero error", cond)
+		}
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	env := testEnv()
+	bad := []string{
+		"nope = 1",   // unknown column
+		"u.a = 1",    // unknown qualifier
+		"s + 1 = 2",  // arithmetic on text
+		"f % 2 = 1",  // modulo on float
+		"SUM(a) > 1", // aggregate in scalar context
+		"NOSUCHFN(a) = 1",
+	}
+	for _, cond := range bad {
+		sel, err := sql.Parse("SELECT x FROM t WHERE " + cond)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		if _, err := Compile(sel.Where, env); err == nil {
+			t.Errorf("compile %q succeeded, want error", cond)
+		}
+	}
+}
+
+func TestAmbiguousColumn(t *testing.T) {
+	env := NewEnv()
+	env.Add("t", "id", value.KindInt)
+	env.Add("u", "id", value.KindInt)
+	if _, err := env.Resolve("", "id"); err == nil {
+		t.Error("ambiguous resolve should fail")
+	}
+	if slot, err := env.Resolve("u", "id"); err != nil || slot != 1 {
+		t.Errorf("qualified resolve: slot=%d err=%v", slot, err)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	row := []value.Value{value.Int(-5), value.Int(10), value.Float(-2.5), value.Text("Hello"), value.Int(0)}
+	cases := []struct {
+		cond string
+		want value.Value
+	}{
+		{"ABS(a) = 5", value.Bool(true)},
+		{"ABS(f) = 2.5", value.Bool(true)},
+		{"LENGTH(s) = 5", value.Bool(true)},
+		{"UPPER(s) = 'HELLO'", value.Bool(true)},
+		{"LOWER(s) = 'hello'", value.Bool(true)},
+		{"SUBSTR(s, 2, 3) = 'ell'", value.Bool(true)},
+		{"SUBSTR(s, 2) = 'ello'", value.Bool(true)},
+		{"SUBSTR(s, 99) = ''", value.Bool(true)},
+		{"COALESCE(NULL, 7) = 7", value.Bool(true)},
+		{"COALESCE(a, 7) = -5", value.Bool(true)},
+	}
+	for _, c := range cases {
+		got := evalCond(t, c.cond, row)
+		if !value.Equal(got, c.want) {
+			t.Errorf("%q = %v, want %v", c.cond, got, c.want)
+		}
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, pat string
+		want   bool
+	}{
+		{"", "", true},
+		{"", "%", true},
+		{"a", "", false},
+		{"abc", "abc", true},
+		{"abc", "a%", true},
+		{"abc", "%c", true},
+		{"abc", "%b%", true},
+		{"abc", "a_c", true},
+		{"abc", "a_b", false},
+		{"abc", "____", false},
+		{"abc", "___", true},
+		{"aXbXc", "a%b%c", true},
+		{"mississippi", "%iss%ppi", true},
+		{"mississippi", "%iss%ppx", false},
+		{"abc", "%%%", true},
+	}
+	for _, c := range cases {
+		if got := Like(c.s, c.pat); got != c.want {
+			t.Errorf("Like(%q,%q)=%v, want %v", c.s, c.pat, got, c.want)
+		}
+	}
+}
+
+func TestLikeQuickNoPanic(t *testing.T) {
+	f := func(s, pat string) bool {
+		Like(s, pat) // must not panic, must terminate
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAggregators(t *testing.T) {
+	feed := func(a Aggregator, vals ...value.Value) value.Value {
+		for _, v := range vals {
+			a.Step(v)
+		}
+		return a.Result()
+	}
+	mk := func(name string, star, distinct bool) Aggregator {
+		a, err := NewAggregator(name, star, distinct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	ints := []value.Value{value.Int(3), value.Int(1), value.Null(), value.Int(3)}
+
+	if got := feed(mk("COUNT", true, false), ints...); got.I != 4 {
+		t.Errorf("COUNT(*)=%v", got)
+	}
+	if got := feed(mk("COUNT", false, false), ints...); got.I != 3 {
+		t.Errorf("COUNT(a)=%v", got)
+	}
+	if got := feed(mk("COUNT", false, true), ints...); got.I != 2 {
+		t.Errorf("COUNT(DISTINCT a)=%v", got)
+	}
+	if got := feed(mk("SUM", false, false), ints...); got.I != 7 {
+		t.Errorf("SUM=%v", got)
+	}
+	if got := feed(mk("SUM", false, true), ints...); got.I != 4 {
+		t.Errorf("SUM DISTINCT=%v", got)
+	}
+	if got := feed(mk("AVG", false, false), ints...); got.F != 7.0/3 {
+		t.Errorf("AVG=%v", got)
+	}
+	if got := feed(mk("MIN", false, false), ints...); got.I != 1 {
+		t.Errorf("MIN=%v", got)
+	}
+	if got := feed(mk("MAX", false, false), ints...); got.I != 3 {
+		t.Errorf("MAX=%v", got)
+	}
+	// Mixed int/float sum promotes to float.
+	if got := feed(mk("SUM", false, false), value.Int(1), value.Float(0.5)); got.F != 1.5 {
+		t.Errorf("mixed SUM=%v", got)
+	}
+	// Empty inputs.
+	if got := mk("SUM", false, false).Result(); !got.IsNull() {
+		t.Errorf("empty SUM=%v", got)
+	}
+	if got := mk("AVG", false, false).Result(); !got.IsNull() {
+		t.Errorf("empty AVG=%v", got)
+	}
+	if got := mk("MIN", false, false).Result(); !got.IsNull() {
+		t.Errorf("empty MIN=%v", got)
+	}
+	if got := mk("COUNT", false, false).Result(); got.I != 0 {
+		t.Errorf("empty COUNT=%v", got)
+	}
+	// Text min/max.
+	if got := feed(mk("MAX", false, false), value.Text("a"), value.Text("c"), value.Text("b")); got.S != "c" {
+		t.Errorf("text MAX=%v", got)
+	}
+	// Errors.
+	if _, err := NewAggregator("MEDIAN", false, false); err == nil {
+		t.Error("unknown aggregate accepted")
+	}
+	if _, err := NewAggregator("COUNT", true, true); err == nil {
+		t.Error("COUNT(DISTINCT *) accepted")
+	}
+}
+
+func TestAggKind(t *testing.T) {
+	cases := []struct {
+		name string
+		arg  value.Kind
+		want value.Kind
+	}{
+		{"COUNT", value.KindText, value.KindInt},
+		{"AVG", value.KindInt, value.KindFloat},
+		{"SUM", value.KindInt, value.KindInt},
+		{"SUM", value.KindFloat, value.KindFloat},
+		{"MIN", value.KindText, value.KindText},
+		{"MAX", value.KindDate, value.KindDate},
+	}
+	for _, c := range cases {
+		if got := AggKind(c.name, c.arg); got != c.want {
+			t.Errorf("AggKind(%s,%v)=%v, want %v", c.name, c.arg, got, c.want)
+		}
+	}
+}
+
+func TestContainsAggregateAndColumns(t *testing.T) {
+	sel, err := sql.Parse("SELECT a FROM t WHERE SUM(b + c) > 3 AND d LIKE 'x%'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ContainsAggregate(sel.Where) {
+		t.Error("aggregate not detected")
+	}
+	cols := Columns(sel.Where, nil)
+	names := map[string]bool{}
+	for _, c := range cols {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"b", "c", "d"} {
+		if !names[want] {
+			t.Errorf("Columns missing %q (got %v)", want, cols)
+		}
+	}
+	sel2, _ := sql.Parse("SELECT a FROM t WHERE b > 1")
+	if ContainsAggregate(sel2.Where) {
+		t.Error("false aggregate detection")
+	}
+}
+
+func TestSumOverIntThenFloatPromotion(t *testing.T) {
+	a, _ := NewAggregator("SUM", false, false)
+	a.Step(value.Int(3))
+	a.Step(value.Float(1.25))
+	a.Step(value.Int(2))
+	got := a.Result()
+	if got.K != value.KindFloat || got.F != 6.25 {
+		t.Errorf("SUM=%v", got)
+	}
+}
+
+func TestCompileStarRejected(t *testing.T) {
+	env := testEnv()
+	if _, err := Compile(sql.Star{}, env); err == nil {
+		t.Error("bare * compiled")
+	}
+}
+
+func TestArithKindInference(t *testing.T) {
+	env := testEnv()
+	sel, _ := sql.Parse("SELECT x FROM t WHERE a + f > 0")
+	n, err := Compile(sel.Where, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Kind() != value.KindBool {
+		t.Errorf("comparison kind=%v", n.Kind())
+	}
+}

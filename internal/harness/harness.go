@@ -1,0 +1,224 @@
+// Package harness implements the paper's experiments: one runner per figure
+// and demo scenario, each producing a Report with the same rows/series the
+// paper's panels show. The harness drives the system exclusively through
+// the public nodb API, so it doubles as an integration exerciser.
+package harness
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"nodb"
+	"nodb/internal/datagen"
+)
+
+// Config sizes an experiment. Zero fields take defaults.
+type Config struct {
+	Dir     string // workspace for generated files; default: a temp dir
+	Rows    int    // rows in the generated raw file; default 50_000
+	Attrs   int    // attributes in the generated file; default 10
+	Queries int    // length of the query sequence; default 10
+	Seed    int64
+}
+
+func (c Config) fill() Config {
+	if c.Rows <= 0 {
+		c.Rows = 50_000
+	}
+	if c.Attrs <= 0 {
+		c.Attrs = 10
+	}
+	if c.Queries <= 0 {
+		c.Queries = 10
+	}
+	if c.Dir == "" {
+		c.Dir = os.TempDir()
+	}
+	return c
+}
+
+// Report is one experiment's output table.
+type Report struct {
+	ID      string
+	Title   string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case time.Duration:
+			row[i] = fmt.Sprintf("%.3f", float64(v)/float64(time.Millisecond))
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	r.Rows = append(r.Rows, row)
+}
+
+// String renders the report as an aligned table with title and notes.
+func (r *Report) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(widths) {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Headers)
+	for i := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, row := range r.Rows {
+		writeRow(row)
+	}
+	for _, n := range r.Notes {
+		sb.WriteString("note: " + n + "\n")
+	}
+	return sb.String()
+}
+
+// genFile writes the experiment's raw file and returns its path, spec and
+// size.
+func genFile(cfg Config, name string, spec datagen.Spec) (string, int64, error) {
+	path := filepath.Join(cfg.Dir, fmt.Sprintf("%s-%d-%d-%d.csv", name, cfg.Rows, cfg.Attrs, cfg.Seed))
+	n, err := spec.WriteFile(path)
+	if err != nil {
+		return "", 0, err
+	}
+	return path, n, nil
+}
+
+// addStats accumulates query stats.
+func addStats(dst *nodb.QueryStats, s nodb.QueryStats) {
+	dst.Total += s.Total
+	dst.IO += s.IO
+	dst.Tokenizing += s.Tokenizing
+	dst.Parsing += s.Parsing
+	dst.Convert += s.Convert
+	dst.NoDB += s.NoDB
+	dst.Processing += s.Processing
+	dst.Load += s.Load
+	dst.BytesRead += s.BytesRead
+	dst.BytesSkipped += s.BytesSkipped
+	dst.RowsScanned += s.RowsScanned
+	dst.FieldsTokenized += s.FieldsTokenized
+	dst.FieldsConverted += s.FieldsConverted
+	dst.CacheHitFields += s.CacheHitFields
+	dst.MapJumpFields += s.MapJumpFields
+}
+
+// ms renders a duration in milliseconds.
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d)/float64(time.Millisecond))
+}
+
+// All runs every experiment in paper order.
+func All(cfg Config) ([]*Report, error) {
+	type runner struct {
+		name string
+		fn   func(Config) (*Report, error)
+	}
+	runners := []runner{
+		{"F2-MONITOR", Fig2Monitor},
+		{"F3-BREAKDOWN", Fig3Breakdown},
+		{"ADAPT-EPOCH", AdaptEpochs},
+		{"UPDATES", UpdatesScenario},
+		{"RACE", Race},
+		{"SWEEP-ATTRS", func(c Config) (*Report, error) { return SweepAttrs(c, nil) }},
+		{"SWEEP-WIDTH", func(c Config) (*Report, error) { return SweepWidth(c, nil) }},
+		{"SWEEP-BUDGET", func(c Config) (*Report, error) { return SweepBudget(c, nil) }},
+		{"SWEEP-MAPGRAIN", func(c Config) (*Report, error) { return SweepMapGrain(c, nil) }},
+		{"ABLATION", Ablation},
+	}
+	var out []*Report
+	for _, r := range runners {
+		rep, err := r.fn(cfg)
+		if err != nil {
+			return out, fmt.Errorf("harness: %s: %w", r.name, err)
+		}
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+// Run dispatches one experiment by ID ("F2", "F3", "ADAPT", "UPDATES",
+// "RACE", "SWEEP-ATTRS", "SWEEP-WIDTH", "SWEEP-BUDGET", "ABLATION", "ALL").
+func Run(id string, cfg Config) ([]*Report, error) {
+	switch strings.ToUpper(id) {
+	case "ALL", "":
+		return All(cfg)
+	case "F2", "F2-MONITOR":
+		r, err := Fig2Monitor(cfg)
+		return wrap(r, err)
+	case "F3", "F3-BREAKDOWN":
+		r, err := Fig3Breakdown(cfg)
+		return wrap(r, err)
+	case "ADAPT", "ADAPT-EPOCH":
+		r, err := AdaptEpochs(cfg)
+		return wrap(r, err)
+	case "UPDATES":
+		r, err := UpdatesScenario(cfg)
+		return wrap(r, err)
+	case "RACE":
+		r, err := Race(cfg)
+		return wrap(r, err)
+	case "SWEEP-ATTRS":
+		r, err := SweepAttrs(cfg, nil)
+		return wrap(r, err)
+	case "SWEEP-WIDTH":
+		r, err := SweepWidth(cfg, nil)
+		return wrap(r, err)
+	case "SWEEP-BUDGET":
+		r, err := SweepBudget(cfg, nil)
+		return wrap(r, err)
+	case "SWEEP-MAPGRAIN":
+		r, err := SweepMapGrain(cfg, nil)
+		return wrap(r, err)
+	case "ABLATION":
+		r, err := Ablation(cfg)
+		return wrap(r, err)
+	default:
+		return nil, fmt.Errorf("harness: unknown experiment %q", id)
+	}
+}
+
+func wrap(r *Report, err error) ([]*Report, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []*Report{r}, nil
+}

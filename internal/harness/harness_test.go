@@ -1,0 +1,280 @@
+package harness
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// smallCfg keeps experiment tests fast.
+func smallCfg(t *testing.T) Config {
+	return Config{Dir: t.TempDir(), Rows: 4000, Attrs: 6, Queries: 6, Seed: 1}
+}
+
+// cell parses a numeric report cell.
+func cell(t *testing.T, rep *Report, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(rep.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("cell (%d,%d)=%q not numeric: %v", row, col, rep.Rows[row][col], err)
+	}
+	return v
+}
+
+// colIndex finds a header's position.
+func colIndex(t *testing.T, rep *Report, name string) int {
+	t.Helper()
+	for i, h := range rep.Headers {
+		if h == name {
+			return i
+		}
+	}
+	t.Fatalf("header %q not in %v", name, rep.Headers)
+	return -1
+}
+
+func TestFig3Breakdown(t *testing.T) {
+	rep, err := Fig3Breakdown(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows=%v", rep.Rows)
+	}
+	tok := colIndex(t, rep, "tokenized")
+	hits := colIndex(t, rep, "cache_hits")
+	loadCol := colIndex(t, rep, "load_ms")
+
+	// Load-first: pays load, never tokenizes at query time.
+	if cell(t, rep, 0, tok) != 0 || cell(t, rep, 0, loadCol) <= 0 {
+		t.Errorf("load-first row wrong: %v", rep.Rows[0])
+	}
+	// Baseline: tokenizes every query, never hits a cache.
+	if cell(t, rep, 1, tok) == 0 || cell(t, rep, 1, hits) != 0 {
+		t.Errorf("baseline row wrong: %v", rep.Rows[1])
+	}
+	// PostgresRaw: tokenizes strictly less than baseline, hits the cache.
+	if cell(t, rep, 2, tok) >= cell(t, rep, 1, tok) {
+		t.Errorf("postgresraw tokenized %v >= baseline %v", rep.Rows[2][tok], rep.Rows[1][tok])
+	}
+	if cell(t, rep, 2, hits) == 0 {
+		t.Errorf("postgresraw no cache hits: %v", rep.Rows[2])
+	}
+	if !strings.Contains(rep.String(), "F3-BREAKDOWN") {
+		t.Error("render broken")
+	}
+}
+
+func TestFig2Monitor(t *testing.T) {
+	rep, err := Fig2Monitor(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) < 4 {
+		t.Fatalf("rows=%d", len(rep.Rows))
+	}
+	grains := colIndex(t, rep, "map_grains")
+	if cell(t, rep, len(rep.Rows)-1, grains) == 0 {
+		t.Error("no positional map grains after workload")
+	}
+	mapU := colIndex(t, rep, "map_util%")
+	last := cell(t, rep, len(rep.Rows)-1, mapU)
+	if last <= 0 || last > 101 {
+		t.Errorf("map utilization=%v", last)
+	}
+	if len(rep.Notes) == 0 || !strings.Contains(rep.Notes[0], "monitoring panel") {
+		t.Error("final panel missing")
+	}
+}
+
+func TestAdaptEpochs(t *testing.T) {
+	rep, err := AdaptEpochs(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tok := colIndex(t, rep, "tokenized")
+	epochCol := colIndex(t, rep, "epoch")
+	// Find a pair of consecutive same-epoch queries: the later one should
+	// tokenize no more than the first of its epoch (adaptation).
+	firstTok := map[string]float64{}
+	adapted := false
+	for r := range rep.Rows {
+		ep := rep.Rows[r][epochCol]
+		v := cell(t, rep, r, tok)
+		if f, ok := firstTok[ep]; ok {
+			if v < f {
+				adapted = true
+			}
+		} else {
+			firstTok[ep] = v
+		}
+	}
+	if !adapted {
+		t.Error("no within-epoch adaptation visible in tokenized counts")
+	}
+}
+
+func TestUpdatesScenario(t *testing.T) {
+	rep, err := UpdatesScenario(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows=%v", rep.Rows)
+	}
+	ok := colIndex(t, rep, "ok")
+	for r := range rep.Rows {
+		if rep.Rows[r][ok] != "true" {
+			t.Errorf("step %d failed: %v", r+1, rep.Rows[r])
+		}
+	}
+}
+
+func TestRace(t *testing.T) {
+	rep, err := Race(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First event row is init: postgresraw's init must be the cheapest.
+	rawInit := cell(t, rep, 0, 1)
+	for c := 2; c < len(rep.Headers); c++ {
+		if cell(t, rep, 0, c) <= rawInit {
+			t.Errorf("%s init %v <= postgresraw init %v", rep.Headers[c], rep.Rows[0][c], rawInit)
+		}
+	}
+	// Cumulative times must be monotone per contestant.
+	for c := 1; c < len(rep.Headers); c++ {
+		for r := 1; r < len(rep.Rows); r++ {
+			if cell(t, rep, r, c) < cell(t, rep, r-1, c) {
+				t.Errorf("column %s not monotone at row %d", rep.Headers[c], r)
+			}
+		}
+	}
+	if len(rep.Notes) != 3 {
+		t.Errorf("notes=%v", rep.Notes)
+	}
+}
+
+func TestSweepAttrs(t *testing.T) {
+	rep, err := SweepAttrs(smallCfg(t), []int{4, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldTok := colIndex(t, rep, "cold_tokenized")
+	warmTok := colIndex(t, rep, "warm_tokenized")
+	if cell(t, rep, 1, coldTok) <= cell(t, rep, 0, coldTok) {
+		t.Errorf("cold tokenizing did not grow with attrs: %v", rep.Rows)
+	}
+	for r := range rep.Rows {
+		if cell(t, rep, r, warmTok) != 0 {
+			t.Errorf("warm query tokenized: %v", rep.Rows[r])
+		}
+	}
+}
+
+func TestSweepWidth(t *testing.T) {
+	rep, err := SweepWidth(smallCfg(t), []int{4, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb := colIndex(t, rep, "warm_bytes_read")
+	for r := range rep.Rows {
+		if cell(t, rep, r, wb) != 0 {
+			t.Errorf("warm query read bytes: %v", rep.Rows[r])
+		}
+	}
+}
+
+func TestSweepBudget(t *testing.T) {
+	rep, err := SweepBudget(smallCfg(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows=%v", rep.Rows)
+	}
+	hits := colIndex(t, rep, "cache_hits")
+	// Unlimited budget (last row) must hit at least as much as the smallest.
+	if cell(t, rep, 3, hits) < cell(t, rep, 0, hits) {
+		t.Errorf("unlimited budget hits %v < tiny budget %v", rep.Rows[3][hits], rep.Rows[0][hits])
+	}
+}
+
+func TestAblation(t *testing.T) {
+	rep, err := Ablation(smallCfg(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows=%v", rep.Rows)
+	}
+	tok := colIndex(t, rep, "steady_tokenized")
+	conv := colIndex(t, rep, "steady_converted")
+	bytes := colIndex(t, rep, "steady_bytes")
+	jumps := colIndex(t, rep, "steady_map_jumps")
+	// none: tokenizes and converts every time.
+	if cell(t, rep, 0, tok) == 0 || cell(t, rep, 0, conv) == 0 {
+		t.Errorf("baseline config did no raw work: %v", rep.Rows[0])
+	}
+	// posmap only: no tokenizing (exact jumps), still converts and reads.
+	if cell(t, rep, 1, tok) != 0 || cell(t, rep, 1, conv) == 0 || cell(t, rep, 1, jumps) == 0 {
+		t.Errorf("posmap row wrong: %v", rep.Rows[1])
+	}
+	// cache only: no conversion, no bytes read.
+	if cell(t, rep, 2, conv) != 0 || cell(t, rep, 2, bytes) != 0 {
+		t.Errorf("cache row wrong: %v", rep.Rows[2])
+	}
+	// both: nothing raw at all.
+	if cell(t, rep, 3, tok) != 0 || cell(t, rep, 3, conv) != 0 || cell(t, rep, 3, bytes) != 0 {
+		t.Errorf("PM+C row wrong: %v", rep.Rows[3])
+	}
+}
+
+func TestRunDispatchAndAll(t *testing.T) {
+	cfg := Config{Dir: t.TempDir(), Rows: 1500, Attrs: 5, Queries: 4, Seed: 2}
+	for _, id := range []string{"F2", "F3", "ADAPT", "UPDATES", "RACE",
+		"SWEEP-ATTRS", "SWEEP-WIDTH", "SWEEP-BUDGET", "SWEEP-MAPGRAIN", "ABLATION"} {
+		reps, err := Run(id, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(reps) != 1 || len(reps[0].Rows) == 0 {
+			t.Errorf("%s: empty report", id)
+		}
+	}
+	if _, err := Run("NOPE", cfg); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	reps, err := Run("ALL", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 10 {
+		t.Errorf("ALL produced %d reports", len(reps))
+	}
+}
+
+func TestSweepMapGrain(t *testing.T) {
+	rep, err := SweepMapGrain(smallCfg(t), []int{1, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 2 {
+		t.Fatalf("rows=%v", rep.Rows)
+	}
+	mapBytes := colIndex(t, rep, "map_bytes")
+	probeTok := colIndex(t, rep, "probe_tokenized")
+	near := colIndex(t, rep, "probe_near_jumps")
+	// Sparser map uses less memory.
+	if cell(t, rep, 1, mapBytes) >= cell(t, rep, 0, mapBytes) {
+		t.Errorf("every-8th map not smaller: %v", rep.Rows)
+	}
+	// Dense map answers the probe exactly; sparse map tokenizes short gaps
+	// from nearest tracked positions.
+	if cell(t, rep, 0, probeTok) != 0 {
+		t.Errorf("dense map probe tokenized: %v", rep.Rows[0])
+	}
+	if cell(t, rep, 1, probeTok) == 0 || cell(t, rep, 1, near) == 0 {
+		t.Errorf("sparse map probe did not use near jumps: %v", rep.Rows[1])
+	}
+}

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddMergeTotal(t *testing.T) {
+	var a, b Breakdown
+	a.Add(IO, 10*time.Millisecond)
+	a.Add(Tokenizing, 5*time.Millisecond)
+	a.BytesRead = 100
+	a.RowsScanned = 7
+
+	b.Add(IO, 1*time.Millisecond)
+	b.Add(Processing, 2*time.Millisecond)
+	b.BytesRead = 11
+	b.CacheHitFields = 3
+
+	a.Merge(&b)
+	if a.Times[IO] != 11*time.Millisecond {
+		t.Errorf("IO=%v", a.Times[IO])
+	}
+	if a.Total() != 18*time.Millisecond {
+		t.Errorf("Total=%v", a.Total())
+	}
+	if a.ScanTotal() != 16*time.Millisecond {
+		t.Errorf("ScanTotal=%v", a.ScanTotal())
+	}
+	if a.BytesRead != 111 || a.CacheHitFields != 3 || a.RowsScanned != 7 {
+		t.Errorf("counters wrong: %+v", a)
+	}
+}
+
+func TestScanTotalExcludesLoad(t *testing.T) {
+	var b Breakdown
+	b.Add(Load, time.Second)
+	b.Add(IO, time.Millisecond)
+	if b.ScanTotal() != time.Millisecond {
+		t.Errorf("ScanTotal=%v", b.ScanTotal())
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	want := map[Category]string{
+		IO: "I/O", Tokenizing: "Tokenizing", Parsing: "Parsing",
+		Convert: "Convert", NoDB: "NoDB", Processing: "Processing", Load: "Load",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String()=%q, want %q", c, c.String(), s)
+		}
+	}
+	if Category(42).String() != "Category(42)" {
+		t.Error("unknown category string")
+	}
+	if len(Categories()) != int(NumCategories) {
+		t.Errorf("Categories()=%v", Categories())
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	var b Breakdown
+	b.Add(IO, 75*time.Millisecond)
+	b.Add(Convert, 25*time.Millisecond)
+	s := b.String()
+	for _, want := range []string{"I/O", "75.0%", "Convert", "25.0%", "total", "100ms"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("breakdown output missing %q:\n%s", want, s)
+		}
+	}
+	var empty Breakdown
+	if !strings.Contains(empty.String(), "0.0%") {
+		t.Error("empty breakdown should render 0%")
+	}
+}
+
+func TestStopwatch(t *testing.T) {
+	var b Breakdown
+	sw := NewStopwatch(&b)
+	time.Sleep(2 * time.Millisecond)
+	sw.Stop(Tokenizing)
+	time.Sleep(time.Millisecond)
+	sw.Stop(Convert)
+	if b.Times[Tokenizing] < time.Millisecond {
+		t.Errorf("Tokenizing=%v too small", b.Times[Tokenizing])
+	}
+	if b.Times[Convert] <= 0 {
+		t.Errorf("Convert=%v", b.Times[Convert])
+	}
+	// Restart discards elapsed time.
+	sw.Restart()
+	sw.Stop(IO)
+	if b.Times[IO] > time.Millisecond {
+		t.Errorf("IO=%v should be tiny after Restart", b.Times[IO])
+	}
+}

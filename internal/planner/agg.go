@@ -1,0 +1,223 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"nodb/internal/engine"
+	"nodb/internal/expr"
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+// anyAggregate reports whether the query computes aggregates.
+func anyAggregate(items []sql.SelectItem, sel *sql.Select) bool {
+	for _, it := range items {
+		if expr.ContainsAggregate(it.Expr) {
+			return true
+		}
+	}
+	if sel.Having != nil && expr.ContainsAggregate(sel.Having) {
+		return true
+	}
+	for _, o := range sel.OrderBy {
+		if expr.ContainsAggregate(o.Expr) {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAggCalls gathers the distinct aggregate calls (by rendered form)
+// from an expression tree.
+func collectAggCalls(e sql.Expr, calls []sql.FuncCall) []sql.FuncCall {
+	switch x := e.(type) {
+	case sql.FuncCall:
+		if expr.IsAggregate(x.Name) {
+			for _, c := range calls {
+				if c.String() == x.String() {
+					return calls
+				}
+			}
+			return append(calls, x)
+		}
+		for _, a := range x.Args {
+			calls = collectAggCalls(a, calls)
+		}
+	case sql.BinaryExpr:
+		calls = collectAggCalls(x.Left, calls)
+		calls = collectAggCalls(x.Right, calls)
+	case sql.UnaryExpr:
+		calls = collectAggCalls(x.X, calls)
+	case sql.IsNullExpr:
+		calls = collectAggCalls(x.X, calls)
+	case sql.InExpr:
+		calls = collectAggCalls(x.X, calls)
+		for _, a := range x.List {
+			calls = collectAggCalls(a, calls)
+		}
+	case sql.BetweenExpr:
+		calls = collectAggCalls(x.X, calls)
+		calls = collectAggCalls(x.Lo, calls)
+		calls = collectAggCalls(x.Hi, calls)
+	case sql.LikeExpr:
+		calls = collectAggCalls(x.X, calls)
+		calls = collectAggCalls(x.Pattern, calls)
+	}
+	return calls
+}
+
+// rewriteOverAgg replaces group-key subtrees and aggregate calls with
+// references to the aggregation operator's output columns.
+func rewriteOverAgg(e sql.Expr, keys []sql.Expr, calls []sql.FuncCall) sql.Expr {
+	es := e.String()
+	for i, k := range keys {
+		if es == k.String() {
+			if cr, ok := k.(sql.ColumnRef); ok {
+				return cr
+			}
+			return sql.ColumnRef{Name: fmt.Sprintf("#key%d", i)}
+		}
+	}
+	if fc, ok := e.(sql.FuncCall); ok && expr.IsAggregate(fc.Name) {
+		for i, c := range calls {
+			if c.String() == es {
+				return sql.ColumnRef{Name: fmt.Sprintf("#agg%d", i)}
+			}
+		}
+	}
+	switch x := e.(type) {
+	case sql.BinaryExpr:
+		return sql.BinaryExpr{Op: x.Op,
+			Left:  rewriteOverAgg(x.Left, keys, calls),
+			Right: rewriteOverAgg(x.Right, keys, calls)}
+	case sql.UnaryExpr:
+		return sql.UnaryExpr{Op: x.Op, X: rewriteOverAgg(x.X, keys, calls)}
+	case sql.IsNullExpr:
+		return sql.IsNullExpr{X: rewriteOverAgg(x.X, keys, calls), Not: x.Not}
+	case sql.InExpr:
+		out := sql.InExpr{X: rewriteOverAgg(x.X, keys, calls), Not: x.Not}
+		for _, a := range x.List {
+			out.List = append(out.List, rewriteOverAgg(a, keys, calls))
+		}
+		return out
+	case sql.BetweenExpr:
+		return sql.BetweenExpr{
+			X:   rewriteOverAgg(x.X, keys, calls),
+			Lo:  rewriteOverAgg(x.Lo, keys, calls),
+			Hi:  rewriteOverAgg(x.Hi, keys, calls),
+			Not: x.Not,
+		}
+	case sql.LikeExpr:
+		return sql.LikeExpr{
+			X:       rewriteOverAgg(x.X, keys, calls),
+			Pattern: rewriteOverAgg(x.Pattern, keys, calls),
+			Not:     x.Not,
+		}
+	case sql.FuncCall:
+		out := sql.FuncCall{Name: x.Name, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, rewriteOverAgg(a, keys, calls))
+		}
+		return out
+	default:
+		return e
+	}
+}
+
+// buildAggregation inserts the HashAgg operator and rewrites the remaining
+// expressions to reference its output.
+func (pb *builder) buildAggregation(root engine.Operator, sel *sql.Select, items []sql.SelectItem) (engine.Operator, *expr.Env, []sql.SelectItem, error) {
+	pb.aggKeys = sel.GroupBy
+
+	// Collect distinct aggregate calls from everything evaluated above the
+	// aggregation.
+	var calls []sql.FuncCall
+	for _, it := range items {
+		calls = collectAggCalls(it.Expr, calls)
+	}
+	if sel.Having != nil {
+		calls = collectAggCalls(sel.Having, calls)
+	}
+	for _, o := range sel.OrderBy {
+		calls = collectAggCalls(o.Expr, calls)
+	}
+	pb.aggCalls = calls
+
+	// Compile group keys over the base environment.
+	var keyNodes []expr.Node
+	aggEnv := expr.NewEnv()
+	for i, k := range pb.aggKeys {
+		n, err := expr.Compile(k, pb.env)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		keyNodes = append(keyNodes, n)
+		if cr, ok := k.(sql.ColumnRef); ok {
+			qual, name, kerr := pb.ownerOf(cr)
+			if kerr != nil {
+				return nil, nil, nil, kerr
+			}
+			aggEnv.Add(qual, name, n.Kind())
+		} else {
+			aggEnv.Add("", fmt.Sprintf("#key%d", i), n.Kind())
+		}
+	}
+
+	// Compile aggregate arguments and build the specs.
+	var specs []engine.AggSpec
+	for i, c := range calls {
+		spec := engine.AggSpec{Name: c.Name, Distinct: c.Distinct}
+		switch {
+		case len(c.Args) == 1:
+			if _, isStar := c.Args[0].(sql.Star); isStar {
+				if c.Name != "COUNT" {
+					return nil, nil, nil, fmt.Errorf("planner: %s(*) is not valid", c.Name)
+				}
+				spec.Star = true
+			} else {
+				n, err := expr.Compile(c.Args[0], pb.env)
+				if err != nil {
+					return nil, nil, nil, err
+				}
+				spec.Arg = n
+			}
+		default:
+			return nil, nil, nil, fmt.Errorf("planner: %s takes exactly one argument", c.Name)
+		}
+		kind := expr.AggKind(c.Name, argKind(spec.Arg))
+		aggEnv.Add("", fmt.Sprintf("#agg%d", i), kind)
+		specs = append(specs, spec)
+	}
+
+	agg := engine.NewHashAgg(root, keyNodes, specs, pb.b)
+
+	// Rewrite the select items to reference the aggregation output.
+	out := make([]sql.SelectItem, len(items))
+	for i, it := range items {
+		out[i] = sql.SelectItem{Expr: rewriteOverAgg(it.Expr, pb.aggKeys, calls), Alias: it.Alias}
+	}
+	return agg, aggEnv, out, nil
+}
+
+func argKind(n expr.Node) value.Kind {
+	if n == nil {
+		return value.KindNull
+	}
+	return n.Kind()
+}
+
+// ownerOf finds the qualified owner of a column reference.
+func (pb *builder) ownerOf(c sql.ColumnRef) (qual, name string, err error) {
+	q := strings.ToLower(c.Table)
+	nm := strings.ToLower(c.Name)
+	for _, t := range pb.tables {
+		if q != "" && t.qual != q {
+			continue
+		}
+		if t.entry.Schema.Index(nm) >= 0 {
+			return t.qual, nm, nil
+		}
+	}
+	return "", "", fmt.Errorf("planner: unknown column %q in GROUP BY", c.String())
+}

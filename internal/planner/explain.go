@@ -1,0 +1,44 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+)
+
+// enode is one node of the EXPLAIN tree, mirroring the operator tree the
+// builder constructs.
+type enode struct {
+	label string
+	kids  []*enode
+}
+
+func en(label string, kids ...*enode) *enode { return &enode{label: label, kids: kids} }
+
+// wrap puts a new node above the current root.
+func wrap(label string, child *enode) *enode { return &enode{label: label, kids: []*enode{child}} }
+
+// render writes the tree with two-space indentation.
+func (n *enode) render(sb *strings.Builder, depth int) {
+	sb.WriteString(strings.Repeat("  ", depth))
+	sb.WriteString(n.label)
+	sb.WriteByte('\n')
+	for _, k := range n.kids {
+		k.render(sb, depth+1)
+	}
+}
+
+// String renders the whole plan.
+func (n *enode) String() string {
+	var sb strings.Builder
+	n.render(&sb, 0)
+	return sb.String()
+}
+
+// exprList renders a list of expressions compactly.
+func exprList[T fmt.Stringer](xs []T) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = x.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,54 @@
+package posmap
+
+import "testing"
+
+func BenchmarkPopulate(b *testing.B) {
+	delims := []int16{-1, 0, 1, 2, 3}
+	rows := 1024
+	pos := make([]uint32, rows*len(delims))
+	for i := range pos {
+		pos[i] = uint32(i * 7)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := New(0)
+		for c := 0; c < 16; c++ {
+			m.Populate(c, int64(c)*100000, rows, delims, pos)
+		}
+	}
+}
+
+func BenchmarkViewPos(b *testing.B) {
+	m := New(0)
+	populateBench(m, 0, 1024, []int16{-1, 0, 1, 2, 3})
+	v, ok := m.ViewChunk(0)
+	if !ok {
+		b.Fatal("no view")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := v.Pos(i%1024, 2); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkNearest(b *testing.B) {
+	m := New(0)
+	populateBench(m, 0, 1024, []int16{-1, 2, 5, 9})
+	v, _ := m.ViewChunk(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.NearestAtOrBelow(i%1024, 7)
+	}
+}
+
+func populateBench(m *Map, id, rows int, ds []int16) {
+	pos := make([]uint32, rows*len(ds))
+	for r := 0; r < rows; r++ {
+		for j := range ds {
+			pos[r*len(ds)+j] = uint32(r*100 + j*10)
+		}
+	}
+	m.Populate(id, 0, rows, ds, pos)
+}

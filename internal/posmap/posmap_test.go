@@ -1,0 +1,303 @@
+package posmap
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// populateChunk fills chunk id with delimiters ds where delimiter d of row r
+// sits at offset r*100 + (d+1)*10 (synthetic but monotone per row).
+func populateChunk(m *Map, id int, rows int, ds []int16) {
+	pos := make([]uint32, 0, rows*len(ds))
+	for r := 0; r < rows; r++ {
+		for _, d := range ds {
+			pos = append(pos, uint32(r*100+(int(d)+1)*10))
+		}
+	}
+	m.Populate(id, int64(id*10000), rows, ds, pos)
+}
+
+func TestPopulateAndLookup(t *testing.T) {
+	m := New(0)
+	populateChunk(m, 0, 4, []int16{-1, 0, 1, 2})
+
+	v, ok := m.ViewChunk(0)
+	if !ok {
+		t.Fatal("no view")
+	}
+	if v.Rows() != 4 || v.Base() != 0 {
+		t.Fatalf("rows=%d base=%d", v.Rows(), v.Base())
+	}
+	// Exact hit: delimiter 1 of row 2 = 2*100 + 2*10 = 220.
+	off, ok := v.Pos(2, 1)
+	if !ok || off != 220 {
+		t.Fatalf("Pos(2,1)=%d,%v", off, ok)
+	}
+	// Row start (delim -1) of row 3 = 300 + 0*10 = 300.
+	off, ok = v.Pos(3, -1)
+	if !ok || off != 300 {
+		t.Fatalf("Pos(3,-1)=%d,%v", off, ok)
+	}
+	if _, ok := v.Pos(0, 5); ok {
+		t.Error("phantom delimiter")
+	}
+	if !v.Has(2) || v.Has(7) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestViewMissingChunk(t *testing.T) {
+	m := New(0)
+	if _, ok := m.ViewChunk(42); ok {
+		t.Error("view of empty chunk")
+	}
+	if m.Stats().Misses != 1 {
+		t.Errorf("misses=%d", m.Stats().Misses)
+	}
+}
+
+func TestNearestAtOrBelow(t *testing.T) {
+	m := New(0)
+	populateChunk(m, 0, 2, []int16{-1, 2, 5})
+	v, _ := m.ViewChunk(0)
+
+	d, off, ok := v.NearestAtOrBelow(1, 4) // nearest <= 4 is 2
+	if !ok || d != 2 || off != 100+30 {
+		t.Fatalf("nearest(1,4)=(%d,%d,%v)", d, off, ok)
+	}
+	d, _, ok = v.NearestAtOrBelow(0, 5) // exact
+	if !ok || d != 5 {
+		t.Fatalf("nearest exact=(%d,%v)", d, ok)
+	}
+	d, _, ok = v.NearestAtOrBelow(0, 99)
+	if !ok || d != 5 {
+		t.Fatalf("nearest above all=(%d,%v)", d, ok)
+	}
+	// Nothing at or below -2.
+	if _, _, ok := v.NearestAtOrBelow(0, -2); ok {
+		t.Error("nearest below row start")
+	}
+	st := m.Stats()
+	if st.NearHits != 2 || st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("stats=%+v", st)
+	}
+}
+
+func TestGrainMergeAcrossPopulates(t *testing.T) {
+	m := New(0)
+	populateChunk(m, 0, 2, []int16{-1, 0})
+	populateChunk(m, 0, 2, []int16{0, 3}) // 0 is duplicate, only 3 added
+	v, _ := m.ViewChunk(0)
+	want := []int16{-1, 0, 3}
+	got := v.Delims()
+	if len(got) != len(want) {
+		t.Fatalf("delims=%v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delims=%v, want %v", got, want)
+		}
+	}
+	// Offsets must come from the right grain columns.
+	if off, ok := v.Pos(1, 3); !ok || off != 100+40 {
+		t.Fatalf("Pos(1,3)=%d,%v", off, ok)
+	}
+	if m.Stats().Grains != 2 {
+		t.Errorf("grains=%d", m.Stats().Grains)
+	}
+}
+
+func TestPopulateAllDuplicatesIsNoop(t *testing.T) {
+	m := New(0)
+	populateChunk(m, 0, 2, []int16{0, 1})
+	before := m.Stats()
+	populateChunk(m, 0, 2, []int16{0, 1})
+	after := m.Stats()
+	if after.Grains != before.Grains || after.UsedBytes != before.UsedBytes {
+		t.Error("duplicate populate changed the map")
+	}
+}
+
+func TestPopulateRejectsBadInput(t *testing.T) {
+	m := New(0)
+	m.Populate(0, 0, 0, []int16{0}, nil)                // zero rows
+	m.Populate(0, 0, 2, nil, nil)                       // no delims
+	m.Populate(0, 0, 2, []int16{0}, make([]uint32, 99)) // wrong len
+	if st := m.Stats(); st.Grains != 0 {
+		t.Errorf("bad input created grains: %+v", st)
+	}
+}
+
+func TestBudgetEviction(t *testing.T) {
+	m := New(1) // tiny budget: everything evicts immediately after insert
+	populateChunk(m, 0, 100, []int16{-1, 0, 1})
+	st := m.Stats()
+	if st.UsedBytes > 1 {
+		t.Errorf("over budget: %+v", st)
+	}
+	if st.Evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+
+	// Generous budget: fits two chunks but not three -> oldest goes.
+	per := grainBytes(100, 3)
+	m2 := New(2 * per)
+	populateChunk(m2, 0, 100, []int16{-1, 0, 1})
+	populateChunk(m2, 1, 100, []int16{-1, 0, 1})
+	populateChunk(m2, 2, 100, []int16{-1, 0, 1})
+	if _, ok := m2.ViewChunk(0); ok {
+		t.Error("LRU chunk 0 should have been evicted")
+	}
+	if _, ok := m2.ViewChunk(2); !ok {
+		t.Error("newest chunk 2 missing")
+	}
+	if got := m2.Stats().UsedBytes; got > 2*per {
+		t.Errorf("used=%d > budget=%d", got, 2*per)
+	}
+}
+
+func TestLRUTouchOnView(t *testing.T) {
+	per := grainBytes(10, 1)
+	m := New(2 * per)
+	populateChunk(m, 0, 10, []int16{0})
+	populateChunk(m, 1, 10, []int16{0})
+	// Touch chunk 0 so chunk 1 becomes LRU.
+	if _, ok := m.ViewChunk(0); !ok {
+		t.Fatal("chunk 0 missing")
+	}
+	populateChunk(m, 2, 10, []int16{0})
+	if _, ok := m.ViewChunk(1); ok {
+		t.Error("chunk 1 should have been evicted (LRU)")
+	}
+	if _, ok := m.ViewChunk(0); !ok {
+		t.Error("recently used chunk 0 evicted")
+	}
+}
+
+func TestSetBudgetShrinkEvicts(t *testing.T) {
+	m := New(0)
+	for i := 0; i < 10; i++ {
+		populateChunk(m, i, 50, []int16{-1, 0, 1, 2})
+	}
+	used := m.Stats().UsedBytes
+	m.SetBudget(used / 2)
+	if got := m.Stats().UsedBytes; got > used/2 {
+		t.Errorf("after shrink used=%d > %d", got, used/2)
+	}
+}
+
+func TestClear(t *testing.T) {
+	m := New(0)
+	populateChunk(m, 0, 10, []int16{0})
+	m.Clear()
+	st := m.Stats()
+	if st.Grains != 0 || st.UsedBytes != 0 || st.Chunks != 0 {
+		t.Errorf("after clear: %+v", st)
+	}
+}
+
+func TestCoverageAndChunkCovered(t *testing.T) {
+	m := New(0)
+	populateChunk(m, 0, 10, []int16{0, 1})
+	populateChunk(m, 1, 10, []int16{0})
+	cov := m.Coverage(3, 2)
+	if cov[0] != 1.0 || cov[1] != 0.5 || cov[2] != 0 {
+		t.Errorf("coverage=%v", cov)
+	}
+	covered := m.ChunkCovered(3)
+	if !covered[0] || !covered[1] || covered[2] {
+		t.Errorf("chunkCovered=%v", covered)
+	}
+	if cov := m.Coverage(2, 0); cov[0] != 0 {
+		t.Error("zero chunks coverage")
+	}
+}
+
+func TestViewSurvivesEviction(t *testing.T) {
+	// A held view must stay readable after its grain is evicted.
+	m := New(grainBytes(10, 1) + 10)
+	populateChunk(m, 0, 10, []int16{0})
+	v, ok := m.ViewChunk(0)
+	if !ok {
+		t.Fatal("no view")
+	}
+	populateChunk(m, 1, 10, []int16{0}) // evicts chunk 0
+	if _, ok := m.ViewChunk(0); ok {
+		t.Fatal("chunk 0 still mapped")
+	}
+	if off, ok := v.Pos(3, 0); !ok || off != 310 {
+		t.Errorf("held view broken: %d,%v", off, ok)
+	}
+}
+
+func TestBudgetInvariantQuick(t *testing.T) {
+	// Property: regardless of populate sequence, used <= budget after every
+	// operation, and every tracked position is still readable consistently.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		budget := int64(rng.Intn(20000) + 500)
+		m := New(budget)
+		for op := 0; op < 50; op++ {
+			id := rng.Intn(8)
+			rows := id*8 + 1 // fixed per chunk id, as in a real file
+			nd := rng.Intn(4) + 1
+			ds := make([]int16, 0, nd)
+			seen := map[int16]bool{}
+			for len(ds) < nd {
+				d := int16(rng.Intn(6) - 1)
+				if !seen[d] {
+					seen[d] = true
+					ds = append(ds, d)
+				}
+			}
+			// Delims must be sorted for the view directory invariants.
+			for i := 1; i < len(ds); i++ {
+				for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+					ds[j], ds[j-1] = ds[j-1], ds[j]
+				}
+			}
+			populateChunk(m, id, rows, ds)
+			if m.Stats().UsedBytes > budget {
+				return false
+			}
+			if v, ok := m.ViewChunk(id); ok {
+				for r := 0; r < v.Rows(); r += 7 {
+					for _, d := range v.Delims() {
+						off, ok := v.Pos(r, d)
+						if !ok || off != int64(id*10000)+int64(r*100+(int(d)+1)*10) {
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	m := New(100_000)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				populateChunk(m, (g*100+i)%16, 32, []int16{-1, 0, 1})
+				if v, ok := m.ViewChunk(i % 16); ok {
+					v.Pos(0, 0)
+					v.NearestAtOrBelow(1, 5)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := m.Stats(); st.UsedBytes > 100_000 {
+		t.Errorf("over budget after concurrency: %+v", st)
+	}
+}

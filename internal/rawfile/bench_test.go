@@ -1,0 +1,73 @@
+package rawfile
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func benchRow(fields int) []byte {
+	var buf bytes.Buffer
+	for i := 0; i < fields; i++ {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		fmt.Fprintf(&buf, "%d", i*137)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkTokenizeFullRow(b *testing.B) {
+	row := benchRow(20)
+	var ends []int32
+	b.SetBytes(int64(len(row)))
+	for i := 0; i < b.N; i++ {
+		ends = TokenizeUpTo(row, ',', 0, 19, 0, ends[:0])
+	}
+}
+
+func BenchmarkTokenizeSelective(b *testing.B) {
+	// Selective tokenizing: stop at field 4 of 20.
+	row := benchRow(20)
+	var ends []int32
+	b.SetBytes(int64(len(row)))
+	for i := 0; i < b.N; i++ {
+		ends = TokenizeUpTo(row, ',', 0, 4, 0, ends[:0])
+	}
+}
+
+func BenchmarkChunkReader(b *testing.B) {
+	dir := b.TempDir()
+	path := filepath.Join(dir, "bench.csv")
+	var buf bytes.Buffer
+	for r := 0; r < 20000; r++ {
+		buf.Write(benchRow(10))
+		buf.WriteByte('\n')
+	}
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(buf.Len()))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := Open(path, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cr := NewChunkReader(r, 0)
+		var ch Chunk
+		rows := 0
+		for {
+			if err := cr.NextChunk(1024, &ch); err != nil {
+				break
+			}
+			rows += ch.Rows
+		}
+		r.Close()
+		if rows != 20000 {
+			b.Fatalf("rows=%d", rows)
+		}
+	}
+}

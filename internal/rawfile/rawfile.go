@@ -1,0 +1,219 @@
+// Package rawfile is the raw-data access substrate: a block reader with I/O
+// accounting, a chunked line reader that hands out batches of complete CSV
+// rows, and the selective tokenizer that locates field delimiters only as
+// far into each row as a query needs (the paper's "selective tokenizing").
+package rawfile
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"nodb/internal/metrics"
+)
+
+// DefaultBlockSize is the read granularity when none is configured.
+const DefaultBlockSize = 256 * 1024
+
+// Reader reads a file in blocks and charges time and bytes to a metrics
+// breakdown. It is safe for sequential use by one scan at a time.
+type Reader struct {
+	f    *os.File
+	size int64
+	b    *metrics.Breakdown
+}
+
+// Open opens path for raw access, charging I/O to b (which may be nil).
+func Open(path string, b *metrics.Breakdown) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("rawfile: %w", err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("rawfile: %w", err)
+	}
+	return &Reader{f: f, size: st.Size(), b: b}, nil
+}
+
+// Size returns the file size at open time.
+func (r *Reader) Size() int64 { return r.size }
+
+// SetBreakdown redirects accounting to b.
+func (r *Reader) SetBreakdown(b *metrics.Breakdown) { r.b = b }
+
+// ReadAt fills p from the given offset, charging I/O time and bytes.
+// Like io.ReaderAt it returns io.EOF with a short count at end of file.
+func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	t0 := time.Now()
+	n, err := r.f.ReadAt(p, off)
+	if r.b != nil {
+		r.b.Add(metrics.IO, time.Since(t0))
+		r.b.BytesRead += int64(n)
+	}
+	return n, err
+}
+
+// Close releases the file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// ChunkReader reads consecutive chunks of up to maxRows complete lines into
+// a reused buffer. The caller receives the raw bytes plus the boundaries of
+// each line, so tokenization and field extraction can work over one flat
+// buffer per chunk.
+//
+// Reading is sequential; Seek repositions it (used when the scan can skip a
+// fully-cached region and the next chunk's start offset is known).
+type ChunkReader struct {
+	r         *Reader
+	blockSize int
+
+	buf     []byte // window of unconsumed file bytes
+	base    int64  // file offset of buf[0]
+	nbuf    int    // valid bytes in buf
+	pending int    // bytes handed out by the previous NextChunk, not yet consumed
+	eof     bool
+	fault   error
+}
+
+// NewChunkReader returns a chunk reader positioned at offset 0.
+func NewChunkReader(r *Reader, blockSize int) *ChunkReader {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	c := &ChunkReader{r: r, blockSize: blockSize}
+	c.eof = r.Size() == 0
+	return c
+}
+
+// Offset returns the file offset of the first row of the next chunk.
+func (c *ChunkReader) Offset() int64 { return c.base + int64(c.pending) }
+
+// SeekTo repositions the reader at a file offset, discarding buffered data.
+// off must be the start of a line for subsequent chunks to be well-formed.
+func (c *ChunkReader) SeekTo(off int64) {
+	c.base = off
+	c.nbuf = 0
+	c.pending = 0
+	c.eof = off >= c.r.Size()
+	c.fault = nil
+}
+
+// Chunk is one batch of complete rows sharing a flat byte buffer, valid only
+// until the next NextChunk or Seek call.
+type Chunk struct {
+	Base  int64   // file offset of Data[0] (start of first row)
+	Data  []byte  // raw bytes covering all rows, including line terminators
+	Rows  int     // number of complete rows
+	Start []int32 // per row: offset of first byte within Data
+	End   []int32 // per row: offset one past the last content byte (excl. \r\n)
+}
+
+// RowBytes returns the content bytes of row i (without the line terminator).
+func (ch *Chunk) RowBytes(i int) []byte { return ch.Data[ch.Start[i]:ch.End[i]] }
+
+// NextChunk reads up to maxRows complete lines. It returns io.EOF (with a
+// zero-row chunk) when the file is exhausted. A final line without a
+// trailing newline is returned as a complete row. Empty lines are skipped.
+func (c *ChunkReader) NextChunk(maxRows int, ch *Chunk) error {
+	if c.fault != nil {
+		return c.fault
+	}
+	c.consumePending()
+	ch.Base = c.base
+	ch.Rows = 0
+	ch.Start = ch.Start[:0]
+	ch.End = ch.End[:0]
+
+	pos := 0 // scan position within buf
+	lineStart := 0
+	for ch.Rows < maxRows {
+		nl := -1
+		if pos < c.nbuf {
+			nl = bytes.IndexByte(c.buf[pos:c.nbuf], '\n')
+			if nl >= 0 {
+				nl += pos
+			}
+		}
+		if nl < 0 {
+			if c.eof {
+				if c.nbuf > lineStart { // final line without newline
+					c.appendRow(ch, lineStart, c.nbuf)
+					lineStart = c.nbuf
+				}
+				break
+			}
+			pos = c.nbuf
+			if err := c.fill(); err != nil {
+				c.fault = err
+				return err
+			}
+			continue
+		}
+		c.appendRow(ch, lineStart, nl)
+		pos = nl + 1
+		lineStart = nl + 1
+	}
+
+	ch.Data = c.buf[:lineStart]
+	c.pending = lineStart
+	if ch.Rows == 0 {
+		return io.EOF
+	}
+	return nil
+}
+
+func (c *ChunkReader) appendRow(ch *Chunk, start, nl int) {
+	end := nl
+	if end > start && c.buf[end-1] == '\r' {
+		end--
+	}
+	if end == start { // skip empty lines
+		return
+	}
+	ch.Start = append(ch.Start, int32(start))
+	ch.End = append(ch.End, int32(end))
+	ch.Rows++
+}
+
+func (c *ChunkReader) consumePending() {
+	if c.pending == 0 {
+		return
+	}
+	n := copy(c.buf, c.buf[c.pending:c.nbuf])
+	c.nbuf = n
+	c.base += int64(c.pending)
+	c.pending = 0
+}
+
+// fill reads one more block into the buffer.
+func (c *ChunkReader) fill() error {
+	if c.eof {
+		return nil
+	}
+	if len(c.buf)-c.nbuf < c.blockSize {
+		want := c.nbuf + c.blockSize
+		if want < 2*len(c.buf) {
+			want = 2 * len(c.buf)
+		}
+		nb := make([]byte, want)
+		copy(nb, c.buf[:c.nbuf])
+		c.buf = nb
+	}
+	n, err := c.r.ReadAt(c.buf[c.nbuf:c.nbuf+c.blockSize], c.base+int64(c.nbuf))
+	c.nbuf += n
+	switch {
+	case err == io.EOF:
+		c.eof = true
+		return nil
+	case err != nil:
+		return fmt.Errorf("rawfile: read at %d: %w", c.base+int64(c.nbuf-n), err)
+	}
+	if c.base+int64(c.nbuf) >= c.r.Size() {
+		c.eof = true
+	}
+	return nil
+}

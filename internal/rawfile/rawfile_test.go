@@ -1,0 +1,377 @@
+package rawfile
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nodb/internal/metrics"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestReaderAccounting(t *testing.T) {
+	var b metrics.Breakdown
+	r, err := Open(writeTemp(t, "hello world"), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Size() != 11 {
+		t.Fatalf("Size=%d", r.Size())
+	}
+	buf := make([]byte, 5)
+	n, err := r.ReadAt(buf, 6)
+	if err != nil && err != io.EOF {
+		t.Fatal(err)
+	}
+	if n != 5 || string(buf) != "world" {
+		t.Fatalf("read %q (%d)", buf[:n], n)
+	}
+	if b.BytesRead != 5 {
+		t.Errorf("BytesRead=%d", b.BytesRead)
+	}
+	if b.Times[metrics.IO] <= 0 {
+		t.Error("no IO time charged")
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open("/nonexistent/file.csv", nil); err == nil {
+		t.Error("open of missing file succeeded")
+	}
+}
+
+// readAllChunks collects every row from the reader with the given chunk size.
+func readAllChunks(t *testing.T, path string, maxRows, blockSize int) ([]string, []int64) {
+	t.Helper()
+	r, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cr := NewChunkReader(r, blockSize)
+	var rows []string
+	var bases []int64
+	var ch Chunk
+	for {
+		err := cr.NextChunk(maxRows, &ch)
+		if err == io.EOF {
+			return rows, bases
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ch.Rows > maxRows {
+			t.Fatalf("chunk has %d rows > max %d", ch.Rows, maxRows)
+		}
+		for i := 0; i < ch.Rows; i++ {
+			rows = append(rows, string(ch.RowBytes(i)))
+			bases = append(bases, ch.Base+int64(ch.Start[i]))
+		}
+	}
+}
+
+func TestChunkReaderBasic(t *testing.T) {
+	path := writeTemp(t, "a,1\nbb,22\nccc,333\n")
+	rows, bases := readAllChunks(t, path, 2, 4)
+	want := []string{"a,1", "bb,22", "ccc,333"}
+	if len(rows) != 3 {
+		t.Fatalf("rows=%v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d=%q, want %q", i, rows[i], want[i])
+		}
+	}
+	wantBases := []int64{0, 4, 10}
+	for i := range wantBases {
+		if bases[i] != wantBases[i] {
+			t.Errorf("base %d=%d, want %d", i, bases[i], wantBases[i])
+		}
+	}
+}
+
+func TestChunkReaderNoTrailingNewline(t *testing.T) {
+	rows, _ := readAllChunks(t, writeTemp(t, "a,1\nb,2"), 10, 3)
+	if len(rows) != 2 || rows[1] != "b,2" {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestChunkReaderCRLFAndEmptyLines(t *testing.T) {
+	rows, _ := readAllChunks(t, writeTemp(t, "a,1\r\n\r\nb,2\r\n\nc,3"), 10, 5)
+	want := []string{"a,1", "b,2", "c,3"}
+	if len(rows) != len(want) {
+		t.Fatalf("rows=%v", rows)
+	}
+	for i := range want {
+		if rows[i] != want[i] {
+			t.Errorf("row %d=%q", i, rows[i])
+		}
+	}
+}
+
+func TestChunkReaderEmptyFile(t *testing.T) {
+	rows, _ := readAllChunks(t, writeTemp(t, ""), 10, 16)
+	if len(rows) != 0 {
+		t.Fatalf("rows=%v", rows)
+	}
+}
+
+func TestChunkReaderLongLinesSmallBlocks(t *testing.T) {
+	long := strings.Repeat("x", 1000)
+	content := long + "\n" + long + "y\n"
+	rows, _ := readAllChunks(t, writeTemp(t, content), 1, 16)
+	if len(rows) != 2 || len(rows[0]) != 1000 || rows[1] != long+"y" {
+		t.Fatalf("got %d rows, lens %d", len(rows), len(rows[0]))
+	}
+}
+
+func TestChunkReaderSeek(t *testing.T) {
+	path := writeTemp(t, "a,1\nbb,22\nccc,333\n")
+	r, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cr := NewChunkReader(r, 8)
+	cr.SeekTo(4) // start of "bb,22"
+	var ch Chunk
+	if err := cr.NextChunk(10, &ch); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Rows != 2 || string(ch.RowBytes(0)) != "bb,22" {
+		t.Fatalf("after seek: rows=%d first=%q", ch.Rows, ch.RowBytes(0))
+	}
+	// Seek past EOF yields io.EOF.
+	cr.SeekTo(1000)
+	if err := cr.NextChunk(10, &ch); err != io.EOF {
+		t.Fatalf("seek past EOF: %v", err)
+	}
+}
+
+func TestChunkReaderOffsetTracksRows(t *testing.T) {
+	path := writeTemp(t, "aa\nbb\ncc\ndd\n")
+	r, _ := Open(path, nil)
+	defer r.Close()
+	cr := NewChunkReader(r, 4)
+	var ch Chunk
+	if err := cr.NextChunk(2, &ch); err != nil {
+		t.Fatal(err)
+	}
+	if got := cr.Offset(); got != 6 {
+		t.Fatalf("Offset after 2 rows = %d, want 6", got)
+	}
+}
+
+func TestChunkReaderQuickMatchesSplit(t *testing.T) {
+	// Property: for random contents, chunked reading re-assembles exactly the
+	// non-empty lines of the file, for any block size and chunk size.
+	f := func(lines []string, blockSeed, chunkSeed uint8) bool {
+		var content strings.Builder
+		var want []string
+		for _, l := range lines {
+			l = strings.Map(func(r rune) rune {
+				if r == '\n' || r == '\r' {
+					return 'x'
+				}
+				return r
+			}, l)
+			content.WriteString(l + "\n")
+			if l != "" {
+				want = append(want, l)
+			}
+		}
+		dir, err := os.MkdirTemp("", "rawfile")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		path := filepath.Join(dir, "f.csv")
+		if err := os.WriteFile(path, []byte(content.String()), 0o644); err != nil {
+			return false
+		}
+		r, err := Open(path, nil)
+		if err != nil {
+			return false
+		}
+		defer r.Close()
+		cr := NewChunkReader(r, int(blockSeed)%64+1)
+		var got []string
+		var ch Chunk
+		for {
+			err := cr.NextChunk(int(chunkSeed)%7+1, &ch)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return false
+			}
+			for i := 0; i < ch.Rows; i++ {
+				got = append(got, string(ch.RowBytes(i)))
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenizeUpTo(t *testing.T) {
+	row := []byte("aa,b,ccc,dddd")
+	var ends []int32
+	ends = TokenizeUpTo(row, ',', 0, 2, 0, ends)
+	want := []int32{2, 4, 8}
+	if len(ends) != 3 {
+		t.Fatalf("ends=%v", ends)
+	}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Errorf("ends[%d]=%d, want %d", i, ends[i], want[i])
+		}
+	}
+	// Last field boundary is the row length.
+	ends = TokenizeUpTo(row, ',', 0, 3, 0, ends[:0])
+	if len(ends) != 4 || ends[3] != int32(len(row)) {
+		t.Fatalf("ends=%v", ends)
+	}
+	// Asking beyond the field count stops at row end.
+	ends = TokenizeUpTo(row, ',', 0, 10, 0, ends[:0])
+	if len(ends) != 4 {
+		t.Fatalf("over-ask ends=%v", ends)
+	}
+	// Resume mid-row: tokenize fields 2..3 starting after delimiter 1 (pos 5).
+	ends = TokenizeUpTo(row, ',', 2, 3, 5, ends[:0])
+	if len(ends) != 2 || ends[0] != 8 || ends[1] != 13 {
+		t.Fatalf("resume ends=%v", ends)
+	}
+}
+
+func TestField(t *testing.T) {
+	row := []byte("aa,b,ccc")
+	cases := []struct {
+		prev, end int32
+		want      string
+	}{
+		{-1, 2, "aa"},
+		{2, 4, "b"},
+		{4, 8, "ccc"},
+		{4, 99, "ccc"}, // clamped
+		{7, 4, ""},     // inverted -> empty
+	}
+	for _, c := range cases {
+		if got := string(Field(row, c.prev, c.end)); got != c.want {
+			t.Errorf("Field(%d,%d)=%q, want %q", c.prev, c.end, got, c.want)
+		}
+	}
+}
+
+func TestSplitAll(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"a,b,c", []string{"a", "b", "c"}},
+		{"", []string{""}},
+		{",", []string{"", ""}},
+		{"a,", []string{"a", ""}},
+		{",b", []string{"", "b"}},
+	}
+	for _, c := range cases {
+		got := SplitAll([]byte(c.in), ',')
+		if len(got) != len(c.want) {
+			t.Errorf("SplitAll(%q)=%v", c.in, got)
+			continue
+		}
+		for i := range c.want {
+			if string(got[i]) != c.want[i] {
+				t.Errorf("SplitAll(%q)[%d]=%q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestTokenizeQuickMatchesSplitAll(t *testing.T) {
+	// Property: full tokenization via TokenizeUpTo slices the same fields as
+	// the reference splitter.
+	f := func(raw string) bool {
+		row := []byte(strings.Map(func(r rune) rune {
+			if r == '\n' || r == '\r' {
+				return '.'
+			}
+			return r
+		}, raw))
+		want := SplitAll(row, ',')
+		ends := TokenizeUpTo(row, ',', 0, len(want)-1, 0, nil)
+		if len(ends) != len(want) {
+			return false
+		}
+		prev := int32(-1)
+		for i, w := range want {
+			got := Field(row, prev, ends[i])
+			if !bytes.Equal(got, w) {
+				return false
+			}
+			prev = ends[i]
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSplitQuoted(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{`a,b`, []string{"a", "b"}},
+		{`"a,b",c`, []string{"a,b", "c"}},
+		{`"he said ""hi""",x`, []string{`he said "hi"`, "x"}},
+		{`"",x`, []string{"", "x"}},
+		{`a,"b"`, []string{"a", "b"}},
+		{`"only"`, []string{"only"}},
+		{``, []string{""}},
+		{`a,`, []string{"a", ""}},
+	}
+	for _, c := range cases {
+		got := SplitQuoted([]byte(c.in), ',')
+		if len(got) != len(c.want) {
+			t.Errorf("SplitQuoted(%q)=%q", c.in, got)
+			continue
+		}
+		for i := range c.want {
+			if string(got[i]) != c.want[i] {
+				t.Errorf("SplitQuoted(%q)[%d]=%q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestCountFields(t *testing.T) {
+	if CountFields([]byte("a,b,c"), ',') != 3 || CountFields([]byte(""), ',') != 1 {
+		t.Error("CountFields wrong")
+	}
+}

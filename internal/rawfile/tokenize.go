@@ -1,0 +1,141 @@
+package rawfile
+
+import "bytes"
+
+// Tokenization vocabulary: "delimiter d" is the boundary that ends field d.
+// For a row with A fields, delimiter indexes run 0..A-1; delimiters 0..A-2
+// are the positions of the separator byte, and delimiter A-1 is the row end.
+// Delimiter -1 denotes the start of the row. Field d spans
+// (pos(d-1), pos(d)) exclusive of both boundary bytes, except field 0 which
+// starts at pos(-1) itself (the row start is not a separator byte).
+
+// TokenizeUpTo scans row (the content bytes of one line, no terminator) for
+// separator positions and appends to ends the end boundary of each field
+// from field `from` up to and including field `upto`, assuming scanning
+// starts at byte offset `start` within the row (the position just after
+// delimiter from-1, i.e. the first byte of field `from`).
+//
+// It returns the extended slice; fewer entries are appended when the row has
+// fewer fields. The last field's boundary is the row length. This is the
+// paper's selective tokenizing: scanning aborts once `upto` is reached.
+func TokenizeUpTo(row []byte, sep byte, from, upto, start int, ends []int32) []int32 {
+	pos := start
+	for f := from; f <= upto; f++ {
+		if pos > len(row) {
+			break
+		}
+		i := bytes.IndexByte(row[pos:], sep)
+		if i < 0 {
+			// Last field of the row: boundary is row end.
+			ends = append(ends, int32(len(row)))
+			break
+		}
+		ends = append(ends, int32(pos+i))
+		pos += i + 1
+	}
+	return ends
+}
+
+// CountFields returns the number of fields in the row.
+func CountFields(row []byte, sep byte) int {
+	return bytes.Count(row, []byte{sep}) + 1
+}
+
+// Field slices field content out of a row given the positions of delimiter
+// d-1 (prev) and delimiter d (end), following the boundary convention above.
+// Pass prev = -1 for field 0.
+func Field(row []byte, prev, end int32) []byte {
+	start := prev + 1
+	if prev < 0 {
+		start = 0
+	}
+	if int(end) > len(row) {
+		end = int32(len(row))
+	}
+	if start > end {
+		return nil
+	}
+	return row[start:end]
+}
+
+// SplitAll tokenizes a whole row into fields (reference implementation used
+// by the loader, schema inference, and property tests).
+func SplitAll(row []byte, sep byte) [][]byte {
+	n := CountFields(row, sep)
+	out := make([][]byte, 0, n)
+	start := 0
+	for {
+		i := bytes.IndexByte(row[start:], sep)
+		if i < 0 {
+			out = append(out, row[start:])
+			return out
+		}
+		out = append(out, row[start:start+i])
+		start += i + 1
+	}
+}
+
+// SplitQuoted tokenizes one CSV row honoring double-quoted fields with ""
+// escapes (RFC-4180 style, single line). It allocates only when a field
+// contains escaped quotes. Used by the loader when quoting is enabled; the
+// in-situ fast path assumes separator bytes do not occur inside fields.
+func SplitQuoted(row []byte, sep byte) [][]byte {
+	var out [][]byte
+	i := 0
+	for {
+		if i >= len(row) {
+			out = append(out, nil)
+			return out
+		}
+		if row[i] == '"' {
+			// Quoted field.
+			var buf []byte
+			j := i + 1
+			fieldStart := j
+			escaped := false
+			for j < len(row) {
+				if row[j] == '"' {
+					if j+1 < len(row) && row[j+1] == '"' {
+						if !escaped {
+							buf = append(buf, row[fieldStart:j]...)
+							escaped = true
+						} else {
+							buf = append(buf, row[fieldStart:j]...)
+						}
+						buf = append(buf, '"')
+						j += 2
+						fieldStart = j
+						continue
+					}
+					break
+				}
+				j++
+			}
+			var field []byte
+			if escaped {
+				field = append(buf, row[fieldStart:j]...)
+			} else {
+				field = row[i+1 : j]
+			}
+			out = append(out, field)
+			j++ // closing quote
+			if j >= len(row) {
+				return out
+			}
+			// skip separator
+			if row[j] == sep {
+				i = j + 1
+				continue
+			}
+			i = j
+			continue
+		}
+		k := bytes.IndexByte(row[i:], sep)
+		if k < 0 {
+			out = append(out, row[i:])
+			return out
+		}
+		out = append(out, row[i:i+k])
+		i += k + 1
+	}
+}

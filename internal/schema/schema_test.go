@@ -1,0 +1,114 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+
+	"nodb/internal/value"
+)
+
+func TestNewAndLookup(t *testing.T) {
+	s, err := New([]Column{{"id", value.KindInt}, {"Name", value.KindText}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 {
+		t.Fatalf("Len=%d", s.Len())
+	}
+	if s.Index("id") != 0 || s.Index("name") != 1 || s.Index("NAME") != 1 {
+		t.Error("case-insensitive Index failed")
+	}
+	if s.Index("missing") != -1 {
+		t.Error("missing column should be -1")
+	}
+	if s.Col(1).Name != "Name" {
+		t.Error("Col(1) wrong")
+	}
+	if got := len(s.Cols()); got != 2 {
+		t.Errorf("Cols len=%d", got)
+	}
+}
+
+func TestNewRejectsBadColumns(t *testing.T) {
+	if _, err := New([]Column{{"", value.KindInt}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := New([]Column{{"a", value.KindInt}, {"A", value.KindText}}); err == nil {
+		t.Error("duplicate (case-insensitive) name accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew did not panic")
+		}
+	}()
+	MustNew([]Column{{"", value.KindInt}})
+}
+
+func TestParseSpecRoundTrip(t *testing.T) {
+	s, err := ParseSpec("id:int, name:text ,score:float,ok:bool,d:date")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []value.Kind{value.KindInt, value.KindText, value.KindFloat, value.KindBool, value.KindDate}
+	for i, k := range want {
+		if s.Col(i).Kind != k {
+			t.Errorf("col %d kind=%v, want %v", i, s.Col(i).Kind, k)
+		}
+	}
+	// Round-trip through String.
+	s2, err := ParseSpec(s.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.String() != s.String() {
+		t.Errorf("round trip %q != %q", s2.String(), s.String())
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	for _, spec := range []string{"", "  ", "id", "id:blob", "id:int,:text"} {
+		if _, err := ParseSpec(spec); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", spec)
+		}
+	}
+}
+
+func TestCatalog(t *testing.T) {
+	c := NewCatalog()
+	s := MustNew([]Column{{"id", value.KindInt}})
+	if err := c.Register(&Table{Name: "T1", Schema: s, Mode: AccessInSitu}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Register(&Table{Name: "t1", Schema: s}); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := c.Register(&Table{Name: ""}); err == nil {
+		t.Error("empty name accepted")
+	}
+	got, ok := c.Lookup("T1")
+	if !ok || got.Name != "T1" {
+		t.Fatal("Lookup failed")
+	}
+	if _, ok := c.Lookup("nope"); ok {
+		t.Error("phantom table")
+	}
+	if names := c.Names(); len(names) != 1 || !strings.EqualFold(names[0], "t1") {
+		t.Errorf("Names=%v", names)
+	}
+	if !c.Drop("t1") || c.Drop("t1") {
+		t.Error("Drop semantics wrong")
+	}
+}
+
+func TestAccessModeString(t *testing.T) {
+	if AccessInSitu.String() != "in-situ" || AccessBaseline.String() != "baseline" ||
+		AccessLoadFirst.String() != "load-first" {
+		t.Error("mode names wrong")
+	}
+	if AccessMode(9).String() != "AccessMode(9)" {
+		t.Error("unknown mode name wrong")
+	}
+}

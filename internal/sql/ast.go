@@ -1,0 +1,313 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is a parsed expression node.
+type Expr interface {
+	fmt.Stringer
+	expr()
+}
+
+// ColumnRef references a column, optionally qualified by table or alias.
+type ColumnRef struct {
+	Table string // optional qualifier
+	Name  string
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ V int64 }
+
+// FloatLit is a floating-point literal.
+type FloatLit struct{ V float64 }
+
+// StringLit is a text literal.
+type StringLit struct{ V string }
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct{ V bool }
+
+// NullLit is the NULL literal.
+type NullLit struct{}
+
+// Star is the bare `*` projection (also COUNT(*) argument).
+type Star struct{}
+
+// BinaryOp operators.
+const (
+	OpAdd = "+"
+	OpSub = "-"
+	OpMul = "*"
+	OpDiv = "/"
+	OpMod = "%"
+	OpEq  = "="
+	OpNe  = "!="
+	OpLt  = "<"
+	OpLe  = "<="
+	OpGt  = ">"
+	OpGe  = ">="
+	OpAnd = "AND"
+	OpOr  = "OR"
+)
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	Op          string
+	Left, Right Expr
+}
+
+// UnaryExpr is NOT x or -x.
+type UnaryExpr struct {
+	Op string // "NOT" or "-"
+	X  Expr
+}
+
+// FuncCall is a function application; aggregates are recognized by name in
+// the planner. Distinct is set for e.g. COUNT(DISTINCT x).
+type FuncCall struct {
+	Name     string // upper-cased
+	Args     []Expr
+	Distinct bool
+}
+
+// IsNullExpr is `x IS [NOT] NULL`.
+type IsNullExpr struct {
+	X   Expr
+	Not bool
+}
+
+// InExpr is `x [NOT] IN (list...)`.
+type InExpr struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// BetweenExpr is `x [NOT] BETWEEN lo AND hi`.
+type BetweenExpr struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+// LikeExpr is `x [NOT] LIKE pattern` with % and _ wildcards.
+type LikeExpr struct {
+	X, Pattern Expr
+	Not        bool
+}
+
+func (ColumnRef) expr()   {}
+func (IntLit) expr()      {}
+func (FloatLit) expr()    {}
+func (StringLit) expr()   {}
+func (BoolLit) expr()     {}
+func (NullLit) expr()     {}
+func (Star) expr()        {}
+func (BinaryExpr) expr()  {}
+func (UnaryExpr) expr()   {}
+func (FuncCall) expr()    {}
+func (IsNullExpr) expr()  {}
+func (InExpr) expr()      {}
+func (BetweenExpr) expr() {}
+func (LikeExpr) expr()    {}
+
+func (e ColumnRef) String() string {
+	if e.Table != "" {
+		return e.Table + "." + e.Name
+	}
+	return e.Name
+}
+func (e IntLit) String() string    { return fmt.Sprintf("%d", e.V) }
+func (e FloatLit) String() string  { return fmt.Sprintf("%g", e.V) }
+func (e StringLit) String() string { return "'" + strings.ReplaceAll(e.V, "'", "''") + "'" }
+func (e BoolLit) String() string {
+	if e.V {
+		return "TRUE"
+	}
+	return "FALSE"
+}
+func (NullLit) String() string { return "NULL" }
+func (Star) String() string    { return "*" }
+func (e BinaryExpr) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+func (e UnaryExpr) String() string {
+	if e.Op == "NOT" {
+		return fmt.Sprintf("(NOT %s)", e.X)
+	}
+	return fmt.Sprintf("(-%s)", e.X)
+}
+func (e FuncCall) String() string {
+	args := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		args[i] = a.String()
+	}
+	d := ""
+	if e.Distinct {
+		d = "DISTINCT "
+	}
+	return fmt.Sprintf("%s(%s%s)", e.Name, d, strings.Join(args, ", "))
+}
+func (e IsNullExpr) String() string {
+	if e.Not {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.X)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.X)
+}
+func (e InExpr) String() string {
+	items := make([]string, len(e.List))
+	for i, a := range e.List {
+		items[i] = a.String()
+	}
+	op := "IN"
+	if e.Not {
+		op = "NOT IN"
+	}
+	return fmt.Sprintf("(%s %s (%s))", e.X, op, strings.Join(items, ", "))
+}
+func (e BetweenExpr) String() string {
+	op := "BETWEEN"
+	if e.Not {
+		op = "NOT BETWEEN"
+	}
+	return fmt.Sprintf("(%s %s %s AND %s)", e.X, op, e.Lo, e.Hi)
+}
+func (e LikeExpr) String() string {
+	op := "LIKE"
+	if e.Not {
+		op = "NOT LIKE"
+	}
+	return fmt.Sprintf("(%s %s %s)", e.X, op, e.Pattern)
+}
+
+// SelectItem is one projection: an expression with an optional alias, or *.
+type SelectItem struct {
+	Expr  Expr
+	Alias string
+}
+
+// TableRef is a table in the FROM clause with an optional alias.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// AliasOrName returns the name the table is referenced by in expressions.
+func (t TableRef) AliasOrName() string {
+	if t.Alias != "" {
+		return t.Alias
+	}
+	return t.Name
+}
+
+// JoinKind distinguishes join types.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+// Join is one JOIN clause attached to the FROM table chain.
+type Join struct {
+	Kind  JoinKind
+	Table TableRef
+	On    Expr // nil for CROSS JOIN
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is a parsed SELECT statement.
+type Select struct {
+	Explain  bool // EXPLAIN prefix: plan, don't execute
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Joins    []Join
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int64 // -1 when absent
+	Offset   int64 // 0 when absent
+}
+
+// String renders the statement (primarily for diagnostics and tests).
+func (s *Select) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(it.Expr.String())
+		if it.Alias != "" {
+			b.WriteString(" AS " + it.Alias)
+		}
+	}
+	b.WriteString(" FROM " + s.From.Name)
+	if s.From.Alias != "" {
+		b.WriteString(" " + s.From.Alias)
+	}
+	for _, j := range s.Joins {
+		switch j.Kind {
+		case JoinInner:
+			b.WriteString(" JOIN ")
+		case JoinLeft:
+			b.WriteString(" LEFT JOIN ")
+		case JoinCross:
+			b.WriteString(" CROSS JOIN ")
+		}
+		b.WriteString(j.Table.Name)
+		if j.Table.Alias != "" {
+			b.WriteString(" " + j.Table.Alias)
+		}
+		if j.On != nil {
+			b.WriteString(" ON " + j.On.String())
+		}
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE " + s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(g.String())
+		}
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING " + s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(o.Expr.String())
+			if o.Desc {
+				b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", s.Offset)
+	}
+	return b.String()
+}

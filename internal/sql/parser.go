@@ -1,0 +1,572 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a single SELECT statement, optionally prefixed with EXPLAIN
+// (an optional trailing semicolon is allowed).
+func Parse(src string) (*Select, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	explain := p.acceptKeyword("EXPLAIN")
+	sel, err := p.parseSelect()
+	if err != nil {
+		return nil, err
+	}
+	sel.Explain = explain
+	if p.peek().Kind == TokSymbol && p.peek().Text == ";" {
+		p.advance()
+	}
+	if p.peek().Kind != TokEOF {
+		return nil, p.errorf("unexpected %s after statement", p.peek())
+	}
+	return sel, nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) advance() Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+func (p *parser) acceptKeyword(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.acceptKeyword(kw) {
+		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) acceptSymbol(sym string) bool {
+	if t := p.peek(); t.Kind == TokSymbol && t.Text == sym {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectSymbol(sym string) error {
+	if !p.acceptSymbol(sym) {
+		return p.errorf("expected %q, found %s", sym, p.peek())
+	}
+	return nil
+}
+
+func (p *parser) parseSelect() (*Select, error) {
+	if err := p.expectKeyword("SELECT"); err != nil {
+		return nil, err
+	}
+	sel := &Select{Limit: -1}
+	sel.Distinct = p.acceptKeyword("DISTINCT")
+
+	// Projection list.
+	for {
+		item, err := p.parseSelectItem()
+		if err != nil {
+			return nil, err
+		}
+		sel.Items = append(sel.Items, item)
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+
+	if err := p.expectKeyword("FROM"); err != nil {
+		return nil, err
+	}
+	from, err := p.parseTableRef()
+	if err != nil {
+		return nil, err
+	}
+	sel.From = from
+
+	// Joins.
+	for {
+		var kind JoinKind
+		switch {
+		case p.acceptKeyword("JOIN"):
+			kind = JoinInner
+		case p.acceptKeyword("INNER"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinInner
+		case p.acceptKeyword("LEFT"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinLeft
+		case p.acceptKeyword("CROSS"):
+			if err := p.expectKeyword("JOIN"); err != nil {
+				return nil, err
+			}
+			kind = JoinCross
+		default:
+			goto joinsDone
+		}
+		tref, err := p.parseTableRef()
+		if err != nil {
+			return nil, err
+		}
+		j := Join{Kind: kind, Table: tref}
+		if kind != JoinCross {
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			on, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			j.On = on
+		}
+		sel.Joins = append(sel.Joins, j)
+	}
+joinsDone:
+
+	if p.acceptKeyword("WHERE") {
+		w, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Where = w
+	}
+	if p.acceptKeyword("GROUP") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			g, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			sel.GroupBy = append(sel.GroupBy, g)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("HAVING") {
+		h, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		sel.Having = h
+	}
+	if p.acceptKeyword("ORDER") {
+		if err := p.expectKeyword("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			item := OrderItem{Expr: e}
+			if p.acceptKeyword("DESC") {
+				item.Desc = true
+			} else {
+				p.acceptKeyword("ASC")
+			}
+			sel.OrderBy = append(sel.OrderBy, item)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+	}
+	if p.acceptKeyword("LIMIT") {
+		n, err := p.parseNonNegInt("LIMIT")
+		if err != nil {
+			return nil, err
+		}
+		sel.Limit = n
+	}
+	if p.acceptKeyword("OFFSET") {
+		n, err := p.parseNonNegInt("OFFSET")
+		if err != nil {
+			return nil, err
+		}
+		sel.Offset = n
+	}
+	return sel, nil
+}
+
+func (p *parser) parseNonNegInt(clause string) (int64, error) {
+	t := p.peek()
+	if t.Kind != TokInt {
+		return 0, p.errorf("expected integer after %s, found %s", clause, t)
+	}
+	p.advance()
+	n, err := strconv.ParseInt(t.Text, 10, 64)
+	if err != nil {
+		return 0, p.errorf("bad integer %q: %v", t.Text, err)
+	}
+	return n, nil
+}
+
+func (p *parser) parseSelectItem() (SelectItem, error) {
+	if p.acceptSymbol("*") {
+		return SelectItem{Expr: Star{}}, nil
+	}
+	e, err := p.parseExpr()
+	if err != nil {
+		return SelectItem{}, err
+	}
+	item := SelectItem{Expr: e}
+	if p.acceptKeyword("AS") {
+		t := p.peek()
+		if t.Kind != TokIdent {
+			return SelectItem{}, p.errorf("expected alias after AS, found %s", t)
+		}
+		p.advance()
+		item.Alias = t.Text
+	} else if t := p.peek(); t.Kind == TokIdent {
+		// Bare alias: SELECT a b FROM ...
+		p.advance()
+		item.Alias = t.Text
+	}
+	return item, nil
+}
+
+func (p *parser) parseTableRef() (TableRef, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return TableRef{}, p.errorf("expected table name, found %s", t)
+	}
+	p.advance()
+	ref := TableRef{Name: t.Text}
+	if p.acceptKeyword("AS") {
+		a := p.peek()
+		if a.Kind != TokIdent {
+			return TableRef{}, p.errorf("expected alias after AS, found %s", a)
+		}
+		p.advance()
+		ref.Alias = a.Text
+	} else if a := p.peek(); a.Kind == TokIdent {
+		p.advance()
+		ref.Alias = a.Text
+	}
+	return ref, nil
+}
+
+// Expression grammar (loosest binding first):
+//
+//	expr      := orExpr
+//	orExpr    := andExpr (OR andExpr)*
+//	andExpr   := notExpr (AND notExpr)*
+//	notExpr   := NOT notExpr | predicate
+//	predicate := addExpr [compOp addExpr | IS [NOT] NULL | [NOT] IN (...) |
+//	             [NOT] BETWEEN addExpr AND addExpr | [NOT] LIKE addExpr]
+//	addExpr   := mulExpr (("+"|"-") mulExpr)*
+//	mulExpr   := unary (("*"|"/"|"%") unary)*
+//	unary     := "-" unary | primary
+//	primary   := literal | columnRef | funcCall | "(" expr ")"
+func (p *parser) parseExpr() (Expr, error) { return p.parseOr() }
+
+func (p *parser) parseOr() (Expr, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("OR") {
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: OpOr, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAnd() (Expr, error) {
+	left, err := p.parseNot()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKeyword("AND") {
+		right, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		left = BinaryExpr{Op: OpAnd, Left: left, Right: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseNot() (Expr, error) {
+	if p.acceptKeyword("NOT") {
+		x, err := p.parseNot()
+		if err != nil {
+			return nil, err
+		}
+		return UnaryExpr{Op: "NOT", X: x}, nil
+	}
+	return p.parsePredicate()
+}
+
+func (p *parser) parsePredicate() (Expr, error) {
+	left, err := p.parseAdd()
+	if err != nil {
+		return nil, err
+	}
+	if t := p.peek(); t.Kind == TokSymbol {
+		switch t.Text {
+		case "=", "!=", "<", "<=", ">", ">=":
+			p.advance()
+			right, err := p.parseAdd()
+			if err != nil {
+				return nil, err
+			}
+			return BinaryExpr{Op: t.Text, Left: left, Right: right}, nil
+		}
+	}
+	if p.acceptKeyword("IS") {
+		not := p.acceptKeyword("NOT")
+		if err := p.expectKeyword("NULL"); err != nil {
+			return nil, err
+		}
+		return IsNullExpr{X: left, Not: not}, nil
+	}
+	not := false
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == "NOT" {
+		// lookahead for NOT IN / NOT BETWEEN / NOT LIKE
+		if p.pos+1 < len(p.toks) {
+			nt := p.toks[p.pos+1]
+			if nt.Kind == TokKeyword && (nt.Text == "IN" || nt.Text == "BETWEEN" || nt.Text == "LIKE") {
+				p.advance()
+				not = true
+			}
+		}
+	}
+	switch {
+	case p.acceptKeyword("IN"):
+		if err := p.expectSymbol("("); err != nil {
+			return nil, err
+		}
+		var list []Expr
+		for {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			list = append(list, e)
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+		return InExpr{X: left, List: list, Not: not}, nil
+	case p.acceptKeyword("BETWEEN"):
+		lo, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("AND"); err != nil {
+			return nil, err
+		}
+		hi, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return BetweenExpr{X: left, Lo: lo, Hi: hi, Not: not}, nil
+	case p.acceptKeyword("LIKE"):
+		pat, err := p.parseAdd()
+		if err != nil {
+			return nil, err
+		}
+		return LikeExpr{X: left, Pattern: pat, Not: not}, nil
+	}
+	if not {
+		return nil, p.errorf("dangling NOT")
+	}
+	return left, nil
+}
+
+func (p *parser) parseAdd() (Expr, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "+" || t.Text == "-") {
+			p.advance()
+			right, err := p.parseMul()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: t.Text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseMul() (Expr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind == TokSymbol && (t.Text == "*" || t.Text == "/" || t.Text == "%") {
+			p.advance()
+			right, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			left = BinaryExpr{Op: t.Text, Left: left, Right: right}
+			continue
+		}
+		return left, nil
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	if p.acceptSymbol("-") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		// Fold negative literals for nicer plans.
+		switch l := x.(type) {
+		case IntLit:
+			return IntLit{V: -l.V}, nil
+		case FloatLit:
+			return FloatLit{V: -l.V}, nil
+		}
+		return UnaryExpr{Op: "-", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.advance()
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errorf("bad integer literal %q", t.Text)
+		}
+		return IntLit{V: n}, nil
+	case TokFloat:
+		p.advance()
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float literal %q", t.Text)
+		}
+		return FloatLit{V: f}, nil
+	case TokString:
+		p.advance()
+		return StringLit{V: t.Text}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.advance()
+			return NullLit{}, nil
+		case "TRUE":
+			p.advance()
+			return BoolLit{V: true}, nil
+		case "FALSE":
+			p.advance()
+			return BoolLit{V: false}, nil
+		}
+		return nil, p.errorf("unexpected keyword %s in expression", t.Text)
+	case TokSymbol:
+		if t.Text == "(" {
+			p.advance()
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+		if t.Text == "*" {
+			p.advance()
+			return Star{}, nil
+		}
+		return nil, p.errorf("unexpected %q in expression", t.Text)
+	case TokIdent:
+		p.advance()
+		// Function call?
+		if p.acceptSymbol("(") {
+			call := FuncCall{Name: upper(t.Text)}
+			call.Distinct = p.acceptKeyword("DISTINCT")
+			if !p.acceptSymbol(")") {
+				for {
+					if p.acceptSymbol("*") {
+						call.Args = append(call.Args, Star{})
+					} else {
+						a, err := p.parseExpr()
+						if err != nil {
+							return nil, err
+						}
+						call.Args = append(call.Args, a)
+					}
+					if !p.acceptSymbol(",") {
+						break
+					}
+				}
+				if err := p.expectSymbol(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		// Qualified column?
+		if p.acceptSymbol(".") {
+			c := p.peek()
+			if c.Kind != TokIdent {
+				return nil, p.errorf("expected column after %q., found %s", t.Text, c)
+			}
+			p.advance()
+			return ColumnRef{Table: t.Text, Name: c.Name()}, nil
+		}
+		return ColumnRef{Name: t.Text}, nil
+	default:
+		return nil, p.errorf("unexpected %s in expression", t)
+	}
+}
+
+// Name returns the identifier text of a token (helper to keep parsePrimary
+// readable).
+func (t Token) Name() string { return t.Text }
+
+func upper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if 'a' <= c && c <= 'z' {
+			b[i] = c - ('a' - 'A')
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,253 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *Select {
+	t.Helper()
+	sel, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return sel
+}
+
+func TestParseSimpleSelect(t *testing.T) {
+	sel := mustParse(t, "SELECT a, b FROM t WHERE a > 10")
+	if len(sel.Items) != 2 {
+		t.Fatalf("items=%d", len(sel.Items))
+	}
+	if sel.From.Name != "t" {
+		t.Errorf("from=%q", sel.From.Name)
+	}
+	be, ok := sel.Where.(BinaryExpr)
+	if !ok || be.Op != OpGt {
+		t.Fatalf("where=%v", sel.Where)
+	}
+	if c, ok := be.Left.(ColumnRef); !ok || c.Name != "a" {
+		t.Errorf("where lhs=%v", be.Left)
+	}
+	if l, ok := be.Right.(IntLit); !ok || l.V != 10 {
+		t.Errorf("where rhs=%v", be.Right)
+	}
+}
+
+func TestParseStar(t *testing.T) {
+	sel := mustParse(t, "SELECT * FROM t")
+	if _, ok := sel.Items[0].Expr.(Star); !ok {
+		t.Fatalf("item=%v", sel.Items[0].Expr)
+	}
+}
+
+func TestParseAliases(t *testing.T) {
+	sel := mustParse(t, "SELECT a AS x, b y FROM t AS u")
+	if sel.Items[0].Alias != "x" || sel.Items[1].Alias != "y" {
+		t.Errorf("aliases=%q,%q", sel.Items[0].Alias, sel.Items[1].Alias)
+	}
+	if sel.From.Alias != "u" || sel.From.AliasOrName() != "u" {
+		t.Errorf("table alias=%q", sel.From.Alias)
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	sel := mustParse(t, "SELECT t.a FROM t")
+	c, ok := sel.Items[0].Expr.(ColumnRef)
+	if !ok || c.Table != "t" || c.Name != "a" {
+		t.Fatalf("col=%v", sel.Items[0].Expr)
+	}
+}
+
+func TestParseAggregates(t *testing.T) {
+	sel := mustParse(t, "SELECT count(*), sum(a), avg(b), min(a), max(a), count(DISTINCT a) FROM t")
+	names := []string{"COUNT", "SUM", "AVG", "MIN", "MAX", "COUNT"}
+	for i, want := range names {
+		f, ok := sel.Items[i].Expr.(FuncCall)
+		if !ok || f.Name != want {
+			t.Errorf("item %d = %v, want %s", i, sel.Items[i].Expr, want)
+		}
+	}
+	if f := sel.Items[0].Expr.(FuncCall); len(f.Args) != 1 {
+		t.Errorf("count(*) args=%v", f.Args)
+	}
+	if f := sel.Items[5].Expr.(FuncCall); !f.Distinct {
+		t.Error("DISTINCT flag lost")
+	}
+}
+
+func TestParseGroupHavingOrderLimit(t *testing.T) {
+	sel := mustParse(t, `SELECT a, COUNT(*) FROM t WHERE b < 5
+		GROUP BY a HAVING COUNT(*) > 2 ORDER BY a DESC, b LIMIT 10 OFFSET 3`)
+	if len(sel.GroupBy) != 1 {
+		t.Fatalf("groupby=%v", sel.GroupBy)
+	}
+	if sel.Having == nil {
+		t.Fatal("having missing")
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("orderby=%v", sel.OrderBy)
+	}
+	if sel.Limit != 10 || sel.Offset != 3 {
+		t.Errorf("limit=%d offset=%d", sel.Limit, sel.Offset)
+	}
+}
+
+func TestParseJoins(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t JOIN u ON t.id = u.id LEFT JOIN v ON u.id = v.id CROSS JOIN w")
+	if len(sel.Joins) != 3 {
+		t.Fatalf("joins=%d", len(sel.Joins))
+	}
+	if sel.Joins[0].Kind != JoinInner || sel.Joins[1].Kind != JoinLeft || sel.Joins[2].Kind != JoinCross {
+		t.Errorf("join kinds wrong: %v", sel.Joins)
+	}
+	if sel.Joins[2].On != nil {
+		t.Error("cross join should have no ON")
+	}
+	sel2 := mustParse(t, "SELECT a FROM t INNER JOIN u ON t.id = u.id")
+	if sel2.Joins[0].Kind != JoinInner {
+		t.Error("INNER JOIN not recognized")
+	}
+}
+
+func TestParsePredicates(t *testing.T) {
+	sel := mustParse(t, `SELECT a FROM t WHERE a IN (1, 2, 3) AND b NOT IN (4)
+		AND c BETWEEN 1 AND 10 AND d NOT BETWEEN 2 AND 3
+		AND e LIKE 'x%' AND f NOT LIKE '_y'
+		AND g IS NULL AND h IS NOT NULL`)
+	s := sel.Where.String()
+	for _, want := range []string{"IN (1, 2, 3)", "NOT IN (4)", "BETWEEN 1 AND 10",
+		"NOT BETWEEN 2 AND 3", "LIKE 'x%'", "NOT LIKE '_y'", "IS NULL", "IS NOT NULL"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("where %q missing %q", s, want)
+		}
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a + b * 2 > 4 AND NOT c = 1 OR d = 2")
+	// OR binds loosest: ((a+b*2>4 AND NOT(c=1)) OR d=2)
+	want := "(((a + (b * 2)) > 4) AND (NOT (c = 1)))"
+	or, ok := sel.Where.(BinaryExpr)
+	if !ok || or.Op != OpOr {
+		t.Fatalf("top is not OR: %v", sel.Where)
+	}
+	if got := or.Left.String(); got != want {
+		t.Errorf("left=%s, want %s", got, want)
+	}
+}
+
+func TestParseNegativeNumbers(t *testing.T) {
+	sel := mustParse(t, "SELECT -5, -2.5, -(a) FROM t")
+	if l, ok := sel.Items[0].Expr.(IntLit); !ok || l.V != -5 {
+		t.Errorf("item0=%v", sel.Items[0].Expr)
+	}
+	if l, ok := sel.Items[1].Expr.(FloatLit); !ok || l.V != -2.5 {
+		t.Errorf("item1=%v", sel.Items[1].Expr)
+	}
+	if _, ok := sel.Items[2].Expr.(UnaryExpr); !ok {
+		t.Errorf("item2=%v", sel.Items[2].Expr)
+	}
+}
+
+func TestParseLiterals(t *testing.T) {
+	sel := mustParse(t, "SELECT NULL, TRUE, FALSE, 'it''s', 1.5e2 FROM t")
+	if _, ok := sel.Items[0].Expr.(NullLit); !ok {
+		t.Error("NULL literal")
+	}
+	if b, ok := sel.Items[1].Expr.(BoolLit); !ok || !b.V {
+		t.Error("TRUE literal")
+	}
+	if s, ok := sel.Items[3].Expr.(StringLit); !ok || s.V != "it's" {
+		t.Errorf("string literal=%v", sel.Items[3].Expr)
+	}
+	if f, ok := sel.Items[4].Expr.(FloatLit); !ok || f.V != 150 {
+		t.Errorf("float literal=%v", sel.Items[4].Expr)
+	}
+}
+
+func TestParseDistinct(t *testing.T) {
+	if !mustParse(t, "SELECT DISTINCT a FROM t").Distinct {
+		t.Error("DISTINCT lost")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	mustParse(t, "SELECT a -- trailing comment\nFROM t -- another")
+}
+
+func TestParseTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT a FROM t;")
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT FROM t",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP a",
+		"SELECT a FROM t ORDER a",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t JOIN u",
+		"SELECT a FROM t extra stuff",
+		"SELECT 'unterminated FROM t",
+		"SELECT 1e FROM t",
+		"SELECT 12abc FROM t",
+		"SELECT a FROM t WHERE a NOT 5",
+		"SELECT a FROM t WHERE a BETWEEN 1",
+		"SELECT a FROM t WHERE a IN 1",
+		"SELECT a FROM t WHERE a IS 5",
+		"SELECT t. FROM t",
+		"SELECT (a FROM t",
+		"SELECT a FROM t WHERE a ? 1",
+		"SELECT a FROM t; SELECT b FROM t",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	// String() output must re-parse to the same string (idempotent render).
+	srcs := []string{
+		"SELECT a, b AS x FROM t WHERE (a > 1) AND (b < 2)",
+		"SELECT COUNT(*) FROM t GROUP BY a HAVING (COUNT(*) > 3) ORDER BY a DESC LIMIT 5",
+		"SELECT DISTINCT t.a FROM t u JOIN v ON (u.id = v.id) WHERE u.x IN (1, 2)",
+		"SELECT * FROM t CROSS JOIN u LIMIT 1 OFFSET 2",
+		"SELECT (a BETWEEN 1 AND 2), (b NOT LIKE 'x%'), (c IS NOT NULL) FROM t",
+	}
+	for _, src := range srcs {
+		s1 := mustParse(t, src).String()
+		s2 := mustParse(t, s1).String()
+		if s1 != s2 {
+			t.Errorf("render not idempotent:\n  %s\n  %s", s1, s2)
+		}
+	}
+}
+
+func TestLexSymbols(t *testing.T) {
+	toks, err := Lex("a <> b != c <= d >= e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var syms []string
+	for _, tk := range toks {
+		if tk.Kind == TokSymbol {
+			syms = append(syms, tk.Text)
+		}
+	}
+	want := []string{"!=", "!=", "<=", ">="}
+	if len(syms) != len(want) {
+		t.Fatalf("syms=%v", syms)
+	}
+	for i := range want {
+		if syms[i] != want[i] {
+			t.Errorf("sym %d=%q, want %q", i, syms[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,51 @@
+// Package sql implements the SQL front end: a hand-written lexer and
+// recursive-descent parser for the SELECT subset the engine executes
+// (projections with expressions and aggregates, joins, WHERE, GROUP BY,
+// HAVING, ORDER BY, LIMIT/OFFSET).
+package sql
+
+import "fmt"
+
+// TokenKind classifies lexical tokens.
+type TokenKind uint8
+
+// Token kinds.
+const (
+	TokEOF TokenKind = iota
+	TokIdent
+	TokKeyword
+	TokInt
+	TokFloat
+	TokString
+	TokSymbol // punctuation and operators: ( ) , . * = != <> < <= > >= + - / %
+)
+
+// Token is a lexical token with its source position (byte offset).
+type Token struct {
+	Kind TokenKind
+	Text string // keywords are upper-cased; identifiers keep original case
+	Pos  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokString:
+		return fmt.Sprintf("'%s'", t.Text)
+	default:
+		return t.Text
+	}
+}
+
+// keywords recognized by the lexer. Identifiers matching these
+// (case-insensitively) become TokKeyword with upper-case Text.
+var keywords = map[string]bool{
+	"SELECT": true, "EXPLAIN": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"AS": true, "AND": true, "OR": true, "NOT": true, "IN": true,
+	"BETWEEN": true, "LIKE": true, "IS": true, "NULL": true,
+	"TRUE": true, "FALSE": true, "ASC": true, "DESC": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "ON": true, "CROSS": true,
+	"DISTINCT": true, "COUNT": false, // COUNT parses as an identifier (function name)
+}

@@ -1,0 +1,314 @@
+// Package stats implements the paper's on-the-fly statistics: per-attribute
+// summaries built during in-situ scans, only for attributes that queries
+// actually touch, and incrementally augmented as the workload reaches more
+// of the file. The optimizer uses them for selectivity estimation exactly as
+// a conventional DBMS would use post-load ANALYZE output.
+//
+// The collector keeps, per touched attribute: row/null counts, min/max, a
+// reservoir sample, and a bounded distinct-value set (falling back to a
+// sample-based NDV estimate on overflow). Estimation evaluates predicates
+// directly against the reservoir sample, plus an equi-depth histogram for
+// the monitoring panel.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"nodb/internal/value"
+)
+
+// DefaultSampleCap is the reservoir size per attribute when unspecified.
+const DefaultSampleCap = 1024
+
+// maxDistinctTracked bounds the exact distinct set per attribute.
+const maxDistinctTracked = 4096
+
+// Collector accumulates statistics for one table. Safe for concurrent use.
+type Collector struct {
+	mu        sync.Mutex
+	attrs     []*attrStats
+	sampleCap int
+	rowCount  int64 // authoritative table row count once a full scan ran
+}
+
+type attrStats struct {
+	kind     value.Kind
+	count    int64 // non-null values observed
+	nulls    int64
+	min, max value.Value
+
+	sample []value.Value
+	seen   int64  // total values offered to the reservoir
+	rng    uint64 // xorshift state for reservoir replacement
+
+	distinct     map[distKey]struct{}
+	distOverflow bool
+}
+
+type distKey struct {
+	k value.Kind
+	s string
+}
+
+// NewCollector creates a collector for a table with nattrs attributes.
+func NewCollector(nattrs, sampleCap int) *Collector {
+	if sampleCap <= 0 {
+		sampleCap = DefaultSampleCap
+	}
+	return &Collector{attrs: make([]*attrStats, nattrs), sampleCap: sampleCap}
+}
+
+// Clear drops all statistics (file rewritten).
+func (c *Collector) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := range c.attrs {
+		c.attrs[i] = nil
+	}
+	c.rowCount = 0
+}
+
+// SetRowCount records the table's row count (learned when a scan reaches
+// EOF for the first time).
+func (c *Collector) SetRowCount(n int64) {
+	c.mu.Lock()
+	c.rowCount = n
+	c.mu.Unlock()
+}
+
+// RowCount returns the recorded row count (0 when unknown).
+func (c *Collector) RowCount() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.rowCount
+}
+
+// ObserveBatch feeds a batch of sampled values for one attribute. Values
+// are the converted binary values the scan produced anyway; the paper's
+// point is that statistics creation rides on query execution.
+func (c *Collector) ObserveBatch(attr int, kind value.Kind, vals []value.Value) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attr < 0 || attr >= len(c.attrs) {
+		return
+	}
+	a := c.attrs[attr]
+	if a == nil {
+		a = &attrStats{
+			kind:     kind,
+			rng:      uint64(attr)*2654435761 + 1,
+			distinct: make(map[distKey]struct{}),
+		}
+		c.attrs[attr] = a
+	}
+	for _, v := range vals {
+		a.observe(v, c.sampleCap)
+	}
+}
+
+func (a *attrStats) observe(v value.Value, cap int) {
+	if v.IsNull() {
+		a.nulls++
+		return
+	}
+	a.count++
+	if a.min.IsNull() || value.Compare(v, a.min) < 0 {
+		a.min = v
+	}
+	if a.max.IsNull() || value.Compare(v, a.max) > 0 {
+		a.max = v
+	}
+	// Reservoir sampling (algorithm R).
+	a.seen++
+	if len(a.sample) < cap {
+		a.sample = append(a.sample, v)
+	} else {
+		a.rng ^= a.rng << 13
+		a.rng ^= a.rng >> 7
+		a.rng ^= a.rng << 17
+		if j := a.rng % uint64(a.seen); j < uint64(cap) {
+			a.sample[j] = v
+		}
+	}
+	if !a.distOverflow {
+		a.distinct[dk(v)] = struct{}{}
+		if len(a.distinct) > maxDistinctTracked {
+			a.distOverflow = true
+			a.distinct = nil
+		}
+	}
+}
+
+func dk(v value.Value) distKey {
+	k := v.K
+	if k != value.KindText {
+		k = value.KindInt // canonical numeric, matching value.Equal
+	}
+	return distKey{k: k, s: v.String()}
+}
+
+// Has reports whether any statistics exist for the attribute.
+func (c *Collector) Has(attr int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return attr >= 0 && attr < len(c.attrs) && c.attrs[attr] != nil
+}
+
+// AttrSnapshot is an immutable summary of one attribute's statistics.
+type AttrSnapshot struct {
+	Attr       int
+	Kind       value.Kind
+	Count      int64 // non-null observations
+	Nulls      int64
+	Min, Max   value.Value
+	NDV        int64 // distinct-value estimate
+	SampleSize int
+}
+
+// Snapshot returns the summary for one attribute, ok=false if untouched.
+func (c *Collector) Snapshot(attr int) (AttrSnapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attr < 0 || attr >= len(c.attrs) || c.attrs[attr] == nil {
+		return AttrSnapshot{}, false
+	}
+	a := c.attrs[attr]
+	return AttrSnapshot{
+		Attr:       attr,
+		Kind:       a.kind,
+		Count:      a.count,
+		Nulls:      a.nulls,
+		Min:        a.min,
+		Max:        a.max,
+		NDV:        a.ndvLocked(),
+		SampleSize: len(a.sample),
+	}, true
+}
+
+func (a *attrStats) ndvLocked() int64 {
+	if !a.distOverflow {
+		return int64(len(a.distinct))
+	}
+	// Overflowed the exact set: estimate from the sample's distinct ratio.
+	seen := make(map[distKey]struct{}, len(a.sample))
+	for _, v := range a.sample {
+		seen[dk(v)] = struct{}{}
+	}
+	if len(a.sample) == 0 {
+		return 0
+	}
+	ratio := float64(len(seen)) / float64(len(a.sample))
+	est := int64(ratio * float64(a.count))
+	if est < int64(len(seen)) {
+		est = int64(len(seen))
+	}
+	return est
+}
+
+// Touched returns the attribute indexes that have statistics, in order. The
+// paper's adaptivity claim: this set grows as queries reach new attributes.
+func (c *Collector) Touched() []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []int
+	for i, a := range c.attrs {
+		if a != nil {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Selectivity estimates the fraction of rows whose attribute satisfies
+// `op operand` (op: = != < <= > >=), by evaluating the predicate over the
+// reservoir sample. Falls back to textbook constants when no statistics
+// exist (as an optimizer must before the first query touches the column).
+func (c *Collector) Selectivity(attr int, op string, operand value.Value) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attr < 0 || attr >= len(c.attrs) || c.attrs[attr] == nil || len(c.attrs[attr].sample) == 0 {
+		return defaultSelectivity(op)
+	}
+	a := c.attrs[attr]
+	match := 0
+	for _, v := range a.sample {
+		cmp := value.Compare(v, operand)
+		ok := false
+		switch op {
+		case "=":
+			ok = cmp == 0
+		case "!=":
+			ok = cmp != 0
+		case "<":
+			ok = cmp < 0
+		case "<=":
+			ok = cmp <= 0
+		case ">":
+			ok = cmp > 0
+		case ">=":
+			ok = cmp >= 0
+		default:
+			return defaultSelectivity(op)
+		}
+		if ok {
+			match++
+		}
+	}
+	sel := float64(match) / float64(len(a.sample))
+	// Account for nulls (which never satisfy a comparison).
+	total := a.count + a.nulls
+	if total > 0 {
+		sel *= float64(a.count) / float64(total)
+	}
+	return sel
+}
+
+func defaultSelectivity(op string) float64 {
+	switch op {
+	case "=":
+		return 0.05
+	case "!=":
+		return 0.95
+	default:
+		return 1.0 / 3
+	}
+}
+
+// Histogram is an equi-depth histogram over the sample, for the monitoring
+// panel and EXPLAIN-style output.
+type Histogram struct {
+	Attr    int
+	Bounds  []value.Value // len = buckets+1; Bounds[i], Bounds[i+1] delimit bucket i
+	Depth   int           // sample values per bucket (approximately)
+	Samples int
+}
+
+// Histogram builds an equi-depth histogram with up to nbuckets buckets.
+func (c *Collector) Histogram(attr, nbuckets int) (*Histogram, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if attr < 0 || attr >= len(c.attrs) || c.attrs[attr] == nil {
+		return nil, fmt.Errorf("stats: no statistics for attribute %d", attr)
+	}
+	if nbuckets <= 0 {
+		return nil, fmt.Errorf("stats: invalid bucket count %d", nbuckets)
+	}
+	a := c.attrs[attr]
+	if len(a.sample) == 0 {
+		return nil, fmt.Errorf("stats: empty sample for attribute %d", attr)
+	}
+	sorted := make([]value.Value, len(a.sample))
+	copy(sorted, a.sample)
+	sort.Slice(sorted, func(i, j int) bool { return value.Compare(sorted[i], sorted[j]) < 0 })
+	if nbuckets > len(sorted) {
+		nbuckets = len(sorted)
+	}
+	h := &Histogram{Attr: attr, Depth: len(sorted) / nbuckets, Samples: len(sorted)}
+	for b := 0; b <= nbuckets; b++ {
+		idx := b * (len(sorted) - 1) / nbuckets
+		h.Bounds = append(h.Bounds, sorted[idx])
+	}
+	return h, nil
+}

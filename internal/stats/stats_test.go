@@ -1,0 +1,256 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"nodb/internal/value"
+)
+
+func observeInts(c *Collector, attr int, vals ...int64) {
+	vv := make([]value.Value, len(vals))
+	for i, v := range vals {
+		vv[i] = value.Int(v)
+	}
+	c.ObserveBatch(attr, value.KindInt, vv)
+}
+
+func TestBasicCounts(t *testing.T) {
+	c := NewCollector(3, 16)
+	observeInts(c, 0, 5, 1, 9, 1)
+	c.ObserveBatch(0, value.KindInt, []value.Value{value.Null()})
+
+	snap, ok := c.Snapshot(0)
+	if !ok {
+		t.Fatal("no snapshot")
+	}
+	if snap.Count != 4 || snap.Nulls != 1 {
+		t.Errorf("count=%d nulls=%d", snap.Count, snap.Nulls)
+	}
+	if snap.Min.I != 1 || snap.Max.I != 9 {
+		t.Errorf("min=%v max=%v", snap.Min, snap.Max)
+	}
+	if snap.NDV != 3 {
+		t.Errorf("ndv=%d", snap.NDV)
+	}
+	if snap.SampleSize != 5-1 {
+		t.Errorf("sample=%d", snap.SampleSize)
+	}
+	if !c.Has(0) || c.Has(1) || c.Has(-1) || c.Has(99) {
+		t.Error("Has wrong")
+	}
+}
+
+func TestTouchedGrowsAdaptively(t *testing.T) {
+	c := NewCollector(5, 16)
+	if len(c.Touched()) != 0 {
+		t.Fatal("fresh collector has touched attrs")
+	}
+	observeInts(c, 2, 1)
+	observeInts(c, 4, 1)
+	got := c.Touched()
+	if len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("touched=%v", got)
+	}
+}
+
+func TestRowCount(t *testing.T) {
+	c := NewCollector(1, 16)
+	if c.RowCount() != 0 {
+		t.Error("fresh row count nonzero")
+	}
+	c.SetRowCount(1234)
+	if c.RowCount() != 1234 {
+		t.Error("row count lost")
+	}
+}
+
+func TestSelectivityFromSample(t *testing.T) {
+	c := NewCollector(1, 1000)
+	// 0..99: selectivity of "< 50" should be ~0.5, "= 7" ~0.01.
+	for i := int64(0); i < 100; i++ {
+		observeInts(c, 0, i)
+	}
+	cases := []struct {
+		op   string
+		arg  int64
+		want float64
+		tol  float64
+	}{
+		{"<", 50, 0.5, 0.01},
+		{"<=", 49, 0.5, 0.01},
+		{">", 89, 0.1, 0.01},
+		{">=", 90, 0.1, 0.01},
+		{"=", 7, 0.01, 0.001},
+		{"!=", 7, 0.99, 0.001},
+	}
+	for _, tc := range cases {
+		got := c.Selectivity(0, tc.op, value.Int(tc.arg))
+		if math.Abs(got-tc.want) > tc.tol {
+			t.Errorf("sel(%s %d)=%f, want %f", tc.op, tc.arg, got, tc.want)
+		}
+	}
+}
+
+func TestSelectivityNullAdjustment(t *testing.T) {
+	c := NewCollector(1, 1000)
+	// Half the values are null; sel(< 100) over non-nulls is 1.0, overall 0.5.
+	vals := make([]value.Value, 0, 100)
+	for i := 0; i < 50; i++ {
+		vals = append(vals, value.Int(int64(i)), value.Null())
+	}
+	c.ObserveBatch(0, value.KindInt, vals)
+	got := c.Selectivity(0, "<", value.Int(100))
+	if math.Abs(got-0.5) > 0.01 {
+		t.Errorf("sel=%f, want 0.5", got)
+	}
+}
+
+func TestSelectivityDefaults(t *testing.T) {
+	c := NewCollector(1, 16)
+	if got := c.Selectivity(0, "=", value.Int(1)); got != 0.05 {
+		t.Errorf("default eq=%f", got)
+	}
+	if got := c.Selectivity(0, "!=", value.Int(1)); got != 0.95 {
+		t.Errorf("default ne=%f", got)
+	}
+	if got := c.Selectivity(0, "<", value.Int(1)); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("default lt=%f", got)
+	}
+	observeInts(c, 0, 1, 2, 3)
+	if got := c.Selectivity(0, "LIKE", value.Text("x")); math.Abs(got-1.0/3) > 1e-9 {
+		t.Errorf("unknown op=%f", got)
+	}
+}
+
+func TestReservoirBounded(t *testing.T) {
+	c := NewCollector(1, 32)
+	for i := int64(0); i < 10_000; i++ {
+		observeInts(c, 0, i)
+	}
+	snap, _ := c.Snapshot(0)
+	if snap.SampleSize != 32 {
+		t.Errorf("sample size=%d, want 32", snap.SampleSize)
+	}
+	if snap.Count != 10_000 {
+		t.Errorf("count=%d", snap.Count)
+	}
+	if snap.Min.I != 0 || snap.Max.I != 9999 {
+		t.Errorf("min/max=%v/%v", snap.Min, snap.Max)
+	}
+}
+
+func TestReservoirIsRepresentative(t *testing.T) {
+	c := NewCollector(1, 256)
+	for i := int64(0); i < 100_000; i++ {
+		observeInts(c, 0, i%1000)
+	}
+	// Median of the sample should be near 500.
+	sel := c.Selectivity(0, "<", value.Int(500))
+	if math.Abs(sel-0.5) > 0.12 {
+		t.Errorf("sampled sel=%f, want ~0.5", sel)
+	}
+}
+
+func TestNDVOverflowEstimate(t *testing.T) {
+	c := NewCollector(1, 512)
+	n := int64(3 * maxDistinctTracked)
+	for i := int64(0); i < n; i++ {
+		observeInts(c, 0, i) // all distinct
+	}
+	snap, _ := c.Snapshot(0)
+	// Exact tracking overflowed; the estimate should be within 2x of truth.
+	if snap.NDV < n/2 || snap.NDV > 2*n {
+		t.Errorf("ndv=%d, want ~%d", snap.NDV, n)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	c := NewCollector(1, 1000)
+	for i := int64(0); i < 100; i++ {
+		observeInts(c, 0, i)
+	}
+	h, err := c.Histogram(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Bounds) != 5 {
+		t.Fatalf("bounds=%v", h.Bounds)
+	}
+	if h.Bounds[0].I != 0 || h.Bounds[4].I != 99 {
+		t.Errorf("extremes=%v..%v", h.Bounds[0], h.Bounds[4])
+	}
+	// Equi-depth on uniform data: interior bounds near quartiles.
+	for i, want := range []int64{24, 49, 74} {
+		if got := h.Bounds[i+1].I; math.Abs(float64(got-want)) > 2 {
+			t.Errorf("bound %d=%d, want ~%d", i+1, got, want)
+		}
+	}
+	// Errors.
+	if _, err := c.Histogram(0, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := c.Histogram(5, 4); err == nil {
+		t.Error("unknown attr accepted")
+	}
+}
+
+func TestHistogramMoreBucketsThanSamples(t *testing.T) {
+	c := NewCollector(1, 16)
+	observeInts(c, 0, 3, 1, 2)
+	h, err := c.Histogram(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Bounds) != 4 { // clamped to 3 buckets
+		t.Errorf("bounds=%v", h.Bounds)
+	}
+}
+
+func TestClear(t *testing.T) {
+	c := NewCollector(2, 16)
+	observeInts(c, 0, 1, 2)
+	c.SetRowCount(99)
+	c.Clear()
+	if c.Has(0) || c.RowCount() != 0 {
+		t.Error("clear incomplete")
+	}
+}
+
+func TestObserveBatchOutOfRange(t *testing.T) {
+	c := NewCollector(1, 16)
+	c.ObserveBatch(-1, value.KindInt, []value.Value{value.Int(1)})
+	c.ObserveBatch(5, value.KindInt, []value.Value{value.Int(1)})
+	if len(c.Touched()) != 0 {
+		t.Error("out-of-range attr created stats")
+	}
+}
+
+func TestSelectivityQuickInUnitRange(t *testing.T) {
+	f := func(vals []int64, probe int64) bool {
+		c := NewCollector(1, 128)
+		observeInts(c, 0, vals...)
+		for _, op := range []string{"=", "!=", "<", "<=", ">", ">="} {
+			s := c.Selectivity(0, op, value.Int(probe))
+			if s < 0 || s > 1 || math.IsNaN(s) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMaxWithText(t *testing.T) {
+	c := NewCollector(1, 16)
+	c.ObserveBatch(0, value.KindText, []value.Value{
+		value.Text("banana"), value.Text("apple"), value.Text("cherry"),
+	})
+	snap, _ := c.Snapshot(0)
+	if snap.Min.S != "apple" || snap.Max.S != "cherry" {
+		t.Errorf("min=%v max=%v", snap.Min, snap.Max)
+	}
+}

@@ -1,0 +1,49 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+
+	"nodb/internal/value"
+)
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	keys := rand.New(rand.NewSource(1)).Perm(1 << 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr := NewBTree()
+		for j, k := range keys {
+			tr.Insert(value.Int(int64(k)), RID{Page: int32(j)})
+		}
+	}
+}
+
+func BenchmarkBTreeSearchEq(b *testing.B) {
+	tr := NewBTree()
+	for j, k := range rand.New(rand.NewSource(1)).Perm(1 << 16) {
+		tr.Insert(value.Int(int64(k)), RID{Page: int32(j)})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tr.SearchEq(value.Int(int64(i&0xffff))) == nil {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkTupleEncodeDecode(b *testing.B) {
+	row := sampleRow(12345)
+	var buf []byte
+	out := make([]value.Value, testSchema.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = EncodeTuple(buf[:0], testSchema, row)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := DecodeTuple(buf, testSchema, nil, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

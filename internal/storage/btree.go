@@ -1,0 +1,208 @@
+package storage
+
+import (
+	"nodb/internal/value"
+)
+
+// BTree is an in-memory B+tree mapping values to RID lists, built during
+// load for the "DBMS X" contender (load + tune before the first query).
+// Keys with duplicates accumulate their RIDs in insertion order. Not safe
+// for concurrent mutation; reads after load are safe.
+type BTree struct {
+	root   node
+	height int
+	size   int // number of (key, rid) insertions
+}
+
+const btreeOrder = 64 // max keys per node
+
+type node interface{}
+
+type leafNode struct {
+	keys []value.Value
+	rids [][]RID
+	next *leafNode
+}
+
+type innerNode struct {
+	keys     []value.Value // separators: child i holds keys < keys[i]
+	children []node
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &leafNode{}, height: 1}
+}
+
+// Size returns the number of inserted (key, rid) pairs.
+func (t *BTree) Size() int { return t.size }
+
+// Height returns the tree height (1 = just a leaf).
+func (t *BTree) Height() int { return t.height }
+
+// Insert adds key -> rid.
+func (t *BTree) Insert(key value.Value, rid RID) {
+	t.size++
+	sepKey, newChild := t.insert(t.root, key, rid)
+	if newChild != nil {
+		t.root = &innerNode{
+			keys:     []value.Value{sepKey},
+			children: []node{t.root, newChild},
+		}
+		t.height++
+	}
+}
+
+// insert descends, returning a (separator, right sibling) when the child
+// split.
+func (t *BTree) insert(n node, key value.Value, rid RID) (value.Value, node) {
+	switch nd := n.(type) {
+	case *leafNode:
+		i := searchKeys(nd.keys, key)
+		if i < len(nd.keys) && value.Equal(nd.keys[i], key) {
+			nd.rids[i] = append(nd.rids[i], rid)
+			return value.Null(), nil
+		}
+		nd.keys = append(nd.keys, value.Null())
+		nd.rids = append(nd.rids, nil)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		copy(nd.rids[i+1:], nd.rids[i:])
+		nd.keys[i] = key
+		nd.rids[i] = []RID{rid}
+		if len(nd.keys) <= btreeOrder {
+			return value.Null(), nil
+		}
+		// Split.
+		mid := len(nd.keys) / 2
+		right := &leafNode{
+			keys: append([]value.Value(nil), nd.keys[mid:]...),
+			rids: append([][]RID(nil), nd.rids[mid:]...),
+			next: nd.next,
+		}
+		nd.keys = nd.keys[:mid]
+		nd.rids = nd.rids[:mid]
+		nd.next = right
+		return right.keys[0], right
+	case *innerNode:
+		i := searchKeys(nd.keys, key)
+		if i < len(nd.keys) && value.Equal(nd.keys[i], key) {
+			i++ // equal keys go right
+		}
+		sep, newChild := t.insert(nd.children[i], key, rid)
+		if newChild == nil {
+			return value.Null(), nil
+		}
+		nd.keys = append(nd.keys, value.Null())
+		nd.children = append(nd.children, nil)
+		copy(nd.keys[i+1:], nd.keys[i:])
+		copy(nd.children[i+2:], nd.children[i+1:])
+		nd.keys[i] = sep
+		nd.children[i+1] = newChild
+		if len(nd.keys) <= btreeOrder {
+			return value.Null(), nil
+		}
+		mid := len(nd.keys) / 2
+		sepUp := nd.keys[mid]
+		right := &innerNode{
+			keys:     append([]value.Value(nil), nd.keys[mid+1:]...),
+			children: append([]node(nil), nd.children[mid+1:]...),
+		}
+		nd.keys = nd.keys[:mid]
+		nd.children = nd.children[:mid+1]
+		return sepUp, right
+	}
+	return value.Null(), nil
+}
+
+// searchKeys returns the first index whose key is >= key.
+func searchKeys(keys []value.Value, key value.Value) int {
+	lo, hi := 0, len(keys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if value.Compare(keys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// findLeaf descends to the leaf that would contain key.
+func (t *BTree) findLeaf(key value.Value) *leafNode {
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *leafNode:
+			return nd
+		case *innerNode:
+			i := searchKeys(nd.keys, key)
+			if i < len(nd.keys) && value.Equal(nd.keys[i], key) {
+				i++
+			}
+			n = nd.children[i]
+		}
+	}
+}
+
+// SearchEq returns the RIDs for key, in insertion order.
+func (t *BTree) SearchEq(key value.Value) []RID {
+	leaf := t.findLeaf(key)
+	i := searchKeys(leaf.keys, key)
+	if i < len(leaf.keys) && value.Equal(leaf.keys[i], key) {
+		return leaf.rids[i]
+	}
+	return nil
+}
+
+// SearchRange returns the RIDs for keys in [lo, hi] (either bound may be
+// NULL for unbounded; incLo/incHi control bound inclusivity), in key order.
+func (t *BTree) SearchRange(lo, hi value.Value, incLo, incHi bool) []RID {
+	var out []RID
+	var leaf *leafNode
+	if lo.IsNull() {
+		leaf = t.leftmostLeaf()
+	} else {
+		leaf = t.findLeaf(lo)
+	}
+	for leaf != nil {
+		for i, k := range leaf.keys {
+			if !lo.IsNull() {
+				c := value.Compare(k, lo)
+				if c < 0 || (c == 0 && !incLo) {
+					continue
+				}
+			}
+			if !hi.IsNull() {
+				c := value.Compare(k, hi)
+				if c > 0 || (c == 0 && !incHi) {
+					return out
+				}
+			}
+			out = append(out, leaf.rids[i]...)
+		}
+		leaf = leaf.next
+	}
+	return out
+}
+
+func (t *BTree) leftmostLeaf() *leafNode {
+	n := t.root
+	for {
+		switch nd := n.(type) {
+		case *leafNode:
+			return nd
+		case *innerNode:
+			n = nd.children[0]
+		}
+	}
+}
+
+// Keys returns all distinct keys in order (for tests and diagnostics).
+func (t *BTree) Keys() []value.Value {
+	var out []value.Value
+	for leaf := t.leftmostLeaf(); leaf != nil; leaf = leaf.next {
+		out = append(out, leaf.keys...)
+	}
+	return out
+}

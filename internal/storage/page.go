@@ -1,0 +1,207 @@
+// Package storage is the conventional, load-first engine substrate: binary
+// tuple encoding, slotted heap pages persisted to disk, a bulk CSV loader,
+// and an in-memory B+tree index. It stands in for the PostgreSQL / MySQL /
+// DBMS X contenders of the paper's "friendly race": data must be fully
+// loaded (and optionally indexed) before the first query can run, after
+// which scans read binary pages and pay no tokenize/parse/convert cost.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"nodb/internal/schema"
+	"nodb/internal/value"
+)
+
+// PageSize is the heap page size in bytes.
+const PageSize = 8192
+
+const pageHeaderSize = 2 // uint16 slot count
+const slotEntrySize = 4  // uint16 offset + uint16 length
+
+// RID identifies a tuple: page number and slot within the page.
+type RID struct {
+	Page int32
+	Slot int32
+}
+
+// EncodeTuple appends the binary encoding of row to dst and returns the
+// extended slice. Layout: null bitmap (ceil(n/8) bytes), then for each
+// non-null column: int/bool/date/float as 8 bytes little-endian, text as
+// uint32 length + bytes.
+func EncodeTuple(dst []byte, sch *schema.Schema, row []value.Value) ([]byte, error) {
+	n := sch.Len()
+	if len(row) != n {
+		return dst, fmt.Errorf("storage: row has %d values, schema %d", len(row), n)
+	}
+	bitmapAt := len(dst)
+	for i := 0; i < (n+7)/8; i++ {
+		dst = append(dst, 0)
+	}
+	var scratch [8]byte
+	for i := 0; i < n; i++ {
+		v := row[i]
+		if v.IsNull() {
+			dst[bitmapAt+i/8] |= 1 << (i % 8)
+			continue
+		}
+		switch sch.Col(i).Kind {
+		case value.KindFloat:
+			binary.LittleEndian.PutUint64(scratch[:], math.Float64bits(v.Num()))
+			dst = append(dst, scratch[:]...)
+		case value.KindText:
+			s := v.String()
+			binary.LittleEndian.PutUint32(scratch[:4], uint32(len(s)))
+			dst = append(dst, scratch[:4]...)
+			dst = append(dst, s...)
+		default: // int, bool, date share the I field
+			binary.LittleEndian.PutUint64(scratch[:], uint64(v.I))
+			dst = append(dst, scratch[:]...)
+		}
+	}
+	return dst, nil
+}
+
+// DecodeTuple decodes a tuple into row (len = schema length). Only the
+// columns whose index appears in `want` are materialized; others are left
+// as NULL (the decoder still walks past them, which is cheap for fixed-width
+// fields). A nil want decodes every column.
+func DecodeTuple(buf []byte, sch *schema.Schema, want []bool, row []value.Value) error {
+	n := sch.Len()
+	bitmapLen := (n + 7) / 8
+	if len(buf) < bitmapLen {
+		return fmt.Errorf("storage: tuple shorter than null bitmap")
+	}
+	pos := bitmapLen
+	for i := 0; i < n; i++ {
+		row[i] = value.Null()
+		if buf[i/8]&(1<<(i%8)) != 0 {
+			continue // null
+		}
+		k := sch.Col(i).Kind
+		switch k {
+		case value.KindText:
+			if pos+4 > len(buf) {
+				return fmt.Errorf("storage: truncated text length at col %d", i)
+			}
+			l := int(binary.LittleEndian.Uint32(buf[pos:]))
+			pos += 4
+			if pos+l > len(buf) {
+				return fmt.Errorf("storage: truncated text at col %d", i)
+			}
+			if want == nil || want[i] {
+				row[i] = value.Text(string(buf[pos : pos+l]))
+			}
+			pos += l
+		case value.KindFloat:
+			if pos+8 > len(buf) {
+				return fmt.Errorf("storage: truncated float at col %d", i)
+			}
+			if want == nil || want[i] {
+				row[i] = value.Float(math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:])))
+			}
+			pos += 8
+		default:
+			if pos+8 > len(buf) {
+				return fmt.Errorf("storage: truncated value at col %d", i)
+			}
+			if want == nil || want[i] {
+				row[i] = value.Value{K: k, I: int64(binary.LittleEndian.Uint64(buf[pos:]))}
+			}
+			pos += 8
+		}
+	}
+	return nil
+}
+
+// Page is one slotted heap page. Slots grow from the front, tuple bytes from
+// the back.
+type Page struct {
+	buf []byte
+}
+
+// NewPage returns an empty page.
+func NewPage() *Page {
+	p := &Page{buf: make([]byte, PageSize)}
+	return p
+}
+
+// FromBytes wraps an existing page-sized buffer.
+func FromBytes(buf []byte) (*Page, error) {
+	if len(buf) != PageSize {
+		return nil, fmt.Errorf("storage: page buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	return &Page{buf: buf}, nil
+}
+
+// Bytes returns the raw page buffer.
+func (p *Page) Bytes() []byte { return p.buf }
+
+// NumSlots returns the tuple count.
+func (p *Page) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.buf[0:2]))
+}
+
+func (p *Page) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p.buf[0:2], uint16(n))
+}
+
+func (p *Page) slotAt(i int) (off, length int) {
+	base := pageHeaderSize + i*slotEntrySize
+	return int(binary.LittleEndian.Uint16(p.buf[base:])),
+		int(binary.LittleEndian.Uint16(p.buf[base+2:]))
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	base := pageHeaderSize + i*slotEntrySize
+	binary.LittleEndian.PutUint16(p.buf[base:], uint16(off))
+	binary.LittleEndian.PutUint16(p.buf[base+2:], uint16(length))
+}
+
+// freeSpace returns the bytes available for one more tuple (including its
+// slot entry).
+func (p *Page) freeSpace() int {
+	n := p.NumSlots()
+	dataStart := PageSize
+	if n > 0 {
+		off, _ := p.slotAt(n - 1)
+		dataStart = off
+	}
+	slotEnd := pageHeaderSize + n*slotEntrySize
+	return dataStart - slotEnd - slotEntrySize
+}
+
+// Insert appends a tuple, returning its slot or ok=false when full.
+func (p *Page) Insert(tuple []byte) (slot int, ok bool) {
+	if len(tuple) > p.freeSpace() {
+		return 0, false
+	}
+	n := p.NumSlots()
+	dataStart := PageSize
+	if n > 0 {
+		off, _ := p.slotAt(n - 1)
+		dataStart = off
+	}
+	off := dataStart - len(tuple)
+	copy(p.buf[off:], tuple)
+	p.setSlot(n, off, len(tuple))
+	p.setNumSlots(n + 1)
+	return n, true
+}
+
+// Tuple returns the bytes of slot i (aliasing the page buffer).
+func (p *Page) Tuple(i int) ([]byte, error) {
+	if i < 0 || i >= p.NumSlots() {
+		return nil, fmt.Errorf("storage: slot %d out of range (%d slots)", i, p.NumSlots())
+	}
+	off, l := p.slotAt(i)
+	if off+l > PageSize {
+		return nil, fmt.Errorf("storage: corrupt slot %d", i)
+	}
+	return p.buf[off : off+l], nil
+}
+
+// MaxTupleSize is the largest tuple a page can hold.
+const MaxTupleSize = PageSize - pageHeaderSize - slotEntrySize

@@ -1,0 +1,498 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"nodb/internal/metrics"
+	"nodb/internal/schema"
+	"nodb/internal/value"
+)
+
+var testSchema = schema.MustNew([]schema.Column{
+	{Name: "id", Kind: value.KindInt},
+	{Name: "score", Kind: value.KindFloat},
+	{Name: "name", Kind: value.KindText},
+	{Name: "ok", Kind: value.KindBool},
+	{Name: "day", Kind: value.KindDate},
+})
+
+func sampleRow(i int64) []value.Value {
+	return []value.Value{
+		value.Int(i),
+		value.Float(float64(i) / 2),
+		value.Text(fmt.Sprintf("name-%d", i)),
+		value.Bool(i%2 == 0),
+		value.Date(i % 100),
+	}
+}
+
+func TestTupleRoundTrip(t *testing.T) {
+	row := sampleRow(42)
+	buf, err := EncodeTuple(nil, testSchema, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]value.Value, testSchema.Len())
+	if err := DecodeTuple(buf, testSchema, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	for i := range row {
+		if !value.Equal(row[i], out[i]) || row[i].K != out[i].K {
+			t.Errorf("col %d: %v != %v", i, out[i], row[i])
+		}
+	}
+}
+
+func TestTupleNulls(t *testing.T) {
+	row := []value.Value{value.Null(), value.Null(), value.Null(), value.Null(), value.Null()}
+	buf, err := EncodeTuple(nil, testSchema, row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != 1 { // just the bitmap
+		t.Errorf("all-null tuple is %d bytes", len(buf))
+	}
+	out := make([]value.Value, testSchema.Len())
+	if err := DecodeTuple(buf, testSchema, nil, out); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if !v.IsNull() {
+			t.Errorf("col %d not null: %v", i, v)
+		}
+	}
+}
+
+func TestTupleProjectionDecode(t *testing.T) {
+	row := sampleRow(7)
+	buf, _ := EncodeTuple(nil, testSchema, row)
+	want := []bool{false, false, true, false, true} // name, day only
+	out := make([]value.Value, testSchema.Len())
+	if err := DecodeTuple(buf, testSchema, want, out); err != nil {
+		t.Fatal(err)
+	}
+	if !out[0].IsNull() || !out[1].IsNull() {
+		t.Error("unwanted columns materialized")
+	}
+	if out[2].S != "name-7" || out[4].I != 7 {
+		t.Errorf("wanted columns wrong: %v", out)
+	}
+}
+
+func TestTupleErrors(t *testing.T) {
+	if _, err := EncodeTuple(nil, testSchema, sampleRow(1)[:2]); err == nil {
+		t.Error("short row accepted")
+	}
+	out := make([]value.Value, testSchema.Len())
+	if err := DecodeTuple(nil, testSchema, nil, out); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	row := sampleRow(1)
+	buf, _ := EncodeTuple(nil, testSchema, row)
+	if err := DecodeTuple(buf[:len(buf)-3], testSchema, nil, out); err == nil {
+		t.Error("truncated buffer accepted")
+	}
+}
+
+func TestTupleQuickRoundTrip(t *testing.T) {
+	sch := schema.MustNew([]schema.Column{
+		{Name: "a", Kind: value.KindInt},
+		{Name: "b", Kind: value.KindText},
+		{Name: "c", Kind: value.KindFloat},
+	})
+	f := func(a int64, b string, c float64, nullMask uint8) bool {
+		row := []value.Value{value.Int(a), value.Text(b), value.Float(c)}
+		for i := 0; i < 3; i++ {
+			if nullMask&(1<<i) != 0 {
+				row[i] = value.Null()
+			}
+		}
+		buf, err := EncodeTuple(nil, sch, row)
+		if err != nil {
+			return false
+		}
+		out := make([]value.Value, 3)
+		if err := DecodeTuple(buf, sch, nil, out); err != nil {
+			return false
+		}
+		for i := range row {
+			if !value.Equal(row[i], out[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPageInsertAndRead(t *testing.T) {
+	p := NewPage()
+	if p.NumSlots() != 0 {
+		t.Fatal("fresh page not empty")
+	}
+	var tuples [][]byte
+	for i := 0; ; i++ {
+		tup := []byte(fmt.Sprintf("tuple-%04d", i))
+		slot, ok := p.Insert(tup)
+		if !ok {
+			break
+		}
+		if slot != i {
+			t.Fatalf("slot=%d, want %d", slot, i)
+		}
+		tuples = append(tuples, tup)
+	}
+	if len(tuples) < 100 {
+		t.Fatalf("page held only %d small tuples", len(tuples))
+	}
+	for i, want := range tuples {
+		got, err := p.Tuple(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("slot %d=%q, want %q", i, got, want)
+		}
+	}
+	if _, err := p.Tuple(len(tuples)); err == nil {
+		t.Error("out-of-range slot read succeeded")
+	}
+	if _, err := p.Tuple(-1); err == nil {
+		t.Error("negative slot read succeeded")
+	}
+}
+
+func TestPageFromBytes(t *testing.T) {
+	if _, err := FromBytes(make([]byte, 10)); err == nil {
+		t.Error("wrong-size buffer accepted")
+	}
+	p := NewPage()
+	p.Insert([]byte("x"))
+	q, err := FromBytes(p.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumSlots() != 1 {
+		t.Error("round-trip lost slots")
+	}
+}
+
+func writeCSV(t *testing.T, rows int) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		day := value.FormatDate(int64(i % 100))
+		ok := "true"
+		if i%2 != 0 {
+			ok = "false"
+		}
+		fmt.Fprintf(&sb, "%d,%g,name-%d,%s,%s\n", i, float64(i)/2, i, ok, day)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func loadTable(t *testing.T, rows int, opts LoadOptions) (*Table, *metrics.Breakdown) {
+	t.Helper()
+	csv := writeCSV(t, rows)
+	heap := filepath.Join(t.TempDir(), "data.heap")
+	var b metrics.Breakdown
+	tb, err := LoadCSV(csv, heap, testSchema, opts, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tb.Close() })
+	return tb, &b
+}
+
+func TestLoadAndScan(t *testing.T) {
+	const rows = 5000
+	tb, b := loadTable(t, rows, LoadOptions{})
+	if tb.RowCount() != rows {
+		t.Fatalf("rowCount=%d", tb.RowCount())
+	}
+	if tb.NumPages() == 0 {
+		t.Fatal("no pages written")
+	}
+	if b.Times[metrics.Load] == 0 || b.Times[metrics.Convert] == 0 {
+		t.Errorf("load breakdown not charged: %v", b.Times)
+	}
+
+	var scanB metrics.Breakdown
+	var n int64
+	var sum int64
+	err := tb.Scan(nil, &scanB, func(rid RID, row []value.Value) (bool, error) {
+		if row[0].I != n {
+			return false, fmt.Errorf("row %d has id %d", n, row[0].I)
+		}
+		sum += row[0].I
+		n++
+		return true, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != rows || sum != rows*(rows-1)/2 {
+		t.Fatalf("scanned %d rows, sum %d", n, sum)
+	}
+	if scanB.Times[metrics.Tokenizing] != 0 || scanB.Times[metrics.Convert] != 0 {
+		t.Error("binary scan charged raw-file categories")
+	}
+	if scanB.BytesRead == 0 || scanB.RowsScanned != rows {
+		t.Errorf("scan counters: %+v", scanB)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tb, _ := loadTable(t, 1000, LoadOptions{})
+	var n int
+	err := tb.Scan(nil, nil, func(rid RID, row []value.Value) (bool, error) {
+		n++
+		return n < 10, nil
+	})
+	if err != nil || n != 10 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+}
+
+func TestLoadWithStats(t *testing.T) {
+	tb, _ := loadTable(t, 2000, LoadOptions{CollectStats: true, SampleCap: 256})
+	st := tb.Stats()
+	if st == nil {
+		t.Fatal("no stats")
+	}
+	if st.RowCount() != 2000 {
+		t.Errorf("stats rowcount=%d", st.RowCount())
+	}
+	snap, ok := st.Snapshot(0)
+	if !ok || snap.Min.I != 0 || snap.Max.I != 1999 {
+		t.Errorf("id stats: %+v ok=%v", snap, ok)
+	}
+	sel := st.Selectivity(0, "<", value.Int(1000))
+	if sel < 0.35 || sel > 0.65 {
+		t.Errorf("sel=%f", sel)
+	}
+}
+
+func TestLoadWithIndexAndFetch(t *testing.T) {
+	tb, _ := loadTable(t, 3000, LoadOptions{IndexAttrs: []int{0}})
+	ix, ok := tb.Index(0)
+	if !ok {
+		t.Fatal("no index")
+	}
+	rids := ix.SearchEq(value.Int(1234))
+	if len(rids) != 1 {
+		t.Fatalf("rids=%v", rids)
+	}
+	pageBuf := make([]byte, PageSize)
+	row := make([]value.Value, testSchema.Len())
+	if err := tb.Fetch(rids[0], nil, pageBuf, row, nil); err != nil {
+		t.Fatal(err)
+	}
+	if row[0].I != 1234 || row[2].S != "name-1234" {
+		t.Errorf("fetched row=%v", row)
+	}
+	if _, ok := tb.Index(1); ok {
+		t.Error("phantom index")
+	}
+}
+
+func TestLoadBadIndexAttr(t *testing.T) {
+	csv := writeCSV(t, 10)
+	heap := filepath.Join(t.TempDir(), "x.heap")
+	var b metrics.Breakdown
+	if _, err := LoadCSV(csv, heap, testSchema, LoadOptions{IndexAttrs: []int{99}}, &b); err == nil {
+		t.Error("bad index attr accepted")
+	}
+}
+
+func TestLoadMalformedFieldsBecomeNull(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	os.WriteFile(path, []byte("notanint,xx,hi,true,2020-01-01\n7,1.5,ok,true,2020-01-01\n"), 0o644)
+	heap := filepath.Join(t.TempDir(), "bad.heap")
+	var b metrics.Breakdown
+	tb, err := LoadCSV(path, heap, testSchema, LoadOptions{}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	var rows [][]value.Value
+	tb.Scan(nil, nil, func(rid RID, row []value.Value) (bool, error) {
+		cp := make([]value.Value, len(row))
+		copy(cp, row)
+		rows = append(rows, cp)
+		return true, nil
+	})
+	if len(rows) != 2 {
+		t.Fatalf("rows=%d", len(rows))
+	}
+	if !rows[0][0].IsNull() || !rows[0][1].IsNull() {
+		t.Error("malformed fields not null")
+	}
+	if rows[1][0].I != 7 {
+		t.Error("good row corrupted")
+	}
+}
+
+func TestLoadShortAndLongRows(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ragged.csv")
+	os.WriteFile(path, []byte("1,0.5\n2,1.5,two,true,2020-01-01,EXTRA,MORE\n"), 0o644)
+	heap := filepath.Join(t.TempDir(), "ragged.heap")
+	var b metrics.Breakdown
+	tb, err := LoadCSV(path, heap, testSchema, LoadOptions{}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	var got [][]value.Value
+	tb.Scan(nil, nil, func(rid RID, row []value.Value) (bool, error) {
+		cp := make([]value.Value, len(row))
+		copy(cp, row)
+		got = append(got, cp)
+		return true, nil
+	})
+	if len(got) != 2 {
+		t.Fatalf("rows=%d", len(got))
+	}
+	if got[0][0].I != 1 || !got[0][2].IsNull() {
+		t.Errorf("short row=%v", got[0])
+	}
+	if got[1][2].S != "two" {
+		t.Errorf("long row=%v", got[1])
+	}
+}
+
+func TestReadPageOutOfRange(t *testing.T) {
+	tb, _ := loadTable(t, 100, LoadOptions{})
+	buf := make([]byte, PageSize)
+	if _, err := tb.ReadPage(999, buf, nil); err == nil {
+		t.Error("out-of-range page read succeeded")
+	}
+}
+
+func TestBTreeInsertSearch(t *testing.T) {
+	tr := NewBTree()
+	const n = 10_000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, k := range perm {
+		tr.Insert(value.Int(int64(k)), RID{Page: int32(k), Slot: 0})
+	}
+	if tr.Size() != n {
+		t.Fatalf("size=%d", tr.Size())
+	}
+	if tr.Height() < 2 {
+		t.Errorf("height=%d, expected a real tree", tr.Height())
+	}
+	for _, probe := range []int64{0, 1, 4999, 9999} {
+		rids := tr.SearchEq(value.Int(probe))
+		if len(rids) != 1 || rids[0].Page != int32(probe) {
+			t.Errorf("SearchEq(%d)=%v", probe, rids)
+		}
+	}
+	if rids := tr.SearchEq(value.Int(-5)); rids != nil {
+		t.Errorf("phantom key: %v", rids)
+	}
+	keys := tr.Keys()
+	if len(keys) != n {
+		t.Fatalf("keys=%d", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool {
+		return value.Compare(keys[i], keys[j]) < 0
+	}) {
+		t.Error("keys not sorted")
+	}
+}
+
+func TestBTreeDuplicates(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 100; i++ {
+		tr.Insert(value.Int(int64(i%10)), RID{Page: int32(i), Slot: 0})
+	}
+	rids := tr.SearchEq(value.Int(3))
+	if len(rids) != 10 {
+		t.Fatalf("dup rids=%d", len(rids))
+	}
+	for i := 1; i < len(rids); i++ {
+		if rids[i].Page <= rids[i-1].Page {
+			t.Error("duplicate RIDs out of insertion order")
+		}
+	}
+}
+
+func TestBTreeRange(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(value.Int(int64(i)), RID{Page: int32(i), Slot: 0})
+	}
+	cases := []struct {
+		lo, hi       value.Value
+		incLo, incHi bool
+		want         int
+	}{
+		{value.Int(10), value.Int(20), true, true, 11},
+		{value.Int(10), value.Int(20), false, false, 9},
+		{value.Int(10), value.Int(20), true, false, 10},
+		{value.Null(), value.Int(9), true, true, 10},
+		{value.Int(990), value.Null(), true, true, 10},
+		{value.Null(), value.Null(), true, true, 1000},
+		{value.Int(500), value.Int(400), true, true, 0},
+	}
+	for _, c := range cases {
+		got := tr.SearchRange(c.lo, c.hi, c.incLo, c.incHi)
+		if len(got) != c.want {
+			t.Errorf("range(%v,%v,%v,%v)=%d, want %d", c.lo, c.hi, c.incLo, c.incHi, len(got), c.want)
+		}
+	}
+}
+
+func TestBTreeQuickMatchesSortedScan(t *testing.T) {
+	f := func(keys []int16, lo, hi int16) bool {
+		tr := NewBTree()
+		counts := map[int16]int{}
+		for i, k := range keys {
+			tr.Insert(value.Int(int64(k)), RID{Page: int32(i), Slot: 0})
+			counts[k]++
+		}
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		want := 0
+		for k, c := range counts {
+			if k >= lo && k <= hi {
+				want += c
+			}
+		}
+		got := tr.SearchRange(value.Int(int64(lo)), value.Int(int64(hi)), true, true)
+		return len(got) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBTreeTextKeys(t *testing.T) {
+	tr := NewBTree()
+	words := []string{"pear", "apple", "fig", "banana", "cherry", "date"}
+	for i, w := range words {
+		tr.Insert(value.Text(w), RID{Page: int32(i), Slot: 0})
+	}
+	if got := tr.SearchEq(value.Text("fig")); len(got) != 1 || got[0].Page != 2 {
+		t.Errorf("text eq=%v", got)
+	}
+	got := tr.SearchRange(value.Text("banana"), value.Text("date"), true, true)
+	if len(got) != 3 { // banana, cherry, date
+		t.Errorf("text range=%v", got)
+	}
+}

@@ -1,0 +1,37 @@
+package value
+
+import "testing"
+
+func BenchmarkParseInt(b *testing.B) {
+	in := []byte("-1234567")
+	for i := 0; i < b.N; i++ {
+		if _, err := ParseInt(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseFloatField(b *testing.B) {
+	in := []byte("1234.5678")
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse(in, KindFloat); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompareInts(b *testing.B) {
+	x, y := Int(42), Int(43)
+	for i := 0; i < b.N; i++ {
+		if Compare(x, y) >= 0 {
+			b.Fatal("order")
+		}
+	}
+}
+
+func BenchmarkHashText(b *testing.B) {
+	v := Text("some-moderate-length-value")
+	for i := 0; i < b.N; i++ {
+		_ = v.Hash()
+	}
+}

@@ -1,0 +1,302 @@
+package value
+
+import (
+	"math"
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseKind(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+		err  bool
+	}{
+		{"int", KindInt, false},
+		{"INTEGER", KindInt, false},
+		{" bigint ", KindInt, false},
+		{"float", KindFloat, false},
+		{"DOUBLE", KindFloat, false},
+		{"text", KindText, false},
+		{"varchar", KindText, false},
+		{"bool", KindBool, false},
+		{"date", KindDate, false},
+		{"blob", KindNull, true},
+		{"", KindNull, true},
+	}
+	for _, c := range cases {
+		got, err := ParseKind(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseKind(%q) err=%v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseKind(%q)=%v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNull: "NULL", KindInt: "INT", KindFloat: "FLOAT",
+		KindText: "TEXT", KindBool: "BOOL", KindDate: "DATE",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String()=%q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind string = %q", got)
+	}
+}
+
+func TestParseInt(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"0", 0, false},
+		{"1", 1, false},
+		{"-1", -1, false},
+		{"+42", 42, false},
+		{"9223372036854775807", math.MaxInt64, false},
+		{"9223372036854775808", 0, true},
+		{"92233720368547758070", 0, true},
+		{"", 0, true},
+		{"-", 0, true},
+		{"+", 0, true},
+		{"12a", 0, true},
+		{"1.5", 0, true},
+		{" 1", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseInt([]byte(c.in))
+		if (err != nil) != c.err {
+			t.Errorf("ParseInt(%q) err=%v, want err=%v", c.in, err, c.err)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParseInt(%q)=%d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseIntQuickRoundTrip(t *testing.T) {
+	f := func(n int64) bool {
+		got, err := ParseInt([]byte(strconv.FormatInt(n, 10)))
+		return err == nil && got == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParse(t *testing.T) {
+	d, _ := ParseDate("2012-08-27")
+	cases := []struct {
+		in   string
+		k    Kind
+		want Value
+		err  bool
+	}{
+		{"12", KindInt, Int(12), false},
+		{"", KindInt, Null(), false},
+		{"", KindText, Null(), false},
+		{"x", KindInt, Null(), true},
+		{"3.25", KindFloat, Float(3.25), false},
+		{"1e3", KindFloat, Float(1000), false},
+		{"nope", KindFloat, Null(), true},
+		{"hello", KindText, Text("hello"), false},
+		{"true", KindBool, Bool(true), false},
+		{"TRUE", KindBool, Bool(true), false},
+		{"f", KindBool, Bool(false), false},
+		{"0", KindBool, Bool(false), false},
+		{"y", KindBool, Bool(true), false},
+		{"maybe", KindBool, Null(), true},
+		{"2012-08-27", KindDate, Date(d), false},
+		{"2012-13-99", KindDate, Null(), true},
+		{"x", KindNull, Null(), true},
+	}
+	for _, c := range cases {
+		got, err := Parse([]byte(c.in), c.k)
+		if (err != nil) != c.err {
+			t.Errorf("Parse(%q,%v) err=%v, want err=%v", c.in, c.k, err, c.err)
+			continue
+		}
+		if err == nil && !Equal(got, c.want) {
+			t.Errorf("Parse(%q,%v)=%v, want %v", c.in, c.k, got, c.want)
+		}
+	}
+}
+
+func TestDateRoundTrip(t *testing.T) {
+	for _, s := range []string{"1970-01-01", "2012-08-27", "1969-12-31", "2100-02-28"} {
+		d, err := ParseDate(s)
+		if err != nil {
+			t.Fatalf("ParseDate(%q): %v", s, err)
+		}
+		if got := FormatDate(d); got != s {
+			t.Errorf("FormatDate(ParseDate(%q))=%q", s, got)
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{Null(), Null(), 0},
+		{Null(), Int(0), -1},
+		{Int(0), Null(), 1},
+		{Int(1), Int(2), -1},
+		{Int(2), Int(2), 0},
+		{Int(3), Int(2), 1},
+		{Int(2), Float(2.0), 0},
+		{Float(1.5), Int(2), -1},
+		{Text("a"), Text("b"), -1},
+		{Text("b"), Text("b"), 0},
+		{Text("10"), Int(10), 0}, // text vs numeric compares formatted form
+		{Text("2"), Int(10), 1},  // lexicographic
+		{Bool(false), Bool(true), -1},
+		{Date(10), Date(11), -1},
+		{Date(10), Int(10), 0},
+		{Int(math.MaxInt64), Int(math.MaxInt64 - 1), 1}, // exact, no float rounding
+	}
+	for _, c := range cases {
+		if got := Compare(c.a, c.b); got != c.want {
+			t.Errorf("Compare(%v,%v)=%d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCompareAntisymmetricQuick(t *testing.T) {
+	f := func(a, b int64, fa, fb float64, sa, sb string) bool {
+		vals := []Value{Int(a), Int(b), Float(fa), Float(fb), Text(sa), Text(sb), Null()}
+		for _, x := range vals {
+			for _, y := range vals {
+				if Compare(x, y) != -Compare(y, x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashEqualConsistent(t *testing.T) {
+	pairs := [][2]Value{
+		{Int(2), Float(2.0)},
+		{Int(0), Bool(false)},
+		{Date(5), Int(5)},
+		{Text("x"), Text("x")},
+		{Null(), Null()},
+	}
+	for _, p := range pairs {
+		if !Equal(p[0], p[1]) {
+			t.Fatalf("precondition: %v != %v", p[0], p[1])
+		}
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("equal values hash differently: %v vs %v", p[0], p[1])
+		}
+	}
+	if Text("a").Hash() == Text("b").Hash() {
+		t.Error("distinct texts should (almost surely) hash differently")
+	}
+}
+
+func TestHashQuickConsistency(t *testing.T) {
+	f := func(n int64) bool {
+		return Int(n).Hash() == Int(n).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{Null(), ""},
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Text("hi"), "hi"},
+		{Bool(true), "true"},
+		{Bool(false), "false"},
+		{Date(0), "1970-01-01"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String()=%q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestInfer(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Kind
+	}{
+		{"", KindNull},
+		{"12", KindInt},
+		{"-3", KindInt},
+		{"2.5", KindFloat},
+		{"1e9", KindFloat},
+		{"2012-08-27", KindDate},
+		{"true", KindBool},
+		{"FALSE", KindBool},
+		{"hello", KindText},
+		{"12ab", KindText},
+	}
+	for _, c := range cases {
+		if got := Infer([]byte(c.in)); got != c.want {
+			t.Errorf("Infer(%q)=%v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestMergeKinds(t *testing.T) {
+	cases := []struct {
+		a, b, want Kind
+	}{
+		{KindInt, KindInt, KindInt},
+		{KindInt, KindFloat, KindFloat},
+		{KindFloat, KindInt, KindFloat},
+		{KindNull, KindInt, KindInt},
+		{KindInt, KindNull, KindInt},
+		{KindInt, KindText, KindText},
+		{KindDate, KindInt, KindText},
+		{KindBool, KindBool, KindBool},
+	}
+	for _, c := range cases {
+		if got := MergeKinds(c.a, c.b); got != c.want {
+			t.Errorf("MergeKinds(%v,%v)=%v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestNumAndIsTrue(t *testing.T) {
+	if Int(3).Num() != 3 || Float(2.5).Num() != 2.5 || Bool(true).Num() != 1 {
+		t.Error("Num conversions wrong")
+	}
+	if !Bool(true).IsTrue() || Bool(false).IsTrue() || Int(1).IsTrue() || Null().IsTrue() {
+		t.Error("IsTrue wrong")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if Int(1).SizeBytes() != 24 {
+		t.Errorf("int size = %d", Int(1).SizeBytes())
+	}
+	if Text("abcd").SizeBytes() != 28 {
+		t.Errorf("text size = %d", Text("abcd").SizeBytes())
+	}
+}

@@ -1,0 +1,144 @@
+package watch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnchanged(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.csv")
+	write(t, path, "a,b\nc,d\n")
+	snap, err := Take(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, _, err := Detect(path, snap)
+	if err != nil || ch != Unchanged {
+		t.Fatalf("change=%v err=%v", ch, err)
+	}
+}
+
+func TestAppendDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.csv")
+	write(t, path, "a,b\nc,d\n")
+	snap, _ := Take(path)
+
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("e,f\n")
+	f.Close()
+
+	ch, next, err := Detect(path, snap)
+	if err != nil || ch != Appended {
+		t.Fatalf("change=%v err=%v", ch, err)
+	}
+	if next.Size != snap.Size+4 {
+		t.Errorf("next size=%d", next.Size)
+	}
+	// Detecting again from the new snapshot: unchanged.
+	ch2, _, _ := Detect(path, next)
+	if ch2 != Unchanged {
+		t.Errorf("second detect=%v", ch2)
+	}
+}
+
+func TestAppendToLargeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "big.csv")
+	write(t, path, strings.Repeat("0123456789abcde\n", 1000)) // 16KB > probe
+	snap, _ := Take(path)
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.WriteString("tail,line\n")
+	f.Close()
+	ch, _, err := Detect(path, snap)
+	if err != nil || ch != Appended {
+		t.Fatalf("change=%v err=%v", ch, err)
+	}
+}
+
+func TestRewriteDetected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.csv")
+	write(t, path, "a,b\nc,d\n")
+	snap, _ := Take(path)
+	time.Sleep(2 * time.Millisecond) // ensure mtime moves on coarse clocks
+	write(t, path, "x,y\nz,w\n")     // same size, different bytes
+	ch, _, err := Detect(path, snap)
+	if err != nil || ch != Rewritten {
+		t.Fatalf("change=%v err=%v", ch, err)
+	}
+}
+
+func TestGrowWithPrefixChangeIsRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.csv")
+	old := strings.Repeat("aaaa,bbbb\n", 600) // ~6KB: head+tail probes distinct
+	write(t, path, old)
+	snap, _ := Take(path)
+	// Grow the file but corrupt the old tail region.
+	mod := old[:len(old)-10] + "XXXXXXXXX\n" + "new,row\n"
+	write(t, path, mod)
+	ch, _, err := Detect(path, snap)
+	if err != nil || ch != Rewritten {
+		t.Fatalf("change=%v err=%v", ch, err)
+	}
+}
+
+func TestShrinkIsRewrite(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.csv")
+	write(t, path, "a,b\nc,d\ne,f\n")
+	snap, _ := Take(path)
+	write(t, path, "a,b\n")
+	ch, _, err := Detect(path, snap)
+	if err != nil || ch != Rewritten {
+		t.Fatalf("change=%v err=%v", ch, err)
+	}
+}
+
+func TestMissing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.csv")
+	write(t, path, "a\n")
+	snap, _ := Take(path)
+	os.Remove(path)
+	ch, _, err := Detect(path, snap)
+	if err != nil || ch != Missing {
+		t.Fatalf("change=%v err=%v", ch, err)
+	}
+	if _, err := Take(path); err == nil {
+		t.Error("Take of missing file succeeded")
+	}
+}
+
+func TestChangeString(t *testing.T) {
+	for c, want := range map[Change]string{
+		Unchanged: "unchanged", Appended: "appended",
+		Rewritten: "rewritten", Missing: "missing",
+	} {
+		if c.String() != want {
+			t.Errorf("%d.String()=%q", c, c.String())
+		}
+	}
+	if Change(9).String() != "Change(9)" {
+		t.Error("unknown change name")
+	}
+}
+
+func TestEmptyFileAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f.csv")
+	write(t, path, "")
+	snap, _ := Take(path)
+	write(t, path, "first,row\n")
+	ch, _, err := Detect(path, snap)
+	if err != nil || ch != Appended {
+		t.Fatalf("change=%v err=%v", ch, err)
+	}
+}

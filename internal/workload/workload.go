@@ -1,0 +1,150 @@
+// Package workload generates the query streams the demo uses: simple
+// select-project queries organized into epochs, where each epoch focuses on
+// a window of the table's attributes (the audience's "exploratory behavior"
+// of Part II). As epochs shift, new attribute combinations are touched and
+// old ones go cold — driving the adaptation and eviction the demo
+// visualizes.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"nodb/internal/schema"
+)
+
+// Query is one generated statement with its epoch tag.
+type Query struct {
+	SQL   string
+	Epoch int
+}
+
+// EpochSpec describes one workload epoch.
+type EpochSpec struct {
+	Queries int // how many queries in the epoch
+	// AttrLo..AttrHi (inclusive) is the attribute window queries project
+	// from.
+	AttrLo, AttrHi int
+	// ProjectK attributes are projected per query (clamped to the window).
+	ProjectK int
+	// FilterAttr, when >= 0, adds "attr < threshold" with roughly
+	// SelectivityPct percent of rows qualifying (assuming uniform values in
+	// [0, Card)).
+	FilterAttr     int
+	SelectivityPct int
+	Card           int64
+	// Aggregate, when true, emits SELECT COUNT(*), SUM(first) instead of a
+	// projection (still scans the same attributes).
+	Aggregate bool
+}
+
+// Epochs expands epoch specs into a concrete query stream over the table.
+func Epochs(table string, sch *schema.Schema, specs []EpochSpec, seed int64) []Query {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Query
+	for ei, ep := range specs {
+		lo, hi := clampWindow(ep.AttrLo, ep.AttrHi, sch.Len())
+		k := ep.ProjectK
+		if k <= 0 {
+			k = 2
+		}
+		if k > hi-lo+1 {
+			k = hi - lo + 1
+		}
+		for q := 0; q < ep.Queries; q++ {
+			attrs := pickAttrs(rng, lo, hi, k)
+			var sb strings.Builder
+			sb.WriteString("SELECT ")
+			if ep.Aggregate {
+				fmt.Fprintf(&sb, "COUNT(*), SUM(%s)", sch.Col(attrs[0]).Name)
+			} else {
+				for i, a := range attrs {
+					if i > 0 {
+						sb.WriteString(", ")
+					}
+					sb.WriteString(sch.Col(a).Name)
+				}
+			}
+			sb.WriteString(" FROM ")
+			sb.WriteString(table)
+			if ep.FilterAttr >= 0 && ep.FilterAttr < sch.Len() {
+				card := ep.Card
+				if card <= 0 {
+					card = 1000
+				}
+				pct := ep.SelectivityPct
+				if pct <= 0 || pct > 100 {
+					pct = 20
+				}
+				threshold := card * int64(pct) / 100
+				fmt.Fprintf(&sb, " WHERE %s < %d", sch.Col(ep.FilterAttr).Name, threshold)
+			}
+			out = append(out, Query{SQL: sb.String(), Epoch: ei})
+		}
+	}
+	return out
+}
+
+// ShiftingWindows builds the canonical Part-II adaptation workload: nEpochs
+// epochs of qPerEpoch queries, each epoch's attribute window sliding across
+// the table so earlier structures go cold.
+func ShiftingWindows(table string, sch *schema.Schema, nEpochs, qPerEpoch int, seed int64) []Query {
+	n := sch.Len()
+	if n == 0 {
+		return nil
+	}
+	window := n / nEpochs
+	if window < 1 {
+		window = 1
+	}
+	specs := make([]EpochSpec, nEpochs)
+	for e := range specs {
+		lo := e * window
+		hi := lo + window - 1
+		if e == nEpochs-1 {
+			hi = n - 1
+		}
+		specs[e] = EpochSpec{
+			Queries:  qPerEpoch,
+			AttrLo:   lo,
+			AttrHi:   hi,
+			ProjectK: 2,
+			// Filter on the window's first attribute for realistic
+			// select-project shapes.
+			FilterAttr:     lo,
+			SelectivityPct: 25,
+		}
+	}
+	return Epochs(table, sch, specs, seed)
+}
+
+func clampWindow(lo, hi, n int) (int, int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= n {
+		hi = n - 1
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return lo, hi
+}
+
+// pickAttrs chooses k distinct attributes from [lo, hi].
+func pickAttrs(rng *rand.Rand, lo, hi, k int) []int {
+	span := hi - lo + 1
+	perm := rng.Perm(span)[:k]
+	out := make([]int, k)
+	for i, p := range perm {
+		out[i] = lo + p
+	}
+	// Sort for stable SQL text (small k: insertion sort).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

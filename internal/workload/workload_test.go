@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nodb/internal/schema"
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+func testSchema(n int) *schema.Schema {
+	cols := make([]schema.Column, n)
+	for i := range cols {
+		cols[i] = schema.Column{Name: fmt.Sprintf("a%d", i), Kind: value.KindInt}
+	}
+	return schema.MustNew(cols)
+}
+
+func TestEpochsGenerateParseableSQL(t *testing.T) {
+	sch := testSchema(10)
+	specs := []EpochSpec{
+		{Queries: 5, AttrLo: 0, AttrHi: 4, ProjectK: 2, FilterAttr: 0, SelectivityPct: 30, Card: 1000},
+		{Queries: 5, AttrLo: 5, AttrHi: 9, ProjectK: 3, FilterAttr: -1},
+		{Queries: 3, AttrLo: 0, AttrHi: 9, Aggregate: true, FilterAttr: 2, Card: 500},
+	}
+	qs := Epochs("t", sch, specs, 7)
+	if len(qs) != 13 {
+		t.Fatalf("queries=%d", len(qs))
+	}
+	for _, q := range qs {
+		if _, err := sql.Parse(q.SQL); err != nil {
+			t.Fatalf("generated unparseable SQL %q: %v", q.SQL, err)
+		}
+	}
+	if qs[0].Epoch != 0 || qs[5].Epoch != 1 || qs[12].Epoch != 2 {
+		t.Errorf("epoch tags wrong: %v", qs)
+	}
+	// Epoch 0 queries only touch a0..a4.
+	for _, q := range qs[:5] {
+		for i := 5; i < 10; i++ {
+			if strings.Contains(q.SQL, fmt.Sprintf("a%d", i)) {
+				t.Errorf("epoch 0 query %q escaped its window", q.SQL)
+			}
+		}
+	}
+	// Aggregate epoch emits COUNT/SUM.
+	if !strings.Contains(qs[10].SQL, "COUNT(*)") || !strings.Contains(qs[10].SQL, "SUM(") {
+		t.Errorf("aggregate query=%q", qs[10].SQL)
+	}
+}
+
+func TestEpochsDeterministic(t *testing.T) {
+	sch := testSchema(8)
+	specs := []EpochSpec{{Queries: 10, AttrLo: 0, AttrHi: 7, ProjectK: 3, FilterAttr: -1}}
+	a := Epochs("t", sch, specs, 5)
+	b := Epochs("t", sch, specs, 5)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different workloads")
+		}
+	}
+	c := Epochs("t", sch, specs, 6)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical workloads")
+	}
+}
+
+func TestShiftingWindows(t *testing.T) {
+	sch := testSchema(12)
+	qs := ShiftingWindows("t", sch, 3, 4, 1)
+	if len(qs) != 12 {
+		t.Fatalf("queries=%d", len(qs))
+	}
+	for _, q := range qs {
+		if _, err := sql.Parse(q.SQL); err != nil {
+			t.Fatalf("bad SQL %q: %v", q.SQL, err)
+		}
+		if !strings.Contains(q.SQL, "WHERE") {
+			t.Fatalf("missing filter: %q", q.SQL)
+		}
+	}
+	// Last epoch must reference the tail attributes.
+	tail := false
+	for _, q := range qs[8:] {
+		if strings.Contains(q.SQL, "a8") || strings.Contains(q.SQL, "a9") ||
+			strings.Contains(q.SQL, "a10") || strings.Contains(q.SQL, "a11") {
+			tail = true
+		}
+	}
+	if !tail {
+		t.Error("last epoch never reached tail attributes")
+	}
+}
+
+func TestWindowClamping(t *testing.T) {
+	sch := testSchema(3)
+	qs := Epochs("t", sch, []EpochSpec{{Queries: 2, AttrLo: -5, AttrHi: 99, ProjectK: 99, FilterAttr: -1}}, 1)
+	for _, q := range qs {
+		if _, err := sql.Parse(q.SQL); err != nil {
+			t.Fatalf("bad SQL %q: %v", q.SQL, err)
+		}
+	}
+	if ShiftingWindows("t", schema.MustNew(nil), 2, 2, 1) != nil {
+		t.Error("empty schema should yield no workload")
+	}
+}

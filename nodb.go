@@ -1,0 +1,320 @@
+// Package nodb is a from-scratch Go implementation of the NoDB design
+// (Alagiannis et al., "NoDB in Action: Adaptive Query Processing on Raw
+// Data", VLDB 2012): a query engine that executes SQL directly over raw CSV
+// files with zero loading, getting faster as a side effect of queries via
+// an adaptive positional map, an adaptive binary cache and on-the-fly
+// statistics.
+//
+// Three access modes are provided so the paper's comparisons can be
+// reproduced in-process:
+//
+//   - RegisterRaw: PostgresRaw-style in-situ querying (adaptive structures
+//     on, zero data-to-query time).
+//   - RegisterBaseline: "external files" — every query re-tokenizes and
+//     re-parses the whole file (the paper's Baseline).
+//   - Load: a conventional load-first engine (binary heap storage, optional
+//     statistics and B+tree indexes) standing in for PostgreSQL, MySQL and
+//     the commercial DBMS X of the paper's friendly race.
+//
+// Minimal use:
+//
+//	db, _ := nodb.Open(nodb.Config{})
+//	defer db.Close()
+//	db.RegisterRaw("events", "events.csv", "id:int,ts:date,kind:text,val:float", nil)
+//	res, _ := db.Query("SELECT kind, COUNT(*) FROM events GROUP BY kind")
+//	fmt.Print(res)
+package nodb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"nodb/internal/core"
+	"nodb/internal/metrics"
+	"nodb/internal/schema"
+	"nodb/internal/storage"
+)
+
+// Config configures a DB.
+type Config struct {
+	// DataDir is where load-first heap files are written. Empty means a
+	// temporary directory that is removed on Close.
+	DataDir string
+}
+
+// DB is a catalog of registered tables plus the query entry point. Safe for
+// concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	cat     *schema.Catalog
+	dataDir string
+	ownsDir bool
+	loaded  []*storage.Table // for Close
+}
+
+// Open creates a database handle.
+func Open(cfg Config) (*DB, error) {
+	dir := cfg.DataDir
+	owns := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "nodb-*")
+		if err != nil {
+			return nil, fmt.Errorf("nodb: %w", err)
+		}
+		dir = d
+		owns = true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("nodb: %w", err)
+	}
+	return &DB{cat: schema.NewCatalog(), dataDir: dir, ownsDir: owns}, nil
+}
+
+// Close releases loaded tables and the temporary data directory.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, t := range db.loaded {
+		if err := t.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	db.loaded = nil
+	if db.ownsDir {
+		if err := os.RemoveAll(db.dataDir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// RawOptions tune an in-situ registration; the zero value (or nil) gives the
+// paper's PostgresRaw defaults: all adaptive components enabled, unlimited
+// budgets.
+type RawOptions struct {
+	Delim            byte  // field separator, default ','
+	ChunkRows        int   // rows per processing chunk, default 1024
+	PosMapBudget     int64 // positional map byte budget, 0 = unlimited
+	CacheBudget      int64 // cache byte budget, 0 = unlimited
+	DisablePosMap    bool
+	DisableCache     bool
+	DisableStats     bool
+	MapEveryNth      int // keep every Nth tokenized position, default 1
+	StatsSampleEvery int // sample one row in N for statistics, default 16
+}
+
+func (o *RawOptions) coreOptions() core.Options {
+	opts := core.Options{
+		EnablePosMap: true,
+		EnableCache:  true,
+		EnableStats:  true,
+	}
+	if o == nil {
+		return opts
+	}
+	opts.Delim = o.Delim
+	opts.ChunkRows = o.ChunkRows
+	opts.PosMapBudget = o.PosMapBudget
+	opts.CacheBudget = o.CacheBudget
+	opts.EnablePosMap = !o.DisablePosMap
+	opts.EnableCache = !o.DisableCache
+	opts.EnableStats = !o.DisableStats
+	opts.MapEveryNth = o.MapEveryNth
+	opts.StatsSampleEvery = o.StatsSampleEvery
+	return opts
+}
+
+// RegisterRaw attaches a CSV file for in-situ querying (the PostgresRaw
+// mode). The file is not read — data-to-query time is zero. schemaSpec is
+// "name:type,..." (types: int, float, text, bool, date); empty infers the
+// schema from a sample of the file.
+func (db *DB) RegisterRaw(name, csvPath, schemaSpec string, opts *RawOptions) error {
+	return db.registerRaw(name, csvPath, schemaSpec, opts, schema.AccessInSitu)
+}
+
+// RegisterBaseline attaches a CSV file in "external files" mode: every query
+// tokenizes and parses the raw file from scratch, with no adaptive
+// structures (the paper's Baseline configuration).
+func (db *DB) RegisterBaseline(name, csvPath, schemaSpec string) error {
+	return db.registerRaw(name, csvPath, schemaSpec, &RawOptions{
+		DisablePosMap: true, DisableCache: true, DisableStats: true,
+	}, schema.AccessBaseline)
+}
+
+func (db *DB) registerRaw(name, csvPath, schemaSpec string, opts *RawOptions, mode schema.AccessMode) error {
+	sch, err := db.resolveSchema(csvPath, schemaSpec, opts)
+	if err != nil {
+		return err
+	}
+	tbl, err := core.NewTable(csvPath, sch, opts.coreOptions())
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cat.Register(&schema.Table{
+		Name: name, Schema: sch, Mode: mode, Path: csvPath, Handle: tbl,
+	})
+}
+
+// Profile selects which conventional contender a Load imitates. The
+// difference is the initialization work done before the first query.
+type Profile uint8
+
+// Load profiles (the friendly race contestants).
+const (
+	// ProfilePostgres loads into binary heap pages and runs ANALYZE
+	// (statistics) during the load.
+	ProfilePostgres Profile = iota
+	// ProfileMySQL loads into binary heap pages without statistics.
+	ProfileMySQL
+	// ProfileDBMSX loads, collects statistics, and builds B+tree indexes on
+	// the requested columns before the first query (load + tuning).
+	ProfileDBMSX
+)
+
+// String names the profile.
+func (p Profile) String() string {
+	switch p {
+	case ProfilePostgres:
+		return "postgres"
+	case ProfileMySQL:
+		return "mysql"
+	case ProfileDBMSX:
+		return "dbms-x"
+	default:
+		return fmt.Sprintf("Profile(%d)", uint8(p))
+	}
+}
+
+// Load registers a table the conventional way: the whole CSV is parsed,
+// converted and written to binary heap storage (plus statistics/indexes per
+// the profile) before the call returns. The returned duration is the
+// initialization time the paper's race charges before the first query;
+// stats carries its cost breakdown.
+func (db *DB) Load(name, csvPath, schemaSpec string, profile Profile, indexCols ...string) (time.Duration, *QueryStats, error) {
+	sch, err := db.resolveSchema(csvPath, schemaSpec, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	opts := storage.LoadOptions{}
+	switch profile {
+	case ProfilePostgres:
+		opts.CollectStats = true
+	case ProfileMySQL:
+		// plain load
+	case ProfileDBMSX:
+		opts.CollectStats = true
+		if len(indexCols) == 0 && sch.Len() > 0 {
+			indexCols = []string{sch.Col(0).Name}
+		}
+	default:
+		return 0, nil, fmt.Errorf("nodb: unknown profile %v", profile)
+	}
+	for _, c := range indexCols {
+		i := sch.Index(c)
+		if i < 0 {
+			return 0, nil, fmt.Errorf("nodb: index column %q not in schema", c)
+		}
+		opts.IndexAttrs = append(opts.IndexAttrs, i)
+	}
+
+	heapPath := filepath.Join(db.dataDir, fmt.Sprintf("%s-%d.heap", sanitize(name), time.Now().UnixNano()))
+	var b metrics.Breakdown
+	t0 := time.Now()
+	tbl, err := storage.LoadCSV(csvPath, heapPath, sch, opts, &b)
+	initTime := time.Since(t0)
+	if err != nil {
+		return 0, nil, err
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.cat.Register(&schema.Table{
+		Name: name, Schema: sch, Mode: schema.AccessLoadFirst, Path: csvPath, Handle: tbl,
+	}); err != nil {
+		tbl.Close()
+		os.Remove(heapPath)
+		return 0, nil, err
+	}
+	db.loaded = append(db.loaded, tbl)
+	qs := newQueryStats(&b, initTime)
+	return initTime, &qs, nil
+}
+
+// Tables lists the registered table names.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.cat.Names()
+}
+
+// Drop removes a table registration (heap files of loaded tables are kept
+// until Close).
+func (db *DB) Drop(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.cat.Drop(name)
+}
+
+// Refresh checks a raw table's file for outside changes (the demo's Updates
+// scenario) and adapts its structures. Returns "unchanged", "appended" or
+// "rewritten".
+func (db *DB) Refresh(name string) (string, error) {
+	t, err := db.rawTable(name)
+	if err != nil {
+		return "", err
+	}
+	change, err := t.Refresh()
+	return change.String(), err
+}
+
+// SetBudgets adjusts a raw table's positional-map and cache byte budgets
+// (the demo's storage sliders); shrinking evicts immediately.
+func (db *DB) SetBudgets(name string, posMapBudget, cacheBudget int64) error {
+	t, err := db.rawTable(name)
+	if err != nil {
+		return err
+	}
+	t.SetBudgets(posMapBudget, cacheBudget)
+	return nil
+}
+
+// SetComponents toggles a raw table's adaptive components at run time (the
+// demo's checkboxes).
+func (db *DB) SetComponents(name string, posMap, cache, stats bool) error {
+	t, err := db.rawTable(name)
+	if err != nil {
+		return err
+	}
+	t.SetEnabled(posMap, cache, stats)
+	return nil
+}
+
+func (db *DB) rawTable(name string) (*core.Table, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	entry, ok := db.cat.Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("nodb: unknown table %q", name)
+	}
+	t, ok := entry.Handle.(*core.Table)
+	if !ok {
+		return nil, fmt.Errorf("nodb: table %q is not a raw table", name)
+	}
+	return t, nil
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}

@@ -1,0 +1,420 @@
+package nodb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// writeCSV generates a small five-column file.
+func writeCSV(t *testing.T, rows int) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		flag := "true"
+		if i%4 == 0 {
+			flag = "false"
+		}
+		fmt.Fprintf(&sb, "%d,item-%d,%g,%d,%s\n", i, i, float64(i)*1.5, i%10, flag)
+	}
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const testSpec = "id:int,name:text,score:float,grp:int,flag:bool"
+
+func openDB(t *testing.T) *DB {
+	t.Helper()
+	db, err := Open(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 1000)
+	if err := db.RegisterRaw("t", path, testSpec, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT grp, COUNT(*) AS n, AVG(score) FROM t WHERE flag GROUP BY grp ORDER BY grp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 10 {
+		t.Fatalf("rows=%d", len(res.Rows))
+	}
+	if res.Columns[1].Name != "n" || res.Columns[1].Type != "INT" {
+		t.Errorf("cols=%v", res.Columns)
+	}
+	if res.Rows[0][0].(int64) != 0 {
+		t.Errorf("row0=%v", res.Rows[0])
+	}
+	out := res.String()
+	for _, want := range []string{"grp", "n", "(10 rows)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestAnyConversions(t *testing.T) {
+	db := openDB(t)
+	path := filepath.Join(t.TempDir(), "kinds.csv")
+	os.WriteFile(path, []byte("1,x,1.5,true,2012-08-27\n,,,,\n"), 0o644)
+	if err := db.RegisterRaw("k", path, "a:int,b:text,c:float,d:bool,e:date", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT a, b, c, d, e FROM k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := res.Rows[0]
+	if r0[0].(int64) != 1 || r0[1].(string) != "x" || r0[2].(float64) != 1.5 ||
+		r0[3].(bool) != true || r0[4].(string) != "2012-08-27" {
+		t.Errorf("row0=%v", r0)
+	}
+	for i, v := range res.Rows[1] {
+		if v != nil {
+			t.Errorf("col %d should be nil, got %v", i, v)
+		}
+	}
+}
+
+func TestSchemaInference(t *testing.T) {
+	db := openDB(t)
+	path := filepath.Join(t.TempDir(), "infer.csv")
+	os.WriteFile(path, []byte("1,foo,2.5\n2,bar,3\n3,baz,4.25\n"), 0o644)
+	if err := db.RegisterRaw("inf", path, "", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT c0, c1, c2 FROM inf WHERE c0 > 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+	if res.Columns[2].Type != "FLOAT" { // 3 merges with 2.5 into float
+		t.Errorf("inferred types=%v", res.Columns)
+	}
+}
+
+func TestInferSchemaErrors(t *testing.T) {
+	if _, err := InferSchema("/nonexistent.csv", ','); err == nil {
+		t.Error("missing file inferred")
+	}
+	empty := filepath.Join(t.TempDir(), "e.csv")
+	os.WriteFile(empty, nil, 0o644)
+	if _, err := InferSchema(empty, ','); err == nil {
+		t.Error("empty file inferred")
+	}
+}
+
+func TestBaselineVsInSituSameAnswers(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 2000)
+	db.RegisterRaw("raw", path, testSpec, nil)
+	db.RegisterBaseline("base", path, testSpec)
+	queries := []string{
+		"SELECT COUNT(*) FROM %s",
+		"SELECT id, name FROM %s WHERE grp = 7 ORDER BY id LIMIT 9",
+		"SELECT grp, SUM(score) FROM %s GROUP BY grp ORDER BY grp",
+	}
+	for _, q := range queries {
+		a, err := db.Query(fmt.Sprintf(q, "raw"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := db.Query(fmt.Sprintf(q, "base"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+			t.Errorf("%q: raw=%v base=%v", q, a.Rows, b.Rows)
+		}
+	}
+}
+
+func TestLoadProfilesAgree(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 1500)
+	db.RegisterRaw("raw", path, testSpec, nil)
+	for _, p := range []Profile{ProfilePostgres, ProfileMySQL, ProfileDBMSX} {
+		name := "t_" + p.String()
+		name = strings.ReplaceAll(name, "-", "_")
+		init, stats, err := db.Load(name, path, testSpec, p, "id")
+		if err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+		if init <= 0 || stats.Total <= 0 {
+			t.Errorf("%v: init=%v", p, init)
+		}
+		got, err := db.Query(fmt.Sprintf("SELECT COUNT(*), SUM(id) FROM %s WHERE grp < 5", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := db.Query("SELECT COUNT(*), SUM(id) FROM raw WHERE grp < 5")
+		if fmt.Sprint(got.Rows) != fmt.Sprint(want.Rows) {
+			t.Errorf("%v: %v vs %v", p, got.Rows, want.Rows)
+		}
+	}
+}
+
+func TestAdaptationVisibleInStats(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 5000)
+	db.RegisterRaw("t", path, testSpec, nil)
+	r1, err := db.Query("SELECT SUM(score) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := db.Query("SELECT SUM(score) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stats.CacheHitFields != 0 {
+		t.Error("first query claims cache hits")
+	}
+	if r2.Stats.CacheHitFields == 0 || r2.Stats.BytesRead != 0 {
+		t.Errorf("second query not served from cache: %+v", r2.Stats)
+	}
+	if r2.Stats.BytesSkipped == 0 {
+		t.Error("no bytes skipped on second query")
+	}
+	if fmt.Sprint(r1.Rows) != fmt.Sprint(r2.Rows) {
+		t.Error("answers differ across adaptation")
+	}
+}
+
+func TestPanelEvolution(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 3000)
+	db.RegisterRaw("t", path, testSpec, nil)
+
+	p0, err := db.Panel("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p0.Queries != 0 || p0.PosMap.Grains != 0 {
+		t.Errorf("fresh panel=%+v", p0)
+	}
+	db.Query("SELECT id FROM t WHERE id < 100")
+	p1, _ := db.Panel("t")
+	if p1.Queries != 1 || p1.PosMap.Grains == 0 || p1.Cache.Fragments == 0 {
+		t.Errorf("panel after query: grains=%d frags=%d", p1.PosMap.Grains, p1.Cache.Fragments)
+	}
+	if p1.AccessCounts[0] != 1 || p1.AccessCounts[1] != 0 {
+		t.Errorf("access counts=%v", p1.AccessCounts)
+	}
+	out := p1.String()
+	for _, want := range []string{"system monitoring panel", "positional map", "cache", "file regions", "statistics"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("panel render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUpdatesAppendVisible(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 500)
+	db.RegisterRaw("t", path, testSpec, nil)
+	r1, _ := db.Query("SELECT COUNT(*) FROM t")
+	if r1.Rows[0][0].(int64) != 500 {
+		t.Fatal("precondition")
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString("9999,appended,1.0,3,true\n")
+	f.Close()
+	// No explicit Refresh: Query auto-detects.
+	r2, err := db.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Rows[0][0].(int64) != 501 {
+		t.Errorf("count after append=%v", r2.Rows[0][0])
+	}
+	r3, _ := db.Query("SELECT name FROM t WHERE id = 9999")
+	if len(r3.Rows) != 1 || r3.Rows[0][0].(string) != "appended" {
+		t.Errorf("appended row: %v", r3.Rows)
+	}
+}
+
+func TestUpdatesRewriteVisible(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 100)
+	db.RegisterRaw("t", path, testSpec, nil)
+	db.Query("SELECT id FROM t")
+	time.Sleep(2 * time.Millisecond)
+	os.WriteFile(path, []byte("1,only,0.5,1,true\n"), 0o644)
+	change, err := db.Refresh("t")
+	if err != nil || change != "rewritten" {
+		t.Fatalf("change=%q err=%v", change, err)
+	}
+	r, err := db.Query("SELECT COUNT(*) FROM t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].(int64) != 1 {
+		t.Errorf("count=%v", r.Rows[0][0])
+	}
+}
+
+func TestBudgetAndComponentKnobs(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 2000)
+	db.RegisterRaw("t", path, testSpec, nil)
+	db.Query("SELECT * FROM t")
+	if err := db.SetBudgets("t", 1000, 1000); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := db.Panel("t")
+	if p.PosMap.UsedBytes > 1000 || p.Cache.UsedBytes > 1000 {
+		t.Errorf("budgets not enforced: %+v %+v", p.PosMap, p.Cache)
+	}
+	if err := db.SetComponents("t", false, false, false); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query("SELECT COUNT(*) FROM t")
+	if err != nil || r.Rows[0][0].(int64) != 2000 {
+		t.Fatalf("query after disabling: %v %v", r, err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 10)
+	if err := db.RegisterRaw("t", path, testSpec, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.RegisterRaw("t", path, testSpec, nil); err == nil {
+		t.Error("duplicate registration accepted")
+	}
+	if err := db.RegisterRaw("bad", "/nonexistent.csv", testSpec, nil); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := db.RegisterRaw("bad2", path, "id:blob", nil); err == nil {
+		t.Error("bad schema accepted")
+	}
+	if _, err := db.Query("SELECT FROM"); err == nil {
+		t.Error("bad SQL accepted")
+	}
+	if _, err := db.Query("SELECT x FROM t"); err == nil {
+		t.Error("unknown column accepted")
+	}
+	if _, err := db.Query("SELECT id FROM missing"); err == nil {
+		t.Error("unknown table accepted")
+	}
+	if _, err := db.Refresh("missing"); err == nil {
+		t.Error("refresh of unknown table accepted")
+	}
+	if _, _, err := db.Load("t2", path, testSpec, ProfileDBMSX, "nosuch"); err == nil {
+		t.Error("bad index column accepted")
+	}
+	if err := db.SetBudgets("missing", 1, 1); err == nil {
+		t.Error("budgets on unknown table accepted")
+	}
+	if _, _, err := db.Load("l", path, testSpec, ProfileMySQL); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Panel("l"); err == nil {
+		t.Error("panel of loaded table accepted")
+	}
+	if _, err := db.Refresh("l"); err == nil {
+		t.Error("refresh of loaded table accepted")
+	}
+}
+
+func TestTablesAndDrop(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 10)
+	db.RegisterRaw("a", path, testSpec, nil)
+	db.RegisterBaseline("b", path, testSpec)
+	if n := len(db.Tables()); n != 2 {
+		t.Errorf("tables=%v", db.Tables())
+	}
+	if !db.Drop("a") || db.Drop("a") {
+		t.Error("drop semantics")
+	}
+	if _, err := db.Query("SELECT id FROM a"); err == nil {
+		t.Error("dropped table still queryable")
+	}
+}
+
+func TestQueryStatsBreakdownRender(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 500)
+	db.RegisterBaseline("t", path, testSpec)
+	r, err := db.Query("SELECT id FROM t WHERE id < 10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats.Breakdown()
+	for _, want := range []string{"I/O=", "Tokenizing=", "Convert=", "Processing="} {
+		if !strings.Contains(s, want) {
+			t.Errorf("breakdown %q missing %q", s, want)
+		}
+	}
+	if r.Stats.Total <= 0 {
+		t.Error("no total time")
+	}
+}
+
+func TestDataDirConfig(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "heaps")
+	db, err := Open(Config{DataDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	path := writeCSV(t, 50)
+	if _, _, err := db.Load("t", path, testSpec, ProfileMySQL); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil || len(entries) == 0 {
+		t.Errorf("no heap files in configured dir: %v", err)
+	}
+	// User-provided dir is kept on Close.
+	db.Close()
+	if _, err := os.Stat(dir); err != nil {
+		t.Error("user data dir removed on Close")
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 2000)
+	db.RegisterRaw("t", path, testSpec, nil)
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			r, err := db.Query(fmt.Sprintf("SELECT COUNT(*) FROM t WHERE grp = %d", g))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if r.Rows[0][0].(int64) != 200 {
+				errs <- fmt.Errorf("grp %d count=%v", g, r.Rows[0][0])
+				return
+			}
+			errs <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+}

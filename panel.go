@@ -1,0 +1,19 @@
+package nodb
+
+import (
+	"nodb/internal/monitor"
+)
+
+// Panel is the monitoring snapshot of a raw table's adaptive structures
+// (the demo's Figure-2 panel). Use its String method for the rendered
+// display.
+type Panel = monitor.Panel
+
+// Panel captures the current monitoring panel for a raw table.
+func (db *DB) Panel(name string) (*Panel, error) {
+	t, err := db.rawTable(name)
+	if err != nil {
+		return nil, err
+	}
+	return monitor.Snapshot(name, t), nil
+}

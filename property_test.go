@@ -1,0 +1,194 @@
+package nodb_test
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nodb"
+	"nodb/internal/datagen"
+	"nodb/internal/workload"
+)
+
+// TestModesAgreeOnRandomWorkloads is the public-API equivalence property:
+// for generated files and generated workloads, the in-situ engine (cold and
+// warm), the external-files baseline, and every load-first profile return
+// identical result sets.
+func TestModesAgreeOnRandomWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			dir := t.TempDir()
+			spec := datagen.MixedTable(3000, seed)
+			path := filepath.Join(dir, "data.csv")
+			if _, err := spec.WriteFile(path); err != nil {
+				t.Fatal(err)
+			}
+
+			db, err := nodb.Open(nodb.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer db.Close()
+			ss := spec.SchemaSpec()
+			if err := db.RegisterRaw("r", path, ss, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.RegisterBaseline("b", path, ss); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := db.Load("lp", path, ss, nodb.ProfilePostgres); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := db.Load("lx", path, ss, nodb.ProfileDBMSX, "id"); err != nil {
+				t.Fatal(err)
+			}
+
+			var queries []string
+			for _, q := range workload.ShiftingWindows("%s", spec.Schema(), 2, 3, seed) {
+				queries = append(queries, q.SQL)
+			}
+			queries = append(queries,
+				"SELECT grp, COUNT(*), SUM(score), MIN(id), MAX(id) FROM %s GROUP BY grp ORDER BY grp",
+				"SELECT COUNT(DISTINCT grp) FROM %s",
+				"SELECT id, user FROM %s WHERE id BETWEEN 100 AND 120 ORDER BY id",
+				"SELECT user FROM %s WHERE user LIKE 'v1%%' ORDER BY user LIMIT 10",
+				"SELECT id FROM %s WHERE id = 1234",
+				"SELECT score FROM %s WHERE score IS NOT NULL ORDER BY score DESC LIMIT 5",
+			)
+
+			for _, q := range queries {
+				// Each mode, plus a warm repeat for the raw table.
+				want := runQ(t, db, fmt.Sprintf(q, "r"))
+				for _, tbl := range []string{"r", "b", "lp", "lx"} {
+					got := runQ(t, db, fmt.Sprintf(q, tbl))
+					if got != want {
+						t.Fatalf("query %q on %s differs:\n%s\nvs raw:\n%s", q, tbl, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+func runQ(t *testing.T, db *nodb.DB, q string) string {
+	t.Helper()
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("%q: %v", q, err)
+	}
+	return fmt.Sprint(res.Rows)
+}
+
+// TestAdaptationUnderRandomBudgets fuzzes budget settings mid-workload:
+// answers must stay identical regardless of eviction pressure or component
+// toggling between queries.
+func TestAdaptationUnderRandomBudgets(t *testing.T) {
+	dir := t.TempDir()
+	spec := datagen.IntTable(5000, 8, 11)
+	path := filepath.Join(dir, "f.csv")
+	if _, err := spec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	db, err := nodb.Open(nodb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.RegisterRaw("t", path, spec.SchemaSpec(), nil); err != nil {
+		t.Fatal(err)
+	}
+	q := "SELECT a1, a5 FROM t WHERE a1 < 300 ORDER BY a1, a5 LIMIT 50"
+	want := runQ(t, db, q)
+	budgets := []int64{100, 10_000, 1_000_000, 0, 512}
+	for i, budget := range budgets {
+		if err := db.SetBudgets("t", budget, budget); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.SetComponents("t", i%2 == 0, i%3 != 0, true); err != nil {
+			t.Fatal(err)
+		}
+		if got := runQ(t, db, q); got != want {
+			t.Fatalf("budget %d: answers changed", budget)
+		}
+	}
+}
+
+// TestFailureInjection exercises the public API against damaged inputs.
+func TestFailureInjection(t *testing.T) {
+	db, err := nodb.Open(nodb.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	dir := t.TempDir()
+
+	// File with interleaved garbage rows must still answer, treating
+	// malformed fields as NULLs.
+	path := filepath.Join(dir, "garbage.csv")
+	content := "1,a\n!!!GARBAGE!!!,@@\n3,c\n,,,,,,\n5,e\n"
+	os.WriteFile(path, []byte(content), 0o644)
+	if err := db.RegisterRaw("g", path, "id:int,v:text", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("SELECT COUNT(*), COUNT(id) FROM g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 5 || res.Rows[0][1].(int64) != 3 {
+		t.Fatalf("garbage counts: %v", res.Rows[0])
+	}
+
+	// Zero-byte file: queryable, zero rows.
+	empty := filepath.Join(dir, "empty.csv")
+	os.WriteFile(empty, nil, 0o644)
+	if err := db.RegisterRaw("e", empty, "x:int", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query("SELECT COUNT(*) FROM e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].(int64) != 0 {
+		t.Fatalf("empty count=%v", res.Rows[0][0])
+	}
+
+	// File deleted between queries: the next query must fail cleanly, not
+	// panic.
+	gone := filepath.Join(dir, "gone.csv")
+	os.WriteFile(gone, []byte("1\n2\n"), 0o644)
+	if err := db.RegisterRaw("gone", gone, "x:int", nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query("SELECT x FROM gone"); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(gone)
+	if _, err := db.Query("SELECT x FROM gone"); err == nil {
+		t.Error("query over deleted file succeeded")
+	}
+
+	// A single enormous field spanning many read blocks.
+	big := filepath.Join(dir, "big.csv")
+	f, _ := os.Create(big)
+	fmt.Fprint(f, "1,")
+	for i := 0; i < 500_000; i++ {
+		fmt.Fprint(f, "x")
+	}
+	fmt.Fprint(f, "\n2,short\n")
+	f.Close()
+	if err := db.RegisterRaw("big", big, "id:int,v:text", nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err = db.Query("SELECT id, LENGTH(v) FROM big ORDER BY id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][1].(int64) != 500_000 || res.Rows[1][1].(int64) != 5 {
+		t.Fatalf("big field rows: %v", res.Rows)
+	}
+}

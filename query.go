@@ -1,0 +1,238 @@
+package nodb
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nodb/internal/core"
+	"nodb/internal/metrics"
+	"nodb/internal/planner"
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+// Column describes one result column.
+type Column struct {
+	Name string
+	Type string // INT, FLOAT, TEXT, BOOL, DATE, NULL
+}
+
+// QueryStats is the execution-time breakdown of one query (or of a load),
+// in the categories of the paper's Figure 3.
+type QueryStats struct {
+	Total time.Duration
+
+	IO         time.Duration // raw-file / heap-page reads
+	Tokenizing time.Duration // locating field delimiters
+	Parsing    time.Duration // slicing fields, row bookkeeping
+	Convert    time.Duration // text -> binary conversion
+	NoDB       time.Duration // positional map / cache / statistics upkeep
+	Processing time.Duration // operators above the scan
+	Load       time.Duration // load-first initialization work
+
+	BytesRead       int64
+	BytesSkipped    int64 // raw bytes avoided thanks to cache/positional map
+	RowsScanned     int64
+	FieldsTokenized int64
+	FieldsConverted int64
+	CacheHitFields  int64
+	MapJumpFields   int64
+	MapNearFields   int64 // fields located via a nearby map entry (short gap tokenize)
+}
+
+func newQueryStats(b *metrics.Breakdown, total time.Duration) QueryStats {
+	return QueryStats{
+		Total:           total,
+		IO:              b.Times[metrics.IO],
+		Tokenizing:      b.Times[metrics.Tokenizing],
+		Parsing:         b.Times[metrics.Parsing],
+		Convert:         b.Times[metrics.Convert],
+		NoDB:            b.Times[metrics.NoDB],
+		Processing:      b.Times[metrics.Processing],
+		Load:            b.Times[metrics.Load],
+		BytesRead:       b.BytesRead,
+		BytesSkipped:    b.BytesSkipped,
+		RowsScanned:     b.RowsScanned,
+		FieldsTokenized: b.FieldsTokenized,
+		FieldsConverted: b.FieldsConverted,
+		CacheHitFields:  b.CacheHitFields,
+		MapJumpFields:   b.MapJumpFields,
+		MapNearFields:   b.MapNearFields,
+	}
+}
+
+// Breakdown renders the stacked-bar categories as "name=duration" pairs in
+// display order (Figure 3's legend).
+func (s QueryStats) Breakdown() string {
+	parts := []struct {
+		name string
+		d    time.Duration
+	}{
+		{"Load", s.Load}, {"I/O", s.IO}, {"Tokenizing", s.Tokenizing},
+		{"Parsing", s.Parsing}, {"Convert", s.Convert}, {"NoDB", s.NoDB},
+		{"Processing", s.Processing},
+	}
+	var sb strings.Builder
+	for i, p := range parts {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%s", p.name, p.d.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Result is a fully materialized query result.
+type Result struct {
+	Columns []Column
+	Rows    [][]any
+	Stats   QueryStats
+}
+
+// Query parses, plans and executes a SELECT statement. Raw tables referenced
+// by the query are first checked for outside file changes (append/rewrite)
+// and their structures adapted, so updates are visible to the next query as
+// in the demo's Updates scenario.
+func (db *DB) Query(q string) (*Result, error) {
+	sel, err := sql.Parse(q)
+	if err != nil {
+		return nil, err
+	}
+
+	// Auto-refresh referenced raw tables.
+	refs := []sql.TableRef{sel.From}
+	for _, j := range sel.Joins {
+		refs = append(refs, j.Table)
+	}
+	db.mu.RLock()
+	for _, r := range refs {
+		if entry, ok := db.cat.Lookup(r.Name); ok {
+			if t, isRaw := entry.Handle.(*core.Table); isRaw {
+				if _, err := t.Refresh(); err != nil {
+					db.mu.RUnlock()
+					return nil, err
+				}
+			}
+		}
+	}
+	db.mu.RUnlock()
+
+	var b metrics.Breakdown
+	t0 := time.Now()
+	db.mu.RLock()
+	plan, err := planner.Build(sel, db.cat, &b)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, err
+	}
+	defer plan.Close()
+
+	// EXPLAIN: return the plan tree without executing it.
+	if sel.Explain {
+		res := &Result{Columns: []Column{{Name: "plan", Type: "TEXT"}}}
+		for _, line := range strings.Split(strings.TrimRight(plan.ExplainText, "\n"), "\n") {
+			res.Rows = append(res.Rows, []any{line})
+		}
+		res.Stats = newQueryStats(&b, time.Since(t0))
+		return res, nil
+	}
+
+	res := &Result{}
+	for _, c := range plan.Columns {
+		res.Columns = append(res.Columns, Column{Name: c.Name, Type: c.Kind.String()})
+	}
+	for {
+		row, ok, err := plan.Root.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+		out := make([]any, len(row))
+		for i, v := range row {
+			out[i] = toAny(v)
+		}
+		res.Rows = append(res.Rows, out)
+	}
+	total := time.Since(t0)
+	// Operators above the scan are not individually instrumented (timers in
+	// per-row loops would dominate them); Processing absorbs the wall-clock
+	// residual so the categories sum exactly to the total.
+	if residual := total - b.Total(); residual > 0 {
+		b.Add(metrics.Processing, residual)
+	}
+	res.Stats = newQueryStats(&b, total)
+	return res, nil
+}
+
+// toAny converts an engine value to a plain Go value: nil, int64, float64,
+// string, or bool; dates format as YYYY-MM-DD strings.
+func toAny(v value.Value) any {
+	switch v.K {
+	case value.KindNull:
+		return nil
+	case value.KindInt:
+		return v.I
+	case value.KindFloat:
+		return v.F
+	case value.KindText:
+		return v.S
+	case value.KindBool:
+		return v.I != 0
+	case value.KindDate:
+		return value.FormatDate(v.I)
+	default:
+		return nil
+	}
+}
+
+// String renders the result as an aligned text table with a row count
+// footer.
+func (r *Result) String() string {
+	widths := make([]int, len(r.Columns))
+	header := make([]string, len(r.Columns))
+	for i, c := range r.Columns {
+		header[i] = c.Name
+		widths[i] = len(c.Name)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := "NULL"
+			if v != nil {
+				s = fmt.Sprint(v)
+			}
+			cells[ri][ci] = s
+			if len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for i := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", widths[i]))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&sb, "(%d rows)\n", len(r.Rows))
+	return sb.String()
+}
