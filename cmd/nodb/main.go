@@ -32,6 +32,7 @@ func main() {
 		panel     = flag.Bool("panel", false, "print the monitoring panel after each query")
 		posBudget = flag.Int64("posmap-budget", 0, "positional map byte budget (0 = unlimited)")
 		cacheBud  = flag.Int64("cache-budget", 0, "cache byte budget (0 = unlimited)")
+		par       = flag.Int("parallelism", 0, "chunk-pipeline workers per scan (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
 	if *file == "" {
@@ -44,7 +45,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	db, err := nodb.Open(nodb.Config{})
+	db, err := nodb.Open(nodb.Config{Parallelism: *par})
 	if err != nil {
 		fatal(err)
 	}

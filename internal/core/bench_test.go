@@ -6,6 +6,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"nodb/internal/metrics"
 )
@@ -49,15 +50,22 @@ func drainScan(b *testing.B, tbl *Table, needed []int) *metrics.Breakdown {
 	}
 }
 
+// sequential pins a benchmark configuration to the original single-threaded
+// scan, so the historical numbers keep meaning on multi-core runners.
+func sequential(o Options) Options {
+	o.Parallelism = 1
+	return o
+}
+
 func BenchmarkScanCold(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		tbl := benchTable(b, BaselineOptions())
+		tbl := benchTable(b, sequential(BaselineOptions()))
 		drainScan(b, tbl, []int{0, 3})
 	}
 }
 
 func BenchmarkScanWarmPosMap(b *testing.B) {
-	tbl := benchTable(b, Options{EnablePosMap: true})
+	tbl := benchTable(b, sequential(Options{EnablePosMap: true}))
 	drainScan(b, tbl, []int{0, 3}) // learn
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -66,7 +74,52 @@ func BenchmarkScanWarmPosMap(b *testing.B) {
 }
 
 func BenchmarkScanWarmCache(b *testing.B) {
-	tbl := benchTable(b, InSituOptions())
+	tbl := benchTable(b, sequential(InSituOptions()))
+	drainScan(b, tbl, []int{0, 3}) // learn + cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		drainScan(b, tbl, []int{0, 3})
+	}
+}
+
+// BenchmarkScanParallel runs the BenchmarkScanCold workload through the
+// chunk pipeline at several parallelism levels and reports the wall-clock
+// speedup over the sequential cold scan measured in the same process (the
+// "speedup" metric; >= 2.0 expected at p4 on a 4-core machine).
+func BenchmarkScanParallel(b *testing.B) {
+	for _, par := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			// Reference: sequential cold scans of the same file.
+			const refRuns = 3
+			t0 := time.Now()
+			for i := 0; i < refRuns; i++ {
+				tbl := benchTable(b, sequential(BaselineOptions()))
+				drainScan(b, tbl, []int{0, 3})
+			}
+			seq := time.Since(t0) / refRuns
+
+			opts := BaselineOptions()
+			opts.Parallelism = par
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tbl := benchTable(b, opts)
+				drainScan(b, tbl, []int{0, 3})
+			}
+			b.StopTimer()
+			perOp := b.Elapsed() / time.Duration(b.N)
+			if perOp > 0 {
+				b.ReportMetric(float64(seq)/float64(perOp), "speedup")
+			}
+		})
+	}
+}
+
+// BenchmarkScanParallelWarmCache measures the batched cache-served path
+// under the pipeline (every chunk claimed and served from fragments).
+func BenchmarkScanParallelWarmCache(b *testing.B) {
+	opts := InSituOptions()
+	opts.Parallelism = 4
+	tbl := benchTable(b, opts)
 	drainScan(b, tbl, []int{0, 3}) // learn + cache
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

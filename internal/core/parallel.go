@@ -1,0 +1,245 @@
+package core
+
+import (
+	"io"
+	"sync"
+
+	"nodb/internal/metrics"
+	"nodb/internal/rawfile"
+)
+
+// The parallel chunk pipeline.
+//
+// A scan with Options.Parallelism = N > 1 runs three stages:
+//
+//	splitter  --work-->  N workers  --results-->  ordered merge (consumer)
+//
+// The splitter walks chunk IDs in file order. Chunks whose byte range is
+// already known (base offsets learned by an earlier scan, or the row count
+// known) are dispatched as claims — the worker preads the range itself, so
+// warm scans parallelize I/O, tokenizing and conversion alike. Over unknown
+// territory the splitter performs only the cheap sequential work that
+// cannot be parallelized on a file with no index — reading ahead and
+// finding row boundaries — and hands each raw chunk to a worker, which runs
+// the expensive selective-tokenize → convert → filter stage. Each worker
+// charges a private metrics.Breakdown and defers all adaptive-structure
+// updates into its chunkOut.
+//
+// The consumer (Scan.advanceParallel) re-sequences results by chunk ID, so
+// rows come out in file order and Scan.commit applies positional-map,
+// cache and statistics population deterministically — byte-identical to
+// the sequential scan.
+
+// workItem is one chunk assignment from the splitter to a worker.
+type workItem struct {
+	c      int
+	kind   int // srcFetch or srcRaw
+	nrows  int
+	known  bool
+	ch     rawfile.Chunk      // srcRaw: owned copy of the split chunk
+	splitB *metrics.Breakdown // srcRaw: split-stage charges for this chunk
+}
+
+// pipeline owns the goroutines and channels of one parallel scan.
+type pipeline struct {
+	s       *Scan
+	work    chan workItem
+	results chan *chunkOut
+	free    chan *chunkOut // committed outputs recycled back to workers
+	done    chan struct{}
+	stop    sync.Once
+	wg      sync.WaitGroup
+
+	pending map[int]*chunkOut // out-of-order results awaiting their turn
+	nextC   int               // next chunk ID to commit
+	err     error             // terminal state (sticky, includes io.EOF)
+}
+
+// startPipeline spawns the splitter and worker pool for s.
+func startPipeline(s *Scan) *pipeline {
+	n := s.opts.Parallelism
+	p := &pipeline{
+		s: s,
+		// Buffers bound read-ahead: at most n queued claims and n finished
+		// chunks (plus one in flight per worker) exist at any moment.
+		work:    make(chan workItem, n),
+		results: make(chan *chunkOut, n),
+		free:    make(chan *chunkOut, 2*n+1),
+		done:    make(chan struct{}),
+		pending: make(map[int]*chunkOut),
+	}
+	p.wg.Add(1 + n)
+	go p.splitter()
+	for i := 0; i < n; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// shutdown stops all stages and waits for them to exit. Safe to call more
+// than once.
+func (p *pipeline) shutdown() {
+	p.stop.Do(func() { close(p.done) })
+	p.wg.Wait()
+	p.pending = nil
+}
+
+// advanceParallel pulls the next in-order chunk from the pipeline and
+// commits it. Out-of-order arrivals park in pending; its size is bounded by
+// the worker count plus the results buffer.
+func (s *Scan) advanceParallel() error {
+	p := s.pl
+	if p.err != nil {
+		return p.err
+	}
+	for {
+		if o, ok := p.pending[p.nextC]; ok {
+			delete(p.pending, p.nextC)
+			p.nextC++
+			old := s.cur
+			if err := s.commit(o); err != nil {
+				p.err = err
+				return err
+			}
+			// The previous chunk's batch is now invalid per the Next/
+			// NextBatch contract: recycle its buffers to a worker.
+			if old != nil && old != s.cur {
+				select {
+				case p.free <- old:
+				default:
+				}
+			}
+			return nil
+		}
+		o := <-p.results
+		p.pending[o.c] = o
+	}
+}
+
+// dispatch hands a chunk claim to the worker pool.
+func (p *pipeline) dispatch(it workItem) bool {
+	select {
+	case p.work <- it:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// emit sends a result (or end/error marker) straight into the merge.
+func (p *pipeline) emit(o *chunkOut) bool {
+	select {
+	case p.results <- o:
+		return true
+	case <-p.done:
+		return false
+	}
+}
+
+// splitter generates chunk claims in file order, falling back to
+// sequential read-and-split over territory whose chunk bases are unknown.
+func (p *pipeline) splitter() {
+	defer p.wg.Done()
+	defer close(p.work)
+	s := p.s
+	reader := s.reader.View(nil)
+	cr := rawfile.NewChunkReader(reader, s.opts.BlockSize)
+	var ch rawfile.Chunk
+	countSpec := len(s.spec.Needed) == 0 && s.spec.Filter == nil
+	for c := 0; ; c++ {
+		select {
+		case <-p.done:
+			return
+		default:
+		}
+		if total := s.t.RowCount(); total >= 0 {
+			// Row count known (possibly learned mid-scan by a concurrent
+			// query): every chunk base is known, so workers claim chunks
+			// outright; COUNT(*)-style scans finish from metadata alone.
+			if countSpec {
+				p.emit(&chunkOut{c: c, countFinal: total, base: -1, nextBase: -1})
+				return
+			}
+			nrows, _ := s.t.chunkRows(c)
+			if nrows == 0 {
+				p.emit(&chunkOut{c: c, eof: true, countFinal: -1, base: -1, nextBase: -1})
+				return
+			}
+			if !p.dispatch(workItem{c: c, kind: srcFetch, nrows: nrows, known: true}) {
+				return
+			}
+			continue
+		}
+		base, okBase := s.t.chunkBase(c)
+		if _, okNext := s.t.chunkBase(c + 1); okBase && okNext {
+			// Bases bracket the chunk (a full chunk from an earlier,
+			// possibly partial, scan): the worker preads it itself.
+			if !p.dispatch(workItem{c: c, kind: srcFetch, nrows: s.opts.ChunkRows}) {
+				return
+			}
+			continue
+		}
+		// Unknown territory: do the only inherently sequential work — read
+		// ahead and find row boundaries — and hand the raw chunk to a
+		// worker for the expensive tokenize/convert/filter stage.
+		b := &metrics.Breakdown{}
+		reader.SetBreakdown(b)
+		if okBase && cr.Offset() != base {
+			cr.SeekTo(base)
+		}
+		err := chargeBreakdown(b, metrics.Tokenizing, func() error {
+			return cr.NextChunk(s.opts.ChunkRows, &ch)
+		})
+		if err == io.EOF {
+			p.emit(&chunkOut{c: c, eof: true, b: b, countFinal: -1, base: -1, nextBase: -1})
+			return
+		}
+		if err != nil {
+			p.emit(&chunkOut{c: c, err: err, b: b, countFinal: -1, base: -1, nextBase: -1})
+			return
+		}
+		it := workItem{c: c, kind: srcRaw, nrows: ch.Rows, splitB: b}
+		sw := metrics.NewStopwatch(b)
+		it.ch = copyChunk(&ch)
+		sw.Stop(metrics.Tokenizing)
+		if !p.dispatch(it) {
+			return
+		}
+	}
+}
+
+// worker claims chunks from the splitter and processes them with a private
+// chunkWorker, breakdown and reader view.
+func (p *pipeline) worker() {
+	defer p.wg.Done()
+	reader := p.s.reader.View(nil)
+	w := newChunkWorker(p.s.t, p.s.opts, p.s.spec, nil, reader, nil, false)
+	w.free = p.free
+	for it := range p.work {
+		b := &metrics.Breakdown{}
+		if it.splitB != nil {
+			b.Merge(it.splitB)
+		}
+		w.b = b
+		reader.SetBreakdown(b)
+		out := w.run(it.c, chunkSrc{kind: it.kind, nrows: it.nrows, known: it.known, ch: &it.ch})
+		out.b = b
+		select {
+		case p.results <- out:
+		case <-p.done:
+			return
+		}
+	}
+}
+
+// copyChunk deep-copies a chunk out of the splitter's reused read buffer so
+// it can cross the channel to a worker.
+func copyChunk(src *rawfile.Chunk) rawfile.Chunk {
+	return rawfile.Chunk{
+		Base:  src.Base,
+		Rows:  src.Rows,
+		Data:  append([]byte(nil), src.Data...),
+		Start: append([]int32(nil), src.Start...),
+		End:   append([]int32(nil), src.End...),
+	}
+}

@@ -3,12 +3,8 @@ package core
 import (
 	"fmt"
 	"io"
-	"sort"
-	"time"
 
 	"nodb/internal/metrics"
-	"nodb/internal/posmap"
-	"nodb/internal/rawcache"
 	"nodb/internal/rawfile"
 	"nodb/internal/value"
 )
@@ -25,14 +21,31 @@ type ScanSpec struct {
 	FilterAttrs []int
 	// Filter is the pushed-down predicate over the output layout; nil keeps
 	// every row. Slots of attributes outside FilterAttrs are NULL when it
-	// runs.
+	// runs. With Parallelism > 1 the predicate runs concurrently from
+	// several workers and must be safe for concurrent calls (pure functions
+	// over the row, the planner's compiled predicates, qualify).
 	Filter func(row []value.Value) (bool, error)
 	// B receives the execution breakdown. Must be non-nil.
 	B *metrics.Breakdown
 }
 
+// Batch is one chunk's worth of scan output in columnar layout: Cols holds
+// every row of the chunk for each needed attribute (in ScanSpec.Needed
+// order) and Sel lists the qualifying row indexes in ascending order.
+// Columns of attributes outside FilterAttrs hold converted values only at
+// the selected rows (selective tuple formation); the other slots are
+// unspecified. The batch is valid until the next NextBatch or Next call.
+type Batch struct {
+	NumRows int
+	Cols    [][]value.Value
+	Sel     []int32
+}
+
 // Scan is an in-situ scan over a raw table. Not safe for concurrent use;
-// run one goroutine per scan.
+// run one goroutine per scan. With Options.Parallelism > 1 the scan runs a
+// chunk pipeline internally — a splitter stage plus a bounded worker pool —
+// and an ordered merge re-sequences the chunks, so results, row order, and
+// adaptive-structure population are identical to the sequential scan.
 type Scan struct {
 	t    *Table
 	b    *metrics.Breakdown
@@ -40,31 +53,19 @@ type Scan struct {
 	spec ScanSpec
 
 	reader *rawfile.Reader
-	cr     *rawfile.ChunkReader
-	ch     rawfile.Chunk
+	w      *chunkWorker // sequential worker (Parallelism == 1)
+	pl     *pipeline    // parallel pipeline (Parallelism > 1), started lazily
 
-	chunkID  int
-	rowsDone int64
-	finished bool
-
-	// Current batch.
-	nrows  int
-	cols   [][]value.Value
-	sel    []int32
-	selPos int
-	out    []value.Value
-
-	// Reused scratch.
-	frags     []*rawcache.Fragment
-	delims    []int16 // needed delimiters for file-served attrs, sorted
-	posBuf    []int32 // nrows x len(delims), data coordinates
-	tmpEnds   []int32
-	spanLo    []int32
-	spanHi    []int32
-	rangeBuf  []byte
-	learnDel  []int16
-	learnPos  []uint32
+	chunkID   int
+	rowsDone  int64
+	finished  bool
 	countOnly int64 // pending synthetic rows for zero-attribute scans
+
+	cur      *chunkOut // current committed chunk
+	selPos   int       // cursor into cur.sel for Next
+	out      []value.Value
+	batch    Batch
+	countSel []int32 // identity selection for synthetic count batches
 }
 
 // NewScan opens a scan. Close must be called when done.
@@ -98,16 +99,22 @@ func (t *Table) NewScan(spec ScanSpec) (*Scan, error) {
 		opts:   t.Options(),
 		spec:   spec,
 		reader: reader,
-		cr:     rawfile.NewChunkReader(reader, t.Options().BlockSize),
-		cols:   make([][]value.Value, len(spec.Needed)),
 		out:    make([]value.Value, len(spec.Needed)),
-		frags:  make([]*rawcache.Fragment, len(spec.Needed)),
+	}
+	if s.opts.Parallelism <= 1 {
+		s.w = newChunkWorker(t, s.opts, spec, s.b, reader,
+			rawfile.NewChunkReader(reader, s.opts.BlockSize), true)
 	}
 	return s, nil
 }
 
-// Close releases the scan's file handle.
+// Close releases the scan's file handle and, for parallel scans, stops the
+// pipeline (discarding any chunks read ahead but not yet returned).
 func (s *Scan) Close() error {
+	if s.pl != nil {
+		s.pl.shutdown()
+		s.pl = nil
+	}
 	if s.reader == nil {
 		return nil
 	}
@@ -124,18 +131,18 @@ func (s *Scan) Next() ([]value.Value, bool, error) {
 			s.countOnly--
 			return s.out, true, nil
 		}
-		if s.selPos < len(s.sel) {
-			r := s.sel[s.selPos]
+		if s.cur != nil && s.selPos < len(s.cur.sel) {
+			r := s.cur.sel[s.selPos]
 			s.selPos++
-			for i := range s.cols {
-				s.out[i] = s.cols[i][r]
+			for i := range s.cur.cols {
+				s.out[i] = s.cur.cols[i][r]
 			}
 			return s.out, true, nil
 		}
 		if s.finished {
 			return nil, false, nil
 		}
-		if err := s.loadChunk(); err == io.EOF {
+		if err := s.advance(); err == io.EOF {
 			s.finished = true
 		} else if err != nil {
 			return nil, false, err
@@ -143,683 +150,118 @@ func (s *Scan) Next() ([]value.Value, bool, error) {
 	}
 }
 
-// charge runs fn and charges its elapsed time, minus any I/O time fn caused,
-// to category cat.
-func (s *Scan) charge(cat metrics.Category, fn func() error) error {
-	io0 := s.b.Times[metrics.IO]
-	t0 := time.Now()
-	err := fn()
-	el := time.Since(t0)
-	s.b.Times[cat] += el - (s.b.Times[metrics.IO] - io0)
-	return err
+// NextBatch returns the next chunk of qualifying rows in columnar form,
+// skipping the per-row interface overhead of Next. The batch is valid until
+// the following NextBatch or Next call. A batch may have an empty selection
+// when the pushed-down filter disqualified every row of a chunk. Mixing
+// Next and NextBatch is allowed: NextBatch serves whatever of the current
+// chunk Next has not consumed yet.
+func (s *Scan) NextBatch() (*Batch, bool, error) {
+	for {
+		if s.countOnly > 0 {
+			n := s.countOnly
+			if max := int64(s.opts.ChunkRows); n > max {
+				n = max
+			}
+			s.countOnly -= n
+			for len(s.countSel) < int(n) {
+				s.countSel = append(s.countSel, int32(len(s.countSel)))
+			}
+			s.batch = Batch{NumRows: int(n), Cols: nil, Sel: s.countSel[:n]}
+			return &s.batch, true, nil
+		}
+		if s.cur != nil && s.selPos < len(s.cur.sel) {
+			s.batch = Batch{NumRows: s.cur.nrows, Cols: s.cur.cols, Sel: s.cur.sel[s.selPos:]}
+			s.selPos = len(s.cur.sel)
+			return &s.batch, true, nil
+		}
+		if s.finished {
+			return nil, false, nil
+		}
+		if err := s.advance(); err == io.EOF {
+			s.finished = true
+		} else if err != nil {
+			return nil, false, err
+		}
+	}
 }
 
-// loadChunk processes one chunk into the batch buffers. Returns io.EOF when
-// the file is exhausted.
-func (s *Scan) loadChunk() error {
-	c := s.chunkID
-	nrows, known := s.t.chunkRows(c)
-	if known && nrows == 0 {
-		return io.EOF
-	}
-
+// advance loads the next chunk (sequentially or from the pipeline's ordered
+// merge) into s.cur. Returns io.EOF when the scan is exhausted.
+func (s *Scan) advance() error {
 	// COUNT(*)-style scans need no attribute data: once the row count is
-	// known, answer from metadata without touching the file.
+	// known, answer the remainder from metadata without touching the file.
 	if len(s.spec.Needed) == 0 && s.spec.Filter == nil {
 		if total := s.t.RowCount(); total >= 0 {
 			s.countOnly = total - s.rowsDone
 			s.rowsDone = total
 			s.b.RowsScanned += s.countOnly
-			s.chunkID = int(total/int64(s.opts.ChunkRows)) + 1
-			if s.countOnly == 0 {
-				return io.EOF
-			}
-			return nil
+			s.cur = nil
+			return io.EOF
 		}
 	}
-
-	// Probe the cache for every needed attribute.
-	allCached := s.opts.EnableCache && known && len(s.spec.Needed) > 0
-	for i, a := range s.spec.Needed {
-		s.frags[i] = nil
-		if s.opts.EnableCache && known {
-			if f, ok := s.t.cache.Get(rawcache.Key{Chunk: c, Attr: a}); ok && f.Rows == nrows {
-				s.frags[i] = f
-				continue
-			}
+	if s.opts.Parallelism > 1 {
+		if s.pl == nil {
+			s.pl = startPipeline(s)
 		}
-		allCached = false
+		return s.advanceParallel()
 	}
-
-	if allCached {
-		return s.serveAllCached(c, nrows)
-	}
-	return s.serveFromFile(c, nrows, known)
+	return s.commit(s.w.run(s.chunkID, chunkSrc{kind: srcSeq}))
 }
 
-// serveAllCached builds the batch purely from cache fragments.
-func (s *Scan) serveAllCached(c, nrows int) error {
-	sw := metrics.NewStopwatch(s.b)
-	s.ensureBatch(nrows)
-	for i := range s.spec.Needed {
-		col := s.cols[i]
-		frag := s.frags[i]
-		if s.isFilterIdx(i) || s.spec.Filter == nil {
-			for r := 0; r < nrows; r++ {
-				col[r] = frag.Value(r)
-			}
-			s.b.CacheHitFields += int64(nrows)
-		}
+// commit applies one processed chunk's deferred side effects to the shared
+// structures and makes its batch current. Chunks are always committed in
+// file order — trivially in sequential mode, via the ordered merge in
+// parallel mode — so positional-map, cache and statistics population is
+// deterministic regardless of worker interleaving.
+func (s *Scan) commit(o *chunkOut) error {
+	if o.b != nil {
+		s.b.Merge(o.b)
 	}
-	sw.Stop(metrics.NoDB)
-
-	if err := s.runFilter(nrows); err != nil {
-		return err
+	if o.err != nil {
+		return o.err
 	}
-
-	sw.Restart()
-	if s.spec.Filter != nil {
-		for i := range s.spec.Needed {
-			if s.isFilterIdx(i) {
-				continue
-			}
-			col := s.cols[i]
-			frag := s.frags[i]
-			for _, r := range s.sel {
-				col[r] = frag.Value(int(r))
-			}
-			s.b.CacheHitFields += int64(len(s.sel))
-		}
+	if o.base >= 0 {
+		s.t.learnChunkBase(o.c, o.base)
 	}
-	sw.Stop(metrics.NoDB)
-
-	// Account skipped file bytes.
-	if base, ok := s.t.chunkBase(c); ok {
-		if next, ok2 := s.t.chunkBase(c + 1); ok2 {
-			s.b.BytesSkipped += next - base
-		} else {
-			s.b.BytesSkipped += s.reader.Size() - base
-		}
+	if o.nextBase >= 0 {
+		s.t.learnChunkBase(o.c+1, o.nextBase)
 	}
-	s.b.RowsScanned += int64(nrows)
-	s.rowsDone += int64(nrows)
-	s.chunkID++
-	return nil
-}
-
-// fileAttr describes one needed attribute served from the file this chunk.
-type fileAttr struct {
-	i     int // index into Needed / cols
-	attr  int
-	jPrev int // index into s.delims of delimiter attr-1 (or -1 entry)
-	jSelf int // index into s.delims of delimiter attr
-}
-
-// serveFromFile reads the chunk (wholly, or just the needed byte range when
-// the positional map covers everything) and materializes the batch.
-func (s *Scan) serveFromFile(c, knownRows int, known bool) error {
-	// Which attributes come from the file, and which delimiters they need.
-	var fileAttrs []fileAttr
-	s.delims = s.delims[:0]
-	delimIdx := map[int16]int{}
-	addDelim := func(d int16) int {
-		if j, ok := delimIdx[d]; ok {
-			return j
-		}
-		s.delims = append(s.delims, d)
-		delimIdx[d] = len(s.delims) - 1
-		return len(s.delims) - 1
-	}
-	for i, a := range s.spec.Needed {
-		if s.frags[i] != nil {
-			continue
-		}
-		fa := fileAttr{i: i, attr: a}
-		fa.jPrev = addDelim(int16(a) - 1)
-		fa.jSelf = addDelim(int16(a))
-		fileAttrs = append(fileAttrs, fa)
-	}
-	sort.Slice(s.delims, func(i, j int) bool { return s.delims[i] < s.delims[j] })
-	for j, d := range s.delims {
-		delimIdx[d] = j
-	}
-	for k := range fileAttrs {
-		fileAttrs[k].jPrev = delimIdx[int16(fileAttrs[k].attr)-1]
-		fileAttrs[k].jSelf = delimIdx[int16(fileAttrs[k].attr)]
-	}
-
-	// Positional-map view for the chunk.
-	var view posmap.View
-	haveView := false
-	if s.opts.EnablePosMap {
-		if v, ok := s.t.pm.ViewChunk(c); ok {
-			view = v
-			haveView = true
-		}
-	}
-
-	// Fully mapped fast path: every needed delimiter tracked, row count
-	// known — jump straight to the needed byte range, no tokenizing.
-	if haveView && known && view.Rows() == knownRows && len(s.delims) > 0 {
-		mappedAll := true
-		for _, d := range s.delims {
-			if !view.Has(d) {
-				mappedAll = false
-				break
-			}
-		}
-		if mappedAll {
-			return s.serveMapped(c, knownRows, &view, fileAttrs)
-		}
-	}
-
-	return s.serveTokenize(c, knownRows, known, haveView, &view, fileAttrs)
-}
-
-// serveMapped reads only the byte range covering the needed fields and
-// extracts them via exact positional-map jumps. Positions in posBuf follow
-// the virtual-delimiter convention: the entry for delimiter d is the offset
-// of the boundary byte, with delimiter -1 (row start) stored as start-1, so
-// field a always spans (pos(a-1), pos(a)) exclusive of both ends.
-func (s *Scan) serveMapped(c, nrows int, view *posmap.View, fileAttrs []fileAttr) error {
-	K := len(s.delims)
-	s.ensureBatch(nrows)
-	if cap(s.posBuf) < nrows*K {
-		s.posBuf = make([]int32, nrows*K)
-	}
-	s.posBuf = s.posBuf[:nrows*K]
-
-	sw := metrics.NewStopwatch(s.b)
-	// Pass 1: byte range. Positions ascend within a row, so the first and
-	// last needed delimiters bound the range.
-	lo := int64(1) << 62
-	var hi int64
-	dFirst, dLast := s.delims[0], s.delims[K-1]
-	for r := 0; r < nrows; r++ {
-		pf, ok1 := view.Pos(r, dFirst)
-		pl, ok2 := view.Pos(r, dLast)
-		if !ok1 || !ok2 {
-			return fmt.Errorf("core: positional map lost a delimiter mid-scan")
-		}
-		if pf < lo {
-			lo = pf
-		}
-		if pl > hi {
-			hi = pl
-		}
-	}
-	// Pass 2: fill positions relative to lo; the row-start pseudo-delimiter
-	// shifts by one extra so the uniform span rule holds.
-	for r := 0; r < nrows; r++ {
-		for j, d := range s.delims {
-			p, ok := view.Pos(r, d)
-			if !ok {
-				return fmt.Errorf("core: positional map lost delimiter %d mid-scan", d)
-			}
-			rel := int32(p - lo)
-			if d == -1 {
-				rel--
-			}
-			s.posBuf[r*K+j] = rel
-		}
-	}
-	s.b.MapJumpFields += int64(nrows * len(fileAttrs))
-	sw.Stop(metrics.NoDB)
-
-	// Read the range.
-	n := int(hi - lo)
-	if cap(s.rangeBuf) < n {
-		s.rangeBuf = make([]byte, n)
-	}
-	s.rangeBuf = s.rangeBuf[:n]
-	if n > 0 {
-		if _, err := s.reader.ReadAt(s.rangeBuf, lo); err != nil && err != io.EOF {
-			return err
-		}
-	}
-	if base, ok := s.t.chunkBase(c); ok {
-		chunkLen := s.reader.Size() - base
-		if next, ok2 := s.t.chunkBase(c + 1); ok2 {
-			chunkLen = next - base
-		}
-		if skipped := chunkLen - int64(n); skipped > 0 {
-			s.b.BytesSkipped += skipped
-		}
-	}
-
-	if err := s.materialize(nrows, s.rangeBuf, K, fileAttrs); err != nil {
-		return err
-	}
-	s.finishChunk(c, nrows)
-	return nil
-}
-
-// serveTokenize reads the chunk's rows and tokenizes whatever the positional
-// map cannot answer, learning new positions along the way.
-func (s *Scan) serveTokenize(c, knownRows int, known, haveView bool, view *posmap.View, fileAttrs []fileAttr) error {
-	// Position the reader at the chunk base.
-	if base, ok := s.t.chunkBase(c); ok {
-		if s.cr.Offset() != base {
-			s.cr.SeekTo(base)
-		}
-	}
-	err := s.charge(metrics.Tokenizing, func() error {
-		return s.cr.NextChunk(s.opts.ChunkRows, &s.ch)
-	})
-	if err == io.EOF {
+	if o.eof {
 		s.t.learnRowCount(s.rowsDone)
 		return io.EOF
 	}
-	if err != nil {
-		return err
+	if o.countFinal >= 0 {
+		s.countOnly = o.countFinal - s.rowsDone
+		s.rowsDone = o.countFinal
+		s.b.RowsScanned += s.countOnly
+		s.cur = nil
+		return io.EOF
 	}
-	nrows := s.ch.Rows
-	if known && nrows != knownRows {
-		return fmt.Errorf("core: chunk %d has %d rows, structures say %d (file changed without Refresh?)", c, nrows, knownRows)
-	}
-	s.t.learnChunkBase(c, s.ch.Base)
-	if nrows == s.opts.ChunkRows {
-		s.t.learnChunkBase(c+1, s.cr.Offset())
-	}
-	if haveView && view.Rows() != nrows {
-		haveView = false // stale view; re-learn
-	}
-
-	K := len(s.delims)
-	s.ensureBatch(nrows)
-	if K > 0 {
-		if cap(s.posBuf) < nrows*K {
-			s.posBuf = make([]int32, nrows*K)
-		}
-		s.posBuf = s.posBuf[:nrows*K]
-	}
-
-	// Build the per-chunk plan: for each needed delimiter, either it is the
-	// row start (free), the map has it, or we tokenize a gap starting after
-	// the nearest tracked (or previously computed) delimiter.
-	const (
-		stepRowStart = iota
-		stepMapped
-		stepGap
-	)
-	type step struct {
-		j        int   // index into s.delims
-		kind     int   // stepRowStart, stepMapped, stepGap
-		from     int16 // gap start delimiter (exclusive); -1 = row start
-		fromJ    int   // index into s.delims holding from's position, or -1
-		fromView bool  // from's position comes from the view, not posBuf
-	}
-	steps := make([]step, 0, K)
-	cursor := int16(-1)
-	cursorJ := -1
-	learnSet := map[int16]bool{}
-	for j, d := range s.delims {
-		if d == -1 {
-			steps = append(steps, step{j: j, kind: stepRowStart})
-			cursorJ = j
-			continue
-		}
-		if haveView && view.Has(d) {
-			steps = append(steps, step{j: j, kind: stepMapped})
-			cursor, cursorJ = d, j
-			continue
-		}
-		from, fromJ, fromView := cursor, cursorJ, false
-		if haveView {
-			if nd, ok := view.NearestDelim(d); ok && nd > from {
-				from, fromJ, fromView = nd, -1, true
-			}
-		}
-		steps = append(steps, step{j: j, kind: stepGap, from: from, fromJ: fromJ, fromView: fromView})
-		// Everything tokenized in the gap is learned (the paper: keep
-		// positions for attributes tokenized along the way), thinned by
-		// MapEveryNth but always keeping the needed delimiter itself.
-		for g := from + 1; g <= d; g++ {
-			if g == d || int(g)%s.opts.MapEveryNth == 0 {
-				learnSet[g] = true
-			}
-		}
-		cursor, cursorJ = d, j
-	}
-
-	// Learned slab layout (sorted delimiters; row starts are free to learn).
-	s.learnDel = s.learnDel[:0]
-	if s.opts.EnablePosMap {
-		if !haveView || !view.Has(-1) {
-			learnSet[-1] = true
-		}
-		for d := range learnSet {
-			s.learnDel = append(s.learnDel, d)
-		}
-		sort.Slice(s.learnDel, func(i, j int) bool { return s.learnDel[i] < s.learnDel[j] })
-	}
-	L := len(s.learnDel)
-	learnIdx := make(map[int16]int, L)
-	for j, d := range s.learnDel {
-		learnIdx[d] = j
-	}
-	if cap(s.learnPos) < nrows*L {
-		s.learnPos = make([]uint32, nrows*L)
-	}
-	s.learnPos = s.learnPos[:nrows*L]
-
-	// Tokenize every row following the plan.
-	serr := s.charge(metrics.Tokenizing, func() error {
-		base := s.ch.Base
-		for r := 0; r < nrows; r++ {
-			rowStart := s.ch.Start[r]
-			rowEnd := s.ch.End[r]
-			row := s.ch.Data[rowStart:rowEnd]
-			if L > 0 {
-				if j, ok := learnIdx[-1]; ok {
-					s.learnPos[r*L+j] = uint32(rowStart)
-				}
-			}
-			for _, st := range steps {
-				d := s.delims[st.j]
-				if st.kind == stepRowStart {
-					s.posBuf[r*K+st.j] = rowStart - 1
-					continue
-				}
-				if st.kind == stepMapped {
-					p, ok := view.Pos(r, d)
-					if !ok {
-						return fmt.Errorf("core: positional map lost delimiter %d mid-scan", d)
-					}
-					s.posBuf[r*K+st.j] = int32(p - base)
-					s.b.MapJumpFields++
-					continue
-				}
-				// Gap start position in data coordinates.
-				var fromPos int32 // position of delimiter st.from
-				switch {
-				case st.from == -1 && st.fromJ < 0:
-					fromPos = rowStart - 1
-				case st.from == -1:
-					fromPos = s.posBuf[r*K+st.fromJ] // row-start step already ran
-				case st.fromView:
-					p, ok := view.Pos(r, st.from)
-					if !ok {
-						return fmt.Errorf("core: positional map lost delimiter %d mid-scan", st.from)
-					}
-					fromPos = int32(p - base)
-					s.b.MapNearFields++
-				default:
-					fromPos = s.posBuf[r*K+st.fromJ]
-				}
-				scanRel := int(fromPos + 1 - rowStart) // first byte of field from+1, relative to row
-				s.tmpEnds = rawfile.TokenizeUpTo(row, s.opts.Delim, int(st.from)+1, int(d), scanRel, s.tmpEnds[:0])
-				s.b.FieldsTokenized += int64(len(s.tmpEnds))
-				// Record learned positions; missing trailing fields clamp to
-				// the row end.
-				g := st.from + 1
-				for _, rel := range s.tmpEnds {
-					p := rowStart + rel
-					if j, ok := learnIdx[g]; ok {
-						s.learnPos[r*L+j] = uint32(p)
-					}
-					if g == d {
-						s.posBuf[r*K+st.j] = p
-					}
-					g++
-				}
-				for ; g <= d; g++ { // row ran out of fields
-					if j, ok := learnIdx[g]; ok {
-						s.learnPos[r*L+j] = uint32(rowEnd)
-					}
-					if g == d {
-						s.posBuf[r*K+st.j] = rowEnd
-					}
-				}
-			}
-		}
-		return nil
-	})
-	if serr != nil {
-		return serr
-	}
-
-	// Populate the positional map with what this chunk taught us.
-	if s.opts.EnablePosMap && L > 0 {
+	if len(o.learnDel) > 0 {
 		sw := metrics.NewStopwatch(s.b)
-		s.t.pm.Populate(c, s.ch.Base, nrows, s.learnDel, s.learnPos)
+		s.t.pm.Populate(o.c, o.base, o.nrows, o.learnDel, o.learnPos)
 		sw.Stop(metrics.NoDB)
 	}
-
-	if err := s.materialize(nrows, s.ch.Data, K, fileAttrs); err != nil {
-		return err
-	}
-	s.finishChunk(c, nrows)
-	return nil
-}
-
-// materialize converts the needed fields into the batch columns, runs the
-// filter, converts projection-only attributes for qualifying rows, and
-// populates cache and statistics.
-func (s *Scan) materialize(nrows int, data []byte, K int, fileAttrs []fileAttr) error {
-	fullConverted := make([]bool, len(s.spec.Needed))
-
-	// Phase 1: filter attributes (or everything when there is no filter is
-	// still phase 1 for cache-served + phase 3 for the rest).
-	for i := range s.spec.Needed {
-		if !s.isFilterIdx(i) {
-			continue
-		}
-		if err := s.materializeAttr(i, nrows, nil, data, K, fileAttrs); err != nil {
-			return err
-		}
-		fullConverted[i] = true
-	}
-
-	if err := s.runFilter(nrows); err != nil {
-		return err
-	}
-
-	// Phase 2: remaining attributes, only for qualifying rows (selective
-	// tuple formation). When nothing was filtered out the conversion is
-	// complete and cacheable.
-	selAll := len(s.sel) == nrows
-	for i := range s.spec.Needed {
-		if s.isFilterIdx(i) {
-			continue
-		}
-		rows := s.sel
-		if err := s.materializeAttr(i, nrows, rows, data, K, fileAttrs); err != nil {
-			return err
-		}
-		if selAll {
-			fullConverted[i] = true
-		}
-	}
-
-	// Cache population: fragments for fully converted file-served attrs.
-	if s.opts.EnableCache {
+	if len(o.frags) > 0 {
 		sw := metrics.NewStopwatch(s.b)
-		for i, a := range s.spec.Needed {
-			if s.frags[i] != nil || !fullConverted[i] {
-				continue
-			}
-			b := rawcache.NewBuilder(rawcache.Key{Chunk: s.chunkID, Attr: a}, s.t.sch.Col(a).Kind, nrows)
-			col := s.cols[i]
-			for r := 0; r < nrows; r++ {
-				b.Append(col[r])
-			}
-			s.t.cache.Put(b.Finish())
+		for _, f := range o.frags {
+			s.t.cache.Put(f)
 		}
 		sw.Stop(metrics.NoDB)
 	}
-
-	// Statistics: sample fully converted attrs, once per (chunk, attr).
-	if s.opts.EnableStats {
+	if len(o.samples) > 0 {
 		sw := metrics.NewStopwatch(s.b)
-		for i, a := range s.spec.Needed {
-			if !fullConverted[i] && s.frags[i] == nil {
-				continue
+		for _, smp := range o.samples {
+			if s.t.markStatsSeen(o.c, smp.attr) {
+				s.t.stats.ObserveBatch(smp.attr, smp.kind, smp.values)
 			}
-			if !s.t.markStatsSeen(s.chunkID, a) {
-				continue
-			}
-			col := s.cols[i]
-			var sample []value.Value
-			if s.frags[i] != nil {
-				for r := 0; r < nrows; r += s.opts.StatsSampleEvery {
-					sample = append(sample, s.frags[i].Value(r))
-				}
-			} else {
-				for r := 0; r < nrows; r += s.opts.StatsSampleEvery {
-					sample = append(sample, col[r])
-				}
-			}
-			s.t.stats.ObserveBatch(a, s.t.sch.Col(a).Kind, sample)
 		}
 		sw.Stop(metrics.NoDB)
 	}
-	return nil
-}
-
-// materializeAttr fills cols[i] for the given rows (nil = all nrows rows),
-// from the cache fragment or by extracting and converting file bytes.
-func (s *Scan) materializeAttr(i, nrows int, rows []int32, data []byte, K int, fileAttrs []fileAttr) error {
-	col := s.cols[i]
-	if frag := s.frags[i]; frag != nil {
-		sw := metrics.NewStopwatch(s.b)
-		if rows == nil {
-			for r := 0; r < nrows; r++ {
-				col[r] = frag.Value(r)
-			}
-			s.b.CacheHitFields += int64(nrows)
-		} else {
-			for _, r := range rows {
-				col[r] = frag.Value(int(r))
-			}
-			s.b.CacheHitFields += int64(len(rows))
-		}
-		sw.Stop(metrics.NoDB)
-		return nil
-	}
-
-	// Find the attr's delimiter slots.
-	var fa *fileAttr
-	for k := range fileAttrs {
-		if fileAttrs[k].i == i {
-			fa = &fileAttrs[k]
-			break
-		}
-	}
-	if fa == nil {
-		return fmt.Errorf("core: internal: attr index %d not planned", i)
-	}
-
-	// Extraction (Parsing): compute field spans.
-	n := nrows
-	if rows != nil {
-		n = len(rows)
-	}
-	if cap(s.spanLo) < n {
-		s.spanLo = make([]int32, n)
-		s.spanHi = make([]int32, n)
-	}
-	s.spanLo = s.spanLo[:n]
-	s.spanHi = s.spanHi[:n]
-	sw := metrics.NewStopwatch(s.b)
-	for k := 0; k < n; k++ {
-		r := k
-		if rows != nil {
-			r = int(rows[k])
-		}
-		// posBuf entries hold boundary positions with the row start stored
-		// as start-1, so every field spans (prev, self) exclusive.
-		lo := s.posBuf[r*K+fa.jPrev] + 1
-		hi := s.posBuf[r*K+fa.jSelf]
-		if hi < lo {
-			hi = lo
-		}
-		s.spanLo[k] = lo
-		s.spanHi[k] = hi
-	}
-	sw.Stop(metrics.Parsing)
-
-	// Conversion (Convert): text -> binary.
-	kind := s.t.sch.Col(fa.attr).Kind
-	err := func() error {
-		defer sw.Stop(metrics.Convert)
-		sw.Restart()
-		for k := 0; k < n; k++ {
-			r := k
-			if rows != nil {
-				r = int(rows[k])
-			}
-			v, perr := value.Parse(data[s.spanLo[k]:s.spanHi[k]], kind)
-			if perr != nil {
-				v = value.Null() // malformed field reads as NULL, like the loader
-			}
-			col[r] = v
-			s.b.FieldsConverted++
-		}
-		return nil
-	}()
-	return err
-}
-
-// runFilter evaluates the pushed-down predicate over the batch, producing
-// the selection vector.
-func (s *Scan) runFilter(nrows int) error {
-	s.sel = s.sel[:0]
+	s.rowsDone += int64(o.nrows)
+	s.cur = o
 	s.selPos = 0
-	sw := metrics.NewStopwatch(s.b)
-	defer sw.Stop(metrics.Processing)
-	if s.spec.Filter == nil {
-		for r := 0; r < nrows; r++ {
-			s.sel = append(s.sel, int32(r))
-		}
-		return nil
-	}
-	for r := 0; r < nrows; r++ {
-		for i := range s.cols {
-			if s.isFilterIdx(i) {
-				s.out[i] = s.cols[i][r]
-			} else {
-				s.out[i] = value.Null()
-			}
-		}
-		keep, err := s.spec.Filter(s.out)
-		if err != nil {
-			return err
-		}
-		if keep {
-			s.sel = append(s.sel, int32(r))
-		}
-	}
+	s.chunkID = o.c + 1
 	return nil
-}
-
-// finishChunk advances the scan past a processed chunk.
-func (s *Scan) finishChunk(c, nrows int) {
-	s.b.RowsScanned += int64(nrows)
-	s.rowsDone += int64(nrows)
-	s.chunkID = c + 1
-}
-
-// ensureBatch sizes the batch buffers for nrows rows.
-func (s *Scan) ensureBatch(nrows int) {
-	s.nrows = nrows
-	for i := range s.cols {
-		if cap(s.cols[i]) < nrows {
-			s.cols[i] = make([]value.Value, nrows)
-		}
-		s.cols[i] = s.cols[i][:nrows]
-	}
-	s.sel = s.sel[:0]
-	s.selPos = 0
-}
-
-// isFilterIdx reports whether Needed[i] is a filter attribute.
-func (s *Scan) isFilterIdx(i int) bool {
-	a := s.spec.Needed[i]
-	for _, f := range s.spec.FilterAttrs {
-		if f == a {
-			return true
-		}
-	}
-	return false
 }

@@ -10,6 +10,7 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"nodb/internal/posmap"
@@ -39,6 +40,12 @@ type Options struct {
 	EnableStats      bool
 	StatsSampleEvery int // sample one row in N for statistics; default 16
 	MapEveryNth      int // keep every Nth tokenized delimiter in the map; default 1 (all)
+	// Parallelism is the number of chunk-pipeline workers per scan;
+	// <= 0 defaults to GOMAXPROCS. 1 runs the original sequential scan.
+	// Any setting yields identical rows, row order, and adaptive-structure
+	// contents; with N > 1 the breakdown's time categories aggregate CPU
+	// time across workers rather than wall-clock time.
+	Parallelism int
 }
 
 func (o *Options) fillDefaults() {
@@ -53,6 +60,9 @@ func (o *Options) fillDefaults() {
 	}
 	if o.MapEveryNth <= 0 {
 		o.MapEveryNth = 1
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
 }
 
@@ -215,6 +225,19 @@ func (t *Table) markStatsSeen(chunk, attr int) bool {
 	}
 	t.statsSeen[k] = struct{}{}
 	return true
+}
+
+// statsSeenPeek reports whether (chunk, attr) was already sampled, without
+// claiming it. Workers use this to skip sampling work on repeat scans; the
+// authoritative claim happens at commit via markStatsSeen.
+func (t *Table) statsSeenPeek(chunk, attr int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.statsSeen == nil {
+		return false
+	}
+	_, ok := t.statsSeen[[2]int{chunk, attr}]
+	return ok
 }
 
 // chunkBase returns the base offset of chunk c if known.

@@ -1,0 +1,892 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"nodb/internal/metrics"
+	"nodb/internal/posmap"
+	"nodb/internal/rawcache"
+	"nodb/internal/rawfile"
+	"nodb/internal/value"
+)
+
+// Chunk sources: where a worker gets the bytes of the chunk it processes.
+const (
+	// srcSeq reads through the worker's own ChunkReader, advancing
+	// sequentially. This is the Parallelism=1 path and behaves exactly like
+	// the original single-threaded scan.
+	srcSeq = iota
+	// srcFetch preads the chunk's known byte range directly (parallel
+	// workers over chunks whose base offsets were learned earlier).
+	srcFetch
+	// srcRaw processes a chunk already read and row-split by the pipeline's
+	// splitter stage (parallel scan over territory with unknown bases).
+	srcRaw
+)
+
+// chunkSrc tells a worker where one chunk's bytes come from.
+type chunkSrc struct {
+	kind  int
+	nrows int            // expected row count, when known
+	known bool           // row count known from table metadata
+	ch    *rawfile.Chunk // srcRaw: the split chunk handed over by the splitter
+}
+
+// statsSample holds one attribute's sampled values for deferred statistics
+// observation.
+type statsSample struct {
+	attr   int
+	kind   value.Kind
+	values []value.Value
+}
+
+// chunkOut is one processed chunk: the batch plus every side effect the
+// scan must apply to the shared adaptive structures. Side effects are
+// deferred so Scan.commit can apply them in strict chunk order — population
+// of the positional map, cache and statistics is then deterministic no
+// matter how parallel workers interleave, and an early-closed scan never
+// publishes knowledge about chunks the consumer did not receive.
+type chunkOut struct {
+	c     int
+	nrows int
+	cols  [][]value.Value
+	sel   []int32
+
+	eof        bool
+	countFinal int64 // >= 0: serve (countFinal - rowsDone) synthetic rows, then stop
+	err        error
+	b          *metrics.Breakdown // private breakdown to fold in; nil when charged directly
+
+	base     int64 // discovered base offset of chunk c, -1 when none
+	nextBase int64 // discovered base offset of chunk c+1, -1 when none
+	learnDel []int16
+	learnPos []uint32
+	frags    []*rawcache.Fragment
+	samples  []statsSample
+}
+
+// chunkWorker processes chunks one at a time: read (or receive) raw bytes,
+// selectively tokenize, convert, filter, and collect deferred structure
+// updates. A worker owns all its scratch, so the pipeline can run one per
+// goroutine; the sequential scan embeds a single worker with reuse=true so
+// batch buffers recycle chunk to chunk exactly as the original scan did.
+type chunkWorker struct {
+	t    *Table
+	opts Options
+	spec ScanSpec
+	b    *metrics.Breakdown
+	// reader is this worker's view of the raw file (stateless preads).
+	reader *rawfile.Reader
+	// cr is the sequential chunk reader; nil for pipeline workers, which
+	// fetch chunk ranges via rawfile.ReadChunkAt instead.
+	cr *rawfile.ChunkReader
+	// reuse recycles the single output across chunks. Only safe when each
+	// chunk is committed before the next one is processed (sequential
+	// mode). Pipeline workers instead draw committed outputs back from the
+	// free list; results in flight in the ordered merge are never touched.
+	reuse bool
+	out   *chunkOut       // recycled output when reuse
+	free  chan *chunkOut  // recycled outputs from the pipeline's consumer
+
+	ch       rawfile.Chunk // scratch chunk for srcSeq / srcFetch
+	chunkBuf []byte        // pread buffer for srcFetch
+
+	// Per-chunk scratch, reused across chunks in both modes.
+	frags     []*rawcache.Fragment
+	fullConv  []bool  // Needed[i] fully converted this chunk
+	filterIdx []bool  // Needed[i] is a filter attribute
+	delims    []int16 // needed delimiters for file-served attrs, sorted
+	delimSlot []int32 // delim+1 -> index+1 into delims; 0 = absent
+	learnMark []bool  // delim+1 -> learn this delimiter this chunk
+	learnSlot []int32 // delim+1 -> index+1 into the chunk's learnDel
+	fileAttrs []fileAttr
+	steps     []tokenStep
+	posBuf    []int32 // nrows x len(delims), data coordinates
+	tmpEnds   []int32
+	spanLo    []int32
+	spanHi    []int32
+	rangeBuf  []byte
+	rowBuf    []value.Value // filter evaluation scratch
+}
+
+// fileAttr describes one needed attribute served from the file this chunk.
+type fileAttr struct {
+	i     int // index into Needed / cols
+	attr  int
+	jPrev int // index into delims of delimiter attr-1 (or -1 entry)
+	jSelf int // index into delims of delimiter attr
+}
+
+// tokenStep is one entry of the per-chunk tokenization plan.
+type tokenStep struct {
+	j        int   // index into delims
+	kind     int   // stepRowStart, stepMapped, stepGap
+	from     int16 // gap start delimiter (exclusive); -1 = row start
+	fromJ    int   // index into delims holding from's position, or -1
+	fromView bool  // from's position comes from the view, not posBuf
+}
+
+const (
+	stepRowStart = iota
+	stepMapped
+	stepGap
+)
+
+func newChunkWorker(t *Table, opts Options, spec ScanSpec, b *metrics.Breakdown,
+	reader *rawfile.Reader, cr *rawfile.ChunkReader, reuse bool) *chunkWorker {
+	w := &chunkWorker{
+		t:         t,
+		opts:      opts,
+		spec:      spec,
+		b:         b,
+		reader:    reader,
+		cr:        cr,
+		reuse:     reuse,
+		frags:     make([]*rawcache.Fragment, len(spec.Needed)),
+		fullConv:  make([]bool, len(spec.Needed)),
+		filterIdx: make([]bool, len(spec.Needed)),
+		delimSlot: make([]int32, t.sch.Len()+1),
+		learnMark: make([]bool, t.sch.Len()+1),
+		learnSlot: make([]int32, t.sch.Len()+1),
+		rowBuf:    make([]value.Value, len(spec.Needed)),
+	}
+	for i, a := range spec.Needed {
+		for _, f := range spec.FilterAttrs {
+			if f == a {
+				w.filterIdx[i] = true
+			}
+		}
+	}
+	if reuse {
+		w.out = &chunkOut{}
+	}
+	return w
+}
+
+// resetOut clears a chunkOut for reuse, keeping buffer capacities.
+func resetOut(o *chunkOut, c int) *chunkOut {
+	o.c, o.nrows = c, 0
+	o.sel = o.sel[:0]
+	o.eof, o.err = false, nil
+	o.b = nil
+	o.countFinal = -1
+	o.base, o.nextBase = -1, -1
+	o.learnDel = o.learnDel[:0]
+	o.learnPos = o.learnPos[:0]
+	o.frags = o.frags[:0]
+	o.samples = o.samples[:0]
+	return o
+}
+
+// newOut prepares the output for one chunk: the sequential scan's single
+// recycled output, a committed output drawn back from the pipeline's free
+// list, or a fresh one.
+func (w *chunkWorker) newOut(c int) *chunkOut {
+	if w.reuse {
+		return resetOut(w.out, c)
+	}
+	if w.free != nil {
+		select {
+		case o := <-w.free:
+			return resetOut(o, c)
+		default:
+		}
+	}
+	return &chunkOut{c: c, countFinal: -1, base: -1, nextBase: -1}
+}
+
+// run processes chunk c from the given source into a chunkOut. Errors and
+// end-of-data are reported on the result, never panicked across goroutines.
+func (w *chunkWorker) run(c int, src chunkSrc) *chunkOut {
+	out := w.newOut(c)
+	if err := w.process(c, src, out); err == io.EOF {
+		out.eof = true
+	} else if err != nil {
+		out.err = err
+	}
+	return out
+}
+
+// charge runs fn and charges its elapsed time, minus any I/O time fn
+// caused, to category cat.
+func (w *chunkWorker) charge(cat metrics.Category, fn func() error) error {
+	return chargeBreakdown(w.b, cat, fn)
+}
+
+// chargeBreakdown runs fn and charges its elapsed time, minus any I/O time
+// fn caused through b, to category cat of b.
+func chargeBreakdown(b *metrics.Breakdown, cat metrics.Category, fn func() error) error {
+	io0 := b.Times[metrics.IO]
+	t0 := time.Now()
+	err := fn()
+	el := time.Since(t0)
+	b.Times[cat] += el - (b.Times[metrics.IO] - io0)
+	return err
+}
+
+// process runs the full per-chunk path: cache probe, then cache-, map- or
+// file-served materialization. Returns io.EOF when the chunk is past the
+// end of data.
+func (w *chunkWorker) process(c int, src chunkSrc, out *chunkOut) error {
+	nrows, known := src.nrows, src.known
+	if src.kind == srcSeq {
+		nrows, known = w.t.chunkRows(c)
+	}
+	if known && nrows == 0 {
+		return io.EOF
+	}
+
+	// Probe the cache for every needed attribute.
+	allCached := w.opts.EnableCache && known && len(w.spec.Needed) > 0
+	for i, a := range w.spec.Needed {
+		w.frags[i] = nil
+		if w.opts.EnableCache && known {
+			if f, ok := w.t.cache.Get(rawcache.Key{Chunk: c, Attr: a}); ok && f.Rows == nrows {
+				w.frags[i] = f
+				continue
+			}
+		}
+		allCached = false
+	}
+
+	if allCached {
+		return w.serveAllCached(c, nrows, out)
+	}
+	return w.serveFromFile(c, nrows, known, src, out)
+}
+
+// serveAllCached builds the batch purely from cache fragments.
+func (w *chunkWorker) serveAllCached(c, nrows int, out *chunkOut) error {
+	sw := metrics.NewStopwatch(w.b)
+	w.ensureBatch(nrows, out)
+	for i := range w.spec.Needed {
+		col := out.cols[i]
+		frag := w.frags[i]
+		if w.filterIdx[i] || w.spec.Filter == nil {
+			for r := 0; r < nrows; r++ {
+				col[r] = frag.Value(r)
+			}
+			w.b.CacheHitFields += int64(nrows)
+		}
+	}
+	sw.Stop(metrics.NoDB)
+
+	if err := w.runFilter(nrows, out); err != nil {
+		return err
+	}
+
+	sw.Restart()
+	if w.spec.Filter != nil {
+		for i := range w.spec.Needed {
+			if w.filterIdx[i] {
+				continue
+			}
+			col := out.cols[i]
+			frag := w.frags[i]
+			for _, r := range out.sel {
+				col[r] = frag.Value(int(r))
+			}
+			w.b.CacheHitFields += int64(len(out.sel))
+		}
+	}
+	sw.Stop(metrics.NoDB)
+
+	// Account skipped file bytes.
+	if base, ok := w.t.chunkBase(c); ok {
+		if next, ok2 := w.t.chunkBase(c + 1); ok2 {
+			w.b.BytesSkipped += next - base
+		} else {
+			w.b.BytesSkipped += w.reader.Size() - base
+		}
+	}
+	w.finishChunk(nrows, out)
+	return nil
+}
+
+// serveFromFile reads the chunk (wholly, or just the needed byte range when
+// the positional map covers everything) and materializes the batch.
+func (w *chunkWorker) serveFromFile(c, nrows int, known bool, src chunkSrc, out *chunkOut) error {
+	// Which attributes come from the file, and which delimiters they need.
+	// delimSlot is the reused scratch replacing a per-chunk map: slot d+1
+	// holds index+1 of delimiter d in w.delims. Clear last chunk's entries
+	// before truncating.
+	for _, d := range w.delims {
+		w.delimSlot[d+1] = 0
+	}
+	w.delims = w.delims[:0]
+	w.fileAttrs = w.fileAttrs[:0]
+	addDelim := func(d int16) {
+		if w.delimSlot[d+1] == 0 {
+			w.delims = append(w.delims, d)
+			w.delimSlot[d+1] = int32(len(w.delims))
+		}
+	}
+	for i, a := range w.spec.Needed {
+		if w.frags[i] != nil {
+			continue
+		}
+		addDelim(int16(a) - 1)
+		addDelim(int16(a))
+		w.fileAttrs = append(w.fileAttrs, fileAttr{i: i, attr: a})
+	}
+	sort.Slice(w.delims, func(i, j int) bool { return w.delims[i] < w.delims[j] })
+	for j, d := range w.delims {
+		w.delimSlot[d+1] = int32(j + 1)
+	}
+	for k := range w.fileAttrs {
+		w.fileAttrs[k].jPrev = int(w.delimSlot[w.fileAttrs[k].attr]) - 1
+		w.fileAttrs[k].jSelf = int(w.delimSlot[w.fileAttrs[k].attr+1]) - 1
+	}
+
+	// Positional-map view for the chunk.
+	var view posmap.View
+	haveView := false
+	if w.opts.EnablePosMap {
+		if v, ok := w.t.pm.ViewChunk(c); ok {
+			view = v
+			haveView = true
+		}
+	}
+
+	// Fully mapped fast path: every needed delimiter tracked, row count
+	// known — jump straight to the needed byte range, no tokenizing.
+	if haveView && known && view.Rows() == nrows && len(w.delims) > 0 {
+		mappedAll := true
+		for _, d := range w.delims {
+			if !view.Has(d) {
+				mappedAll = false
+				break
+			}
+		}
+		if mappedAll {
+			return w.serveMapped(c, nrows, &view, out)
+		}
+	}
+
+	return w.serveTokenize(c, nrows, known, haveView, &view, src, out)
+}
+
+// serveMapped reads only the byte range covering the needed fields and
+// extracts them via exact positional-map jumps. Positions in posBuf follow
+// the virtual-delimiter convention: the entry for delimiter d is the offset
+// of the boundary byte, with delimiter -1 (row start) stored as start-1, so
+// field a always spans (pos(a-1), pos(a)) exclusive of both ends.
+func (w *chunkWorker) serveMapped(c, nrows int, view *posmap.View, out *chunkOut) error {
+	K := len(w.delims)
+	w.ensureBatch(nrows, out)
+	if cap(w.posBuf) < nrows*K {
+		w.posBuf = make([]int32, nrows*K)
+	}
+	w.posBuf = w.posBuf[:nrows*K]
+
+	sw := metrics.NewStopwatch(w.b)
+	// Pass 1: byte range. Positions ascend within a row, so the first and
+	// last needed delimiters bound the range.
+	lo := int64(1) << 62
+	var hi int64
+	dFirst, dLast := w.delims[0], w.delims[K-1]
+	for r := 0; r < nrows; r++ {
+		pf, ok1 := view.Pos(r, dFirst)
+		pl, ok2 := view.Pos(r, dLast)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("core: positional map lost a delimiter mid-scan")
+		}
+		if pf < lo {
+			lo = pf
+		}
+		if pl > hi {
+			hi = pl
+		}
+	}
+	// Pass 2: fill positions relative to lo; the row-start pseudo-delimiter
+	// shifts by one extra so the uniform span rule holds.
+	for r := 0; r < nrows; r++ {
+		for j, d := range w.delims {
+			p, ok := view.Pos(r, d)
+			if !ok {
+				return fmt.Errorf("core: positional map lost delimiter %d mid-scan", d)
+			}
+			rel := int32(p - lo)
+			if d == -1 {
+				rel--
+			}
+			w.posBuf[r*K+j] = rel
+		}
+	}
+	w.b.MapJumpFields += int64(nrows * len(w.fileAttrs))
+	sw.Stop(metrics.NoDB)
+
+	// Read the range.
+	n := int(hi - lo)
+	if cap(w.rangeBuf) < n {
+		w.rangeBuf = make([]byte, n)
+	}
+	w.rangeBuf = w.rangeBuf[:n]
+	if n > 0 {
+		if _, err := w.reader.ReadAt(w.rangeBuf, lo); err != nil && err != io.EOF {
+			return err
+		}
+	}
+	if base, ok := w.t.chunkBase(c); ok {
+		chunkLen := w.reader.Size() - base
+		if next, ok2 := w.t.chunkBase(c + 1); ok2 {
+			chunkLen = next - base
+		}
+		if skipped := chunkLen - int64(n); skipped > 0 {
+			w.b.BytesSkipped += skipped
+		}
+	}
+
+	if err := w.materialize(c, nrows, w.rangeBuf, K, out); err != nil {
+		return err
+	}
+	w.finishChunk(nrows, out)
+	return nil
+}
+
+// loadChunkBytes obtains the chunk's raw rows for tokenization, according
+// to the source kind.
+func (w *chunkWorker) loadChunkBytes(c int, src chunkSrc) (*rawfile.Chunk, error) {
+	switch src.kind {
+	case srcRaw:
+		return src.ch, nil
+	case srcFetch:
+		base, ok := w.t.chunkBase(c)
+		if !ok {
+			return nil, fmt.Errorf("core: internal: chunk %d dispatched to a worker without a base offset", c)
+		}
+		limit := w.reader.Size()
+		if next, ok2 := w.t.chunkBase(c + 1); ok2 {
+			limit = next
+		}
+		err := w.charge(metrics.Tokenizing, func() error {
+			var e error
+			w.chunkBuf, e = rawfile.ReadChunkAt(w.reader, base, limit, w.opts.ChunkRows, w.chunkBuf, &w.ch)
+			return e
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &w.ch, nil
+	default: // srcSeq
+		if base, ok := w.t.chunkBase(c); ok && w.cr.Offset() != base {
+			w.cr.SeekTo(base)
+		}
+		err := w.charge(metrics.Tokenizing, func() error {
+			return w.cr.NextChunk(w.opts.ChunkRows, &w.ch)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &w.ch, nil
+	}
+}
+
+// serveTokenize reads the chunk's rows and tokenizes whatever the
+// positional map cannot answer, learning new positions along the way.
+func (w *chunkWorker) serveTokenize(c, knownRows int, known, haveView bool, view *posmap.View, src chunkSrc, out *chunkOut) error {
+	ch, err := w.loadChunkBytes(c, src)
+	if err != nil {
+		return err // io.EOF propagates: commit learns the row count
+	}
+	nrows := ch.Rows
+	if known && nrows != knownRows {
+		return fmt.Errorf("core: chunk %d has %d rows, structures say %d (file changed without Refresh?)", c, nrows, knownRows)
+	}
+	out.base = ch.Base
+	if nrows == w.opts.ChunkRows {
+		out.nextBase = ch.Base + int64(len(ch.Data))
+	}
+	if haveView && view.Rows() != nrows {
+		haveView = false // stale view; re-learn
+	}
+
+	K := len(w.delims)
+	w.ensureBatch(nrows, out)
+	if K > 0 {
+		if cap(w.posBuf) < nrows*K {
+			w.posBuf = make([]int32, nrows*K)
+		}
+		w.posBuf = w.posBuf[:nrows*K]
+	}
+
+	// Build the per-chunk plan: for each needed delimiter, either it is the
+	// row start (free), the map has it, or we tokenize a gap starting after
+	// the nearest tracked (or previously computed) delimiter.
+	w.steps = w.steps[:0]
+	cursor := int16(-1)
+	cursorJ := -1
+	for j, d := range w.delims {
+		if d == -1 {
+			w.steps = append(w.steps, tokenStep{j: j, kind: stepRowStart})
+			cursorJ = j
+			continue
+		}
+		if haveView && view.Has(d) {
+			w.steps = append(w.steps, tokenStep{j: j, kind: stepMapped})
+			cursor, cursorJ = d, j
+			continue
+		}
+		from, fromJ, fromView := cursor, cursorJ, false
+		if haveView {
+			if nd, ok := view.NearestDelim(d); ok && nd > from {
+				from, fromJ, fromView = nd, -1, true
+			}
+		}
+		w.steps = append(w.steps, tokenStep{j: j, kind: stepGap, from: from, fromJ: fromJ, fromView: fromView})
+		// Everything tokenized in the gap is learned (the paper: keep
+		// positions for attributes tokenized along the way), thinned by
+		// MapEveryNth but always keeping the needed delimiter itself.
+		if w.opts.EnablePosMap {
+			for g := from + 1; g <= d; g++ {
+				if g == d || int(g)%w.opts.MapEveryNth == 0 {
+					w.learnMark[g+1] = true
+				}
+			}
+		}
+		cursor, cursorJ = d, j
+	}
+
+	// Learned slab layout: collect marked delimiters in sorted order (the
+	// mark array doubles as the dedup set; it is cleared as it is drained).
+	// The slab buffers live on the chunkOut, so recycled outputs keep their
+	// capacity while in-flight ones are never touched.
+	learnDel := out.learnDel[:0]
+	if w.opts.EnablePosMap {
+		if !haveView || !view.Has(-1) {
+			w.learnMark[0] = true
+		}
+		for di := range w.learnMark {
+			if w.learnMark[di] {
+				learnDel = append(learnDel, int16(di)-1)
+				w.learnMark[di] = false
+			}
+		}
+	}
+	L := len(learnDel)
+	for j, d := range learnDel {
+		w.learnSlot[d+1] = int32(j + 1)
+	}
+	learnPos := out.learnPos
+	if cap(learnPos) < nrows*L {
+		learnPos = make([]uint32, nrows*L)
+	}
+	learnPos = learnPos[:nrows*L]
+
+	// Tokenize every row following the plan.
+	serr := w.charge(metrics.Tokenizing, func() error {
+		base := ch.Base
+		for r := 0; r < nrows; r++ {
+			rowStart := ch.Start[r]
+			rowEnd := ch.End[r]
+			row := ch.Data[rowStart:rowEnd]
+			if L > 0 {
+				if j := w.learnSlot[0]; j != 0 {
+					learnPos[r*L+int(j-1)] = uint32(rowStart)
+				}
+			}
+			for _, st := range w.steps {
+				d := w.delims[st.j]
+				if st.kind == stepRowStart {
+					w.posBuf[r*K+st.j] = rowStart - 1
+					continue
+				}
+				if st.kind == stepMapped {
+					p, ok := view.Pos(r, d)
+					if !ok {
+						return fmt.Errorf("core: positional map lost delimiter %d mid-scan", d)
+					}
+					w.posBuf[r*K+st.j] = int32(p - base)
+					w.b.MapJumpFields++
+					continue
+				}
+				// Gap start position in data coordinates.
+				var fromPos int32 // position of delimiter st.from
+				switch {
+				case st.from == -1 && st.fromJ < 0:
+					fromPos = rowStart - 1
+				case st.from == -1:
+					fromPos = w.posBuf[r*K+st.fromJ] // row-start step already ran
+				case st.fromView:
+					p, ok := view.Pos(r, st.from)
+					if !ok {
+						return fmt.Errorf("core: positional map lost delimiter %d mid-scan", st.from)
+					}
+					fromPos = int32(p - base)
+					w.b.MapNearFields++
+				default:
+					fromPos = w.posBuf[r*K+st.fromJ]
+				}
+				scanRel := int(fromPos + 1 - rowStart) // first byte of field from+1, relative to row
+				w.tmpEnds = rawfile.TokenizeUpTo(row, w.opts.Delim, int(st.from)+1, int(d), scanRel, w.tmpEnds[:0])
+				w.b.FieldsTokenized += int64(len(w.tmpEnds))
+				// Record learned positions; missing trailing fields clamp to
+				// the row end.
+				g := st.from + 1
+				for _, rel := range w.tmpEnds {
+					p := rowStart + rel
+					if j := w.learnSlot[g+1]; j != 0 {
+						learnPos[r*L+int(j-1)] = uint32(p)
+					}
+					if g == d {
+						w.posBuf[r*K+st.j] = p
+					}
+					g++
+				}
+				for ; g <= d; g++ { // row ran out of fields
+					if j := w.learnSlot[g+1]; j != 0 {
+						learnPos[r*L+int(j-1)] = uint32(rowEnd)
+					}
+					if g == d {
+						w.posBuf[r*K+st.j] = rowEnd
+					}
+				}
+			}
+		}
+		return nil
+	})
+	for _, d := range learnDel {
+		w.learnSlot[d+1] = 0
+	}
+	// Store the slab back on the output: commit populates the positional
+	// map from it (when non-empty), and recycling keeps the capacity.
+	out.learnDel = learnDel
+	out.learnPos = learnPos
+	if serr != nil {
+		return serr
+	}
+
+	if err := w.materialize(c, nrows, ch.Data, K, out); err != nil {
+		return err
+	}
+	w.finishChunk(nrows, out)
+	return nil
+}
+
+// materialize converts the needed fields into the batch columns, runs the
+// filter, converts projection-only attributes for qualifying rows, and
+// collects cache fragments and statistics samples for deferred population.
+func (w *chunkWorker) materialize(c, nrows int, data []byte, K int, out *chunkOut) error {
+	fullConverted := w.fullConv
+	for i := range fullConverted {
+		fullConverted[i] = false
+	}
+
+	// Phase 1: filter attributes (or everything when there is no filter is
+	// still phase 1 for cache-served + phase 3 for the rest).
+	for i := range w.spec.Needed {
+		if !w.filterIdx[i] {
+			continue
+		}
+		if err := w.materializeAttr(i, nrows, nil, data, K, out); err != nil {
+			return err
+		}
+		fullConverted[i] = true
+	}
+
+	if err := w.runFilter(nrows, out); err != nil {
+		return err
+	}
+
+	// Phase 2: remaining attributes, only for qualifying rows (selective
+	// tuple formation). When nothing was filtered out the conversion is
+	// complete and cacheable.
+	selAll := len(out.sel) == nrows
+	for i := range w.spec.Needed {
+		if w.filterIdx[i] {
+			continue
+		}
+		if err := w.materializeAttr(i, nrows, out.sel, data, K, out); err != nil {
+			return err
+		}
+		if selAll {
+			fullConverted[i] = true
+		}
+	}
+
+	// Cache population: fragments for fully converted file-served attrs,
+	// built here and inserted at commit so insertion order is chunk order.
+	if w.opts.EnableCache {
+		sw := metrics.NewStopwatch(w.b)
+		for i, a := range w.spec.Needed {
+			if w.frags[i] != nil || !fullConverted[i] {
+				continue
+			}
+			fb := rawcache.NewBuilder(rawcache.Key{Chunk: c, Attr: a}, w.t.sch.Col(a).Kind, nrows)
+			col := out.cols[i]
+			for r := 0; r < nrows; r++ {
+				fb.Append(col[r])
+			}
+			out.frags = append(out.frags, fb.Finish())
+		}
+		sw.Stop(metrics.NoDB)
+	}
+
+	// Statistics: sample fully converted attrs. The seen check here is
+	// advisory (skips the sampling work on repeat scans); commit re-checks
+	// authoritatively before observing.
+	if w.opts.EnableStats {
+		sw := metrics.NewStopwatch(w.b)
+		for i, a := range w.spec.Needed {
+			if !fullConverted[i] && w.frags[i] == nil {
+				continue
+			}
+			if w.t.statsSeenPeek(c, a) {
+				continue
+			}
+			col := out.cols[i]
+			var sample []value.Value
+			if w.frags[i] != nil {
+				for r := 0; r < nrows; r += w.opts.StatsSampleEvery {
+					sample = append(sample, w.frags[i].Value(r))
+				}
+			} else {
+				for r := 0; r < nrows; r += w.opts.StatsSampleEvery {
+					sample = append(sample, col[r])
+				}
+			}
+			out.samples = append(out.samples, statsSample{attr: a, kind: w.t.sch.Col(a).Kind, values: sample})
+		}
+		sw.Stop(metrics.NoDB)
+	}
+	return nil
+}
+
+// materializeAttr fills cols[i] for the given rows (nil = all nrows rows),
+// from the cache fragment or by extracting and converting file bytes.
+func (w *chunkWorker) materializeAttr(i, nrows int, rows []int32, data []byte, K int, out *chunkOut) error {
+	col := out.cols[i]
+	if frag := w.frags[i]; frag != nil {
+		sw := metrics.NewStopwatch(w.b)
+		if rows == nil {
+			for r := 0; r < nrows; r++ {
+				col[r] = frag.Value(r)
+			}
+			w.b.CacheHitFields += int64(nrows)
+		} else {
+			for _, r := range rows {
+				col[r] = frag.Value(int(r))
+			}
+			w.b.CacheHitFields += int64(len(rows))
+		}
+		sw.Stop(metrics.NoDB)
+		return nil
+	}
+
+	// Find the attr's delimiter slots.
+	var fa *fileAttr
+	for k := range w.fileAttrs {
+		if w.fileAttrs[k].i == i {
+			fa = &w.fileAttrs[k]
+			break
+		}
+	}
+	if fa == nil {
+		return fmt.Errorf("core: internal: attr index %d not planned", i)
+	}
+
+	// Extraction (Parsing): compute field spans.
+	n := nrows
+	if rows != nil {
+		n = len(rows)
+	}
+	if cap(w.spanLo) < n {
+		w.spanLo = make([]int32, n)
+		w.spanHi = make([]int32, n)
+	}
+	w.spanLo = w.spanLo[:n]
+	w.spanHi = w.spanHi[:n]
+	sw := metrics.NewStopwatch(w.b)
+	for k := 0; k < n; k++ {
+		r := k
+		if rows != nil {
+			r = int(rows[k])
+		}
+		// posBuf entries hold boundary positions with the row start stored
+		// as start-1, so every field spans (prev, self) exclusive.
+		lo := w.posBuf[r*K+fa.jPrev] + 1
+		hi := w.posBuf[r*K+fa.jSelf]
+		if hi < lo {
+			hi = lo
+		}
+		w.spanLo[k] = lo
+		w.spanHi[k] = hi
+	}
+	sw.Stop(metrics.Parsing)
+
+	// Conversion (Convert): text -> binary.
+	kind := w.t.sch.Col(fa.attr).Kind
+	sw.Restart()
+	for k := 0; k < n; k++ {
+		r := k
+		if rows != nil {
+			r = int(rows[k])
+		}
+		v, perr := value.Parse(data[w.spanLo[k]:w.spanHi[k]], kind)
+		if perr != nil {
+			v = value.Null() // malformed field reads as NULL, like the loader
+		}
+		col[r] = v
+		w.b.FieldsConverted++
+	}
+	sw.Stop(metrics.Convert)
+	return nil
+}
+
+// runFilter evaluates the pushed-down predicate over the batch, producing
+// the selection vector.
+func (w *chunkWorker) runFilter(nrows int, out *chunkOut) error {
+	sel := out.sel[:0]
+	sw := metrics.NewStopwatch(w.b)
+	defer sw.Stop(metrics.Processing)
+	if w.spec.Filter == nil {
+		for r := 0; r < nrows; r++ {
+			sel = append(sel, int32(r))
+		}
+		out.sel = sel
+		return nil
+	}
+	for r := 0; r < nrows; r++ {
+		for i := range out.cols {
+			if w.filterIdx[i] {
+				w.rowBuf[i] = out.cols[i][r]
+			} else {
+				w.rowBuf[i] = value.Null()
+			}
+		}
+		keep, err := w.spec.Filter(w.rowBuf)
+		if err != nil {
+			out.sel = sel
+			return err
+		}
+		if keep {
+			sel = append(sel, int32(r))
+		}
+	}
+	out.sel = sel
+	return nil
+}
+
+// finishChunk records the chunk's row accounting on the worker breakdown.
+func (w *chunkWorker) finishChunk(nrows int, out *chunkOut) {
+	w.b.RowsScanned += int64(nrows)
+	out.nrows = nrows
+}
+
+// ensureBatch sizes the batch columns for nrows rows, growing the output's
+// own buffers in place (fresh outputs allocate, recycled ones reuse).
+func (w *chunkWorker) ensureBatch(nrows int, out *chunkOut) {
+	out.nrows = nrows
+	if out.cols == nil {
+		out.cols = make([][]value.Value, len(w.spec.Needed))
+	}
+	for i := range out.cols {
+		if cap(out.cols[i]) < nrows {
+			out.cols[i] = make([]value.Value, nrows)
+		}
+		out.cols[i] = out.cols[i][:nrows]
+	}
+}

@@ -46,14 +46,7 @@ func NewHashAgg(in Operator, keys []expr.Node, aggs []AggSpec, b *metrics.Breakd
 func (o *HashAgg) build() error {
 	table := make(map[string]*aggGroup)
 	keyBuf := make([]value.Value, len(o.keys))
-	for {
-		row, ok, err := o.in.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	step := func(row []value.Value) error {
 		for i, k := range o.keys {
 			v, err := k.Eval(row)
 			if err != nil {
@@ -87,6 +80,27 @@ func (o *HashAgg) build() error {
 				}
 			}
 			g.states[i].Step(v)
+		}
+		return nil
+	}
+	// Aggregation leaves drain whole chunks at a time when the input is
+	// batch-capable, sparing one interface call per row on the hot path.
+	if bin, ok := AsBatched(o.in); ok {
+		if err := ForEachBatchRow(bin, step); err != nil {
+			return err
+		}
+	} else {
+		for {
+			row, ok, err := o.in.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := step(row); err != nil {
+				return err
+			}
 		}
 	}
 	// Global aggregate over empty input still yields one row.
@@ -155,14 +169,7 @@ func (o *Sort) build() error {
 		keys []value.Value
 	}
 	var items []sortable
-	for {
-		row, ok, err := o.in.Next()
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
+	add := func(row []value.Value) error {
 		cp := copyRow(row)
 		kv := make([]value.Value, len(o.keys))
 		for i, k := range o.keys {
@@ -173,6 +180,25 @@ func (o *Sort) build() error {
 			kv[i] = v
 		}
 		items = append(items, sortable{row: cp, keys: kv})
+		return nil
+	}
+	if bin, ok := AsBatched(o.in); ok {
+		if err := ForEachBatchRow(bin, add); err != nil {
+			return err
+		}
+	} else {
+		for {
+			row, ok, err := o.in.Next()
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := add(row); err != nil {
+				return err
+			}
+		}
 	}
 	sw := metrics.NewStopwatch(o.b)
 	sort.SliceStable(items, func(i, j int) bool {

@@ -7,6 +7,8 @@
 package engine
 
 import (
+	"fmt"
+
 	"nodb/internal/core"
 	"nodb/internal/expr"
 	"nodb/internal/metrics"
@@ -21,10 +23,70 @@ type Operator interface {
 	Close() error
 }
 
+// Batch is a columnar slice of rows flowing between batch-aware operators:
+// Cols holds one column per output attribute and Sel lists the live row
+// indexes, in order. A batch (and the rows inside it) is valid only until
+// the producer's next NextBatch/Next call; consumers that retain values
+// must copy. Sel may be empty when a whole chunk was filtered out, and Cols
+// may be empty for zero-attribute scans (COUNT(*)), where len(Sel) alone
+// carries the row multiplicity.
+type Batch struct {
+	Cols [][]value.Value
+	Sel  []int32
+}
+
+// BatchOperator is the batched extension of Operator. Operators implement
+// it when they can serve whole chunks at a time, cutting the per-row
+// interface overhead that dominates warm cache-served scans. Batched
+// reports whether the operator can actually honor NextBatch (e.g. Filter is
+// batched only when its input is); use AsBatched rather than a bare type
+// assertion. Mixing Next and NextBatch on one operator is not supported —
+// drain through one protocol.
+type BatchOperator interface {
+	Operator
+	NextBatch() (*Batch, bool, error)
+	Batched() bool
+}
+
+// AsBatched returns op as a usable batch source, if it is one.
+func AsBatched(op Operator) (BatchOperator, bool) {
+	b, ok := op.(BatchOperator)
+	return b, ok && b.Batched()
+}
+
+// ForEachBatchRow drains a batch source, invoking fn once per selected row
+// with the row assembled into a reused scratch slice. It is the one place
+// that adapts Batch semantics back to row-shaped consumers (aggregation,
+// sort, result materialization).
+func ForEachBatchRow(in BatchOperator, fn func(row []value.Value) error) error {
+	var rowBuf []value.Value
+	for {
+		b, ok, err := in.NextBatch()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return nil
+		}
+		if rowBuf == nil {
+			rowBuf = make([]value.Value, len(b.Cols))
+		}
+		for _, r := range b.Sel {
+			for i, col := range b.Cols {
+				rowBuf[i] = col[r]
+			}
+			if err := fn(rowBuf); err != nil {
+				return err
+			}
+		}
+	}
+}
+
 // RawScan adapts core.Scan (in-situ or baseline raw access) to the operator
 // interface. Filter pushdown happened at construction via the ScanSpec.
 type RawScan struct {
-	sc *core.Scan
+	sc    *core.Scan
+	batch Batch
 }
 
 // NewRawScan opens the in-situ scan.
@@ -38,6 +100,20 @@ func NewRawScan(t *core.Table, spec core.ScanSpec) (*RawScan, error) {
 
 // Next implements Operator.
 func (o *RawScan) Next() ([]value.Value, bool, error) { return o.sc.Next() }
+
+// NextBatch implements BatchOperator, surfacing the scan's chunk batches.
+func (o *RawScan) NextBatch() (*Batch, bool, error) {
+	cb, ok, err := o.sc.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	o.batch.Cols = cb.Cols
+	o.batch.Sel = cb.Sel
+	return &o.batch, true, nil
+}
+
+// Batched implements BatchOperator.
+func (o *RawScan) Batched() bool { return true }
 
 // Close implements Operator.
 func (o *RawScan) Close() error { return o.sc.Close() }
@@ -177,6 +253,10 @@ type Filter struct {
 	in   Operator
 	pred expr.Node
 	b    *metrics.Breakdown
+
+	batch  Batch
+	selBuf []int32
+	rowBuf []value.Value
 }
 
 // NewFilter wraps in with a predicate.
@@ -201,6 +281,44 @@ func (o *Filter) Next() ([]value.Value, bool, error) {
 	}
 }
 
+// Batched implements BatchOperator: a filter is batched when its input is.
+func (o *Filter) Batched() bool {
+	b, ok := o.in.(BatchOperator)
+	return ok && b.Batched()
+}
+
+// NextBatch narrows the input batch's selection vector in place of pulling
+// rows one interface call at a time.
+func (o *Filter) NextBatch() (*Batch, bool, error) {
+	in, ok := o.in.(BatchOperator)
+	if !ok {
+		return nil, false, fmt.Errorf("engine: Filter input is not batched")
+	}
+	b, ok, err := in.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if o.rowBuf == nil {
+		o.rowBuf = make([]value.Value, len(b.Cols))
+	}
+	o.selBuf = o.selBuf[:0]
+	for _, r := range b.Sel {
+		for i, col := range b.Cols {
+			o.rowBuf[i] = col[r]
+		}
+		v, err := o.pred.Eval(o.rowBuf)
+		if err != nil {
+			return nil, false, err
+		}
+		if v.IsTrue() {
+			o.selBuf = append(o.selBuf, r)
+		}
+	}
+	o.batch.Cols = b.Cols
+	o.batch.Sel = o.selBuf
+	return &o.batch, true, nil
+}
+
 // Close implements Operator.
 func (o *Filter) Close() error { return o.in.Close() }
 
@@ -210,6 +328,11 @@ type Project struct {
 	exprs []expr.Node
 	b     *metrics.Breakdown
 	out   []value.Value
+
+	batch    Batch
+	cols     [][]value.Value
+	selIdent []int32
+	rowBuf   []value.Value
 }
 
 // NewProject wraps in with projection expressions.
@@ -231,6 +354,57 @@ func (o *Project) Next() ([]value.Value, bool, error) {
 		o.out[i] = v
 	}
 	return o.out, true, nil
+}
+
+// Batched implements BatchOperator: a projection is batched when its input
+// is.
+func (o *Project) Batched() bool {
+	b, ok := o.in.(BatchOperator)
+	return ok && b.Batched()
+}
+
+// NextBatch evaluates the projection over one input batch, producing dense
+// output columns with an identity selection.
+func (o *Project) NextBatch() (*Batch, bool, error) {
+	in, ok := o.in.(BatchOperator)
+	if !ok {
+		return nil, false, fmt.Errorf("engine: Project input is not batched")
+	}
+	b, ok, err := in.NextBatch()
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	n := len(b.Sel)
+	if o.cols == nil {
+		o.cols = make([][]value.Value, len(o.exprs))
+	}
+	for i := range o.cols {
+		if cap(o.cols[i]) < n {
+			o.cols[i] = make([]value.Value, n)
+		}
+		o.cols[i] = o.cols[i][:n]
+	}
+	if o.rowBuf == nil {
+		o.rowBuf = make([]value.Value, len(b.Cols))
+	}
+	for k, r := range b.Sel {
+		for i, col := range b.Cols {
+			o.rowBuf[i] = col[r]
+		}
+		for i, e := range o.exprs {
+			v, err := e.Eval(o.rowBuf)
+			if err != nil {
+				return nil, false, err
+			}
+			o.cols[i][k] = v
+		}
+	}
+	for len(o.selIdent) < n {
+		o.selIdent = append(o.selIdent, int32(len(o.selIdent)))
+	}
+	o.batch.Cols = o.cols
+	o.batch.Sel = o.selIdent[:n]
+	return &o.batch, true, nil
 }
 
 // Close implements Operator.

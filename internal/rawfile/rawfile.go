@@ -18,11 +18,15 @@ import (
 const DefaultBlockSize = 256 * 1024
 
 // Reader reads a file in blocks and charges time and bytes to a metrics
-// breakdown. It is safe for sequential use by one scan at a time.
+// breakdown. ReadAt is a stateless pread, so concurrent readers may share
+// one Reader's descriptor through View; accounting, however, is not
+// synchronized, so each concurrent user needs its own Reader or View with a
+// private breakdown.
 type Reader struct {
-	f    *os.File
-	size int64
-	b    *metrics.Breakdown
+	f      *os.File
+	size   int64
+	b      *metrics.Breakdown
+	shared bool // view over another Reader's descriptor; Close is a no-op
 }
 
 // Open opens path for raw access, charging I/O to b (which may be nil).
@@ -42,6 +46,14 @@ func Open(path string, b *metrics.Breakdown) (*Reader, error) {
 // Size returns the file size at open time.
 func (r *Reader) Size() int64 { return r.size }
 
+// View returns a reader sharing r's descriptor but charging I/O to its own
+// breakdown, so parallel scan workers can pread concurrently without racing
+// on accounting. Closing a view is a no-op; the owner's Close releases the
+// descriptor.
+func (r *Reader) View(b *metrics.Breakdown) *Reader {
+	return &Reader{f: r.f, size: r.size, b: b, shared: true}
+}
+
 // SetBreakdown redirects accounting to b.
 func (r *Reader) SetBreakdown(b *metrics.Breakdown) { r.b = b }
 
@@ -57,8 +69,14 @@ func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 	return n, err
 }
 
-// Close releases the file.
-func (r *Reader) Close() error { return r.f.Close() }
+// Close releases the file. Views created with View do not own the
+// descriptor and close to a no-op.
+func (r *Reader) Close() error {
+	if r.shared {
+		return nil
+	}
+	return r.f.Close()
+}
 
 // ChunkReader reads consecutive chunks of up to maxRows complete lines into
 // a reused buffer. The caller receives the raw bytes plus the boundaries of
@@ -167,16 +185,7 @@ func (c *ChunkReader) NextChunk(maxRows int, ch *Chunk) error {
 }
 
 func (c *ChunkReader) appendRow(ch *Chunk, start, nl int) {
-	end := nl
-	if end > start && c.buf[end-1] == '\r' {
-		end--
-	}
-	if end == start { // skip empty lines
-		return
-	}
-	ch.Start = append(ch.Start, int32(start))
-	ch.End = append(ch.End, int32(end))
-	ch.Rows++
+	appendChunkRow(ch, c.buf, start, nl)
 }
 
 func (c *ChunkReader) consumePending() {
@@ -187,6 +196,83 @@ func (c *ChunkReader) consumePending() {
 	c.nbuf = n
 	c.base += int64(c.pending)
 	c.pending = 0
+}
+
+// ReadChunkAt reads the byte range [base, limit) of r in one pread and
+// splits it into complete rows, filling ch exactly as ChunkReader.NextChunk
+// would. base must be the start of a row; limit must be a row boundary or
+// the file size (a final line without a trailing newline counts as a
+// complete row, and empty lines are skipped). At most maxRows rows are kept.
+// buf is the scratch buffer to (re)use for the chunk bytes; the grown buffer
+// is returned so callers can recycle it across chunks.
+//
+// This is the parallel scan's chunk-offset handoff: once a chunk's base is
+// known, any worker can materialize it independently of every other chunk.
+func ReadChunkAt(r *Reader, base, limit int64, maxRows int, buf []byte, ch *Chunk) ([]byte, error) {
+	if limit > r.Size() {
+		limit = r.Size()
+	}
+	n := int(limit - base)
+	if n < 0 {
+		n = 0
+	}
+	if cap(buf) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if n > 0 {
+		got, err := r.ReadAt(buf, base)
+		if err == io.EOF && got == n {
+			err = nil
+		}
+		if err != nil {
+			return buf, fmt.Errorf("rawfile: read chunk at %d: %w", base, err)
+		}
+	}
+
+	ch.Base = base
+	ch.Rows = 0
+	ch.Start = ch.Start[:0]
+	ch.End = ch.End[:0]
+
+	atEnd := limit >= r.Size()
+	pos := 0
+	lineStart := 0
+	for ch.Rows < maxRows {
+		nl := bytes.IndexByte(buf[pos:], '\n')
+		if nl < 0 {
+			if atEnd && len(buf) > lineStart { // final line without newline
+				appendChunkRow(ch, buf, lineStart, len(buf))
+				lineStart = len(buf)
+			}
+			break
+		}
+		nl += pos
+		appendChunkRow(ch, buf, lineStart, nl)
+		pos = nl + 1
+		lineStart = nl + 1
+	}
+	ch.Data = buf[:lineStart]
+	if ch.Rows == 0 {
+		return buf, io.EOF
+	}
+	return buf, nil
+}
+
+// appendChunkRow records one row's boundaries, trimming \r and skipping
+// empty lines. Both the sequential ChunkReader and ReadChunkAt go through
+// here, so the two paths accept exactly the same rows.
+func appendChunkRow(ch *Chunk, buf []byte, start, nl int) {
+	end := nl
+	if end > start && buf[end-1] == '\r' {
+		end--
+	}
+	if end == start {
+		return
+	}
+	ch.Start = append(ch.Start, int32(start))
+	ch.End = append(ch.End, int32(end))
+	ch.Rows++
 }
 
 // fill reads one more block into the buffer.

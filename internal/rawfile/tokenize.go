@@ -36,9 +36,20 @@ func TokenizeUpTo(row []byte, sep byte, from, upto, start int, ends []int32) []i
 	return ends
 }
 
-// CountFields returns the number of fields in the row.
+// CountFields returns the number of fields in the row. It walks the row
+// with IndexByte rather than bytes.Count to avoid allocating a one-byte
+// separator slice on every call (this runs once per row in the loader and
+// schema inference).
 func CountFields(row []byte, sep byte) int {
-	return bytes.Count(row, []byte{sep}) + 1
+	n := 1
+	for {
+		i := bytes.IndexByte(row, sep)
+		if i < 0 {
+			return n
+		}
+		n++
+		row = row[i+1:]
+	}
 }
 
 // Field slices field content out of a row given the positions of delimiter

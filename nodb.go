@@ -44,16 +44,23 @@ type Config struct {
 	// DataDir is where load-first heap files are written. Empty means a
 	// temporary directory that is removed on Close.
 	DataDir string
+	// Parallelism is the default number of chunk-pipeline workers per
+	// in-situ scan for tables registered on this DB; <= 0 uses GOMAXPROCS.
+	// 1 disables the pipeline (the original sequential scan). Results, row
+	// order and adaptive-structure contents are identical at any setting;
+	// per-table RawOptions.Parallelism overrides this default.
+	Parallelism int
 }
 
 // DB is a catalog of registered tables plus the query entry point. Safe for
 // concurrent use.
 type DB struct {
-	mu      sync.RWMutex
-	cat     *schema.Catalog
-	dataDir string
-	ownsDir bool
-	loaded  []*storage.Table // for Close
+	mu          sync.RWMutex
+	cat         *schema.Catalog
+	dataDir     string
+	ownsDir     bool
+	parallelism int              // default scan parallelism for raw tables
+	loaded      []*storage.Table // for Close
 }
 
 // Open creates a database handle.
@@ -70,7 +77,7 @@ func Open(cfg Config) (*DB, error) {
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("nodb: %w", err)
 	}
-	return &DB{cat: schema.NewCatalog(), dataDir: dir, ownsDir: owns}, nil
+	return &DB{cat: schema.NewCatalog(), dataDir: dir, ownsDir: owns, parallelism: cfg.Parallelism}, nil
 }
 
 // Close releases loaded tables and the temporary data directory.
@@ -105,13 +112,18 @@ type RawOptions struct {
 	DisableStats     bool
 	MapEveryNth      int // keep every Nth tokenized position, default 1
 	StatsSampleEvery int // sample one row in N for statistics, default 16
+	// Parallelism is the number of chunk-pipeline workers per scan of this
+	// table. 0 inherits the DB's Config.Parallelism (which itself defaults
+	// to GOMAXPROCS); 1 runs the sequential scan.
+	Parallelism int
 }
 
-func (o *RawOptions) coreOptions() core.Options {
+func (o *RawOptions) coreOptions(defaultParallelism int) core.Options {
 	opts := core.Options{
 		EnablePosMap: true,
 		EnableCache:  true,
 		EnableStats:  true,
+		Parallelism:  defaultParallelism,
 	}
 	if o == nil {
 		return opts
@@ -125,6 +137,9 @@ func (o *RawOptions) coreOptions() core.Options {
 	opts.EnableStats = !o.DisableStats
 	opts.MapEveryNth = o.MapEveryNth
 	opts.StatsSampleEvery = o.StatsSampleEvery
+	if o.Parallelism != 0 {
+		opts.Parallelism = o.Parallelism
+	}
 	return opts
 }
 
@@ -150,7 +165,7 @@ func (db *DB) registerRaw(name, csvPath, schemaSpec string, opts *RawOptions, mo
 	if err != nil {
 		return err
 	}
-	tbl, err := core.NewTable(csvPath, sch, opts.coreOptions())
+	tbl, err := core.NewTable(csvPath, sch, opts.coreOptions(db.parallelism))
 	if err != nil {
 		return err
 	}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nodb/internal/core"
+	"nodb/internal/engine"
 	"nodb/internal/metrics"
 	"nodb/internal/planner"
 	"nodb/internal/sql"
@@ -142,19 +143,34 @@ func (db *DB) Query(q string) (*Result, error) {
 	for _, c := range plan.Columns {
 		res.Columns = append(res.Columns, Column{Name: c.Name, Type: c.Kind.String()})
 	}
-	for {
-		row, ok, err := plan.Root.Next()
+	if bop, ok := engine.AsBatched(plan.Root); ok {
+		// Batched drain: one call per chunk instead of one per row.
+		err := engine.ForEachBatchRow(bop, func(row []value.Value) error {
+			out := make([]any, len(row))
+			for i, v := range row {
+				out[i] = toAny(v)
+			}
+			res.Rows = append(res.Rows, out)
+			return nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		if !ok {
-			break
+	} else {
+		for {
+			row, ok, err := plan.Root.Next()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				break
+			}
+			out := make([]any, len(row))
+			for i, v := range row {
+				out[i] = toAny(v)
+			}
+			res.Rows = append(res.Rows, out)
 		}
-		out := make([]any, len(row))
-		for i, v := range row {
-			out[i] = toAny(v)
-		}
-		res.Rows = append(res.Rows, out)
 	}
 	total := time.Since(t0)
 	// Operators above the scan are not individually instrumented (timers in
