@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"nodb"
 	"nodb/internal/datagen"
@@ -300,6 +301,54 @@ func kindText(i int) value.Kind {
 		return value.KindText
 	}
 	return value.KindInt
+}
+
+// BenchmarkGroupByParallel measures worker-side partial aggregation: the
+// same cold GROUP BY (grouping, SUM, MIN and a DISTINCT count) through the
+// chunk pipeline at several parallelism levels, reporting the wall-clock
+// speedup over the Parallelism=1 plan measured in the same process (the
+// "speedup" metric; > 1 expected on multi-core runners, ~1 on a single
+// core). The reference also folds per-chunk partials — on one worker its
+// cost matches the pre-pushdown single-consumer loop, so the metric
+// isolates what parallelism buys.
+func BenchmarkGroupByParallel(b *testing.B) {
+	spec := datagen.IntTable(benchRows, benchAttrs, 12)
+	path := genBench(b, "groupby", spec)
+	q := "SELECT a1, COUNT(*), SUM(a2), MIN(a3), COUNT(DISTINCT a4) FROM t GROUP BY a1"
+	run := func(par int) {
+		db, err := nodb.Open(nodb.Config{Parallelism: par})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.RegisterRaw("t", path, spec.SchemaSpec(), nil); err != nil {
+			b.Fatal(err)
+		}
+		res := benchQuery(b, db, q)
+		if par > 1 && res.Stats.PartialGroups == 0 {
+			b.Fatal("aggregation pushdown did not engage")
+		}
+		db.Close()
+	}
+	for _, par := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", par), func(b *testing.B) {
+			// Reference: the Parallelism=1 plan over the same cold table.
+			const refRuns = 3
+			t0 := time.Now()
+			for i := 0; i < refRuns; i++ {
+				run(1)
+			}
+			seq := time.Since(t0) / refRuns
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				run(par)
+			}
+			b.StopTimer()
+			perOp := b.Elapsed() / time.Duration(b.N)
+			if perOp > 0 {
+				b.ReportMetric(float64(seq)/float64(perOp), "speedup")
+			}
+		})
+	}
 }
 
 // BenchmarkSweepMapGrain measures the map-granularity knob: probe queries

@@ -101,9 +101,17 @@ func (s *Scan) advanceParallel() error {
 				p.err = err
 				return err
 			}
-			// The previous chunk's batch is now invalid per the Next/
-			// NextBatch contract: recycle its buffers to a worker.
-			if old != nil && old != s.cur {
+			if s.spec.Agg != nil {
+				// Aggregation pushdown: commit consumed the partial groups
+				// (first-seen ones are retained by pointer in the merge
+				// table), so the output's batch buffers recycle immediately.
+				select {
+				case p.free <- o:
+				default:
+				}
+			} else if old != nil && old != s.cur {
+				// The previous chunk's batch is now invalid per the Next/
+				// NextBatch contract: recycle its buffers to a worker.
 				select {
 				case p.free <- old:
 				default:

@@ -27,6 +27,12 @@ type ScanSpec struct {
 	Filter func(row []value.Value) (bool, error)
 	// B receives the execution breakdown. Must be non-nil.
 	B *metrics.Breakdown
+	// Agg, when non-nil, makes the scan fold each chunk into partial
+	// aggregation states instead of serving row batches (worker-side
+	// partial aggregation). Installed after NewScan via Scan.PushAgg; the
+	// consumer then drives the scan with DrainAgg rather than
+	// Next/NextBatch.
+	Agg *AggPushdown
 }
 
 // Batch is one chunk's worth of scan output in columnar layout: Cols holds
@@ -66,6 +72,11 @@ type Scan struct {
 	out      []value.Value
 	batch    Batch
 	countSel []int32 // identity selection for synthetic count batches
+
+	// Partial-aggregation merge state (spec.Agg != nil): groups keyed by
+	// their canonical grouping key, kept in first-seen commit order.
+	aggTable  map[string]*PartialGroup
+	aggGroups []*PartialGroup
 }
 
 // NewScan opens a scan. Close must be called when done.
@@ -260,8 +271,16 @@ func (s *Scan) commit(o *chunkOut) error {
 		sw.Stop(metrics.NoDB)
 	}
 	s.rowsDone += int64(o.nrows)
+	s.chunkID = o.c + 1
+	if s.spec.Agg != nil {
+		// Aggregation pushdown: the chunk's partial groups merge here, in
+		// file order, and its row batch is never served.
+		s.mergePartials(o)
+		s.cur = nil
+		s.selPos = 0
+		return nil
+	}
 	s.cur = o
 	s.selPos = 0
-	s.chunkID = o.c + 1
 	return nil
 }

@@ -66,6 +66,11 @@ type chunkOut struct {
 	learnPos []uint32
 	frags    []*rawcache.Fragment
 	samples  []statsSample
+
+	// groups holds the chunk's partial aggregation states when the scan has
+	// an AggPushdown installed; the batch (cols/sel) is then not served to
+	// the consumer, commit merges the groups instead.
+	groups []*PartialGroup
 }
 
 // chunkWorker processes chunks one at a time: read (or receive) raw bytes,
@@ -109,7 +114,12 @@ type chunkWorker struct {
 	spanLo    []int32
 	spanHi    []int32
 	rangeBuf  []byte
-	rowBuf    []value.Value // filter evaluation scratch
+	rowBuf    []value.Value // filter / aggregation fold row scratch
+
+	// Partial-aggregation scratch (spec.Agg != nil), reused across chunks.
+	aggMap     map[string]*PartialGroup // cleared per chunk
+	aggKeyVals []value.Value
+	aggKeyBuf  []byte
 }
 
 // fileAttr describes one needed attribute served from the file this chunk.
@@ -178,6 +188,7 @@ func resetOut(o *chunkOut, c int) *chunkOut {
 	o.learnPos = o.learnPos[:0]
 	o.frags = o.frags[:0]
 	o.samples = o.samples[:0]
+	o.groups = o.groups[:0]
 	return o
 }
 
@@ -302,8 +313,7 @@ func (w *chunkWorker) serveAllCached(c, nrows int, out *chunkOut) error {
 			w.b.BytesSkipped += w.reader.Size() - base
 		}
 	}
-	w.finishChunk(nrows, out)
-	return nil
+	return w.finishChunk(nrows, out)
 }
 
 // serveFromFile reads the chunk (wholly, or just the needed byte range when
@@ -443,8 +453,7 @@ func (w *chunkWorker) serveMapped(c, nrows int, view *posmap.View, out *chunkOut
 	if err := w.materialize(c, nrows, w.rangeBuf, K, out); err != nil {
 		return err
 	}
-	w.finishChunk(nrows, out)
-	return nil
+	return w.finishChunk(nrows, out)
 }
 
 // loadChunkBytes obtains the chunk's raw rows for tokenization, according
@@ -662,8 +671,7 @@ func (w *chunkWorker) serveTokenize(c, knownRows int, known, haveView bool, view
 	if err := w.materialize(c, nrows, ch.Data, K, out); err != nil {
 		return err
 	}
-	w.finishChunk(nrows, out)
-	return nil
+	return w.finishChunk(nrows, out)
 }
 
 // materialize converts the needed fields into the batch columns, runs the
@@ -840,6 +848,15 @@ func (w *chunkWorker) materializeAttr(i, nrows int, rows []int32, data []byte, K
 // the selection vector.
 func (w *chunkWorker) runFilter(nrows int, out *chunkOut) error {
 	sel := out.sel[:0]
+	if sel == nil {
+		// A nil selection reads as "all rows" in materializeAttr, so a fresh
+		// output whose chunk has zero qualifying rows must still end up with
+		// an empty, non-nil selection — otherwise phase-2 materialization
+		// converts every projection attribute of a fully filtered-out chunk
+		// (wasted work that also skewed the FieldsConverted counter between
+		// sequential and parallel scans, whose fresh outputs hit this path).
+		sel = make([]int32, 0, nrows)
+	}
 	sw := metrics.NewStopwatch(w.b)
 	defer sw.Stop(metrics.Processing)
 	if w.spec.Filter == nil {
@@ -870,10 +887,16 @@ func (w *chunkWorker) runFilter(nrows int, out *chunkOut) error {
 	return nil
 }
 
-// finishChunk records the chunk's row accounting on the worker breakdown.
-func (w *chunkWorker) finishChunk(nrows int, out *chunkOut) {
+// finishChunk records the chunk's row accounting on the worker breakdown
+// and, when aggregation is pushed down, folds the chunk into partial group
+// states.
+func (w *chunkWorker) finishChunk(nrows int, out *chunkOut) error {
 	w.b.RowsScanned += int64(nrows)
 	out.nrows = nrows
+	if w.spec.Agg != nil {
+		return w.foldAgg(out)
+	}
+	return nil
 }
 
 // ensureBatch sizes the batch columns for nrows rows, growing the output's

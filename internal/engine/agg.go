@@ -2,7 +2,9 @@ package engine
 
 import (
 	"sort"
+	"time"
 
+	"nodb/internal/core"
 	"nodb/internal/expr"
 	"nodb/internal/metrics"
 	"nodb/internal/value"
@@ -20,11 +22,18 @@ type AggSpec struct {
 // Output layout: group key values first, then aggregate results. With no
 // keys it emits exactly one row (aggregates over the whole input, even when
 // the input is empty).
+//
+// When the input is a single raw scan that accepts aggregation pushdown
+// (TryPushdown), HashAgg becomes a merger: the scan's chunk workers fold
+// partial group states in parallel, the scan's ordered commit merges them
+// deterministically, and build just finalizes the merged groups. Otherwise
+// it runs the classic single-consumer row/batch loop.
 type HashAgg struct {
 	in     Operator
 	keys   []expr.Node
 	aggs   []AggSpec
 	b      *metrics.Breakdown
+	pushed *RawScan // non-nil once the input accepted aggregation pushdown
 	built  bool
 	groups []*aggGroup
 	pos    int
@@ -43,7 +52,51 @@ func NewHashAgg(in Operator, keys []expr.Node, aggs []AggSpec, b *metrics.Breakd
 		out: make([]value.Value, len(keys)+len(aggs))}
 }
 
+// TryPushdown attempts to push the grouping and aggregation work into the
+// input scan's chunk workers (worker-side partial aggregation). It reports
+// whether the input accepted; on false the classic single-consumer build
+// runs unchanged. Only a bare RawScan input qualifies — a residual filter,
+// join or loaded-table scan below the aggregation keeps the row loop.
+func (o *HashAgg) TryPushdown() bool {
+	rs, ok := o.in.(*RawScan)
+	if !ok {
+		return false
+	}
+	calls := make([]core.AggCall, len(o.aggs))
+	for i, a := range o.aggs {
+		calls[i] = core.AggCall{Name: a.Name, Arg: a.Arg, Star: a.Star, Distinct: a.Distinct}
+	}
+	if !rs.sc.PushAgg(&core.AggPushdown{Keys: o.keys, Aggs: calls}) {
+		return false
+	}
+	o.pushed = rs
+	return true
+}
+
 func (o *HashAgg) build() error {
+	// Charge the aggregation work (and only it) to Processing: elapsed wall
+	// time minus whatever the input charged to the shared breakdown while we
+	// pulled from it. Under a parallel pushed-down scan the workers' CPU
+	// time can exceed the wall clock, in which case nothing extra is charged
+	// here — the fold and merge stages already charged their own Processing.
+	t0 := time.Now()
+	inner0 := o.b.Total()
+	defer func() {
+		if d := time.Since(t0) - (o.b.Total() - inner0); d > 0 {
+			o.b.Add(metrics.Processing, d)
+		}
+	}()
+	if o.pushed != nil {
+		parts, err := o.pushed.sc.DrainAgg()
+		if err != nil {
+			return err
+		}
+		for _, pg := range parts {
+			o.groups = append(o.groups, &aggGroup{
+				keyVals: pg.KeyVals, states: pg.States, order: len(o.groups)})
+		}
+		return o.finishBuild()
+	}
 	table := make(map[string]*aggGroup)
 	keyBuf := make([]value.Value, len(o.keys))
 	step := func(row []value.Value) error {
@@ -103,7 +156,13 @@ func (o *HashAgg) build() error {
 			}
 		}
 	}
-	// Global aggregate over empty input still yields one row.
+	return o.finishBuild()
+}
+
+// finishBuild applies the invariants shared by both build paths: a global
+// aggregate over empty input still yields one (empty-state) row, and groups
+// emit in first-seen order.
+func (o *HashAgg) finishBuild() error {
 	if len(o.keys) == 0 && len(o.groups) == 0 {
 		g := &aggGroup{}
 		for _, a := range o.aggs {

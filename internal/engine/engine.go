@@ -480,16 +480,13 @@ func (o *Distinct) Next() ([]value.Value, bool, error) {
 func (o *Distinct) Close() error { return o.in.Close() }
 
 // rowKey builds a collision-safe string key for grouping/dedup: kind byte,
-// length-prefixed text, canonical numeric rendering.
+// uvarint-length-prefixed canonical rendering per value. The shared
+// implementation in the value package is also what the scan workers key
+// their partial aggregation states on, so both grouping paths agree. (An
+// earlier version used a fixed 2-byte length prefix, which wrapped for text
+// values of 64 KiB and beyond and could merge distinct groups.)
 func rowKey(row []value.Value) string {
-	buf := make([]byte, 0, 16*len(row))
-	for _, v := range row {
-		buf = append(buf, byte(v.K))
-		s := v.String()
-		buf = append(buf, byte(len(s)), byte(len(s)>>8))
-		buf = append(buf, s...)
-	}
-	return string(buf)
+	return string(value.AppendGroupKey(make([]byte, 0, 16*len(row)), row))
 }
 
 func copyRow(row []value.Value) []value.Value {

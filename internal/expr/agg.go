@@ -2,6 +2,7 @@ package expr
 
 import (
 	"fmt"
+	"strconv"
 
 	"nodb/internal/value"
 )
@@ -19,13 +20,36 @@ func IsAggregate(name string) bool {
 type Aggregator interface {
 	// Step feeds one input value. NULLs are ignored except by COUNT(*).
 	Step(v value.Value)
+	// Merge folds another aggregator's accumulated state into the receiver.
+	// The argument must have the same (name, star, distinct) signature and,
+	// for DISTINCT states, come from NewMergeableAggregator; it is consumed
+	// and must not be used afterwards. Merging partial states chunk by
+	// chunk, in chunk order, yields exactly the state of stepping the
+	// concatenated input — the contract the parallel scan's worker-side
+	// partial aggregation relies on.
+	Merge(other Aggregator)
 	// Result finalizes the aggregate for the group.
 	Result() value.Value
 }
 
 // NewAggregator builds the state machine for an aggregate call. star marks
 // COUNT(*); distinct wraps the aggregator to ignore duplicate inputs.
+// DISTINCT states from this constructor do not support being the Merge
+// argument (they skip recording the replay order to save memory in
+// single-consumer plans); build partial states that will be merged with
+// NewMergeableAggregator.
 func NewAggregator(name string, star, distinct bool) (Aggregator, error) {
+	return newAggregator(name, star, distinct, false)
+}
+
+// NewMergeableAggregator is NewAggregator for partial-aggregation states:
+// DISTINCT states additionally track their first-seen value order so Merge
+// can replay them deterministically into another state.
+func NewMergeableAggregator(name string, star, distinct bool) (Aggregator, error) {
+	return newAggregator(name, star, distinct, true)
+}
+
+func newAggregator(name string, star, distinct, mergeable bool) (Aggregator, error) {
 	var a Aggregator
 	switch name {
 	case "COUNT":
@@ -45,7 +69,7 @@ func NewAggregator(name string, star, distinct bool) (Aggregator, error) {
 		if star {
 			return nil, fmt.Errorf("expr: COUNT(DISTINCT *) is not valid")
 		}
-		a = &distinctAgg{inner: a, seen: make(map[distinctKey]bool)}
+		a = &distinctAgg{inner: a, seen: make(map[distinctKey]bool), track: mergeable}
 	}
 	return a, nil
 }
@@ -77,6 +101,7 @@ func (a *countAgg) Step(v value.Value) {
 		a.n++
 	}
 }
+func (a *countAgg) Merge(o Aggregator)  { a.n += o.(*countAgg).n }
 func (a *countAgg) Result() value.Value { return value.Int(a.n) }
 
 type sumAgg struct {
@@ -102,6 +127,27 @@ func (a *sumAgg) Step(v value.Value) {
 	a.i += v.I
 }
 
+func (a *sumAgg) Merge(o Aggregator) {
+	b := o.(*sumAgg)
+	if !b.any {
+		return
+	}
+	a.any = true
+	if a.isFlt || b.isFlt {
+		if !a.isFlt {
+			a.isFlt = true
+			a.f = float64(a.i)
+		}
+		if b.isFlt {
+			a.f += b.f
+		} else {
+			a.f += float64(b.i)
+		}
+		return
+	}
+	a.i += b.i
+}
+
 func (a *sumAgg) Result() value.Value {
 	if !a.any {
 		return value.Null()
@@ -123,6 +169,12 @@ func (a *avgAgg) Step(v value.Value) {
 	}
 	a.n++
 	a.sum += v.Num()
+}
+
+func (a *avgAgg) Merge(o Aggregator) {
+	b := o.(*avgAgg)
+	a.n += b.n
+	a.sum += b.sum
 }
 
 func (a *avgAgg) Result() value.Value {
@@ -153,6 +205,13 @@ func (a *minMaxAgg) Step(v value.Value) {
 	}
 }
 
+func (a *minMaxAgg) Merge(o Aggregator) {
+	b := o.(*minMaxAgg)
+	if b.any {
+		a.Step(b.best)
+	}
+}
+
 func (a *minMaxAgg) Result() value.Value {
 	if !a.any {
 		return value.Null()
@@ -165,26 +224,68 @@ type distinctKey struct {
 	s string
 }
 
+// canonicalDistinctKey maps a value to the identity DISTINCT dedupes on,
+// aligned with value.Hash/value.Equal: all integral numerics (int, bool,
+// date, and floats with integral value) collapse onto their int64 form, so
+// Int(2), Date(2), Bool(true)/Int(1) and Float(2.0) dedupe together exactly
+// when value.Compare deems them equal; non-integral floats key on their
+// exact bits and text on its bytes.
+func canonicalDistinctKey(v value.Value) distinctKey {
+	switch v.K {
+	case value.KindText:
+		return distinctKey{k: value.KindText, s: v.S}
+	case value.KindFloat:
+		// Guard the int64 range before converting: out-of-range float→int
+		// conversion is implementation-specific in Go, which would make
+		// DISTINCT identity differ across architectures at the 2^63 edge.
+		if v.F >= -(1<<63) && v.F < 1<<63 && v.F == float64(int64(v.F)) {
+			return distinctKey{k: value.KindInt, s: strconv.FormatInt(int64(v.F), 10)}
+		}
+		return distinctKey{k: value.KindFloat, s: strconv.FormatFloat(v.F, 'b', -1, 64)}
+	default: // int, bool, date: canonical numeric form
+		return distinctKey{k: value.KindInt, s: strconv.FormatInt(v.I, 10)}
+	}
+}
+
 type distinctAgg struct {
 	inner Aggregator
 	seen  map[distinctKey]bool
+	track bool // mergeable state: record order for Merge replay
+	// order holds the first-seen representative of every distinct value, in
+	// arrival order, so Merge replays the other side's values
+	// deterministically (map iteration order would make float sums vary).
+	// Only tracked for mergeable states — single-consumer plans never merge
+	// and skip the per-value retention.
+	order []value.Value
 }
 
 func (a *distinctAgg) Step(v value.Value) {
 	if v.IsNull() {
 		return
 	}
-	key := distinctKey{k: v.K, s: v.String()}
-	// Canonicalize numeric kinds so Int(2) and Float(2.0) dedupe together,
-	// matching value.Equal.
-	if v.K != value.KindText {
-		key.k = value.KindInt
-	}
+	key := canonicalDistinctKey(v)
 	if a.seen[key] {
 		return
 	}
 	a.seen[key] = true
+	if a.track {
+		a.order = append(a.order, v)
+	}
 	a.inner.Step(v)
+}
+
+// Merge unions the seen sets: values the receiver has not seen yet are
+// replayed into it in the other side's first-seen order. The argument must
+// be a mergeable state (NewMergeableAggregator) or non-empty merges are
+// rejected at construction time by the panic below.
+func (a *distinctAgg) Merge(o Aggregator) {
+	b := o.(*distinctAgg)
+	if !b.track && len(b.seen) > 0 {
+		panic("expr: Merge argument is a non-mergeable DISTINCT state")
+	}
+	for _, v := range b.order {
+		a.Step(v)
+	}
 }
 
 func (a *distinctAgg) Result() value.Value { return a.inner.Result() }

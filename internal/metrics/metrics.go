@@ -72,6 +72,7 @@ type Breakdown struct {
 	CacheHitFields  int64 // field values served from the binary cache
 	MapJumpFields   int64 // fields located via the positional map (no tokenize)
 	MapNearFields   int64 // fields located via a nearby map entry (partial tokenize)
+	PartialGroups   int64 // per-chunk partial group states folded in scan workers
 }
 
 // Add charges d to category c.
@@ -90,6 +91,7 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	b.CacheHitFields += o.CacheHitFields
 	b.MapJumpFields += o.MapJumpFields
 	b.MapNearFields += o.MapNearFields
+	b.PartialGroups += o.PartialGroups
 }
 
 // Total returns the sum of all category times.

@@ -191,6 +191,10 @@ func (pb *builder) buildAggregation(root engine.Operator, sel *sql.Select, items
 	}
 
 	agg := engine.NewHashAgg(root, keyNodes, specs, pb.b)
+	// Aggregation over a bare raw scan: push the grouping work into the
+	// scan's chunk workers so GROUP BY scales with the pipeline instead of
+	// serializing in this one consumer.
+	pb.aggPushed = agg.TryPushdown()
 
 	// Rewrite the select items to reference the aggregation output.
 	out := make([]sql.SelectItem, len(items))

@@ -69,8 +69,9 @@ type builder struct {
 	env    *expr.Env // combined env over all tables' referenced columns
 
 	// Aggregation state (set by buildAggregation).
-	aggKeys  []sql.Expr
-	aggCalls []sql.FuncCall
+	aggKeys   []sql.Expr
+	aggCalls  []sql.FuncCall
+	aggPushed bool // aggregation pushed into the raw scan's chunk workers
 }
 
 func (pb *builder) build(sel *sql.Select) (*Plan, error) {
@@ -146,8 +147,12 @@ func (pb *builder) build(sel *sql.Select) (*Plan, error) {
 			closeQuiet(root)
 			return nil, err
 		}
-		etree = wrap(fmt.Sprintf("HashAgg(keys=[%s], aggs=[%s])",
-			exprList(pb.aggKeys), exprList(pb.aggCalls)), etree)
+		partial := ""
+		if pb.aggPushed {
+			partial = ", partial=workers"
+		}
+		etree = wrap(fmt.Sprintf("HashAgg(keys=[%s], aggs=[%s]%s)",
+			exprList(pb.aggKeys), exprList(pb.aggCalls), partial), etree)
 		// HAVING over the aggregation output.
 		if sel.Having != nil {
 			h := rewriteOverAgg(sel.Having, pb.aggKeys, pb.aggCalls)

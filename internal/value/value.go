@@ -8,6 +8,7 @@
 package value
 
 import (
+	"encoding/binary"
 	"fmt"
 	"strconv"
 	"strings"
@@ -378,8 +379,9 @@ func (v Value) Hash() uint64 {
 		}
 	case KindFloat:
 		// Hash integral floats as ints so Int(2) and Float(2.0) collide,
-		// matching Equal.
-		if v.F == float64(int64(v.F)) {
+		// matching Equal. The range guard keeps the float→int conversion off
+		// the out-of-range path, whose result is implementation-specific.
+		if v.F >= -(1<<63) && v.F < 1<<63 && v.F == float64(int64(v.F)) {
 			return Int(int64(v.F)).Hash()
 		}
 		mix(2)
@@ -395,6 +397,24 @@ func (v Value) Hash() uint64 {
 		}
 	}
 	return h
+}
+
+// AppendGroupKey appends a collision-safe grouping/dedup key for vals to
+// buf and returns the extended slice: per value a kind byte, a uvarint
+// length prefix, and the canonical rendering. The uvarint prefix keeps the
+// key unambiguous for text of any length (a fixed-width prefix would wrap
+// and let values straddle column boundaries). Grouping and duplicate
+// elimination across the whole engine key on this one function, so the
+// worker-side partial aggregation and the single-consumer hash aggregation
+// agree on group identity byte for byte.
+func AppendGroupKey(buf []byte, vals []Value) []byte {
+	for _, v := range vals {
+		buf = append(buf, byte(v.K))
+		s := v.String()
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
 }
 
 // SizeBytes returns the approximate in-memory footprint of the value, used

@@ -48,7 +48,11 @@ type Config struct {
 	// in-situ scan for tables registered on this DB; <= 0 uses GOMAXPROCS.
 	// 1 disables the pipeline (the original sequential scan). Results, row
 	// order and adaptive-structure contents are identical at any setting;
-	// per-table RawOptions.Parallelism overrides this default.
+	// per-table RawOptions.Parallelism overrides this default. GROUP BY and
+	// aggregate queries over a single raw table additionally push partial
+	// aggregation into the same workers (each chunk folds into private group
+	// states, merged deterministically in chunk order), so aggregation
+	// throughput scales with this knob too.
 	Parallelism int
 }
 

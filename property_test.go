@@ -63,11 +63,11 @@ func TestModesAgreeOnRandomWorkloads(t *testing.T) {
 
 			for _, q := range queries {
 				// Each mode, plus a warm repeat for the raw table.
-				want := runQ(t, db, fmt.Sprintf(q, "r"))
+				want := runRows(t, db, fmt.Sprintf(q, "r"))
 				for _, tbl := range []string{"r", "b", "lp", "lx"} {
-					got := runQ(t, db, fmt.Sprintf(q, tbl))
-					if got != want {
-						t.Fatalf("query %q on %s differs:\n%s\nvs raw:\n%s", q, tbl, got, want)
+					got := runRows(t, db, fmt.Sprintf(q, tbl))
+					if !rowsEquivalent(got, want) {
+						t.Fatalf("query %q on %s differs:\n%v\nvs raw:\n%v", q, tbl, got, want)
 					}
 				}
 			}
@@ -82,6 +82,64 @@ func runQ(t *testing.T, db *nodb.DB, q string) string {
 		t.Fatalf("%q: %v", q, err)
 	}
 	return fmt.Sprint(res.Rows)
+}
+
+func runRows(t *testing.T, db *nodb.DB, q string) [][]any {
+	t.Helper()
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("%q: %v", q, err)
+	}
+	return res.Rows
+}
+
+// rowsEquivalent compares result sets across access modes. Float cells
+// compare with a relative tolerance: the raw scan folds SUM/AVG per chunk
+// and merges the partials (worker-side partial aggregation), which is a
+// different — equally valid — summation order than the loaded engines'
+// streaming loop, so the last ulps may differ. Everything else, including
+// row count, order and all non-float cells, must match exactly. Identity
+// across Parallelism settings (same access mode) stays bitwise-exact and is
+// asserted separately in TestAggParallelismEquivalence.
+func rowsEquivalent(a, b [][]any) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			af, aok := a[i][j].(float64)
+			bf, bok := b[i][j].(float64)
+			if aok != bok {
+				return false
+			}
+			if aok {
+				diff := af - bf
+				if diff < 0 {
+					diff = -diff
+				}
+				scale := 1.0
+				if s := af; s < 0 {
+					s = -s
+					if s > scale {
+						scale = s
+					}
+				} else if af > scale {
+					scale = af
+				}
+				if diff > 1e-9*scale {
+					return false
+				}
+				continue
+			}
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // TestAdaptationUnderRandomBudgets fuzzes budget settings mid-workload:

@@ -40,6 +40,7 @@ type QueryStats struct {
 	CacheHitFields  int64
 	MapJumpFields   int64
 	MapNearFields   int64 // fields located via a nearby map entry (short gap tokenize)
+	PartialGroups   int64 // partial group states folded by scan workers (aggregation pushdown)
 }
 
 func newQueryStats(b *metrics.Breakdown, total time.Duration) QueryStats {
@@ -60,6 +61,7 @@ func newQueryStats(b *metrics.Breakdown, total time.Duration) QueryStats {
 		CacheHitFields:  b.CacheHitFields,
 		MapJumpFields:   b.MapJumpFields,
 		MapNearFields:   b.MapNearFields,
+		PartialGroups:   b.PartialGroups,
 	}
 }
 
