@@ -6,6 +6,7 @@
 package nodb_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -373,4 +374,80 @@ func BenchmarkSweepMapGrain(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkQueryStream contrasts the streaming cursor (QueryContext/Rows)
+// with the materializing Query on the same warm scan. The custom metrics
+// carry the contract: first-row-ns is the latency until the first result row
+// is available (one chunk for the stream, the whole scan for Query), and
+// allocs/op shows the stream's per-batch — not per-row — allocation profile.
+func BenchmarkQueryStream(b *testing.B) {
+	spec := datagen.IntTable(benchRows, benchAttrs, 7)
+	path := genBench(b, "stream", spec)
+	q := fmt.Sprintf("SELECT a0, a%d FROM t", benchAttrs-1)
+	open := func(b *testing.B) *nodb.DB {
+		b.Helper()
+		db, err := nodb.Open(nodb.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { db.Close() })
+		if err := db.RegisterRaw("t", path, spec.SchemaSpec(), nil); err != nil {
+			b.Fatal(err)
+		}
+		benchQuery(b, db, q) // warm the adaptive structures once
+		return db
+	}
+
+	b.Run("materialized", func(b *testing.B) {
+		db := open(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var firstRow time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			res, err := db.Query(q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			firstRow += time.Since(t0) // first row exists only when Query returns
+			if len(res.Rows) != benchRows {
+				b.Fatalf("rows=%d", len(res.Rows))
+			}
+		}
+		b.ReportMetric(float64(firstRow.Nanoseconds())/float64(b.N), "first-row-ns")
+	})
+
+	b.Run("stream", func(b *testing.B) {
+		db := open(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		var firstRow time.Duration
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			rows, err := db.QueryContext(context.Background(), q)
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			var a, z int64
+			for rows.Next() {
+				if n == 0 {
+					firstRow += time.Since(t0)
+				}
+				if err := rows.Scan(&a, &z); err != nil {
+					b.Fatal(err)
+				}
+				n++
+			}
+			if err := rows.Err(); err != nil {
+				b.Fatal(err)
+			}
+			rows.Close()
+			if n != benchRows {
+				b.Fatalf("rows=%d", n)
+			}
+		}
+		b.ReportMetric(float64(firstRow.Nanoseconds())/float64(b.N), "first-row-ns")
+	})
 }

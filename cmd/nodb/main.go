@@ -8,14 +8,20 @@
 //	     [-breakdown] [-panel] ["SELECT ..." ...]
 //
 // Queries come from the command line; with none given, statements are read
-// line by line from stdin.
+// line by line from stdin. Results stream row by row as the scan produces
+// them — the first rows appear before a large file has been fully read —
+// and Ctrl-C cancels the running query (abandoning its unread remainder)
+// without quitting the shell.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"nodb"
@@ -75,14 +81,74 @@ func main() {
 		if q == "" {
 			return
 		}
-		res, err := db.Query(q)
+		// Ctrl-C cancels this query (not the shell): the context reaches the
+		// scan pipeline, which abandons unread chunks at the next boundary.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		rows, err := db.QueryContext(ctx, q)
 		if err != nil {
+			stop()
 			fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			return
 		}
-		fmt.Print(res)
+		defer rows.Close()
+
+		cols := rows.Columns()
+		widths := make([]int, len(cols))
+		header := make([]string, len(cols))
+		for i, c := range cols {
+			header[i] = c.Name
+			if widths[i] = len(c.Name); widths[i] < 8 {
+				widths[i] = 8
+			}
+		}
+		writeRow := func(cells []string) {
+			var sb strings.Builder
+			for i, c := range cells {
+				if i > 0 {
+					sb.WriteString("  ")
+				}
+				sb.WriteString(c)
+				for pad := widths[i] - len(c); pad > 0; pad-- {
+					sb.WriteByte(' ')
+				}
+			}
+			fmt.Println(sb.String())
+		}
+		writeRow(header)
+		dashes := make([]string, len(cols))
+		for i := range dashes {
+			dashes[i] = strings.Repeat("-", widths[i])
+		}
+		writeRow(dashes)
+
+		n := 0
+		cells := make([]string, len(cols))
+		for rows.Next() {
+			for i, v := range rows.Values() {
+				if v == nil {
+					cells[i] = "NULL"
+				} else {
+					cells[i] = fmt.Sprint(v)
+				}
+			}
+			writeRow(cells)
+			n++
+		}
+		rows.Close()
+		stop()
+		switch err := rows.Err(); {
+		case errors.Is(err, context.Canceled):
+			fmt.Printf("(cancelled after %d rows)\n", n)
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			return
+		default:
+			fmt.Printf("(%d rows)\n", n)
+		}
 		if *breakdown {
-			fmt.Printf("-- %v total; %s\n", res.Stats.Total, res.Stats.Breakdown())
+			st := rows.Stats()
+			fmt.Printf("-- %v total; %s\n", st.Total, st.Breakdown())
 		}
 		if *panel && *mode != "load" {
 			if p, err := db.Panel(*table); err == nil {

@@ -1,0 +1,262 @@
+// Package nodbdriver exposes the nodb engine through database/sql, so any
+// Go program can run SQL directly over raw CSV files with the standard
+// library's API:
+//
+//	import (
+//		"database/sql"
+//
+//		_ "nodb/driver"
+//	)
+//
+//	db, err := sql.Open("nodb", "csv=events.csv;table=events;schema=id:int,kind:text,val:float")
+//	rows, err := db.QueryContext(ctx, "SELECT kind, val FROM events WHERE id < ?", 100)
+//
+// The DSN registers one or more tables (see ParseDSN for the grammar). All
+// connections of one sql.DB share a single underlying *nodb.DB, so the
+// adaptive structures (positional map, cache, statistics) warm across the
+// whole pool. Prepared statements reuse nodb's plan-skeleton cache.
+//
+// To plug database/sql on top of an already-configured engine instance, use
+// NewConnector:
+//
+//	ndb, _ := nodb.Open(nodb.Config{})
+//	ndb.RegisterRaw("t", "data.csv", "", nil)
+//	db := sql.OpenDB(nodbdriver.NewConnector(ndb))
+//
+// The engine is SELECT-only: Exec and transactions return errors.
+package nodbdriver
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"errors"
+	"fmt"
+	"io"
+
+	"nodb"
+)
+
+func init() {
+	sql.Register("nodb", Driver{})
+}
+
+// Driver implements driver.Driver and driver.DriverContext. database/sql
+// uses OpenConnector, so every connection of a pool shares one engine
+// instance.
+type Driver struct{}
+
+// Open implements driver.Driver: a standalone connection owning its own
+// engine instance. Only used by callers bypassing OpenConnector.
+func (d Driver) Open(dsn string) (driver.Conn, error) {
+	db, err := OpenDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &conn{db: db, owns: true}, nil
+}
+
+// OpenConnector implements driver.DriverContext.
+func (d Driver) OpenConnector(dsn string) (driver.Connector, error) {
+	db, err := OpenDSN(dsn)
+	if err != nil {
+		return nil, err
+	}
+	return &Connector{db: db, owns: true}, nil
+}
+
+// Connector hands out connections sharing one *nodb.DB. It implements
+// io.Closer: closing the sql.DB closes the engine (when the connector owns
+// it — always for DSN-opened connectors, never for NewConnector).
+type Connector struct {
+	db   *nodb.DB
+	owns bool
+}
+
+// NewConnector wraps an existing engine instance for sql.OpenDB. The caller
+// keeps ownership: closing the sql.DB does not close ndb.
+func NewConnector(ndb *nodb.DB) *Connector {
+	return &Connector{db: ndb}
+}
+
+// DB returns the underlying engine instance (e.g. to inspect QueryStats,
+// budgets or the monitoring panel while database/sql drives the queries).
+func (c *Connector) DB() *nodb.DB { return c.db }
+
+// Connect implements driver.Connector.
+func (c *Connector) Connect(context.Context) (driver.Conn, error) {
+	return &conn{db: c.db}, nil
+}
+
+// Driver implements driver.Connector.
+func (c *Connector) Driver() driver.Driver { return Driver{} }
+
+// Close implements io.Closer (called by sql.DB.Close).
+func (c *Connector) Close() error {
+	if c.owns {
+		return c.db.Close()
+	}
+	return nil
+}
+
+// conn is one pooled connection. The engine is stateless per connection
+// (no transactions, no session variables), so a conn is just a handle.
+type conn struct {
+	db   *nodb.DB
+	owns bool
+}
+
+var (
+	_ driver.QueryerContext     = (*conn)(nil)
+	_ driver.ConnPrepareContext = (*conn)(nil)
+)
+
+// Prepare implements driver.Conn.
+func (c *conn) Prepare(query string) (driver.Stmt, error) {
+	st, err := c.db.Prepare(query)
+	if err != nil {
+		return nil, err
+	}
+	return &stmt{st: st}, nil
+}
+
+// PrepareContext implements driver.ConnPrepareContext.
+func (c *conn) PrepareContext(ctx context.Context, query string) (driver.Stmt, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Prepare(query)
+}
+
+// Close implements driver.Conn.
+func (c *conn) Close() error {
+	if c.owns {
+		return c.db.Close()
+	}
+	return nil
+}
+
+// Begin implements driver.Conn. The engine is read-only; transactions are
+// not supported.
+func (c *conn) Begin() (driver.Tx, error) {
+	return nil, errors.New("nodb: transactions are not supported")
+}
+
+// QueryContext implements driver.QueryerContext, the unprepared fast path.
+func (c *conn) QueryContext(ctx context.Context, query string, nvs []driver.NamedValue) (driver.Rows, error) {
+	args, err := namedArgs(nvs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := c.db.QueryContext(ctx, query, args...)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(r), nil
+}
+
+// stmt adapts nodb.Stmt.
+type stmt struct {
+	st *nodb.Stmt
+}
+
+var _ driver.StmtQueryContext = (*stmt)(nil)
+
+// Close implements driver.Stmt.
+func (s *stmt) Close() error { return s.st.Close() }
+
+// NumInput implements driver.Stmt; database/sql enforces the arity.
+func (s *stmt) NumInput() int { return s.st.NumParams() }
+
+// Exec implements driver.Stmt. The engine is SELECT-only.
+func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
+	return nil, errors.New("nodb: Exec is not supported (SELECT-only engine)")
+}
+
+// Query implements driver.Stmt.
+func (s *stmt) Query(vs []driver.Value) (driver.Rows, error) {
+	args := make([]any, len(vs))
+	for i, v := range vs {
+		args[i] = v
+	}
+	r, err := s.st.QueryContext(context.Background(), args...)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(r), nil
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *stmt) QueryContext(ctx context.Context, nvs []driver.NamedValue) (driver.Rows, error) {
+	args, err := namedArgs(nvs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.st.QueryContext(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(r), nil
+}
+
+// rows adapts the streaming nodb.Rows cursor; rows reach database/sql one
+// batch-pulled row at a time, never materialized.
+type rows struct {
+	r       *nodb.Rows
+	names   []string
+	scratch []any // reused per row; values copy straight into dest
+}
+
+func newRows(r *nodb.Rows) *rows {
+	cols := r.Columns()
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = c.Name
+	}
+	return &rows{r: r, names: names, scratch: make([]any, len(cols))}
+}
+
+// Columns implements driver.Rows.
+func (r *rows) Columns() []string { return r.names }
+
+// Close implements driver.Rows, abandoning any unread remainder of the scan
+// and releasing table pins.
+func (r *rows) Close() error { return r.r.Close() }
+
+// Next implements driver.Rows.
+func (r *rows) Next(dest []driver.Value) error {
+	if !r.r.Next() {
+		if err := r.r.Err(); err != nil {
+			return err
+		}
+		return io.EOF
+	}
+	// []driver.Value is not []any to the type system, so stage through a
+	// reused scratch slice instead of allocating one per row.
+	if !r.r.ValuesInto(r.scratch) {
+		return fmt.Errorf("nodb: internal: no current row")
+	}
+	for i, v := range r.scratch {
+		dest[i] = v
+	}
+	return nil
+}
+
+// namedArgs flattens database/sql's named values into positional arguments.
+// Only positional `?` parameters are supported.
+func namedArgs(nvs []driver.NamedValue) ([]any, error) {
+	if len(nvs) == 0 {
+		return nil, nil
+	}
+	args := make([]any, len(nvs))
+	for _, nv := range nvs {
+		if nv.Name != "" {
+			return nil, fmt.Errorf("nodb: named parameter %q not supported (use positional ?)", nv.Name)
+		}
+		if nv.Ordinal < 1 || nv.Ordinal > len(args) {
+			return nil, fmt.Errorf("nodb: parameter ordinal %d out of range", nv.Ordinal)
+		}
+		args[nv.Ordinal-1] = nv.Value
+	}
+	return args, nil
+}

@@ -1,0 +1,174 @@
+package nodbdriver
+
+import (
+	"context"
+	"database/sql"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodb"
+)
+
+func writeCSV(t *testing.T, rows int) string {
+	t.Helper()
+	var sb strings.Builder
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d,item-%d,%g,%d\n", i, i, float64(i)*1.5, i%10)
+	}
+	path := filepath.Join(t.TempDir(), "events.csv")
+	if err := os.WriteFile(path, []byte(sb.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const schemaSpec = "id:int,name:text,score:float,grp:int"
+
+// TestSQLOpenSmoke is the acceptance smoke test: sql.Open("nodb", dsn),
+// QueryContext with ? args, row scan, and prepared-statement reuse hitting
+// the plan cache.
+func TestSQLOpenSmoke(t *testing.T) {
+	path := writeCSV(t, 2000)
+	db, err := sql.Open("nodb", "csv="+path+";table=events;schema="+schemaSpec+";parallelism=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Ping(); err != nil {
+		t.Fatal(err)
+	}
+
+	// QueryContext with placeholders, streamed row scan.
+	ctx := context.Background()
+	rows, err := db.QueryContext(ctx, "SELECT id, name, score FROM events WHERE id BETWEEN ? AND ? ORDER BY id", 10, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for rows.Next() {
+		var id int64
+		var name string
+		var score float64
+		if err := rows.Scan(&id, &name, &score); err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, fmt.Sprintf("%d|%s|%g", id, name, score))
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	rows.Close()
+	want := []string{"10|item-10|15", "11|item-11|16.5", "12|item-12|18"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: got %q, want %q", i, got[i], want[i])
+		}
+	}
+
+	// Prepared statement reuse.
+	stmt, err := db.PrepareContext(ctx, "SELECT COUNT(*) FROM events WHERE grp = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	for grp := 0; grp < 3; grp++ {
+		var n int64
+		if err := stmt.QueryRowContext(ctx, grp).Scan(&n); err != nil {
+			t.Fatal(err)
+		}
+		if n != 200 {
+			t.Fatalf("grp=%d count=%d, want 200", grp, n)
+		}
+	}
+
+	// NULL and aggregate scanning through database/sql.
+	var avg float64
+	if err := db.QueryRow("SELECT AVG(score) FROM events").Scan(&avg); err != nil {
+		t.Fatal(err)
+	}
+
+	// SELECT-only engine: Exec and transactions fail.
+	if _, err := db.Exec("SELECT id FROM events"); err == nil {
+		t.Fatal("Exec unexpectedly succeeded")
+	}
+	if _, err := db.Begin(); err == nil {
+		t.Fatal("Begin unexpectedly succeeded")
+	}
+}
+
+// TestConnectorSharesEngine checks NewConnector over a caller-owned engine:
+// database/sql queries hit the same adaptive structures and the plan cache,
+// observable through the nodb.DB handle.
+func TestConnectorSharesEngine(t *testing.T) {
+	path := writeCSV(t, 1000)
+	ndb, err := nodb.Open(nodb.Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ndb.Close()
+	if err := ndb.RegisterRaw("events", path, schemaSpec, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	db := sql.OpenDB(NewConnector(ndb))
+	defer db.Close()
+
+	stmt, err := db.Prepare("SELECT MAX(id) FROM events WHERE grp = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stmt.Close()
+	h0, _ := ndb.PlanCacheCounters()
+	for grp := 0; grp < 3; grp++ {
+		var m int64
+		if err := stmt.QueryRow(grp).Scan(&m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h1, _ := ndb.PlanCacheCounters()
+	if h1-h0 < 2 {
+		t.Fatalf("prepared reuse produced %d plan-cache hits, want >= 2", h1-h0)
+	}
+
+	// Closing the sql.DB must not close the caller-owned engine.
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ndb.Query("SELECT COUNT(*) FROM events"); err != nil {
+		t.Fatalf("engine closed by connector: %v", err)
+	}
+}
+
+// TestDSNErrors exercises DSN validation.
+func TestDSNErrors(t *testing.T) {
+	for _, dsn := range []string{
+		"",
+		"table=t",              // key before any csv
+		"csv=x.csv;bogus=1",    // unknown key
+		"csv=x.csv;delim=long", // bad delim
+	} {
+		if _, err := OpenDSN(dsn); err == nil {
+			t.Errorf("OpenDSN(%q) unexpectedly succeeded", dsn)
+		}
+	}
+	// Bare path + inferred schema + default table name.
+	path := writeCSV(t, 50)
+	db, err := OpenDSN(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	res, err := db.Query("SELECT COUNT(*) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0] != int64(50) {
+		t.Fatalf("count = %v, want 50", res.Rows[0][0])
+	}
+}

@@ -1,0 +1,139 @@
+package nodbdriver
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"nodb"
+)
+
+// OpenDSN builds a configured engine instance from a driver DSN.
+//
+// The DSN is a semicolon-separated list of directives. A bare token (or a
+// csv=/file= key) starts a new table registration; the keys that follow
+// refine it until the next one:
+//
+//	csv=<path>          raw CSV file to register (also: file=, or a bare path)
+//	table=<name>        table name; default: file base name without extension
+//	schema=<spec>       "name:type,..." (int,float,text,bool,date); default: inferred
+//	mode=<m>            insitu (default) | baseline | load
+//	delim=<c>           single-byte field separator, default ','
+//
+// Engine-wide keys (position-independent):
+//
+//	parallelism=<n>     chunk-pipeline workers per scan (0 = GOMAXPROCS)
+//
+// Example:
+//
+//	csv=/data/orders.csv;table=orders;schema=id:int,total:float;csv=/data/users.csv
+func OpenDSN(dsn string) (*nodb.DB, error) {
+	type tableSpec struct {
+		path, table, schemaSpec, mode string
+		delim                         byte
+	}
+	var specs []*tableSpec
+	parallelism := 0
+	var cur *tableSpec
+	begin := func(path string) {
+		cur = &tableSpec{path: strings.TrimSpace(path), mode: "insitu"}
+		specs = append(specs, cur)
+	}
+	need := func(k string) (*tableSpec, error) {
+		if cur == nil {
+			return nil, fmt.Errorf("nodb: dsn: %q before any csv= table", k)
+		}
+		return cur, nil
+	}
+	for _, part := range strings.Split(dsn, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, v, hasKey := strings.Cut(part, "=")
+		if !hasKey {
+			begin(part) // bare path
+			continue
+		}
+		v = strings.TrimSpace(v)
+		switch strings.ToLower(strings.TrimSpace(k)) {
+		case "csv", "file":
+			begin(v)
+		case "table":
+			s, err := need("table")
+			if err != nil {
+				return nil, err
+			}
+			s.table = v
+		case "schema":
+			s, err := need("schema")
+			if err != nil {
+				return nil, err
+			}
+			s.schemaSpec = v
+		case "mode":
+			s, err := need("mode")
+			if err != nil {
+				return nil, err
+			}
+			s.mode = strings.ToLower(v)
+		case "delim":
+			s, err := need("delim")
+			if err != nil {
+				return nil, err
+			}
+			if len(v) != 1 {
+				return nil, fmt.Errorf("nodb: dsn: delim must be a single byte, got %q", v)
+			}
+			s.delim = v[0]
+		case "parallelism":
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, fmt.Errorf("nodb: dsn: bad parallelism %q: %w", v, err)
+			}
+			parallelism = n
+		default:
+			return nil, fmt.Errorf("nodb: dsn: unknown key %q", k)
+		}
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("nodb: dsn: no tables (expected at least one csv path)")
+	}
+
+	db, err := nodb.Open(nodb.Config{Parallelism: parallelism})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range specs {
+		name := s.table
+		if name == "" {
+			base := filepath.Base(s.path)
+			name = strings.TrimSuffix(base, filepath.Ext(base))
+		}
+		var rerr error
+		switch s.mode {
+		case "insitu", "":
+			rerr = db.RegisterRaw(name, s.path, s.schemaSpec, &nodb.RawOptions{Delim: s.delim})
+		case "baseline", "load":
+			// Only the in-situ path accepts a custom separator; failing loudly
+			// beats silently tokenizing a pipe-separated file on ','.
+			if s.delim != 0 && s.delim != ',' {
+				rerr = fmt.Errorf("nodb: dsn: delim is only supported with mode=insitu (table %q)", name)
+				break
+			}
+			if s.mode == "baseline" {
+				rerr = db.RegisterBaseline(name, s.path, s.schemaSpec)
+			} else {
+				_, _, rerr = db.Load(name, s.path, s.schemaSpec, nodb.ProfilePostgres)
+			}
+		default:
+			rerr = fmt.Errorf("nodb: dsn: unknown mode %q", s.mode)
+		}
+		if rerr != nil {
+			db.Close()
+			return nil, rerr
+		}
+	}
+	return db, nil
+}

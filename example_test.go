@@ -1,0 +1,87 @@
+package nodb_test
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nodb"
+)
+
+// exampleCSV writes a small raw file for the examples.
+func exampleCSV() (dir, path string, err error) {
+	dir, err = os.MkdirTemp("", "nodb-example-*")
+	if err != nil {
+		return "", "", err
+	}
+	path = filepath.Join(dir, "events.csv")
+	data := "1,click,0.30\n2,view,0.90\n3,click,0.70\n4,buy,0.10\n5,view,0.50\n"
+	return dir, path, os.WriteFile(path, []byte(data), 0o644)
+}
+
+// ExampleDB_QueryContext streams a parameterized query with a cursor: rows
+// are pulled from the scan on demand and Close abandons the remainder.
+func ExampleDB_QueryContext() {
+	dir, path, err := exampleCSV()
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, _ := nodb.Open(nodb.Config{})
+	defer db.Close()
+	db.RegisterRaw("events", path, "id:int,kind:text,val:float", nil)
+
+	rows, err := db.QueryContext(context.Background(),
+		"SELECT id, val FROM events WHERE kind = ? ORDER BY id", "click")
+	if err != nil {
+		panic(err)
+	}
+	defer rows.Close()
+	for rows.Next() {
+		var id int64
+		var val float64
+		if err := rows.Scan(&id, &val); err != nil {
+			panic(err)
+		}
+		fmt.Printf("id=%d val=%.2f\n", id, val)
+	}
+	if err := rows.Err(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// id=1 val=0.30
+	// id=3 val=0.70
+}
+
+// ExampleDB_Prepare reuses one parsed-and-resolved statement across
+// bindings; repeat executions skip parse and resolution (PlanCacheHits).
+func ExampleDB_Prepare() {
+	dir, path, err := exampleCSV()
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+
+	db, _ := nodb.Open(nodb.Config{})
+	defer db.Close()
+	db.RegisterRaw("events", path, "id:int,kind:text,val:float", nil)
+
+	stmt, err := db.Prepare("SELECT COUNT(*) FROM events WHERE kind = ?")
+	if err != nil {
+		panic(err)
+	}
+	defer stmt.Close()
+	for _, kind := range []string{"click", "view", "buy"} {
+		res, err := stmt.Query(kind)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s=%v hit=%d\n", kind, res.Rows[0][0], res.Stats.PlanCacheHits)
+	}
+	// Output:
+	// click=2 hit=1
+	// view=2 hit=1
+	// buy=1 hit=1
+}

@@ -36,9 +36,16 @@ type workItem struct {
 	kind   int // srcFetch or srcRaw
 	nrows  int
 	known  bool
-	ch     rawfile.Chunk      // srcRaw: owned copy of the split chunk
+	ch     *rawfile.Chunk     // srcRaw: pooled copy of the split chunk
 	splitB *metrics.Breakdown // srcRaw: split-stage charges for this chunk
 }
+
+// chunkPool recycles the splitter's chunk copies across workItems (and
+// across scans). Each srcRaw dispatch used to allocate fresh Data/Start/End
+// slices per chunk; with the pool a worker returns the copy once the chunk's
+// values are materialized (value parsing copies all bytes out), so steady
+// state runs with ~Parallelism+queue chunk buffers total.
+var chunkPool = sync.Pool{New: func() any { return new(rawfile.Chunk) }}
 
 // pipeline owns the goroutines and channels of one parallel scan.
 type pipeline struct {
@@ -92,6 +99,10 @@ func (s *Scan) advanceParallel() error {
 	if p.err != nil {
 		return p.err
 	}
+	var ctxDone <-chan struct{}
+	if s.spec.Ctx != nil {
+		ctxDone = s.spec.Ctx.Done()
+	}
 	for {
 		if o, ok := p.pending[p.nextC]; ok {
 			delete(p.pending, p.nextC)
@@ -119,8 +130,17 @@ func (s *Scan) advanceParallel() error {
 			}
 			return nil
 		}
-		o := <-p.results
-		p.pending[o.c] = o
+		// Waiting for the next in-order chunk must not outlive the context:
+		// with the splitter stopped by cancellation no more results may ever
+		// arrive, so block on both.
+		select {
+		case o := <-p.results:
+			p.pending[o.c] = o
+		case <-ctxDone:
+			p.err = s.spec.Ctx.Err()
+			p.shutdown()
+			return p.err
+		}
 	}
 }
 
@@ -154,9 +174,16 @@ func (p *pipeline) splitter() {
 	cr := rawfile.NewChunkReader(reader, s.opts.BlockSize)
 	var ch rawfile.Chunk
 	countSpec := len(s.spec.Needed) == 0 && s.spec.Filter == nil
+	var ctxDone <-chan struct{}
+	if s.spec.Ctx != nil {
+		ctxDone = s.spec.Ctx.Done()
+	}
 	for c := 0; ; c++ {
 		select {
 		case <-p.done:
+			return
+		case <-ctxDone:
+			// Cancelled: stop reading ahead; the consumer notices on its own.
 			return
 		default:
 		}
@@ -211,6 +238,7 @@ func (p *pipeline) splitter() {
 		it.ch = copyChunk(&ch)
 		sw.Stop(metrics.Tokenizing)
 		if !p.dispatch(it) {
+			chunkPool.Put(it.ch)
 			return
 		}
 	}
@@ -230,7 +258,12 @@ func (p *pipeline) worker() {
 		}
 		w.b = b
 		reader.SetBreakdown(b)
-		out := w.run(it.c, chunkSrc{kind: it.kind, nrows: it.nrows, known: it.known, ch: &it.ch})
+		out := w.run(it.c, chunkSrc{kind: it.kind, nrows: it.nrows, known: it.known, ch: it.ch})
+		if it.ch != nil {
+			// The chunk's bytes are fully materialized into the output (value
+			// parsing copies); recycle the splitter copy for a later workItem.
+			chunkPool.Put(it.ch)
+		}
 		out.b = b
 		select {
 		case p.results <- out:
@@ -240,14 +273,15 @@ func (p *pipeline) worker() {
 	}
 }
 
-// copyChunk deep-copies a chunk out of the splitter's reused read buffer so
-// it can cross the channel to a worker.
-func copyChunk(src *rawfile.Chunk) rawfile.Chunk {
-	return rawfile.Chunk{
-		Base:  src.Base,
-		Rows:  src.Rows,
-		Data:  append([]byte(nil), src.Data...),
-		Start: append([]int32(nil), src.Start...),
-		End:   append([]int32(nil), src.End...),
-	}
+// copyChunk copies a chunk out of the splitter's reused read buffer into a
+// pooled chunk so it can cross the channel to a worker; capacities are
+// reused across workItems.
+func copyChunk(src *rawfile.Chunk) *rawfile.Chunk {
+	dst := chunkPool.Get().(*rawfile.Chunk)
+	dst.Base = src.Base
+	dst.Rows = src.Rows
+	dst.Data = append(dst.Data[:0], src.Data...)
+	dst.Start = append(dst.Start[:0], src.Start...)
+	dst.End = append(dst.End[:0], src.End...)
+	return dst
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,6 +28,13 @@ type ScanSpec struct {
 	Filter func(row []value.Value) (bool, error)
 	// B receives the execution breakdown. Must be non-nil.
 	B *metrics.Breakdown
+	// Ctx, when non-nil, cancels the scan: Next/NextBatch/DrainAgg return
+	// Ctx.Err() at the next chunk boundary once the context is done, and the
+	// parallel pipeline abandons its read-ahead promptly. Side effects of
+	// chunks already committed (positional map, cache, statistics) remain —
+	// they form a deterministic prefix, so a warm rerun after cancellation is
+	// byte-identical to one after an uncancelled scan.
+	Ctx context.Context
 	// Agg, when non-nil, makes the scan fold each chunk into partial
 	// aggregation states instead of serving row batches (worker-side
 	// partial aggregation). Installed after NewScan via Scan.PushAgg; the
@@ -197,9 +205,30 @@ func (s *Scan) NextBatch() (*Batch, bool, error) {
 	}
 }
 
+// ctxErr reports the scan's context error, if the scan is cancellable and
+// its context is done. On cancellation the parallel pipeline is shut down so
+// read-ahead stops promptly; the error is sticky (the context stays done).
+func (s *Scan) ctxErr() error {
+	if s.spec.Ctx == nil {
+		return nil
+	}
+	select {
+	case <-s.spec.Ctx.Done():
+		if s.pl != nil {
+			s.pl.shutdown()
+		}
+		return s.spec.Ctx.Err()
+	default:
+		return nil
+	}
+}
+
 // advance loads the next chunk (sequentially or from the pipeline's ordered
 // merge) into s.cur. Returns io.EOF when the scan is exhausted.
 func (s *Scan) advance() error {
+	if err := s.ctxErr(); err != nil {
+		return err
+	}
 	// COUNT(*)-style scans need no attribute data: once the row count is
 	// known, answer the remainder from metadata without touching the file.
 	if len(s.spec.Needed) == 0 && s.spec.Filter == nil {

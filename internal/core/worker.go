@@ -93,8 +93,8 @@ type chunkWorker struct {
 	// mode). Pipeline workers instead draw committed outputs back from the
 	// free list; results in flight in the ordered merge are never touched.
 	reuse bool
-	out   *chunkOut       // recycled output when reuse
-	free  chan *chunkOut  // recycled outputs from the pipeline's consumer
+	out   *chunkOut      // recycled output when reuse
+	free  chan *chunkOut // recycled outputs from the pipeline's consumer
 
 	ch       rawfile.Chunk // scratch chunk for srcSeq / srcFetch
 	chunkBuf []byte        // pread buffer for srcFetch
@@ -245,6 +245,18 @@ func (w *chunkWorker) process(c int, src chunkSrc, out *chunkOut) error {
 	nrows, known := src.nrows, src.known
 	if src.kind == srcSeq {
 		nrows, known = w.t.chunkRows(c)
+	}
+	if !known {
+		// The total row count is unknown (e.g. an earlier scan was cancelled
+		// or closed early), but base offsets learned for this chunk and the
+		// next bracket it — a full chunk of exactly ChunkRows rows. Knowing
+		// the count lets the cache and fully-mapped fast paths serve it, so a
+		// rerun after a partial scan behaves identically to a warm scan.
+		if _, ok := w.t.chunkBase(c); ok {
+			if _, ok2 := w.t.chunkBase(c + 1); ok2 {
+				nrows, known = w.opts.ChunkRows, true
+			}
+		}
 	}
 	if known && nrows == 0 {
 		return io.EOF

@@ -7,6 +7,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
 	"nodb/internal/core"
@@ -15,6 +16,22 @@ import (
 	"nodb/internal/storage"
 	"nodb/internal/value"
 )
+
+// ctxDone is the non-blocking cancellation probe used by leaf scans. Every
+// blocking operator (aggregation, sort, join build) ultimately pulls from a
+// leaf, so checking at the leaves bounds cancellation latency to one chunk
+// or page of work without sprinkling checks through every drain loop.
+func ctxDone(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
 
 // Operator is a pull-based executor node. Next returns a row whose backing
 // slice may be reused by the operator; consumers that retain rows must copy.
@@ -126,6 +143,7 @@ type HeapScan struct {
 	refAttrs []int
 	want     []bool
 	b        *metrics.Breakdown
+	ctx      context.Context
 
 	pageBuf []byte
 	decoded []value.Value
@@ -151,6 +169,10 @@ func NewHeapScan(t *storage.Table, refAttrs []int, b *metrics.Breakdown) *HeapSc
 	}
 }
 
+// SetContext makes the scan cancellable: Next returns ctx.Err() at the next
+// page boundary once ctx is done.
+func (o *HeapScan) SetContext(ctx context.Context) { o.ctx = ctx }
+
 // Next implements Operator.
 func (o *HeapScan) Next() ([]value.Value, bool, error) {
 	for {
@@ -159,6 +181,9 @@ func (o *HeapScan) Next() ([]value.Value, bool, error) {
 			out := o.batch[o.row*w : (o.row+1)*w]
 			o.row++
 			return out, true, nil
+		}
+		if err := ctxDone(o.ctx); err != nil {
+			return nil, false, err
 		}
 		if o.page >= o.t.NumPages() {
 			return nil, false, nil
@@ -203,6 +228,7 @@ type IndexScan struct {
 	refAttrs []int
 	want     []bool
 	b        *metrics.Breakdown
+	ctx      context.Context
 
 	pageBuf []byte
 	decoded []value.Value
@@ -228,8 +254,17 @@ func NewIndexScan(t *storage.Table, rids []storage.RID, refAttrs []int, b *metri
 	}
 }
 
+// SetContext makes the scan cancellable: Next returns ctx.Err() within a
+// bounded number of row fetches once ctx is done.
+func (o *IndexScan) SetContext(ctx context.Context) { o.ctx = ctx }
+
 // Next implements Operator.
 func (o *IndexScan) Next() ([]value.Value, bool, error) {
+	if o.pos&511 == 0 {
+		if err := ctxDone(o.ctx); err != nil {
+			return nil, false, err
+		}
+	}
 	if o.pos >= len(o.rids) {
 		return nil, false, nil
 	}

@@ -168,6 +168,8 @@ func Compile(e sql.Expr, env *Env) (Node, error) {
 			return nil, fmt.Errorf("expr: aggregate %s not allowed here", x.Name)
 		}
 		return compileScalarFunc(x, env)
+	case sql.Placeholder:
+		return nil, fmt.Errorf("expr: unbound placeholder ? (position %d) — bind arguments before planning", x.Idx+1)
 	default:
 		return nil, fmt.Errorf("expr: unsupported expression %T", e)
 	}

@@ -10,6 +10,7 @@
 package planner
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -65,6 +66,7 @@ type tableSrc struct {
 type builder struct {
 	cat    *schema.Catalog
 	b      *metrics.Breakdown
+	ctx    context.Context // nil = not cancellable; wired into leaf scans
 	tables []*tableSrc
 	env    *expr.Env // combined env over all tables' referenced columns
 
@@ -89,6 +91,14 @@ func (pb *builder) build(sel *sql.Select) (*Plan, error) {
 	for i, it := range items {
 		names[i] = outputName(it)
 	}
+	return pb.buildResolved(sel, items, names)
+}
+
+// buildResolved is the planning pipeline after table resolution and star
+// expansion — the part that must rerun per execution of a prepared
+// statement (bound parameter values feed pushdown, selectivity estimation
+// and access-path choice; operators are stateful and single-use).
+func (pb *builder) buildResolved(sel *sql.Select, items []sql.SelectItem, names []string) (*Plan, error) {
 	if err := pb.collectRefs(sel, items); err != nil {
 		return nil, err
 	}
@@ -503,7 +513,7 @@ func (pb *builder) buildScan(ti int, conjuncts []sql.Expr) (engine.Operator, *en
 // buildRawScan wires pushdown into the in-situ scan spec.
 func (pb *builder) buildRawScan(ti int, h *core.Table, conjuncts []sql.Expr) (engine.Operator, *enode, error) {
 	t := pb.tables[ti]
-	spec := core.ScanSpec{Needed: t.refs, B: pb.b}
+	spec := core.ScanSpec{Needed: t.refs, B: pb.b, Ctx: pb.ctx}
 	if len(conjuncts) > 0 {
 		env := pb.scanEnv(ti)
 		pred, err := expr.Compile(andAll(conjuncts), env)
@@ -587,7 +597,9 @@ func (pb *builder) buildLoadedScan(ti int, h *storage.Table, conjuncts []sql.Exp
 		case sql.OpGe:
 			rids = ix.SearchRange(v, value.Null(), true, true)
 		}
-		var op2 engine.Operator = engine.NewIndexScan(h, rids, t.refs, pb.b)
+		ixs := engine.NewIndexScan(h, rids, t.refs, pb.b)
+		ixs.SetContext(pb.ctx)
+		var op2 engine.Operator = ixs
 		node := en(fmt.Sprintf("IndexScan(%s attrs=%s key=%s sel=%.3f rids=%d)",
 			t.qual, attrNames(t), c.String(), sel, len(rids)))
 		rest := append(append([]sql.Expr{}, conjuncts[:ci]...), conjuncts[ci+1:]...)
@@ -602,7 +614,9 @@ func (pb *builder) buildLoadedScan(ti int, h *storage.Table, conjuncts []sql.Exp
 		return op2, node, nil
 	}
 
-	var op engine.Operator = engine.NewHeapScan(h, t.refs, pb.b)
+	hs := engine.NewHeapScan(h, t.refs, pb.b)
+	hs.SetContext(pb.ctx)
+	var op engine.Operator = hs
 	node := en(fmt.Sprintf("HeapScan(%s attrs=%s)", t.qual, attrNames(t)))
 	if len(conjuncts) > 0 {
 		pred, err := expr.Compile(andAll(conjuncts), pb.scanEnv(ti))

@@ -35,6 +35,11 @@ type NullLit struct{}
 // Star is the bare `*` projection (also COUNT(*) argument).
 type Star struct{}
 
+// Placeholder is a `?` parameter marker. Idx is the 0-based position of the
+// marker in the statement (left to right); BindSelect substitutes the
+// argument expression at execution time.
+type Placeholder struct{ Idx int }
+
 // BinaryOp operators.
 const (
 	OpAdd = "+"
@@ -104,6 +109,7 @@ func (StringLit) expr()   {}
 func (BoolLit) expr()     {}
 func (NullLit) expr()     {}
 func (Star) expr()        {}
+func (Placeholder) expr() {}
 func (BinaryExpr) expr()  {}
 func (UnaryExpr) expr()   {}
 func (FuncCall) expr()    {}
@@ -127,8 +133,9 @@ func (e BoolLit) String() string {
 	}
 	return "FALSE"
 }
-func (NullLit) String() string { return "NULL" }
-func (Star) String() string    { return "*" }
+func (NullLit) String() string     { return "NULL" }
+func (Star) String() string        { return "*" }
+func (Placeholder) String() string { return "?" }
 func (e BinaryExpr) String() string {
 	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
 }
@@ -237,6 +244,9 @@ type Select struct {
 	OrderBy  []OrderItem
 	Limit    int64 // -1 when absent
 	Offset   int64 // 0 when absent
+	// NumParams is the number of `?` placeholder markers in the statement.
+	// Executing a statement requires exactly this many arguments.
+	NumParams int
 }
 
 // String renders the statement (primarily for diagnostics and tests).

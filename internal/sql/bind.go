@@ -1,0 +1,98 @@
+package sql
+
+import "fmt"
+
+// BindSelect substitutes the statement's `?` placeholders with the given
+// argument expressions (literals, typically), returning a new Select that
+// shares all unaffected nodes with the original. The original statement is
+// never mutated, so a parsed AST can be cached and bound repeatedly — the
+// basis of prepared-statement reuse. items is the star-expanded select list
+// belonging to s (bound alongside, since expansion happens before binding).
+//
+// The argument count must match s.NumParams exactly; a mismatch is reported
+// before any execution work happens.
+func BindSelect(s *Select, items []SelectItem, params []Expr) (*Select, []SelectItem, error) {
+	if len(params) != s.NumParams {
+		return nil, nil, fmt.Errorf("sql: statement has %d parameter(s), got %d argument(s)", s.NumParams, len(params))
+	}
+	if s.NumParams == 0 {
+		return s, items, nil
+	}
+	out := *s // shallow copy; every expression-bearing field is rebuilt below
+	outItems := make([]SelectItem, len(items))
+	for i, it := range items {
+		outItems[i] = SelectItem{Expr: bindExpr(it.Expr, params), Alias: it.Alias}
+	}
+	if s.Where != nil {
+		out.Where = bindExpr(s.Where, params)
+	}
+	if s.Having != nil {
+		out.Having = bindExpr(s.Having, params)
+	}
+	if len(s.GroupBy) > 0 {
+		out.GroupBy = make([]Expr, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			out.GroupBy[i] = bindExpr(g, params)
+		}
+	}
+	if len(s.OrderBy) > 0 {
+		out.OrderBy = make([]OrderItem, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			out.OrderBy[i] = OrderItem{Expr: bindExpr(o.Expr, params), Desc: o.Desc}
+		}
+	}
+	if len(s.Joins) > 0 {
+		out.Joins = make([]Join, len(s.Joins))
+		for i, j := range s.Joins {
+			out.Joins[i] = j
+			if j.On != nil {
+				out.Joins[i].On = bindExpr(j.On, params)
+			}
+		}
+	}
+	// The select list on the statement itself is rebound too, so String()
+	// and any re-expansion render the bound form.
+	out.Items = make([]SelectItem, len(s.Items))
+	for i, it := range s.Items {
+		out.Items[i] = SelectItem{Expr: bindExpr(it.Expr, params), Alias: it.Alias}
+	}
+	return &out, outItems, nil
+}
+
+// bindExpr rewrites placeholders within one expression tree. Subtrees with
+// no placeholders are returned as-is (shared with the original).
+func bindExpr(e Expr, params []Expr) Expr {
+	switch x := e.(type) {
+	case Placeholder:
+		return params[x.Idx]
+	case BinaryExpr:
+		return BinaryExpr{Op: x.Op, Left: bindExpr(x.Left, params), Right: bindExpr(x.Right, params)}
+	case UnaryExpr:
+		return UnaryExpr{Op: x.Op, X: bindExpr(x.X, params)}
+	case FuncCall:
+		out := FuncCall{Name: x.Name, Distinct: x.Distinct}
+		for _, a := range x.Args {
+			out.Args = append(out.Args, bindExpr(a, params))
+		}
+		return out
+	case IsNullExpr:
+		return IsNullExpr{X: bindExpr(x.X, params), Not: x.Not}
+	case InExpr:
+		out := InExpr{X: bindExpr(x.X, params), Not: x.Not}
+		for _, a := range x.List {
+			out.List = append(out.List, bindExpr(a, params))
+		}
+		return out
+	case BetweenExpr:
+		return BetweenExpr{
+			X:   bindExpr(x.X, params),
+			Lo:  bindExpr(x.Lo, params),
+			Hi:  bindExpr(x.Hi, params),
+			Not: x.Not,
+		}
+	case LikeExpr:
+		return LikeExpr{X: bindExpr(x.X, params), Pattern: bindExpr(x.Pattern, params), Not: x.Not}
+	default:
+		return e
+	}
+}

@@ -158,7 +158,7 @@ func (l *lexer) lexSymbol(start int) (Token, error) {
 	}
 	c := l.src[l.pos]
 	switch c {
-	case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '%', ';':
+	case '(', ')', ',', '*', '=', '<', '>', '+', '-', '/', '%', ';', '?':
 		l.pos++
 		return Token{Kind: TokSymbol, Text: string(c), Pos: start}, nil
 	}

@@ -19,6 +19,7 @@ func Parse(src string) (*Select, error) {
 		return nil, err
 	}
 	sel.Explain = explain
+	sel.NumParams = p.params
 	if p.peek().Kind == TokSymbol && p.peek().Text == ";" {
 		p.advance()
 	}
@@ -29,8 +30,9 @@ func Parse(src string) (*Select, error) {
 }
 
 type parser struct {
-	toks []Token
-	pos  int
+	toks   []Token
+	pos    int
+	params int // `?` placeholders seen so far
 }
 
 func (p *parser) peek() Token { return p.toks[p.pos] }
@@ -513,6 +515,12 @@ func (p *parser) parsePrimary() (Expr, error) {
 		if t.Text == "*" {
 			p.advance()
 			return Star{}, nil
+		}
+		if t.Text == "?" {
+			p.advance()
+			ph := Placeholder{Idx: p.params}
+			p.params++
+			return ph, nil
 		}
 		return nil, p.errorf("unexpected %q in expression", t.Text)
 	case TokIdent:

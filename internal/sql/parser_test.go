@@ -251,3 +251,49 @@ func TestLexSymbols(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePlaceholders(t *testing.T) {
+	sel := mustParse(t, "SELECT ?, a FROM t WHERE a < ? AND b IN (?, ?) ORDER BY a LIMIT 5")
+	if sel.NumParams != 4 {
+		t.Fatalf("NumParams=%d, want 4", sel.NumParams)
+	}
+	if p, ok := sel.Items[0].Expr.(Placeholder); !ok || p.Idx != 0 {
+		t.Fatalf("item[0]=%v, want placeholder 0", sel.Items[0].Expr)
+	}
+	be := sel.Where.(BinaryExpr) // (a < ?) AND (b IN (?, ?))
+	lt := be.Left.(BinaryExpr)
+	if p, ok := lt.Right.(Placeholder); !ok || p.Idx != 1 {
+		t.Fatalf("where rhs=%v, want placeholder 1", lt.Right)
+	}
+	in := be.Right.(InExpr)
+	for k, want := range []int{2, 3} {
+		if p, ok := in.List[k].(Placeholder); !ok || p.Idx != want {
+			t.Fatalf("IN list[%d]=%v, want placeholder %d", k, in.List[k], want)
+		}
+	}
+	if got := sel.String(); !strings.Contains(got, "< ?") || !strings.Contains(got, "(?, ?)") {
+		t.Errorf("String()=%q does not render placeholders", got)
+	}
+}
+
+func TestBindSelect(t *testing.T) {
+	sel := mustParse(t, "SELECT a FROM t WHERE a < ? AND b = ?")
+	bound, _, err := BindSelect(sel, sel.Items, []Expr{IntLit{V: 7}, StringLit{V: "x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "SELECT a FROM t WHERE ((a < 7) AND (b = 'x'))"; bound.String() != want {
+		t.Fatalf("bound=%q, want %q", bound.String(), want)
+	}
+	// The original statement is untouched (cacheable).
+	if !strings.Contains(sel.String(), "?") {
+		t.Fatalf("original mutated: %q", sel.String())
+	}
+	// Arity mismatches error.
+	if _, _, err := BindSelect(sel, sel.Items, []Expr{IntLit{V: 7}}); err == nil {
+		t.Fatal("short bind unexpectedly succeeded")
+	}
+	if _, _, err := BindSelect(sel, sel.Items, nil); err == nil {
+		t.Fatal("empty bind unexpectedly succeeded")
+	}
+}

@@ -121,12 +121,16 @@ func (v Value) Num() float64 {
 	return float64(v.I)
 }
 
+// DateLayout is the textual date format (time.Parse layout) used by
+// KindDate values everywhere: CSV fields, literals and bound parameters.
+const DateLayout = "2006-01-02"
+
 // epochDate is the zero point for KindDate values.
 var epochDate = time.Date(1970, 1, 1, 0, 0, 0, 0, time.UTC)
 
 // ParseDate parses a YYYY-MM-DD date into days since the epoch.
 func ParseDate(s string) (int64, error) {
-	t, err := time.Parse("2006-01-02", s)
+	t, err := time.Parse(DateLayout, s)
 	if err != nil {
 		return 0, err
 	}
@@ -135,7 +139,7 @@ func ParseDate(s string) (int64, error) {
 
 // FormatDate renders days-since-epoch as YYYY-MM-DD.
 func FormatDate(days int64) string {
-	return epochDate.Add(time.Duration(days) * 24 * time.Hour).Format("2006-01-02")
+	return epochDate.Add(time.Duration(days) * 24 * time.Hour).Format(DateLayout)
 }
 
 // Parse converts a raw field (as sliced out of a CSV line) to a Value of the

@@ -31,10 +31,12 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nodb/internal/core"
 	"nodb/internal/metrics"
+	"nodb/internal/planner"
 	"nodb/internal/schema"
 	"nodb/internal/storage"
 )
@@ -65,7 +67,40 @@ type DB struct {
 	ownsDir     bool
 	parallelism int              // default scan parallelism for raw tables
 	loaded      []*storage.Table // for Close
+
+	// catGen counts catalog mutations (register/drop/close). Prepared plan
+	// skeletons carry the generation they were resolved under and are
+	// discarded when it moves on.
+	catGen atomic.Int64
+
+	planMu     sync.Mutex
+	planCache  map[string]*cachedPrep // query text -> plan skeleton
+	planHits   atomic.Int64
+	planMisses atomic.Int64
+
+	// Table-lifetime pinning: every in-flight query/Rows holds a refcount on
+	// each table it references, keyed by the catalog entry's storage handle.
+	// Close defers releasing a pinned loaded table's heap file (and the
+	// owned temp directory) until the last pin drops, so a concurrent
+	// Drop/Close can no longer invalidate a table mid-scan — a window that
+	// streaming Rows keep open far longer than the old materializing Query.
+	pinMu   sync.Mutex
+	pins    map[any]int          // storage handle -> in-flight refcount
+	doomed  map[any]func() error // storage handle -> deferred release
+	closed  bool
+	dirWait bool // ownsDir removal deferred until the last pin releases
 }
+
+// cachedPrep is one plan-cache entry: the skeleton plus the catalog
+// generation it was resolved under.
+type cachedPrep struct {
+	prep *planner.Prepared
+	gen  int64
+}
+
+// planCacheMax bounds the prepared-plan cache; on overflow the cache is
+// dropped wholesale (simplicity over LRU — re-preparing is cheap).
+const planCacheMax = 1024
 
 // Open creates a database handle.
 func Open(cfg Config) (*DB, error) {
@@ -81,26 +116,99 @@ func Open(cfg Config) (*DB, error) {
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("nodb: %w", err)
 	}
-	return &DB{cat: schema.NewCatalog(), dataDir: dir, ownsDir: owns, parallelism: cfg.Parallelism}, nil
+	return &DB{
+		cat: schema.NewCatalog(), dataDir: dir, ownsDir: owns,
+		parallelism: cfg.Parallelism,
+		planCache:   make(map[string]*cachedPrep),
+		pins:        make(map[any]int),
+		doomed:      make(map[any]func() error),
+	}, nil
 }
 
-// Close releases loaded tables and the temporary data directory.
+// Close releases loaded tables and the temporary data directory. Tables
+// pinned by in-flight queries/Rows are released when their last pin drops
+// (Rows.Close); new queries fail immediately.
 func (db *DB) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.catGen.Add(1)
+	db.pinMu.Lock()
+	defer db.pinMu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
 	var first error
 	for _, t := range db.loaded {
+		t := t
+		if db.pins[t] > 0 {
+			db.doomed[t] = t.Close
+			continue
+		}
 		if err := t.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
 	db.loaded = nil
 	if db.ownsDir {
-		if err := os.RemoveAll(db.dataDir); err != nil && first == nil {
+		if len(db.pins) > 0 {
+			db.dirWait = true
+		} else if err := os.RemoveAll(db.dataDir); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
+}
+
+// pin takes a lifetime reference on each table entry for the duration of a
+// query; the entries stay usable even if dropped from the catalog or the DB
+// is closed while the query streams.
+func (db *DB) pin(entries []*schema.Table) error {
+	db.pinMu.Lock()
+	defer db.pinMu.Unlock()
+	if db.closed {
+		return fmt.Errorf("nodb: database is closed")
+	}
+	for _, e := range entries {
+		db.pins[e.Handle]++
+	}
+	return nil
+}
+
+// unpin releases pins taken by pin, running any deferred releases (heap
+// close, temp-dir removal) once the affected handle (or the whole DB) has no
+// in-flight users left.
+func (db *DB) unpin(entries []*schema.Table) {
+	db.pinMu.Lock()
+	defer db.pinMu.Unlock()
+	for _, e := range entries {
+		h := e.Handle
+		if db.pins[h]--; db.pins[h] <= 0 {
+			delete(db.pins, h)
+			if fn := db.doomed[h]; fn != nil {
+				delete(db.doomed, h)
+				fn() //nolint:errcheck // deferred release; nowhere to report
+			}
+		}
+	}
+	if db.closed && db.dirWait && len(db.pins) == 0 {
+		db.dirWait = false
+		os.RemoveAll(db.dataDir) //nolint:errcheck
+	}
+}
+
+// activePins reports the number of distinct pinned table handles (tests).
+func (db *DB) activePins() int {
+	db.pinMu.Lock()
+	defer db.pinMu.Unlock()
+	return len(db.pins)
+}
+
+// PlanCacheCounters returns the cumulative prepared-plan cache hit and miss
+// counts across the DB's lifetime (a hit means a query skipped parsing and
+// table resolution entirely).
+func (db *DB) PlanCacheCounters() (hits, misses int64) {
+	return db.planHits.Load(), db.planMisses.Load()
 }
 
 // RawOptions tune an in-situ registration; the zero value (or nil) gives the
@@ -175,6 +283,7 @@ func (db *DB) registerRaw(name, csvPath, schemaSpec string, opts *RawOptions, mo
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.catGen.Add(1)
 	return db.cat.Register(&schema.Table{
 		Name: name, Schema: sch, Mode: mode, Path: csvPath, Handle: tbl,
 	})
@@ -252,6 +361,7 @@ func (db *DB) Load(name, csvPath, schemaSpec string, profile Profile, indexCols 
 	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.catGen.Add(1)
 	if err := db.cat.Register(&schema.Table{
 		Name: name, Schema: sch, Mode: schema.AccessLoadFirst, Path: csvPath, Handle: tbl,
 	}); err != nil {
@@ -272,10 +382,12 @@ func (db *DB) Tables() []string {
 }
 
 // Drop removes a table registration (heap files of loaded tables are kept
-// until Close).
+// until Close). Queries already streaming over the table hold pins and run
+// to completion unaffected.
 func (db *DB) Drop(name string) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	db.catGen.Add(1)
 	return db.cat.Drop(name)
 }
 

@@ -1,9 +1,11 @@
 package nodb_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"nodb"
@@ -69,6 +71,15 @@ func TestModesAgreeOnRandomWorkloads(t *testing.T) {
 					if !rowsEquivalent(got, want) {
 						t.Fatalf("query %q on %s differs:\n%v\nvs raw:\n%v", q, tbl, got, want)
 					}
+					// Streaming cursor equivalence: a QueryContext drain must
+					// return exactly what the materializing Query returned
+					// (same mode, same engine — byte-identical, not merely
+					// float-tolerant).
+					streamed := runStream(t, db, fmt.Sprintf(q, tbl))
+					if !reflect.DeepEqual(streamed, got) {
+						t.Fatalf("query %q on %s: streamed rows differ from Query:\n%v\nvs\n%v",
+							q, tbl, streamed, got)
+					}
 				}
 			}
 		})
@@ -91,6 +102,24 @@ func runRows(t *testing.T, db *nodb.DB, q string) [][]any {
 		t.Fatalf("%q: %v", q, err)
 	}
 	return res.Rows
+}
+
+// runStream drains q through the streaming cursor API.
+func runStream(t *testing.T, db *nodb.DB, q string) [][]any {
+	t.Helper()
+	rows, err := db.QueryContext(context.Background(), q)
+	if err != nil {
+		t.Fatalf("%q: %v", q, err)
+	}
+	defer rows.Close()
+	var out [][]any
+	for rows.Next() {
+		out = append(out, rows.Values())
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatalf("%q: %v", q, err)
+	}
+	return out
 }
 
 // rowsEquivalent compares result sets across access modes. Float cells

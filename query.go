@@ -1,6 +1,7 @@
 package nodb
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -41,6 +42,7 @@ type QueryStats struct {
 	MapJumpFields   int64
 	MapNearFields   int64 // fields located via a nearby map entry (short gap tokenize)
 	PartialGroups   int64 // partial group states folded by scan workers (aggregation pushdown)
+	PlanCacheHits   int64 // 1 when this query reused a cached plan skeleton (prepared statement or plan cache)
 }
 
 func newQueryStats(b *metrics.Breakdown, total time.Duration) QueryStats {
@@ -93,96 +95,139 @@ type Result struct {
 	Stats   QueryStats
 }
 
-// Query parses, plans and executes a SELECT statement. Raw tables referenced
-// by the query are first checked for outside file changes (append/rewrite)
-// and their structures adapted, so updates are visible to the next query as
-// in the demo's Updates scenario.
+// Query parses, plans and executes a SELECT statement, returning the fully
+// materialized result. Raw tables referenced by the query are first checked
+// for outside file changes (append/rewrite) and their structures adapted, so
+// updates are visible to the next query as in the demo's Updates scenario.
+//
+// Query is a thin materializing wrapper over QueryContext/Rows: the result
+// rows, their order and the QueryStats categories are identical to the
+// streaming path's.
 func (db *DB) Query(q string) (*Result, error) {
+	rows, err := db.QueryContext(context.Background(), q)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// QueryContext parses, plans and executes a SELECT statement, streaming the
+// result through a Rows cursor. args bind the statement's `?` placeholders
+// by position (supported types: nil, integers, floats, string, []byte, bool,
+// time.Time — bound as a DATE).
+//
+// Rows are pulled from the operator tree on demand — batches of one chunk at
+// a time for scans, so the first row is available long before a large scan
+// finishes and an early Close abandons the remaining work. Cancelling ctx
+// aborts the query at the next chunk boundary with ctx.Err(); adaptive
+// structures keep only the deterministic prefix of side effects already
+// committed, so a warm rerun is byte-identical to one after an uncancelled
+// run. The returned Rows must be Closed (draining to the end does not
+// release the plan's resources or table pins).
+func (db *DB) QueryContext(ctx context.Context, q string, args ...any) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prep, hit, _, err := db.prepared(q)
+	if err != nil {
+		return nil, err
+	}
+	return db.execPrepared(ctx, prep, hit, args)
+}
+
+// prepared returns the plan skeleton for q, consulting the prepared-plan
+// cache. hit reports whether a cached skeleton was reused; gen is the
+// catalog generation the skeleton is valid for.
+func (db *DB) prepared(q string) (prep *planner.Prepared, hit bool, gen int64, err error) {
+	gen = db.catGen.Load()
+	db.planMu.Lock()
+	if c, ok := db.planCache[q]; ok && c.gen == gen {
+		db.planMu.Unlock()
+		db.planHits.Add(1)
+		return c.prep, true, gen, nil
+	}
+	db.planMu.Unlock()
+	db.planMisses.Add(1)
 	sel, err := sql.Parse(q)
 	if err != nil {
+		return nil, false, gen, err
+	}
+	db.mu.RLock()
+	prep, err = planner.Prepare(sel, db.cat)
+	db.mu.RUnlock()
+	if err != nil {
+		return nil, false, gen, err
+	}
+	db.planMu.Lock()
+	if len(db.planCache) >= planCacheMax {
+		clear(db.planCache)
+	}
+	db.planCache[q] = &cachedPrep{prep: prep, gen: gen}
+	db.planMu.Unlock()
+	return prep, false, gen, nil
+}
+
+// execPrepared runs the shared execution path under a plan skeleton: bind
+// arguments, pin referenced tables, auto-refresh raw tables, build the
+// operator tree, and hand it to a Rows cursor.
+func (db *DB) execPrepared(ctx context.Context, prep *planner.Prepared, cacheHit bool, args []any) (*Rows, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-
-	// Auto-refresh referenced raw tables.
-	refs := []sql.TableRef{sel.From}
-	for _, j := range sel.Joins {
-		refs = append(refs, j.Table)
-	}
-	db.mu.RLock()
-	for _, r := range refs {
-		if entry, ok := db.cat.Lookup(r.Name); ok {
-			if t, isRaw := entry.Handle.(*core.Table); isRaw {
-				if _, err := t.Refresh(); err != nil {
-					db.mu.RUnlock()
-					return nil, err
-				}
-			}
-		}
-	}
-	db.mu.RUnlock()
-
-	var b metrics.Breakdown
-	t0 := time.Now()
-	db.mu.RLock()
-	plan, err := planner.Build(sel, db.cat, &b)
-	db.mu.RUnlock()
+	params, err := bindArgs(args, prep.NumParams())
 	if err != nil {
 		return nil, err
 	}
-	defer plan.Close()
 
-	// EXPLAIN: return the plan tree without executing it.
-	if sel.Explain {
-		res := &Result{Columns: []Column{{Name: "plan", Type: "TEXT"}}}
-		for _, line := range strings.Split(strings.TrimRight(plan.ExplainText, "\n"), "\n") {
-			res.Rows = append(res.Rows, []any{line})
-		}
-		res.Stats = newQueryStats(&b, time.Since(t0))
-		return res, nil
+	entries := prep.Tables()
+	if err := db.pin(entries); err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Rows, error) {
+		db.unpin(entries)
+		return nil, err
 	}
 
-	res := &Result{}
+	// Auto-refresh referenced raw tables (the demo's Updates scenario).
+	for _, e := range entries {
+		if t, isRaw := e.Handle.(*core.Table); isRaw {
+			if _, err := t.Refresh(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+
+	b := &metrics.Breakdown{}
+	t0 := time.Now()
+	db.mu.RLock()
+	plan, err := prep.Build(ctx, b, params)
+	db.mu.RUnlock()
+	if err != nil {
+		return fail(err)
+	}
+
+	r := &Rows{db: db, ctx: ctx, b: b, t0: t0, pinned: entries, cacheHit: cacheHit}
+
+	// EXPLAIN: serve the plan tree as static rows without executing it.
+	if prep.Explain() {
+		plan.Close()
+		r.cols = []Column{{Name: "plan", Type: "TEXT"}}
+		for _, line := range strings.Split(strings.TrimRight(plan.ExplainText, "\n"), "\n") {
+			r.static = append(r.static, []value.Value{value.Text(line)})
+		}
+		r.finalizeStats() // EXPLAIN carries no execution residual
+		return r, nil
+	}
+
+	r.plan = plan
 	for _, c := range plan.Columns {
-		res.Columns = append(res.Columns, Column{Name: c.Name, Type: c.Kind.String()})
+		r.cols = append(r.cols, Column{Name: c.Name, Type: c.Kind.String()})
 	}
 	if bop, ok := engine.AsBatched(plan.Root); ok {
-		// Batched drain: one call per chunk instead of one per row.
-		err := engine.ForEachBatchRow(bop, func(row []value.Value) error {
-			out := make([]any, len(row))
-			for i, v := range row {
-				out[i] = toAny(v)
-			}
-			res.Rows = append(res.Rows, out)
-			return nil
-		})
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		for {
-			row, ok, err := plan.Root.Next()
-			if err != nil {
-				return nil, err
-			}
-			if !ok {
-				break
-			}
-			out := make([]any, len(row))
-			for i, v := range row {
-				out[i] = toAny(v)
-			}
-			res.Rows = append(res.Rows, out)
-		}
+		r.bop = bop
 	}
-	total := time.Since(t0)
-	// Operators above the scan are not individually instrumented (timers in
-	// per-row loops would dominate them); Processing absorbs the wall-clock
-	// residual so the categories sum exactly to the total.
-	if residual := total - b.Total(); residual > 0 {
-		b.Add(metrics.Processing, residual)
-	}
-	res.Stats = newQueryStats(&b, total)
-	return res, nil
+	r.row = make([]value.Value, len(plan.Columns))
+	return r, nil
 }
 
 // toAny converts an engine value to a plain Go value: nil, int64, float64,

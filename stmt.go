@@ -1,0 +1,164 @@
+package nodb
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"nodb/internal/planner"
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+// Stmt is a prepared statement: the query is parsed and resolved once, and
+// every execution reuses the cached plan skeleton, binding fresh `?`
+// arguments. Reuse shows up as PlanCacheHits=1 in the resulting QueryStats.
+// Safe for concurrent use; Close only marks the handle (the skeleton stays
+// in the DB's plan cache for other users of the same query text).
+type Stmt struct {
+	db    *DB
+	query string
+
+	mu     sync.Mutex
+	prep   *planner.Prepared
+	gen    int64
+	closed bool
+}
+
+// Prepare parses and resolves a SELECT statement for repeated execution.
+// Errors in the SQL or unknown tables/columns that resolution catches are
+// reported here rather than at execution time.
+func (db *DB) Prepare(query string) (*Stmt, error) {
+	prep, _, gen, err := db.prepared(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{db: db, query: query, prep: prep, gen: gen}, nil
+}
+
+// NumParams returns the number of `?` placeholders the statement binds.
+func (s *Stmt) NumParams() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prep.NumParams()
+}
+
+// QueryContext executes the prepared statement with the given arguments,
+// streaming the result. The cached skeleton is reused when the catalog has
+// not changed since preparation; otherwise the statement transparently
+// re-prepares against the current catalog.
+func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("nodb: statement is closed")
+	}
+	prep, gen := s.prep, s.gen
+	s.mu.Unlock()
+
+	hit := true
+	if cur := s.db.catGen.Load(); cur != gen {
+		p2, h2, g2, err := s.db.prepared(s.query)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.prep, s.gen = p2, g2
+		s.mu.Unlock()
+		prep, hit = p2, h2
+	} else {
+		s.db.planHits.Add(1)
+	}
+	return s.db.execPrepared(ctx, prep, hit, args)
+}
+
+// Query executes the prepared statement and materializes the result.
+func (s *Stmt) Query(args ...any) (*Result, error) {
+	rows, err := s.QueryContext(context.Background(), args...)
+	if err != nil {
+		return nil, err
+	}
+	return rows.materialize()
+}
+
+// Close releases the statement handle.
+func (s *Stmt) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+	return nil
+}
+
+// bindArgs converts Go argument values into literal SQL expressions, one per
+// `?` placeholder. The count must match exactly.
+func bindArgs(args []any, want int) ([]sql.Expr, error) {
+	if len(args) != want {
+		return nil, fmt.Errorf("nodb: statement has %d parameter(s), got %d argument(s)", want, len(args))
+	}
+	if want == 0 {
+		return nil, nil
+	}
+	out := make([]sql.Expr, len(args))
+	for i, a := range args {
+		e, err := paramExpr(a)
+		if err != nil {
+			return nil, fmt.Errorf("nodb: argument %d: %w", i+1, err)
+		}
+		out[i] = e
+	}
+	return out, nil
+}
+
+// paramExpr maps one Go value to the literal it binds as. time.Time binds as
+// a DATE literal (YYYY-MM-DD); []byte as TEXT.
+func paramExpr(a any) (sql.Expr, error) {
+	switch v := a.(type) {
+	case nil:
+		return sql.NullLit{}, nil
+	case int:
+		return sql.IntLit{V: int64(v)}, nil
+	case int8:
+		return sql.IntLit{V: int64(v)}, nil
+	case int16:
+		return sql.IntLit{V: int64(v)}, nil
+	case int32:
+		return sql.IntLit{V: int64(v)}, nil
+	case int64:
+		return sql.IntLit{V: v}, nil
+	case uint8:
+		return sql.IntLit{V: int64(v)}, nil
+	case uint16:
+		return sql.IntLit{V: int64(v)}, nil
+	case uint32:
+		return sql.IntLit{V: int64(v)}, nil
+	case uint:
+		if uint64(v) > math.MaxInt64 {
+			return nil, fmt.Errorf("uint value %d overflows int64", v)
+		}
+		return sql.IntLit{V: int64(v)}, nil
+	case uint64:
+		if v > math.MaxInt64 {
+			return nil, fmt.Errorf("uint64 value %d overflows int64", v)
+		}
+		return sql.IntLit{V: int64(v)}, nil
+	case float32:
+		return sql.FloatLit{V: float64(v)}, nil
+	case float64:
+		return sql.FloatLit{V: v}, nil
+	case string:
+		return sql.StringLit{V: v}, nil
+	case []byte:
+		return sql.StringLit{V: string(v)}, nil
+	case bool:
+		return sql.BoolLit{V: v}, nil
+	case time.Time:
+		return sql.StringLit{V: v.Format(value.DateLayout)}, nil
+	default:
+		return nil, fmt.Errorf("unsupported parameter type %T", a)
+	}
+}
