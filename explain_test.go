@@ -110,3 +110,36 @@ func TestExplainRoundTripsThroughCLIShape(t *testing.T) {
 		t.Error("render missing plan")
 	}
 }
+
+// TestExplainVectorizedMarker: plans whose filter/projection run
+// column-at-a-time carry a "vec" marker; DisableVectorized removes it.
+func TestExplainVectorizedMarker(t *testing.T) {
+	db := openDB(t)
+	path := writeCSV(t, 50)
+	db.RegisterRaw("t", path, testSpec, nil)
+
+	out := explainLines(t, db, "EXPLAIN SELECT id, grp FROM t WHERE grp < 3")
+	for _, want := range []string{"filter=(grp < 3) vec", "Project(id, grp) vec"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("explain missing %q:\n%s", want, out)
+		}
+	}
+	// A projection containing an uncovered expression (mixed-kind COALESCE
+	// tracks its runtime argument) falls back per expression, so the
+	// all-vectorized marker must disappear.
+	out = explainLines(t, db, "EXPLAIN SELECT id, COALESCE(name, id) FROM t")
+	if strings.Contains(out, "COALESCE(name, id)) vec") {
+		t.Errorf("mixed-kind COALESCE projection should not carry the vec marker:\n%s", out)
+	}
+
+	rowCfg, err := Open(Config{DisableVectorized: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rowCfg.Close() })
+	rowCfg.RegisterRaw("t", path, testSpec, nil)
+	out = explainLines(t, rowCfg, "EXPLAIN SELECT id, grp FROM t WHERE grp < 3")
+	if strings.Contains(out, " vec") {
+		t.Errorf("DisableVectorized plan still carries vec markers:\n%s", out)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 
+	"nodb/internal/expr"
 	"nodb/internal/metrics"
 	"nodb/internal/rawfile"
 	"nodb/internal/value"
@@ -26,6 +27,15 @@ type ScanSpec struct {
 	// several workers and must be safe for concurrent calls (pure functions
 	// over the row, the planner's compiled predicates, qualify).
 	Filter func(row []value.Value) (bool, error)
+	// NewBatchFilter, when non-nil alongside Filter, returns a vectorized
+	// (column-at-a-time) evaluator of the same predicate for one worker's
+	// exclusive use: unlike Filter, a VecEval carries per-batch scratch and
+	// is not safe for concurrent calls, so each chunk worker requests its
+	// own instance. The factory itself runs concurrently (workers are
+	// constructed on their own goroutines) and must be safe for that. Its SelectTrue must keep exactly the rows Filter would
+	// keep. Slots of attributes outside FilterAttrs hold unspecified values
+	// when it runs (the predicate must not read them).
+	NewBatchFilter func() *expr.VecEval
 	// B receives the execution breakdown. Must be non-nil.
 	B *metrics.Breakdown
 	// Ctx, when non-nil, cancels the scan: Next/NextBatch/DrainAgg return

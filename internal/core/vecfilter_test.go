@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"nodb/internal/expr"
+	"nodb/internal/metrics"
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+// compilePred parses and compiles a WHERE-style condition over env.
+func compilePred(t *testing.T, env *expr.Env, cond string) expr.Node {
+	t.Helper()
+	sel, err := sql.Parse("SELECT x FROM t WHERE " + cond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := expr.Compile(sel.Where, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// vecScanSpec builds a filtered spec over (id, score, grp) with the
+// predicate id % 2 = 0 AND grp < 5, optionally with the vectorized
+// worker-side variant installed.
+func vecScanSpec(t *testing.T, vec bool) ScanSpec {
+	t.Helper()
+	env := expr.NewEnv()
+	env.Add("", "id", value.KindInt)
+	env.Add("", "score", value.KindFloat)
+	env.Add("", "grp", value.KindInt)
+	pred := compilePred(t, env, "id % 2 = 0 AND grp < 5")
+	spec := ScanSpec{
+		Needed:      []int{0, 2, 3}, // id, score, grp
+		FilterAttrs: []int{0, 3},
+		Filter: func(row []value.Value) (bool, error) {
+			v, err := pred.Eval(row)
+			if err != nil {
+				return false, err
+			}
+			return v.IsTrue(), nil
+		},
+	}
+	if vec {
+		spec.NewBatchFilter = func() *expr.VecEval {
+			ve, ok := expr.CompileVec(pred)
+			if !ok {
+				t.Fatal("predicate should vectorize")
+			}
+			return ve
+		}
+	}
+	return spec
+}
+
+// TestWorkerBatchFilterMatchesRowFilter: the worker-side vectorized filter
+// must produce the same rows, row order and scan counters as the row
+// filter, sequentially and through the parallel pipeline, cold and warm.
+func TestWorkerBatchFilterMatchesRowFilter(t *testing.T) {
+	path, _ := genCSV(t, 3000)
+	for _, par := range []int{1, 4} {
+		opts := InSituOptions()
+		opts.ChunkRows = 128
+		opts.Parallelism = par
+
+		rowTbl := newTable(t, path, opts)
+		vecTbl := newTable(t, path, opts)
+		for pass := 0; pass < 2; pass++ {
+			var rb, vb metrics.Breakdown
+			rowSpec := vecScanSpec(t, false)
+			rowSpec.B = &rb
+			vecSpec := vecScanSpec(t, true)
+			vecSpec.B = &vb
+			want := collect(t, rowTbl, rowSpec)
+			got := collect(t, vecTbl, vecSpec)
+			if len(got) != len(want) || len(got) == 0 {
+				t.Fatalf("par=%d pass=%d: vec=%d rows, row=%d rows", par, pass, len(got), len(want))
+			}
+			for r := range got {
+				for c := range got[r] {
+					if !value.Equal(got[r][c], want[r][c]) {
+						t.Fatalf("par=%d pass=%d row %d col %d: vec=%v row=%v",
+							par, pass, r, c, got[r][c], want[r][c])
+					}
+				}
+			}
+			// Identical selections imply identical selective tuple formation:
+			// the scan-side counters must agree exactly.
+			if vb.FieldsConverted != rb.FieldsConverted || vb.FieldsTokenized != rb.FieldsTokenized ||
+				vb.RowsScanned != rb.RowsScanned || vb.CacheHitFields != rb.CacheHitFields {
+				t.Fatalf("par=%d pass=%d: counters diverge: vec={conv %d tok %d rows %d cache %d} row={conv %d tok %d rows %d cache %d}",
+					par, pass, vb.FieldsConverted, vb.FieldsTokenized, vb.RowsScanned, vb.CacheHitFields,
+					rb.FieldsConverted, rb.FieldsTokenized, rb.RowsScanned, rb.CacheHitFields)
+			}
+			if vb.VecRows == 0 {
+				t.Fatalf("par=%d pass=%d: vectorized path did not engage", par, pass)
+			}
+			if rb.VecRows != 0 {
+				t.Fatalf("par=%d pass=%d: row path charged VecRows=%d", par, pass, rb.VecRows)
+			}
+		}
+	}
+}

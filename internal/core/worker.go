@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"nodb/internal/expr"
 	"nodb/internal/metrics"
 	"nodb/internal/posmap"
 	"nodb/internal/rawcache"
@@ -116,6 +117,11 @@ type chunkWorker struct {
 	rangeBuf  []byte
 	rowBuf    []value.Value // filter / aggregation fold row scratch
 
+	// batchFilter is this worker's private vectorized predicate (from
+	// spec.NewBatchFilter); identSel is the identity selection it narrows.
+	batchFilter *expr.VecEval
+	identSel    []int32
+
 	// Partial-aggregation scratch (spec.Agg != nil), reused across chunks.
 	aggMap     map[string]*PartialGroup // cleared per chunk
 	aggKeyVals []value.Value
@@ -169,6 +175,9 @@ func newChunkWorker(t *Table, opts Options, spec ScanSpec, b *metrics.Breakdown,
 				w.filterIdx[i] = true
 			}
 		}
+	}
+	if spec.NewBatchFilter != nil {
+		w.batchFilter = spec.NewBatchFilter()
 	}
 	if reuse {
 		w.out = &chunkOut{}
@@ -877,6 +886,19 @@ func (w *chunkWorker) runFilter(nrows int, out *chunkOut) error {
 		}
 		out.sel = sel
 		return nil
+	}
+	if w.batchFilter != nil {
+		// Vectorized path: narrow the identity selection column-at-a-time,
+		// never assembling a scratch row. Columns outside FilterAttrs hold
+		// unspecified values, which the predicate does not read.
+		for len(w.identSel) < nrows {
+			w.identSel = append(w.identSel, int32(len(w.identSel)))
+		}
+		before := w.batchFilter.VecRows()
+		sel, err := w.batchFilter.SelectTrue(out.cols, w.identSel[:nrows], sel)
+		out.sel = sel
+		w.b.VecRows += w.batchFilter.VecRows() - before
+		return err
 	}
 	for r := 0; r < nrows; r++ {
 		for i := range out.cols {

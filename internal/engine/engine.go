@@ -283,20 +283,58 @@ func (o *IndexScan) Next() ([]value.Value, bool, error) {
 // Close implements Operator.
 func (o *IndexScan) Close() error { return nil }
 
-// Filter drops rows whose predicate is not TRUE.
+// Filter drops rows whose predicate is not TRUE. When the predicate has a
+// vector kernel (expr.CompileVec) and the input is batched, NextBatch
+// narrows the selection column-at-a-time without assembling scratch rows;
+// otherwise it falls back to row-at-a-time evaluation for this one
+// predicate.
 type Filter struct {
-	in   Operator
-	pred expr.Node
-	b    *metrics.Breakdown
+	in       Operator
+	pred     expr.Node
+	vec      *expr.VecEval // non-nil once compiled; nil = row-at-a-time
+	vecOn    bool
+	vecTried bool
+	b        *metrics.Breakdown
 
 	batch  Batch
 	selBuf []int32
 	rowBuf []value.Value
 }
 
-// NewFilter wraps in with a predicate.
+// NewFilter wraps in with a predicate. The vector kernel compiles lazily,
+// on the first batch (or Vectorized probe), so plans that never run the
+// batch path — non-batched inputs, DisableVectorized — pay nothing for it.
 func NewFilter(in Operator, pred expr.Node, b *metrics.Breakdown) *Filter {
-	return &Filter{in: in, pred: pred, b: b}
+	return &Filter{in: in, pred: pred, b: b, vecOn: true}
+}
+
+// SetVectorized toggles column-at-a-time predicate evaluation. Results are
+// identical either way; the off position exists for differential testing
+// and A/B measurement.
+func (o *Filter) SetVectorized(on bool) {
+	o.vecOn = on
+	if !on {
+		o.vec = nil
+		o.vecTried = false
+	}
+}
+
+// ensureVec compiles the vector kernel once, when enabled.
+func (o *Filter) ensureVec() {
+	if !o.vecOn || o.vecTried {
+		return
+	}
+	o.vecTried = true
+	if ve, ok := expr.CompileVec(o.pred); ok {
+		o.vec = ve
+	}
+}
+
+// Vectorized reports whether the predicate evaluates column-at-a-time on
+// the batch path.
+func (o *Filter) Vectorized() bool {
+	o.ensureVec()
+	return o.vec != nil
 }
 
 // Next implements Operator.
@@ -333,9 +371,23 @@ func (o *Filter) NextBatch() (*Batch, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
+	o.ensureVec()
+	if o.vec != nil {
+		before := o.vec.VecRows()
+		o.selBuf, err = o.vec.SelectTrue(b.Cols, b.Sel, o.selBuf[:0])
+		if err != nil {
+			return nil, false, err
+		}
+		o.b.VecRows += o.vec.VecRows() - before
+		o.batch.Cols = b.Cols
+		o.batch.Sel = o.selBuf
+		return &o.batch, true, nil
+	}
 	if o.rowBuf == nil {
 		o.rowBuf = make([]value.Value, len(b.Cols))
 	}
+	// Row fallback: evaluate only the rows the incoming selection vector
+	// lists — rows the child already excluded must not be re-tested.
 	o.selBuf = o.selBuf[:0]
 	for _, r := range b.Sel {
 		for i, col := range b.Cols {
@@ -357,12 +409,19 @@ func (o *Filter) NextBatch() (*Batch, bool, error) {
 // Close implements Operator.
 func (o *Filter) Close() error { return o.in.Close() }
 
-// Project computes output expressions.
+// Project computes output expressions. On the batch path each expression
+// with a vector kernel evaluates column-at-a-time; expressions without one
+// (e.g. scalar function calls) fall back to row-at-a-time individually, so
+// one uncovered expression does not demote the whole projection.
 type Project struct {
-	in    Operator
-	exprs []expr.Node
-	b     *metrics.Breakdown
-	out   []value.Value
+	in       Operator
+	exprs    []expr.Node
+	vecs     []*expr.VecEval // per expression; nil entry = row fallback
+	nVec     int
+	vecOn    bool
+	vecTried bool
+	b        *metrics.Breakdown
+	out      []value.Value
 
 	batch    Batch
 	cols     [][]value.Value
@@ -370,9 +429,48 @@ type Project struct {
 	rowBuf   []value.Value
 }
 
-// NewProject wraps in with projection expressions.
+// NewProject wraps in with projection expressions. Vector kernels compile
+// lazily, on the first batch (or Vectorized probe), so plans that never
+// run the batch path pay nothing for them.
 func NewProject(in Operator, exprs []expr.Node, b *metrics.Breakdown) *Project {
-	return &Project{in: in, exprs: exprs, b: b, out: make([]value.Value, len(exprs))}
+	return &Project{
+		in: in, exprs: exprs, b: b,
+		out:   make([]value.Value, len(exprs)),
+		vecs:  make([]*expr.VecEval, len(exprs)),
+		vecOn: true,
+	}
+}
+
+// SetVectorized toggles column-at-a-time evaluation for the expressions
+// that support it. Results are identical either way.
+func (o *Project) SetVectorized(on bool) {
+	o.vecOn = on
+	if !on {
+		o.vecs = make([]*expr.VecEval, len(o.exprs))
+		o.nVec = 0
+		o.vecTried = false
+	}
+}
+
+// ensureVecs compiles the per-expression kernels once, when enabled.
+func (o *Project) ensureVecs() {
+	if !o.vecOn || o.vecTried {
+		return
+	}
+	o.vecTried = true
+	for i, e := range o.exprs {
+		if ve, ok := expr.CompileVec(e); ok {
+			o.vecs[i] = ve
+			o.nVec++
+		}
+	}
+}
+
+// Vectorized reports whether every projection expression evaluates
+// column-at-a-time on the batch path.
+func (o *Project) Vectorized() bool {
+	o.ensureVecs()
+	return len(o.exprs) > 0 && o.nVec == len(o.exprs)
 }
 
 // Next implements Operator.
@@ -419,19 +517,37 @@ func (o *Project) NextBatch() (*Batch, bool, error) {
 		}
 		o.cols[i] = o.cols[i][:n]
 	}
-	if o.rowBuf == nil {
-		o.rowBuf = make([]value.Value, len(b.Cols))
-	}
-	for k, r := range b.Sel {
-		for i, col := range b.Cols {
-			o.rowBuf[i] = col[r]
+	// Column-at-a-time expressions first, whole columns per call.
+	o.ensureVecs()
+	for i, ve := range o.vecs {
+		if ve == nil {
+			continue
 		}
-		for i, e := range o.exprs {
-			v, err := e.Eval(o.rowBuf)
-			if err != nil {
-				return nil, false, err
+		before := ve.VecRows()
+		if err := ve.EvalInto(b.Cols, b.Sel, o.cols[i]); err != nil {
+			return nil, false, err
+		}
+		o.b.VecRows += ve.VecRows() - before
+	}
+	// Row fallback for the remaining expressions only.
+	if o.nVec < len(o.exprs) {
+		if o.rowBuf == nil {
+			o.rowBuf = make([]value.Value, len(b.Cols))
+		}
+		for k, r := range b.Sel {
+			for i, col := range b.Cols {
+				o.rowBuf[i] = col[r]
 			}
-			o.cols[i][k] = v
+			for i, e := range o.exprs {
+				if o.vecs[i] != nil {
+					continue
+				}
+				v, err := e.Eval(o.rowBuf)
+				if err != nil {
+					return nil, false, err
+				}
+				o.cols[i][k] = v
+			}
 		}
 	}
 	for len(o.selIdent) < n {

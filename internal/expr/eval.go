@@ -388,7 +388,14 @@ func (n scalarFuncNode) Eval(row []value.Value) (value.Value, error) {
 		}
 		vals[i] = v
 	}
-	switch n.name {
+	return applyScalarFunc(n.name, vals)
+}
+
+// applyScalarFunc computes a scalar function over already-evaluated
+// argument values. Shared by the row evaluator and the vectorized one, so
+// the two layers cannot drift.
+func applyScalarFunc(name string, vals []value.Value) (value.Value, error) {
+	switch name {
 	case "COALESCE":
 		for _, v := range vals {
 			if !v.IsNull() {
@@ -400,7 +407,7 @@ func (n scalarFuncNode) Eval(row []value.Value) (value.Value, error) {
 	if vals[0].IsNull() {
 		return value.Null(), nil
 	}
-	switch n.name {
+	switch name {
 	case "ABS":
 		switch vals[0].K {
 		case value.KindInt:
@@ -446,5 +453,5 @@ func (n scalarFuncNode) Eval(row []value.Value) (value.Value, error) {
 		}
 		return value.Text(s[start:end]), nil
 	}
-	return value.Null(), fmt.Errorf("expr: unknown function %s", n.name)
+	return value.Null(), fmt.Errorf("expr: unknown function %s", name)
 }

@@ -1,0 +1,170 @@
+package expr
+
+import (
+	"testing"
+
+	"nodb/internal/sql"
+	"nodb/internal/value"
+)
+
+// TestThreeValuedLogicBothLayers pins SQL's three-valued NULL semantics at
+// BOTH evaluation layers: the row evaluator (Node.Eval) and the vectorized
+// one (VecEval). The cases are built directly from AST nodes so literal
+// NULL appears in every position, including ones the SQL surface rarely
+// produces.
+func TestThreeValuedLogicBothLayers(t *testing.T) {
+	null := sql.NullLit{}
+	tru := sql.BoolLit{V: true}
+	fls := sql.BoolLit{V: false}
+	one := sql.IntLit{V: 1}
+	five := sql.IntLit{V: 5}
+	bin := func(op string, l, r sql.Expr) sql.Expr { return sql.BinaryExpr{Op: op, Left: l, Right: r} }
+
+	cases := []struct {
+		name string
+		e    sql.Expr
+		want value.Value
+	}{
+		// AND: FALSE dominates NULL, TRUE does not.
+		{"null-and-false", bin(sql.OpAnd, null, fls), value.Bool(false)},
+		{"false-and-null", bin(sql.OpAnd, fls, null), value.Bool(false)},
+		{"null-and-true", bin(sql.OpAnd, null, tru), value.Null()},
+		{"true-and-null", bin(sql.OpAnd, tru, null), value.Null()},
+		{"null-and-null", bin(sql.OpAnd, null, null), value.Null()},
+		// OR: TRUE dominates NULL, FALSE does not.
+		{"null-or-true", bin(sql.OpOr, null, tru), value.Bool(true)},
+		{"true-or-null", bin(sql.OpOr, tru, null), value.Bool(true)},
+		{"null-or-false", bin(sql.OpOr, null, fls), value.Null()},
+		{"false-or-null", bin(sql.OpOr, fls, null), value.Null()},
+		{"null-or-null", bin(sql.OpOr, null, null), value.Null()},
+		// Non-boolean truthiness inside logic: a non-bool operand is never
+		// TRUE and never FALSE-short-circuits.
+		{"null-and-int", bin(sql.OpAnd, null, one), value.Null()},
+		{"int-or-null", bin(sql.OpOr, one, null), value.Null()},
+		// NOT.
+		{"not-null", sql.UnaryExpr{Op: "NOT", X: null}, value.Null()},
+		{"not-null-and-false", sql.UnaryExpr{Op: "NOT", X: bin(sql.OpAnd, null, fls)}, value.Bool(true)},
+		{"not-null-or-true", sql.UnaryExpr{Op: "NOT", X: bin(sql.OpOr, null, tru)}, value.Bool(false)},
+		// Comparisons against NULL are NULL, never FALSE.
+		{"eq-null", bin(sql.OpEq, one, null), value.Null()},
+		{"null-eq", bin(sql.OpEq, null, one), value.Null()},
+		{"ne-null", bin(sql.OpNe, one, null), value.Null()},
+		{"lt-null", bin(sql.OpLt, one, null), value.Null()},
+		{"null-eq-null", bin(sql.OpEq, null, null), value.Null()},
+		// IS NULL is the one NULL-immune predicate.
+		{"null-is-null", sql.IsNullExpr{X: null}, value.Bool(true)},
+		{"null-is-not-null", sql.IsNullExpr{X: null, Not: true}, value.Bool(false)},
+		{"int-is-null", sql.IsNullExpr{X: one}, value.Bool(false)},
+		// Arithmetic and negation propagate NULL.
+		{"add-null", bin(sql.OpAdd, null, one), value.Null()},
+		{"neg-null", sql.UnaryExpr{Op: "-", X: null}, value.Null()},
+		// BETWEEN with NULL anywhere.
+		{"null-between", sql.BetweenExpr{X: null, Lo: one, Hi: five}, value.Null()},
+		{"between-null-lo", sql.BetweenExpr{X: one, Lo: null, Hi: five}, value.Null()},
+		{"between-null-hi", sql.BetweenExpr{X: one, Lo: one, Hi: null}, value.Null()},
+		{"not-between-null", sql.BetweenExpr{X: null, Lo: one, Hi: five, Not: true}, value.Null()},
+		// IN with NULLs: a match wins, a miss with a NULL item is NULL.
+		{"null-in", sql.InExpr{X: null, List: []sql.Expr{one, five}}, value.Null()},
+		{"in-miss-null-item", sql.InExpr{X: one, List: []sql.Expr{five, null}}, value.Null()},
+		{"in-hit-null-item", sql.InExpr{X: one, List: []sql.Expr{one, null}}, value.Bool(true)},
+		{"not-in-miss-null-item", sql.InExpr{X: one, List: []sql.Expr{five, null}, Not: true}, value.Null()},
+		{"not-in-hit-null-item", sql.InExpr{X: one, List: []sql.Expr{one, null}, Not: true}, value.Bool(false)},
+		// LIKE with NULL on either side.
+		{"null-like", sql.LikeExpr{X: null, Pattern: sql.StringLit{V: "x%"}}, value.Null()},
+		{"like-null-pattern", sql.LikeExpr{X: sql.StringLit{V: "abc"}, Pattern: null}, value.Null()},
+	}
+
+	env := NewEnv()
+	for _, c := range cases {
+		n, err := Compile(c.e, env)
+		if err != nil {
+			t.Errorf("%s: compile: %v", c.name, err)
+			continue
+		}
+		// Layer 1: row evaluation.
+		got, err := n.Eval(nil)
+		if err != nil {
+			t.Errorf("%s: row eval: %v", c.name, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%s: row eval = %v, want %v", c.name, got, c.want)
+		}
+		// Layer 2: vectorized evaluation over a three-row batch.
+		ve, ok := CompileVec(n)
+		if !ok {
+			t.Errorf("%s: no vector kernel", c.name)
+			continue
+		}
+		sel := []int32{0, 1, 2}
+		out := make([]value.Value, len(sel))
+		if err := ve.EvalInto(nil, sel, out); err != nil {
+			t.Errorf("%s: vec eval: %v", c.name, err)
+			continue
+		}
+		for k := range out {
+			if out[k] != c.want {
+				t.Errorf("%s: vec eval[%d] = %v, want %v", c.name, k, out[k], c.want)
+			}
+		}
+	}
+}
+
+// TestThreeValuedLogicOverColumns repeats the NULL semantics with the NULL
+// arriving from batch columns rather than literals, at both layers.
+func TestThreeValuedLogicOverColumns(t *testing.T) {
+	env := NewEnv()
+	env.Add("", "a", value.KindInt) // NULL in the batch
+	env.Add("", "b", value.KindInt) // 10
+	env.Add("", "s", value.KindText)
+
+	rows := [][]value.Value{{value.Null(), value.Int(10), value.Null()}}
+	cols := colsOf(rows)
+	sel := []int32{0}
+
+	cases := []struct {
+		cond string
+		want value.Value
+	}{
+		{"a = 1", value.Null()},
+		{"a + 1 = 2", value.Null()},
+		{"a IS NULL", value.Bool(true)},
+		{"a IS NOT NULL", value.Bool(false)},
+		{"NOT (a = 1)", value.Null()},
+		{"a = 1 AND b = 10", value.Null()},
+		{"a = 1 AND b = 99", value.Bool(false)},
+		{"a = 1 OR b = 10", value.Bool(true)},
+		{"a = 1 OR b = 99", value.Null()},
+		{"a IN (1, 2)", value.Null()},
+		{"b IN (1, NULL)", value.Null()},
+		{"b IN (10, NULL)", value.Bool(true)},
+		{"a BETWEEN 1 AND 2", value.Null()},
+		{"b BETWEEN a AND 99", value.Null()},
+		{"s LIKE 'x%'", value.Null()},
+		{"-a = 1", value.Null()},
+	}
+	for _, c := range cases {
+		n := compileWhere(t, c.cond, env)
+		got, err := n.Eval(rows[0])
+		if err != nil {
+			t.Errorf("%q: row eval: %v", c.cond, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%q: row eval = %v, want %v", c.cond, got, c.want)
+		}
+		ve, ok := CompileVec(n)
+		if !ok {
+			t.Errorf("%q: no vector kernel", c.cond)
+			continue
+		}
+		out := make([]value.Value, 1)
+		if err := ve.EvalInto(cols, sel, out); err != nil {
+			t.Errorf("%q: vec eval: %v", c.cond, err)
+			continue
+		}
+		if out[0] != c.want {
+			t.Errorf("%q: vec eval = %v, want %v", c.cond, out[0], c.want)
+		}
+	}
+}

@@ -73,6 +73,7 @@ type Breakdown struct {
 	MapJumpFields   int64 // fields located via the positional map (no tokenize)
 	MapNearFields   int64 // fields located via a nearby map entry (partial tokenize)
 	PartialGroups   int64 // per-chunk partial group states folded in scan workers
+	VecRows         int64 // (row, expression) evaluations served column-at-a-time
 }
 
 // Add charges d to category c.
@@ -92,6 +93,7 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	b.MapJumpFields += o.MapJumpFields
 	b.MapNearFields += o.MapNearFields
 	b.PartialGroups += o.PartialGroups
+	b.VecRows += o.VecRows
 }
 
 // Total returns the sum of all category times.

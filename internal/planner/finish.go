@@ -75,8 +75,9 @@ func (pb *builder) finish(root engine.Operator, etree *enode, curEnv *expr.Env, 
 	}
 
 	op := engine.NewProject(root, append(append([]expr.Node{}, projNodes...), hidden...), pb.b)
+	op.SetVectorized(!pb.noVec)
 	var cur engine.Operator = op
-	etree = wrap("Project("+strings.Join(names, ", ")+")", etree)
+	etree = wrap("Project("+strings.Join(names, ", ")+")"+vecMark(op), etree)
 
 	if sel.Distinct {
 		cur = engine.NewDistinct(cur, pb.b)
@@ -102,7 +103,9 @@ func (pb *builder) finish(root engine.Operator, etree *enode, curEnv *expr.Env, 
 		for i := range projNodes {
 			cut[i] = expr.Slot(extEnv, i)
 		}
-		cur = engine.NewProject(cur, cut, pb.b)
+		cutOp := engine.NewProject(cur, cut, pb.b)
+		cutOp.SetVectorized(!pb.noVec)
+		cur = cutOp
 	}
 	if sel.Limit >= 0 || sel.Offset > 0 {
 		cur = engine.NewLimit(cur, sel.Offset, sel.Limit)

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 
 	"nodb/internal/core"
 	"nodb/internal/engine"
@@ -67,6 +68,7 @@ type builder struct {
 	cat    *schema.Catalog
 	b      *metrics.Breakdown
 	ctx    context.Context // nil = not cancellable; wired into leaf scans
+	noVec  bool            // force row-at-a-time expression evaluation
 	tables []*tableSrc
 	env    *expr.Env // combined env over all tables' referenced columns
 
@@ -144,8 +146,10 @@ func (pb *builder) buildResolved(sel *sql.Select, items []sql.SelectItem, names 
 			closeQuiet(root)
 			return nil, err
 		}
-		root = engine.NewFilter(root, pred, pb.b)
-		etree = wrap("Filter("+andAll(residual).String()+")", etree)
+		f := engine.NewFilter(root, pred, pb.b)
+		f.SetVectorized(!pb.noVec)
+		root = f
+		etree = wrap("Filter("+andAll(residual).String()+")"+vecMark(f), etree)
 	}
 
 	// Aggregation.
@@ -171,8 +175,10 @@ func (pb *builder) buildResolved(sel *sql.Select, items []sql.SelectItem, names 
 				closeQuiet(root)
 				return nil, err
 			}
-			root = engine.NewFilter(root, pred, pb.b)
-			etree = wrap("Filter(HAVING "+sel.Having.String()+")", etree)
+			f := engine.NewFilter(root, pred, pb.b)
+			f.SetVectorized(!pb.noVec)
+			root = f
+			etree = wrap("Filter(HAVING "+sel.Having.String()+")"+vecMark(f), etree)
 		}
 	} else if sel.Having != nil {
 		closeQuiet(root)
@@ -187,6 +193,19 @@ func closeQuiet(op engine.Operator) {
 	if op != nil {
 		op.Close()
 	}
+}
+
+// vecMark renders the EXPLAIN " vec" marker for operators whose
+// expressions actually evaluate column-at-a-time: the evaluator compiled
+// and the operator sits on a batch-producing input.
+func vecMark(op interface {
+	Batched() bool
+	Vectorized() bool
+}) string {
+	if op.Batched() && op.Vectorized() {
+		return " vec"
+	}
+	return ""
 }
 
 // resolveTables looks up FROM and JOIN tables.
@@ -540,6 +559,24 @@ func (pb *builder) buildRawScan(ti int, h *core.Table, conjuncts []sql.Expr) (en
 			}
 			return v.IsTrue(), nil
 		}
+		// Vectorized variant of the same predicate: each chunk worker gets
+		// a private evaluator (they carry scratch and run concurrently, so
+		// the factory is invoked from several goroutines). The probe
+		// compile is handed to whichever worker asks first rather than
+		// thrown away.
+		if !pb.noVec {
+			if probe, ok := expr.CompileVec(pred); ok {
+				var first atomic.Pointer[expr.VecEval]
+				first.Store(probe)
+				spec.NewBatchFilter = func() *expr.VecEval {
+					if ve := first.Swap(nil); ve != nil {
+						return ve
+					}
+					ve, _ := expr.CompileVec(pred)
+					return ve
+				}
+			}
+		}
 	}
 	op, err := engine.NewRawScan(h, spec)
 	if err != nil {
@@ -548,6 +585,9 @@ func (pb *builder) buildRawScan(ti int, h *core.Table, conjuncts []sql.Expr) (en
 	label := fmt.Sprintf("RawScan(%s mode=%s attrs=%s", t.qual, t.entry.Mode, attrNames(t))
 	if len(conjuncts) > 0 {
 		label += " filter=" + andAll(conjuncts).String()
+		if spec.NewBatchFilter != nil {
+			label += " vec"
+		}
 	}
 	label += ")"
 	return op, en(label), nil
@@ -608,7 +648,9 @@ func (pb *builder) buildLoadedScan(ti int, h *storage.Table, conjuncts []sql.Exp
 			if err != nil {
 				return nil, nil, err
 			}
-			op2 = engine.NewFilter(op2, pred, pb.b)
+			f := engine.NewFilter(op2, pred, pb.b)
+			f.SetVectorized(!pb.noVec)
+			op2 = f
 			node = wrap("Filter("+andAll(rest).String()+")", node)
 		}
 		return op2, node, nil
@@ -623,7 +665,9 @@ func (pb *builder) buildLoadedScan(ti int, h *storage.Table, conjuncts []sql.Exp
 		if err != nil {
 			return nil, nil, err
 		}
-		op = engine.NewFilter(op, pred, pb.b)
+		f := engine.NewFilter(op, pred, pb.b)
+		f.SetVectorized(!pb.noVec)
+		op = f
 		node = wrap("Filter("+andAll(conjuncts).String()+")", node)
 	}
 	return op, node, nil

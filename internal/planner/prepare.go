@@ -26,6 +26,7 @@ type Prepared struct {
 	entries []*schema.Table
 	items   []sql.SelectItem // star-expanded select list
 	names   []string         // output column names (pre-bind, pre-rewrite)
+	noVec   bool             // force row-at-a-time expression evaluation
 }
 
 // Prepare resolves and validates a parsed statement against the catalog,
@@ -51,6 +52,12 @@ func Prepare(sel *sql.Select, cat *schema.Catalog) (*Prepared, error) {
 	return p, nil
 }
 
+// DisableVec forces row-at-a-time expression evaluation for every plan
+// built from this statement. Results are identical with or without
+// vectorized evaluation; the switch exists for differential testing and
+// A/B measurement. Call before the first Build.
+func (p *Prepared) DisableVec() { p.noVec = true }
+
 // NumParams returns the number of `?` placeholders the statement carries.
 func (p *Prepared) NumParams() int { return p.sel.NumParams }
 
@@ -72,7 +79,7 @@ func (p *Prepared) Build(ctx context.Context, b *metrics.Breakdown, params []sql
 	if err != nil {
 		return nil, err
 	}
-	pb := &builder{cat: p.cat, b: b, ctx: ctx}
+	pb := &builder{cat: p.cat, b: b, ctx: ctx, noVec: p.noVec}
 	for i := range p.entries {
 		pb.tables = append(pb.tables, &tableSrc{
 			qual: p.quals[i], entry: p.entries[i], refSet: map[int]bool{},

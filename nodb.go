@@ -56,6 +56,13 @@ type Config struct {
 	// states, merged deterministically in chunk order), so aggregation
 	// throughput scales with this knob too.
 	Parallelism int
+	// DisableVectorized forces row-at-a-time expression evaluation
+	// everywhere, turning off the column-at-a-time (vectorized) kernels
+	// that pushed-down filters and batch projections normally use. Results
+	// and row order are identical either way (the differential property
+	// suite asserts byte-identity); the switch exists for A/B measurement
+	// and differential testing.
+	DisableVectorized bool
 }
 
 // DB is a catalog of registered tables plus the query entry point. Safe for
@@ -66,6 +73,7 @@ type DB struct {
 	dataDir     string
 	ownsDir     bool
 	parallelism int              // default scan parallelism for raw tables
+	noVec       bool             // force row-at-a-time expression evaluation
 	loaded      []*storage.Table // for Close
 
 	// catGen counts catalog mutations (register/drop/close). Prepared plan
@@ -119,6 +127,7 @@ func Open(cfg Config) (*DB, error) {
 	return &DB{
 		cat: schema.NewCatalog(), dataDir: dir, ownsDir: owns,
 		parallelism: cfg.Parallelism,
+		noVec:       cfg.DisableVectorized,
 		planCache:   make(map[string]*cachedPrep),
 		pins:        make(map[any]int),
 		doomed:      make(map[any]func() error),

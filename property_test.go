@@ -50,18 +50,7 @@ func TestModesAgreeOnRandomWorkloads(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			var queries []string
-			for _, q := range workload.ShiftingWindows("%s", spec.Schema(), 2, 3, seed) {
-				queries = append(queries, q.SQL)
-			}
-			queries = append(queries,
-				"SELECT grp, COUNT(*), SUM(score), MIN(id), MAX(id) FROM %s GROUP BY grp ORDER BY grp",
-				"SELECT COUNT(DISTINCT grp) FROM %s",
-				"SELECT id, user FROM %s WHERE id BETWEEN 100 AND 120 ORDER BY id",
-				"SELECT user FROM %s WHERE user LIKE 'v1%%' ORDER BY user LIMIT 10",
-				"SELECT id FROM %s WHERE id = 1234",
-				"SELECT score FROM %s WHERE score IS NOT NULL ORDER BY score DESC LIMIT 5",
-			)
+			queries := propertyCorpus(spec, seed)
 
 			for _, q := range queries {
 				// Each mode, plus a warm repeat for the raw table.
@@ -169,6 +158,114 @@ func rowsEquivalent(a, b [][]any) bool {
 		}
 	}
 	return true
+}
+
+// propertyCorpus builds the query corpus the property tests share: the
+// generated shifting-window workload plus fixed shapes covering grouping,
+// DISTINCT, BETWEEN, LIKE, point lookups and ORDER BY over NULLs.
+func propertyCorpus(spec datagen.Spec, seed int64) []string {
+	var queries []string
+	for _, q := range workload.ShiftingWindows("%s", spec.Schema(), 2, 3, seed) {
+		queries = append(queries, q.SQL)
+	}
+	return append(queries,
+		"SELECT grp, COUNT(*), SUM(score), MIN(id), MAX(id) FROM %s GROUP BY grp ORDER BY grp",
+		"SELECT COUNT(DISTINCT grp) FROM %s",
+		"SELECT id, user FROM %s WHERE id BETWEEN 100 AND 120 ORDER BY id",
+		"SELECT user FROM %s WHERE user LIKE 'v1%%' ORDER BY user LIMIT 10",
+		"SELECT id FROM %s WHERE id = 1234",
+		"SELECT score FROM %s WHERE score IS NOT NULL ORDER BY score DESC LIMIT 5",
+	)
+}
+
+// counterStats projects a QueryStats down to its deterministic scan
+// counters — the fields that must be bit-identical between the vectorized
+// and row evaluators (times vary run to run, and VecRows differs by
+// design).
+type counterStats struct {
+	BytesRead, BytesSkipped, RowsScanned         int64
+	FieldsTokenized, FieldsConverted             int64
+	CacheHitFields, MapJumpFields, MapNearFields int64
+	PartialGroups                                int64
+}
+
+func countersOf(s nodb.QueryStats) counterStats {
+	return counterStats{
+		BytesRead: s.BytesRead, BytesSkipped: s.BytesSkipped, RowsScanned: s.RowsScanned,
+		FieldsTokenized: s.FieldsTokenized, FieldsConverted: s.FieldsConverted,
+		CacheHitFields: s.CacheHitFields, MapJumpFields: s.MapJumpFields,
+		MapNearFields: s.MapNearFields, PartialGroups: s.PartialGroups,
+	}
+}
+
+// TestVectorizedRowDifferential is the vectorized-vs-row equivalence
+// property: every corpus query must return byte-identical rows (including
+// group and sort order) and identical scan counters with vectorized
+// evaluation forced on and forced off (Config.DisableVectorized), at
+// Parallelism 1 and 8, cold and warm.
+func TestVectorizedRowDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("property test")
+	}
+	const seed = 1
+	dir := t.TempDir()
+	spec := datagen.MixedTable(3000, seed)
+	path := filepath.Join(dir, "data.csv")
+	if _, err := spec.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	queries := propertyCorpus(spec, seed)
+
+	for _, par := range []int{1, 8} {
+		par := par
+		t.Run(fmt.Sprintf("par=%d", par), func(t *testing.T) {
+			vecDB, err := nodb.Open(nodb.Config{Parallelism: par})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer vecDB.Close()
+			rowDB, err := nodb.Open(nodb.Config{Parallelism: par, DisableVectorized: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rowDB.Close()
+			ss := spec.SchemaSpec()
+			if err := vecDB.RegisterRaw("r", path, ss, nil); err != nil {
+				t.Fatal(err)
+			}
+			if err := rowDB.RegisterRaw("r", path, ss, nil); err != nil {
+				t.Fatal(err)
+			}
+
+			sawVec := false
+			for pass := 0; pass < 2; pass++ { // cold, then warm (cache/posmap-served)
+				for _, q := range queries {
+					sql := fmt.Sprintf(q, "r")
+					vres, err := vecDB.Query(sql)
+					if err != nil {
+						t.Fatalf("pass %d %q (vec): %v", pass, sql, err)
+					}
+					rres, err := rowDB.Query(sql)
+					if err != nil {
+						t.Fatalf("pass %d %q (row): %v", pass, sql, err)
+					}
+					if !reflect.DeepEqual(vres.Rows, rres.Rows) {
+						t.Fatalf("pass %d %q: rows differ:\nvec: %v\nrow: %v", pass, sql, vres.Rows, rres.Rows)
+					}
+					if vc, rc := countersOf(vres.Stats), countersOf(rres.Stats); vc != rc {
+						t.Fatalf("pass %d %q: counters differ:\nvec: %+v\nrow: %+v", pass, sql, vc, rc)
+					}
+					if rres.Stats.VecRows != 0 {
+						t.Fatalf("pass %d %q: DisableVectorized leaked VecRows=%d", pass, sql, rres.Stats.VecRows)
+					}
+					sawVec = sawVec || vres.Stats.VecRows > 0
+				}
+			}
+			if !sawVec {
+				t.Fatal("vectorized path never engaged across the corpus")
+			}
+		})
+	}
 }
 
 // TestAdaptationUnderRandomBudgets fuzzes budget settings mid-workload:

@@ -42,6 +42,7 @@ type QueryStats struct {
 	MapJumpFields   int64
 	MapNearFields   int64 // fields located via a nearby map entry (short gap tokenize)
 	PartialGroups   int64 // partial group states folded by scan workers (aggregation pushdown)
+	VecRows         int64 // (row, expression) evaluations served by the vectorized (column-at-a-time) path
 	PlanCacheHits   int64 // 1 when this query reused a cached plan skeleton (prepared statement or plan cache)
 }
 
@@ -64,6 +65,7 @@ func newQueryStats(b *metrics.Breakdown, total time.Duration) QueryStats {
 		MapJumpFields:   b.MapJumpFields,
 		MapNearFields:   b.MapNearFields,
 		PartialGroups:   b.PartialGroups,
+		VecRows:         b.VecRows,
 	}
 }
 
@@ -157,6 +159,9 @@ func (db *DB) prepared(q string) (prep *planner.Prepared, hit bool, gen int64, e
 	db.mu.RUnlock()
 	if err != nil {
 		return nil, false, gen, err
+	}
+	if db.noVec {
+		prep.DisableVec()
 	}
 	db.planMu.Lock()
 	if len(db.planCache) >= planCacheMax {
