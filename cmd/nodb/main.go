@@ -1,13 +1,18 @@
-// Command nodb is the interactive front end: register a raw CSV file and
-// run SQL over it in situ, with optional per-query execution breakdowns and
-// the Figure-2 monitoring panel after each statement.
+// Command nodb is the interactive front end: point the engine at raw CSV
+// files and run SQL over them in situ, with optional per-query execution
+// breakdowns and the Figure-2 monitoring panel after each statement.
 //
 // Usage:
 //
-//	nodb -file data.csv -schema "id:int,name:text" [-table t] [-mode insitu]
+//	nodb [-file data.csv] [-schema "id:int,name:text"] [-table t] [-mode insitu]
 //	     [-breakdown] [-panel] ["SELECT ..." ...]
 //
-// Queries come from the command line; with none given, statements are read
+// -file is optional: the catalog is fully manageable through SQL DDL, so a
+// bare `nodb` shell can CREATE EXTERNAL TABLE (including glob locations for
+// sharded multi-file tables), DROP TABLE, ALTER TABLE ... SET, and inspect
+// the catalog with SHOW TABLES / DESCRIBE.
+//
+// Statements come from the command line; with none given, they are read
 // line by line from stdin. Results stream row by row as the scan produces
 // them — the first rows appear before a large file has been fully read —
 // and Ctrl-C cancels the running query (abandoning its unread remainder)
@@ -29,7 +34,7 @@ import (
 
 func main() {
 	var (
-		file      = flag.String("file", "", "raw CSV file to register (required)")
+		file      = flag.String("file", "", "raw CSV file (or glob) to register; empty starts with an empty catalog (use CREATE EXTERNAL TABLE)")
 		schemaStr = flag.String("schema", "", "schema spec name:type,... (empty = infer)")
 		table     = flag.String("table", "t", "table name")
 		mode      = flag.String("mode", "insitu", "access mode: insitu | baseline | load")
@@ -41,11 +46,6 @@ func main() {
 		par       = flag.Int("parallelism", 0, "chunk-pipeline workers per scan (0 = GOMAXPROCS, 1 = sequential)")
 	)
 	flag.Parse()
-	if *file == "" {
-		fmt.Fprintln(os.Stderr, "nodb: -file is required")
-		flag.Usage()
-		os.Exit(2)
-	}
 	if len(*delim) != 1 {
 		fmt.Fprintln(os.Stderr, "nodb: -delim must be a single byte")
 		os.Exit(2)
@@ -57,28 +57,41 @@ func main() {
 	}
 	defer db.Close()
 
-	opts := &nodb.RawOptions{Delim: (*delim)[0], PosMapBudget: *posBudget, CacheBudget: *cacheBud}
-	switch *mode {
-	case "insitu":
-		err = db.RegisterRaw(*table, *file, *schemaStr, opts)
-	case "baseline":
-		err = db.RegisterBaseline(*table, *file, *schemaStr)
-	case "load":
-		var init any
-		init, _, err = db.Load(*table, *file, *schemaStr, nodb.ProfilePostgres)
-		if err == nil {
-			fmt.Printf("-- loaded in %v\n", init)
+	if *file != "" {
+		opts := &nodb.RawOptions{Delim: (*delim)[0], PosMapBudget: *posBudget, CacheBudget: *cacheBud}
+		switch *mode {
+		case "insitu":
+			err = db.RegisterRaw(*table, *file, *schemaStr, opts)
+		case "baseline":
+			err = db.RegisterBaseline(*table, *file, *schemaStr)
+		case "load":
+			var init any
+			init, _, err = db.Load(*table, *file, *schemaStr, nodb.ProfilePostgres)
+			if err == nil {
+				fmt.Printf("-- loaded in %v\n", init)
+			}
+		default:
+			err = fmt.Errorf("unknown mode %q", *mode)
 		}
-	default:
-		err = fmt.Errorf("unknown mode %q", *mode)
-	}
-	if err != nil {
-		fatal(err)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	runOne := func(q string) {
 		q = strings.TrimSpace(q)
 		if q == "" {
+			return
+		}
+		// DDL manages the catalog through Exec and produces no rows; SELECT,
+		// SHOW TABLES and DESCRIBE stream rows below.
+		switch head := strings.Fields(q)[0]; strings.ToUpper(strings.TrimSuffix(head, ";")) {
+		case "CREATE", "DROP", "ALTER":
+			if err := db.Exec(context.Background(), q); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			} else {
+				fmt.Println("ok")
+			}
 			return
 		}
 		// Ctrl-C cancels this query (not the shell): the context reaches the

@@ -11,10 +11,22 @@
 //	db, err := sql.Open("nodb", "csv=events.csv;table=events;schema=id:int,kind:text,val:float")
 //	rows, err := db.QueryContext(ctx, "SELECT kind, val FROM events WHERE id < ?", 100)
 //
-// The DSN registers one or more tables (see ParseDSN for the grammar). All
+// The DSN may register tables up front (see OpenDSN for the grammar), but it
+// can also be empty: the catalog is fully manageable through SQL DDL, so
+// pointing the engine at raw files needs no Go code at all:
+//
+//	db, err := sql.Open("nodb", "")
+//	_, err = db.Exec(`CREATE EXTERNAL TABLE events (id int, kind text, val float)
+//	                  USING raw LOCATION '/data/events-*.csv'`)
+//	rows, err := db.Query("SELECT kind, COUNT(*) FROM events GROUP BY kind")
+//
+// Exec accepts the DDL statements (CREATE [OR REPLACE] EXTERNAL TABLE,
+// DROP TABLE [IF EXISTS], ALTER TABLE ... SET) and returns a no-rows
+// result; SHOW TABLES and DESCRIBE return ordinary rows through Query. All
 // connections of one sql.DB share a single underlying *nodb.DB, so the
 // adaptive structures (positional map, cache, statistics) warm across the
-// whole pool. Prepared statements reuse nodb's plan-skeleton cache.
+// whole pool and DDL on one connection is visible to all. Prepared
+// statements reuse nodb's plan-skeleton cache.
 //
 // To plug database/sql on top of an already-configured engine instance, use
 // NewConnector:
@@ -23,7 +35,8 @@
 //	ndb.RegisterRaw("t", "data.csv", "", nil)
 //	db := sql.OpenDB(nodbdriver.NewConnector(ndb))
 //
-// The engine is SELECT-only: Exec and transactions return errors.
+// The data itself is read-only: Exec of non-DDL statements and transactions
+// return errors.
 package nodbdriver
 
 import (
@@ -108,13 +121,19 @@ type conn struct {
 
 var (
 	_ driver.QueryerContext     = (*conn)(nil)
+	_ driver.ExecerContext      = (*conn)(nil)
 	_ driver.ConnPrepareContext = (*conn)(nil)
 )
 
-// Prepare implements driver.Conn.
+// Prepare implements driver.Conn. DDL and catalog statements (which the
+// SELECT-only plan cache cannot prepare) return a statement handle that
+// parses and runs on each Exec/Query instead.
 func (c *conn) Prepare(query string) (driver.Stmt, error) {
 	st, err := c.db.Prepare(query)
 	if err != nil {
+		if nodb.IsNotSelectError(err) {
+			return &ddlStmt{db: c.db, query: query}, nil
+		}
 		return nil, err
 	}
 	return &stmt{st: st}, nil
@@ -155,6 +174,21 @@ func (c *conn) QueryContext(ctx context.Context, query string, nvs []driver.Name
 	return newRows(r), nil
 }
 
+// ExecContext implements driver.ExecerContext: DDL (CREATE EXTERNAL TABLE,
+// DROP TABLE, ALTER TABLE) runs against the shared engine and returns a
+// no-rows result. Non-DDL statements keep a clear error (the data is
+// read-only; SELECT/SHOW/DESCRIBE go through Query).
+func (c *conn) ExecContext(ctx context.Context, query string, nvs []driver.NamedValue) (driver.Result, error) {
+	args, err := namedArgs(nvs)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.db.Exec(ctx, query, args...); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
 // stmt adapts nodb.Stmt.
 type stmt struct {
 	st *nodb.Stmt
@@ -168,9 +202,11 @@ func (s *stmt) Close() error { return s.st.Close() }
 // NumInput implements driver.Stmt; database/sql enforces the arity.
 func (s *stmt) NumInput() int { return s.st.NumParams() }
 
-// Exec implements driver.Stmt. The engine is SELECT-only.
+// Exec implements driver.Stmt. A prepared SELECT produces rows; the data
+// itself is read-only, so Exec stays an error (DDL statements prepare into a
+// ddlStmt instead and Exec fine).
 func (s *stmt) Exec([]driver.Value) (driver.Result, error) {
-	return nil, errors.New("nodb: Exec is not supported (SELECT-only engine)")
+	return nil, errors.New("nodb: Exec of a SELECT is not supported (use Query; only DDL statements Exec)")
 }
 
 // Query implements driver.Stmt.
@@ -193,6 +229,73 @@ func (s *stmt) QueryContext(ctx context.Context, nvs []driver.NamedValue) (drive
 		return nil, err
 	}
 	r, err := s.st.QueryContext(ctx, args...)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(r), nil
+}
+
+// ddlStmt is the prepared form of a non-SELECT statement: there is no plan
+// skeleton to cache, so each execution re-parses and routes the text — DDL
+// through Exec, catalog statements (SHOW TABLES, DESCRIBE) through Query.
+type ddlStmt struct {
+	db    *nodb.DB
+	query string
+}
+
+var _ driver.StmtExecContext = (*ddlStmt)(nil)
+
+// Close implements driver.Stmt.
+func (s *ddlStmt) Close() error { return nil }
+
+// NumInput implements driver.Stmt: DDL takes no parameters.
+func (s *ddlStmt) NumInput() int { return 0 }
+
+// Exec implements driver.Stmt.
+func (s *ddlStmt) Exec(vs []driver.Value) (driver.Result, error) {
+	args := make([]any, len(vs))
+	for i, v := range vs {
+		args[i] = v
+	}
+	if err := s.db.Exec(context.Background(), s.query, args...); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
+// ExecContext implements driver.StmtExecContext.
+func (s *ddlStmt) ExecContext(ctx context.Context, nvs []driver.NamedValue) (driver.Result, error) {
+	args, err := namedArgs(nvs)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.db.Exec(ctx, s.query, args...); err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(0), nil
+}
+
+// Query implements driver.Stmt: catalog statements (SHOW TABLES, DESCRIBE)
+// serve their rows here; DDL under Query reports the Exec redirection error.
+func (s *ddlStmt) Query(vs []driver.Value) (driver.Rows, error) {
+	args := make([]any, len(vs))
+	for i, v := range vs {
+		args[i] = v
+	}
+	r, err := s.db.QueryContext(context.Background(), s.query, args...)
+	if err != nil {
+		return nil, err
+	}
+	return newRows(r), nil
+}
+
+// QueryContext implements driver.StmtQueryContext.
+func (s *ddlStmt) QueryContext(ctx context.Context, nvs []driver.NamedValue) (driver.Rows, error) {
+	args, err := namedArgs(nvs)
+	if err != nil {
+		return nil, err
+	}
+	r, err := s.db.QueryContext(ctx, s.query, args...)
 	if err != nil {
 		return nil, err
 	}

@@ -93,9 +93,10 @@ func TestSQLOpenSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	// SELECT-only engine: Exec and transactions fail.
+	// The data is read-only: Exec of a non-DDL statement and transactions
+	// fail with pointed errors (DDL Exec is covered by TestDDLEndToEnd).
 	if _, err := db.Exec("SELECT id FROM events"); err == nil {
-		t.Fatal("Exec unexpectedly succeeded")
+		t.Fatal("Exec of a SELECT unexpectedly succeeded")
 	}
 	if _, err := db.Begin(); err == nil {
 		t.Fatal("Begin unexpectedly succeeded")
@@ -148,7 +149,6 @@ func TestConnectorSharesEngine(t *testing.T) {
 // TestDSNErrors exercises DSN validation.
 func TestDSNErrors(t *testing.T) {
 	for _, dsn := range []string{
-		"",
 		"table=t",              // key before any csv
 		"csv=x.csv;bogus=1",    // unknown key
 		"csv=x.csv;delim=long", // bad delim
@@ -157,6 +157,16 @@ func TestDSNErrors(t *testing.T) {
 			t.Errorf("OpenDSN(%q) unexpectedly succeeded", dsn)
 		}
 	}
+	// The empty DSN is valid: an engine with an empty catalog, to be
+	// populated through DDL.
+	empty, err := OpenDSN("")
+	if err != nil {
+		t.Fatalf("OpenDSN(\"\"): %v", err)
+	}
+	if n := len(empty.Tables()); n != 0 {
+		t.Errorf("empty DSN registered %d tables", n)
+	}
+	empty.Close()
 	// Bare path + inferred schema + default table name.
 	path := writeCSV(t, 50)
 	db, err := OpenDSN(path)
@@ -170,5 +180,161 @@ func TestDSNErrors(t *testing.T) {
 	}
 	if res.Rows[0][0] != int64(50) {
 		t.Fatalf("count = %v, want 50", res.Rows[0][0])
+	}
+
+	// A glob DSN derives the table name from the prefix before the first
+	// metacharacter ("events-*.csv" -> "events"), never a name SQL cannot
+	// reference.
+	glob := writeShardCSVs(t, 60, 2)
+	gdb, err := OpenDSN("csv=" + glob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gdb.Close()
+	gres, err := gdb.Query("SELECT COUNT(*) FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gres.Rows[0][0] != int64(60) {
+		t.Fatalf("glob count = %v, want 60", gres.Rows[0][0])
+	}
+	// Underivable names are rejected up front: all-metacharacter bases, and
+	// prefixes that do not lex as identifiers (leading digit, embedded dot).
+	dir := filepath.Dir(glob)
+	for _, f := range []string{"2024-00.csv", "my.events-00.csv"} {
+		if err := os.WriteFile(filepath.Join(dir, f), []byte("1,x,1.0,0\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, pat := range []string{"*.csv", "2024-*.csv", "my.events-*.csv"} {
+		if _, err := OpenDSN("csv=" + filepath.Join(dir, pat)); err == nil {
+			t.Errorf("OpenDSN(%q) with underivable table name unexpectedly succeeded", pat)
+		}
+	}
+}
+
+// writeShardCSVs writes n rows split across k shard files matching one glob,
+// returning the glob pattern.
+func writeShardCSVs(t *testing.T, rows, k int) string {
+	t.Helper()
+	dir := t.TempDir()
+	per := (rows + k - 1) / k
+	for s := 0; s < k; s++ {
+		var sb strings.Builder
+		for i := s * per; i < (s+1)*per && i < rows; i++ {
+			fmt.Fprintf(&sb, "%d,item-%d,%g,%d\n", i, i, float64(i)*1.5, i%10)
+		}
+		p := filepath.Join(dir, fmt.Sprintf("events-%02d.csv", s))
+		if err := os.WriteFile(p, []byte(sb.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return filepath.Join(dir, "events-*.csv")
+}
+
+// TestDDLEndToEnd is the acceptance round trip for the DDL-first catalog:
+// sql.Open("nodb", "") with an empty catalog, CREATE EXTERNAL TABLE over a
+// glob through Exec, SELECT over the sharded table, SHOW TABLES / DESCRIBE
+// reflecting the registered state, ALTER and DROP — all through database/sql.
+func TestDDLEndToEnd(t *testing.T) {
+	glob := writeShardCSVs(t, 900, 3)
+	db, err := sql.Open("nodb", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+
+	res, err := db.Exec("CREATE EXTERNAL TABLE events (id int, name text, score float, grp int) " +
+		"USING raw LOCATION '" + glob + "' WITH (parallelism = 2)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := res.RowsAffected(); err != nil || n != 0 {
+		t.Fatalf("RowsAffected = %d, %v", n, err)
+	}
+
+	// The sharded table answers queries spanning every shard.
+	var count, distinct int64
+	if err := db.QueryRow("SELECT COUNT(*), COUNT(DISTINCT grp) FROM events").Scan(&count, &distinct); err != nil {
+		t.Fatal(err)
+	}
+	if count != 900 || distinct != 10 {
+		t.Fatalf("count=%d distinct=%d, want 900/10", count, distinct)
+	}
+	// Cross-shard GROUP BY with ? binding.
+	rows, err := db.Query("SELECT grp, COUNT(*) FROM events WHERE id >= ? GROUP BY grp ORDER BY grp LIMIT 3", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var groups []string
+	for rows.Next() {
+		var g, n int64
+		if err := rows.Scan(&g, &n); err != nil {
+			t.Fatal(err)
+		}
+		groups = append(groups, fmt.Sprintf("%d:%d", g, n))
+	}
+	rows.Close()
+	if want := []string{"0:90", "1:90", "2:90"}; fmt.Sprint(groups) != fmt.Sprint(want) {
+		t.Fatalf("groups = %v, want %v", groups, want)
+	}
+
+	// SHOW TABLES reflects the registration (name, mode, location, shards).
+	var name, mode, location string
+	var cols, shards int64
+	if err := db.QueryRow("SHOW TABLES").Scan(&name, &mode, &location, &cols, &shards); err != nil {
+		t.Fatal(err)
+	}
+	if name != "events" || mode != "in-situ" || location != glob || cols != 4 || shards != 3 {
+		t.Fatalf("SHOW TABLES = %s/%s/%s/%d/%d", name, mode, location, cols, shards)
+	}
+
+	// DESCRIBE returns the schema.
+	drows, err := db.Query("DESCRIBE events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var desc []string
+	for drows.Next() {
+		var cn, ct string
+		if err := drows.Scan(&cn, &ct); err != nil {
+			t.Fatal(err)
+		}
+		desc = append(desc, cn+":"+ct)
+	}
+	drows.Close()
+	if want := "[id:INT name:TEXT score:FLOAT grp:INT]"; fmt.Sprint(desc) != want {
+		t.Fatalf("DESCRIBE = %v, want %v", desc, want)
+	}
+
+	// Prepared DDL routes through Exec; ALTER tunes the live table.
+	st, err := db.Prepare("ALTER TABLE events SET (cache_budget = 1048576)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	st.Close()
+
+	// CREATE OR REPLACE swaps the registration; DROP removes it.
+	if _, err := db.Exec("CREATE OR REPLACE EXTERNAL TABLE events (id int, name text, score float, grp int) " +
+		"USING baseline LOCATION '" + glob + "'"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.QueryRow("SHOW TABLES").Scan(&name, &mode, &location, &cols, &shards); err != nil {
+		t.Fatal(err)
+	}
+	if mode != "baseline" {
+		t.Fatalf("mode after replace = %q, want baseline", mode)
+	}
+	if _, err := db.Exec("DROP TABLE events"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("DROP TABLE events"); err == nil {
+		t.Fatal("dropping a missing table unexpectedly succeeded")
+	}
+	if _, err := db.Exec("DROP TABLE IF EXISTS events"); err != nil {
+		t.Fatalf("DROP IF EXISTS: %v", err)
 	}
 }

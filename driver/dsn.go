@@ -11,11 +11,14 @@ import (
 
 // OpenDSN builds a configured engine instance from a driver DSN.
 //
-// The DSN is a semicolon-separated list of directives. A bare token (or a
-// csv=/file= key) starts a new table registration; the keys that follow
-// refine it until the next one:
+// The DSN may be empty: the engine opens with an empty catalog, to be
+// populated through DDL (CREATE EXTERNAL TABLE via Exec). Otherwise it is a
+// semicolon-separated list of directives. A bare token (or a csv=/file=
+// key) starts a new table registration; the keys that follow refine it
+// until the next one:
 //
-//	csv=<path>          raw CSV file to register (also: file=, or a bare path)
+//	csv=<path>          raw CSV file to register (also: file=, or a bare path);
+//	                    a glob registers its matches as one sharded table
 //	table=<name>        table name; default: file base name without extension
 //	schema=<spec>       "name:type,..." (int,float,text,bool,date); default: inferred
 //	mode=<m>            insitu (default) | baseline | load
@@ -97,10 +100,6 @@ func OpenDSN(dsn string) (*nodb.DB, error) {
 			return nil, fmt.Errorf("nodb: dsn: unknown key %q", k)
 		}
 	}
-	if len(specs) == 0 {
-		return nil, fmt.Errorf("nodb: dsn: no tables (expected at least one csv path)")
-	}
-
 	db, err := nodb.Open(nodb.Config{Parallelism: parallelism})
 	if err != nil {
 		return nil, err
@@ -110,6 +109,16 @@ func OpenDSN(dsn string) (*nodb.DB, error) {
 		if name == "" {
 			base := filepath.Base(s.path)
 			name = strings.TrimSuffix(base, filepath.Ext(base))
+			// A glob path cannot name the table after itself ("events-*"
+			// would be unreferenceable in SQL); use the prefix before the
+			// first metacharacter, or demand an explicit table=.
+			if i := strings.IndexAny(name, "*?["); i >= 0 {
+				name = strings.TrimRight(name[:i], "-_.")
+			}
+			if !isIdentifier(name) {
+				db.Close()
+				return nil, fmt.Errorf("nodb: dsn: cannot derive a referenceable table name from %q (got %q); add table=", s.path, name)
+			}
 		}
 		var rerr error
 		switch s.mode {
@@ -136,4 +145,20 @@ func OpenDSN(dsn string) (*nodb.DB, error) {
 		}
 	}
 	return db, nil
+}
+
+// isIdentifier reports whether name lexes as a SQL identifier (so a derived
+// default table name is actually reachable from queries).
+func isIdentifier(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
 }

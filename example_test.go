@@ -85,3 +85,68 @@ func ExampleDB_Prepare() {
 	// view=2 hit=1
 	// buy=1 hit=1
 }
+
+// ExampleDB_Exec manages the catalog purely through SQL DDL: a glob
+// LOCATION registers shard files as one table, SHOW TABLES and DESCRIBE
+// read the registered state back, and DROP TABLE removes it — the same
+// statements work through database/sql.
+func ExampleDB_Exec() {
+	dir, err := os.MkdirTemp("", "nodb-example-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	// Two shard files; their concatenation is the table.
+	shards := map[string]string{
+		"events-00.csv": "1,click,0.30\n2,view,0.90\n3,click,0.70\n",
+		"events-01.csv": "4,buy,0.10\n5,view,0.50\n",
+	}
+	for name, data := range shards {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(data), 0o644); err != nil {
+			panic(err)
+		}
+	}
+
+	db, err := nodb.Open(nodb.Config{Parallelism: 1})
+	if err != nil {
+		panic(err)
+	}
+	defer db.Close()
+
+	ctx := context.Background()
+	err = db.Exec(ctx, fmt.Sprintf(
+		"CREATE EXTERNAL TABLE events (id int, kind text, score float) USING raw LOCATION '%s'",
+		filepath.Join(dir, "events-*.csv")))
+	if err != nil {
+		panic(err)
+	}
+
+	res, err := db.Query("SELECT kind, COUNT(*) FROM events GROUP BY kind ORDER BY kind")
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range res.Rows {
+		fmt.Println(row[0], row[1])
+	}
+
+	desc, err := db.Query("DESCRIBE events")
+	if err != nil {
+		panic(err)
+	}
+	for _, row := range desc.Rows {
+		fmt.Println(row[0], row[1])
+	}
+
+	if err := db.Exec(ctx, "DROP TABLE events"); err != nil {
+		panic(err)
+	}
+	fmt.Println("tables left:", len(db.Tables()))
+	// Output:
+	// buy 1
+	// click 2
+	// view 2
+	// id INT
+	// kind TEXT
+	// score FLOAT
+	// tables left: 0
+}

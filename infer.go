@@ -13,18 +13,6 @@ import (
 // inferSampleLines is how many rows schema inference examines.
 const inferSampleLines = 200
 
-// resolveSchema parses an explicit schema spec or infers one from the file.
-func (db *DB) resolveSchema(csvPath, schemaSpec string, opts *RawOptions) (*schema.Schema, error) {
-	if schemaSpec != "" {
-		return schema.ParseSpec(schemaSpec)
-	}
-	delim := byte(',')
-	if opts != nil && opts.Delim != 0 {
-		delim = opts.Delim
-	}
-	return InferSchema(csvPath, delim)
-}
-
 // InferSchema derives a schema from a sample of the file's rows: column
 // count from the first row, kinds from merging per-row inference (ints
 // widen to floats, conflicts fall back to text, all-empty columns become

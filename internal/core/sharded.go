@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"nodb/internal/schema"
+	"nodb/internal/stats"
+	"nodb/internal/value"
+	"nodb/internal/watch"
+)
+
+// RawTable is the raw-access contract shared by single-file tables (*Table)
+// and multi-file sharded tables (*ShardedTable). The planner and engine see
+// raw tables only through it, so a glob registration plugs into the existing
+// scan/aggregation machinery unchanged.
+type RawTable interface {
+	// Path returns the registered location (file path, or glob pattern for
+	// sharded tables).
+	Path() string
+	// Schema returns the table schema (shared by every shard).
+	Schema() *schema.Schema
+	// Options returns the table-level option set (budgets before any
+	// per-shard split).
+	Options() Options
+	// StatsCollector returns the collector the planner estimates
+	// selectivities from. Sharded tables serve the first shard's collector —
+	// an ordinary sample of the table, in the same spirit as the paper's
+	// row-sampled statistics.
+	StatsCollector() *stats.Collector
+	// RowCount returns the learned total row count, or -1 before a full
+	// scan (for sharded tables: while any shard's count is unknown).
+	RowCount() int64
+	// OpenScan opens a scan; Close must be called when done.
+	OpenScan(spec ScanSpec) (Scanner, error)
+	// Refresh checks the underlying file(s) for outside changes and adapts
+	// the adaptive structures.
+	Refresh() (watch.Change, error)
+	// SetBudgets adjusts the positional-map and cache byte budgets (split
+	// across shards for sharded tables), evicting immediately when shrinking.
+	SetBudgets(posMapBudget, cacheBudget int64)
+	// SetEnabled toggles the adaptive components at run time.
+	SetEnabled(posMap, cache, stats bool)
+}
+
+// Scanner is the operator-facing scan contract: the subset of *Scan the
+// engine drives, implemented by both single-file and sharded scans.
+type Scanner interface {
+	Next() ([]value.Value, bool, error)
+	NextBatch() (*Batch, bool, error)
+	Close() error
+	// PushAgg installs worker-side partial aggregation on a scan that has
+	// not started; DrainAgg then drives it to EOF and returns the merged
+	// groups in first-seen row order.
+	PushAgg(spec *AggPushdown) bool
+	DrainAgg() ([]*PartialGroup, error)
+}
+
+var (
+	_ RawTable = (*Table)(nil)
+	_ RawTable = (*ShardedTable)(nil)
+	_ Scanner  = (*Scan)(nil)
+	_ Scanner  = (*ShardedScan)(nil)
+)
+
+// OpenScan implements RawTable (NewScan keeps its concrete return type for
+// package-internal callers and existing tests).
+func (t *Table) OpenScan(spec ScanSpec) (Scanner, error) { return t.NewScan(spec) }
+
+// ShardedTable is an ordered set of raw CSV shard files queried as one
+// table: the scale-out unit for multi-file datasets (LOCATION globs). Every
+// shard is a full *Table — its own reader, positional map, binary cache,
+// statistics and chunk metadata — so shards warm, refresh and evict
+// independently, while scans concatenate shard outputs in registration
+// order. Querying a sharded table yields byte-identical rows, counters and
+// per-shard adaptive-structure contents to querying the shards' concatenated
+// bytes as one file (chunk decompositions align when every shard but the
+// last holds a multiple of ChunkRows rows).
+type ShardedTable struct {
+	location string
+	sch      *schema.Schema
+	shards   []*Table // immutable after construction
+
+	mu   sync.Mutex
+	opts Options // table-level options; budgets are pre-split totals
+}
+
+// splitBudget divides a table-level byte budget evenly across n shards
+// (0 stays unlimited; tiny budgets never round down to unlimited).
+func splitBudget(total int64, n int) int64 {
+	if total <= 0 || n <= 1 {
+		return total
+	}
+	per := total / int64(n)
+	if per == 0 {
+		per = 1
+	}
+	return per
+}
+
+// NewShardedTable registers the ordered shard files as one table. Like
+// NewTable, the files must exist but are not read. location is the
+// registered pattern (kept for display/refresh messages); paths must be
+// non-empty and ordered (scan output follows this order).
+func NewShardedTable(location string, paths []string, sch *schema.Schema, opts Options) (*ShardedTable, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("core: sharded table %q has no shard files", location)
+	}
+	opts.fillDefaults()
+	per := opts
+	per.PosMapBudget = splitBudget(opts.PosMapBudget, len(paths))
+	per.CacheBudget = splitBudget(opts.CacheBudget, len(paths))
+	st := &ShardedTable{location: location, sch: sch, opts: opts}
+	for _, p := range paths {
+		sh, err := NewTable(p, sch, per)
+		if err != nil {
+			return nil, err
+		}
+		st.shards = append(st.shards, sh)
+	}
+	return st, nil
+}
+
+// Path returns the registered location pattern.
+func (t *ShardedTable) Path() string { return t.location }
+
+// Schema returns the table schema.
+func (t *ShardedTable) Schema() *schema.Schema { return t.sch }
+
+// Options returns the table-level option set.
+func (t *ShardedTable) Options() Options {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.opts
+}
+
+// Shards returns the per-file shard tables, in scan order (monitoring,
+// tests).
+func (t *ShardedTable) Shards() []*Table { return t.shards }
+
+// NumShards returns the shard count.
+func (t *ShardedTable) NumShards() int { return len(t.shards) }
+
+// StatsCollector implements RawTable with the first shard's collector.
+func (t *ShardedTable) StatsCollector() *stats.Collector {
+	return t.shards[0].StatsCollector()
+}
+
+// RowCount returns the total learned row count, or -1 while any shard's
+// count is still unknown.
+func (t *ShardedTable) RowCount() int64 {
+	var total int64
+	for _, sh := range t.shards {
+		n := sh.RowCount()
+		if n < 0 {
+			return -1
+		}
+		total += n
+	}
+	return total
+}
+
+// Refresh checks every shard file for outside changes, in shard order, and
+// adapts each shard's structures. The combined change reports the strongest
+// change any shard saw (rewritten > appended > unchanged).
+func (t *ShardedTable) Refresh() (watch.Change, error) {
+	combined := watch.Unchanged
+	for _, sh := range t.shards {
+		change, err := sh.Refresh()
+		if err != nil {
+			return change, err
+		}
+		if change == watch.Rewritten || (change == watch.Appended && combined == watch.Unchanged) {
+			combined = change
+		}
+	}
+	return combined, nil
+}
+
+// SetBudgets re-splits the table-level budgets across the shards, evicting
+// immediately when shrinking.
+func (t *ShardedTable) SetBudgets(posMapBudget, cacheBudget int64) {
+	t.mu.Lock()
+	t.opts.PosMapBudget = posMapBudget
+	t.opts.CacheBudget = cacheBudget
+	t.mu.Unlock()
+	n := len(t.shards)
+	for _, sh := range t.shards {
+		sh.SetBudgets(splitBudget(posMapBudget, n), splitBudget(cacheBudget, n))
+	}
+}
+
+// SetEnabled toggles the adaptive components on every shard (and in the
+// table-level option set, so partial ALTERs read current values back).
+func (t *ShardedTable) SetEnabled(posMap, cache, statsOn bool) {
+	t.mu.Lock()
+	t.opts.EnablePosMap = posMap
+	t.opts.EnableCache = cache
+	t.opts.EnableStats = statsOn
+	t.mu.Unlock()
+	for _, sh := range t.shards {
+		sh.SetEnabled(posMap, cache, statsOn)
+	}
+}
+
+// OpenScan opens a sharded scan: the shards run the ordinary chunk pipeline
+// one after another (each with its own reader and Parallelism workers) and
+// the outputs concatenate in shard order. The first shard's scan opens
+// eagerly so spec validation errors surface at construction, like
+// Table.NewScan.
+func (t *ShardedTable) OpenScan(spec ScanSpec) (Scanner, error) {
+	s := &ShardedScan{t: t, spec: spec}
+	first, err := t.shards[0].NewScan(spec)
+	if err != nil {
+		return nil, err
+	}
+	s.cur = first
+	return s, nil
+}
+
+// ShardedScan concatenates per-shard scans in shard order. Only one shard
+// scan is open at a time: shard i+1 opens when shard i reaches EOF, so an
+// early Close (LIMIT, cancellation) never touches files the query didn't
+// reach — and their adaptive structures stay exactly as they were.
+type ShardedScan struct {
+	t    *ShardedTable
+	spec ScanSpec
+
+	idx     int   // current shard
+	cur     *Scan // nil between shards / after Close
+	started bool  // a Next/NextBatch/DrainAgg call happened
+
+	// Aggregation pushdown: the shard scans share one merge table so chunk
+	// partials fold across shard boundaries exactly as the single-file scan
+	// folds them across chunks — same left-to-right merge order, hence
+	// bitwise-identical float aggregates.
+	agg       *AggPushdown
+	aggTable  map[string]*PartialGroup
+	aggGroups []*PartialGroup
+}
+
+// Close releases the currently open shard scan; shards not yet reached are
+// never opened.
+func (s *ShardedScan) Close() error {
+	s.idx = len(s.t.shards)
+	if s.cur == nil {
+		return nil
+	}
+	err := s.cur.Close()
+	s.cur = nil
+	return err
+}
+
+// open advances to shard s.idx, reporting io.EOF past the last shard.
+func (s *ShardedScan) open() error {
+	if s.idx >= len(s.t.shards) {
+		return io.EOF
+	}
+	sc, err := s.t.shards[s.idx].NewScan(s.spec)
+	if err != nil {
+		return err
+	}
+	if s.agg != nil {
+		if !sc.PushAgg(s.agg) {
+			sc.Close()
+			return fmt.Errorf("core: shard %d refused aggregation pushdown", s.idx)
+		}
+		// Share the scan-level merge state so the new shard's chunk partials
+		// fold into the groups accumulated so far, in shard order.
+		sc.aggTable = s.aggTable
+		sc.aggGroups = s.aggGroups
+	}
+	s.cur = sc
+	return nil
+}
+
+// finishShard closes the exhausted shard scan and steps to the next.
+func (s *ShardedScan) finishShard() error {
+	if s.agg != nil && s.cur != nil {
+		s.aggGroups = s.cur.aggGroups
+	}
+	err := s.cur.Close()
+	s.cur = nil
+	s.idx++
+	return err
+}
+
+// Next implements Scanner: the next qualifying row, in shard order.
+func (s *ShardedScan) Next() ([]value.Value, bool, error) {
+	s.started = true
+	for {
+		if s.cur == nil {
+			if err := s.open(); err == io.EOF {
+				return nil, false, nil
+			} else if err != nil {
+				return nil, false, err
+			}
+		}
+		row, ok, err := s.cur.Next()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return row, true, nil
+		}
+		if err := s.finishShard(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// NextBatch implements Scanner: the next chunk of qualifying rows, in shard
+// order. Batches never span shards (a chunk belongs to exactly one file).
+func (s *ShardedScan) NextBatch() (*Batch, bool, error) {
+	s.started = true
+	for {
+		if s.cur == nil {
+			if err := s.open(); err == io.EOF {
+				return nil, false, nil
+			} else if err != nil {
+				return nil, false, err
+			}
+		}
+		b, ok, err := s.cur.NextBatch()
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return b, true, nil
+		}
+		if err := s.finishShard(); err != nil {
+			return nil, false, err
+		}
+	}
+}
+
+// PushAgg implements Scanner. The spec installs on the already-open first
+// shard scan and is re-installed on every subsequent shard as it opens; all
+// shard scans share one merge table, so cross-shard partial-aggregate
+// merging happens in shard order inside the ordinary commit path.
+func (s *ShardedScan) PushAgg(spec *AggPushdown) bool {
+	if s.started || s.cur == nil || s.idx != 0 {
+		return false
+	}
+	if !s.cur.PushAgg(spec) {
+		return false
+	}
+	s.agg = spec
+	s.aggTable = s.cur.aggTable // allocated by PushAgg; shared across shards
+	return true
+}
+
+// DrainAgg implements Scanner: drives every shard to EOF and returns the
+// merged groups in global first-seen row order.
+func (s *ShardedScan) DrainAgg() ([]*PartialGroup, error) {
+	if s.agg == nil {
+		return nil, fmt.Errorf("core: DrainAgg without PushAgg")
+	}
+	s.started = true
+	for {
+		if s.cur == nil {
+			if err := s.open(); err == io.EOF {
+				break
+			} else if err != nil {
+				return nil, err
+			}
+		}
+		if _, err := s.cur.DrainAgg(); err != nil {
+			return nil, err
+		}
+		if err := s.finishShard(); err != nil {
+			return nil, err
+		}
+	}
+	return s.aggGroups, nil
+}

@@ -99,16 +99,18 @@ func ForEachBatchRow(in BatchOperator, fn func(row []value.Value) error) error {
 	}
 }
 
-// RawScan adapts core.Scan (in-situ or baseline raw access) to the operator
-// interface. Filter pushdown happened at construction via the ScanSpec.
+// RawScan adapts a core scan (in-situ or baseline raw access, single-file
+// or sharded) to the operator interface. Filter pushdown happened at
+// construction via the ScanSpec.
 type RawScan struct {
-	sc    *core.Scan
+	sc    core.Scanner
 	batch Batch
 }
 
-// NewRawScan opens the in-situ scan.
-func NewRawScan(t *core.Table, spec core.ScanSpec) (*RawScan, error) {
-	sc, err := t.NewScan(spec)
+// NewRawScan opens the in-situ scan. Sharded tables open a concatenating
+// scan that runs the chunk pipeline per shard, in shard order.
+func NewRawScan(t core.RawTable, spec core.ScanSpec) (*RawScan, error) {
+	sc, err := t.OpenScan(spec)
 	if err != nil {
 		return nil, err
 	}

@@ -420,10 +420,10 @@ func andAll(cs []sql.Expr) sql.Expr {
 // estimator returns the stats collector for a table, if any.
 func (pb *builder) estimator(ti int) *stats.Collector {
 	switch h := pb.tables[ti].entry.Handle.(type) {
-	case *core.Table:
-		return h.StatsCollector()
 	case *storage.Table:
 		return h.Stats()
+	case core.RawTable:
+		return h.StatsCollector()
 	default:
 		return nil
 	}
@@ -520,17 +520,18 @@ func (pb *builder) buildScan(ti int, conjuncts []sql.Expr) (engine.Operator, *en
 	t := pb.tables[ti]
 	conjuncts = pb.orderBySelectivity(ti, conjuncts)
 	switch h := t.entry.Handle.(type) {
-	case *core.Table:
-		return pb.buildRawScan(ti, h, conjuncts)
 	case *storage.Table:
 		return pb.buildLoadedScan(ti, h, conjuncts)
+	case core.RawTable:
+		return pb.buildRawScan(ti, h, conjuncts)
 	default:
 		return nil, nil, fmt.Errorf("planner: table %q has no storage handle", t.qual)
 	}
 }
 
-// buildRawScan wires pushdown into the in-situ scan spec.
-func (pb *builder) buildRawScan(ti int, h *core.Table, conjuncts []sql.Expr) (engine.Operator, *enode, error) {
+// buildRawScan wires pushdown into the in-situ scan spec (single-file or
+// sharded raw tables alike).
+func (pb *builder) buildRawScan(ti int, h core.RawTable, conjuncts []sql.Expr) (engine.Operator, *enode, error) {
 	t := pb.tables[ti]
 	spec := core.ScanSpec{Needed: t.refs, B: pb.b, Ctx: pb.ctx}
 	if len(conjuncts) > 0 {
@@ -583,6 +584,9 @@ func (pb *builder) buildRawScan(ti int, h *core.Table, conjuncts []sql.Expr) (en
 		return nil, nil, err
 	}
 	label := fmt.Sprintf("RawScan(%s mode=%s attrs=%s", t.qual, t.entry.Mode, attrNames(t))
+	if sh, sharded := h.(*core.ShardedTable); sharded {
+		label += fmt.Sprintf(" shards=%d", sh.NumShards())
+	}
 	if len(conjuncts) > 0 {
 		label += " filter=" + andAll(conjuncts).String()
 		if spec.NewBatchFilter != nil {

@@ -1,0 +1,130 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Statement is any parsed SQL statement: *Select for queries, the DDL /
+// catalog nodes below for everything else. ParseStatement returns one.
+type Statement interface {
+	fmt.Stringer
+	stmt()
+}
+
+func (*Select) stmt()      {}
+func (*CreateTable) stmt() {}
+func (*DropTable) stmt()   {}
+func (*AlterTable) stmt()  {}
+func (*ShowTables) stmt()  {}
+func (*Describe) stmt()    {}
+
+// ColumnDef is one column of a CREATE EXTERNAL TABLE schema clause. Type is
+// the lower-cased kind name (int, float, text, bool, date), validated by the
+// parser.
+type ColumnDef struct {
+	Name string
+	Type string
+}
+
+// Option is one k=v entry of a WITH/SET clause. Key is lower-cased; Value
+// holds the literal's text (string literals unquoted, TRUE/FALSE as
+// "true"/"false"). Quoted records whether the value was a string literal, so
+// String can round-trip it.
+type Option struct {
+	Key    string
+	Value  string
+	Quoted bool
+}
+
+// CreateTable is CREATE [OR REPLACE] EXTERNAL TABLE: register a raw file (or
+// a glob of shard files) for querying. A nil Columns slice means the schema
+// clause was omitted and the engine infers one from the first matched file.
+type CreateTable struct {
+	OrReplace bool
+	Name      string
+	Columns   []ColumnDef // nil = infer
+	Mode      string      // "raw", "baseline" or "load" (lower case)
+	Location  string      // file path or glob
+	With      []Option    // WITH (...) options, in source order
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// AlterTable is ALTER TABLE name SET (...): adjust a registered raw table's
+// budgets and component toggles.
+type AlterTable struct {
+	Name string
+	Set  []Option
+}
+
+// ShowTables is SHOW TABLES: list catalog registrations as result rows.
+type ShowTables struct{}
+
+// Describe is DESCRIBE name (or DESC name): the table's columns as result
+// rows.
+type Describe struct {
+	Name string
+}
+
+func quoteSQLString(s string) string {
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+func optionList(opts []Option) string {
+	parts := make([]string, len(opts))
+	for i, o := range opts {
+		v := o.Value
+		if o.Quoted {
+			v = quoteSQLString(v)
+		}
+		parts[i] = o.Key + " = " + v
+	}
+	return strings.Join(parts, ", ")
+}
+
+// String renders the statement (diagnostics and tests).
+func (s *CreateTable) String() string {
+	var b strings.Builder
+	b.WriteString("CREATE ")
+	if s.OrReplace {
+		b.WriteString("OR REPLACE ")
+	}
+	b.WriteString("EXTERNAL TABLE " + s.Name)
+	if len(s.Columns) > 0 {
+		cols := make([]string, len(s.Columns))
+		for i, c := range s.Columns {
+			cols[i] = c.Name + " " + c.Type
+		}
+		b.WriteString(" (" + strings.Join(cols, ", ") + ")")
+	}
+	b.WriteString(" USING " + s.Mode)
+	b.WriteString(" LOCATION " + quoteSQLString(s.Location))
+	if len(s.With) > 0 {
+		b.WriteString(" WITH (" + optionList(s.With) + ")")
+	}
+	return b.String()
+}
+
+// String renders the statement.
+func (s *DropTable) String() string {
+	if s.IfExists {
+		return "DROP TABLE IF EXISTS " + s.Name
+	}
+	return "DROP TABLE " + s.Name
+}
+
+// String renders the statement.
+func (s *AlterTable) String() string {
+	return "ALTER TABLE " + s.Name + " SET (" + optionList(s.Set) + ")"
+}
+
+// String renders the statement.
+func (*ShowTables) String() string { return "SHOW TABLES" }
+
+// String renders the statement.
+func (s *Describe) String() string { return "DESCRIBE " + s.Name }

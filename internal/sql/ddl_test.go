@@ -1,0 +1,200 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestParseCreateTable covers the positive grammar corpus.
+func TestParseCreateTable(t *testing.T) {
+	cases := []struct {
+		src  string
+		want CreateTable
+	}{
+		{
+			src: "CREATE EXTERNAL TABLE events (id int, name text) USING raw LOCATION 'events.csv'",
+			want: CreateTable{
+				Name:     "events",
+				Columns:  []ColumnDef{{Name: "id", Type: "int"}, {Name: "name", Type: "text"}},
+				Mode:     "raw",
+				Location: "events.csv",
+			},
+		},
+		{
+			src: "create or replace external table t using baseline location '/data/t-*.csv'",
+			want: CreateTable{
+				OrReplace: true, Name: "t", Mode: "baseline", Location: "/data/t-*.csv",
+			},
+		},
+		{
+			// Schema clause omitted -> inference; insitu aliases raw; type
+			// aliases normalize; WITH options of every literal shape.
+			src: "CREATE EXTERNAL TABLE t (a INTEGER, b DOUBLE, c VARCHAR, d BOOLEAN, e DATE) USING insitu LOCATION 'x.csv' " +
+				"WITH (delim = ';', parallelism = 4, posmap_budget = 1048576, stats = false, profile = postgres)",
+			want: CreateTable{
+				Name: "t",
+				Columns: []ColumnDef{
+					{Name: "a", Type: "int"}, {Name: "b", Type: "float"}, {Name: "c", Type: "text"},
+					{Name: "d", Type: "bool"}, {Name: "e", Type: "date"},
+				},
+				Mode: "raw", Location: "x.csv",
+				With: []Option{
+					{Key: "delim", Value: ";", Quoted: true},
+					{Key: "parallelism", Value: "4"},
+					{Key: "posmap_budget", Value: "1048576"},
+					{Key: "stats", Value: "false"},
+					{Key: "profile", Value: "postgres"},
+				},
+			},
+		},
+		{
+			src: "CREATE EXTERNAL TABLE t USING load LOCATION 'big.csv' WITH (index = 'id', sample = -2.5);",
+			want: CreateTable{
+				Name: "t", Mode: "load", Location: "big.csv",
+				With: []Option{
+					{Key: "index", Value: "id", Quoted: true},
+					{Key: "sample", Value: "-2.5"},
+				},
+			},
+		},
+	}
+	for _, tc := range cases {
+		st, err := ParseStatement(tc.src)
+		if err != nil {
+			t.Errorf("ParseStatement(%q): %v", tc.src, err)
+			continue
+		}
+		ct, ok := st.(*CreateTable)
+		if !ok {
+			t.Errorf("ParseStatement(%q) = %T, want *CreateTable", tc.src, st)
+			continue
+		}
+		if got, want := fmt.Sprintf("%+v", *ct), fmt.Sprintf("%+v", tc.want); got != want {
+			t.Errorf("ParseStatement(%q)\n got %s\nwant %s", tc.src, got, want)
+		}
+		// String must round-trip to an equivalent statement.
+		st2, err := ParseStatement(ct.String())
+		if err != nil {
+			t.Errorf("re-parse of %q: %v", ct.String(), err)
+		} else if st2.String() != ct.String() {
+			t.Errorf("round trip: %q != %q", st2.String(), ct.String())
+		}
+	}
+}
+
+// TestParseCatalogStatements covers DROP/ALTER/SHOW/DESCRIBE.
+func TestParseCatalogStatements(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // canonical String rendering
+	}{
+		{"DROP TABLE events", "DROP TABLE events"},
+		{"drop table if exists events;", "DROP TABLE IF EXISTS events"},
+		{"ALTER TABLE t SET (posmap_budget = 4096, cache = true)", "ALTER TABLE t SET (posmap_budget = 4096, cache = true)"},
+		{"SHOW TABLES", "SHOW TABLES"},
+		{"show tables ;", "SHOW TABLES"},
+		{"DESCRIBE events", "DESCRIBE events"},
+		{"desc events", "DESCRIBE events"},
+	}
+	for _, tc := range cases {
+		st, err := ParseStatement(tc.src)
+		if err != nil {
+			t.Errorf("ParseStatement(%q): %v", tc.src, err)
+			continue
+		}
+		if st.String() != tc.want {
+			t.Errorf("ParseStatement(%q).String() = %q, want %q", tc.src, st.String(), tc.want)
+		}
+	}
+}
+
+// TestParseStatementSelect checks SELECT still routes through ParseStatement
+// (and Parse rejects non-SELECT statements).
+func TestParseStatementSelect(t *testing.T) {
+	st, err := ParseStatement("EXPLAIN SELECT a FROM t WHERE a > ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		t.Fatalf("got %T, want *Select", st)
+	}
+	if !sel.Explain || sel.NumParams != 1 {
+		t.Fatalf("explain=%v params=%d", sel.Explain, sel.NumParams)
+	}
+	if _, err := Parse("DROP TABLE t"); err == nil {
+		t.Fatal("Parse accepted a DROP statement")
+	}
+}
+
+// TestDDLWordsNotReserved is the regression test for keyword scoping: the
+// DDL vocabulary must stay usable as column and table names inside queries
+// (the words are matched context-sensitively, never reserved by the lexer).
+func TestDDLWordsNotReserved(t *testing.T) {
+	queries := []string{
+		"SELECT location, tables FROM create WHERE external = 1",
+		"SELECT t.drop, t.alter AS show FROM t ORDER BY t.describe",
+		"SELECT COUNT(replace) FROM with GROUP BY replace",
+		"SELECT if, exists, using FROM set",
+	}
+	for _, q := range queries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%q): %v (DDL word leaked into the reserved set)", q, err)
+		}
+	}
+	// And the other direction: lower-case DDL still parses as DDL.
+	if _, err := ParseStatement("create external table t using raw location 'x.csv'"); err != nil {
+		t.Errorf("lower-case DDL: %v", err)
+	}
+}
+
+// TestParseDDLErrors pins error positions and messages for the malformed
+// corpus the issue calls out: bad USING mode, missing LOCATION, trailing
+// garbage, plus the neighboring clause errors.
+func TestParseDDLErrors(t *testing.T) {
+	cases := []struct {
+		src     string
+		wantSub string // substring of the error
+		wantOff int    // expected "near offset" value, -1 to skip
+	}{
+		{"CREATE EXTERNAL TABLE t USING frob LOCATION 'x.csv'", "unknown USING mode \"frob\"", 30},
+		{"CREATE EXTERNAL TABLE t USING raw", "expected LOCATION", 33},
+		{"CREATE EXTERNAL TABLE t USING raw LOCATION", "expected quoted location", 42},
+		{"CREATE EXTERNAL TABLE t USING raw LOCATION x.csv", "expected quoted location", 43},
+		{"CREATE EXTERNAL TABLE t USING raw LOCATION ''", "LOCATION must not be empty", 43},
+		{"CREATE EXTERNAL TABLE t USING raw LOCATION 'x.csv' garbage", "unexpected garbage after statement", 51},
+		{"CREATE EXTERNAL TABLE t (a int) USING raw LOCATION 'x.csv' WITH (delim = )", "expected option value", 73},
+		{"CREATE EXTERNAL TABLE t (a wat) USING raw LOCATION 'x.csv'", "unknown column type \"wat\"", 27},
+		{"CREATE EXTERNAL TABLE t (a int USING raw LOCATION 'x.csv'", "expected \")\"", 31},
+		{"CREATE TABLE t USING raw LOCATION 'x.csv'", "expected EXTERNAL", 7},
+		// DDL words are context-sensitive, not reserved: USING parses as the
+		// table name here and the error lands on the next clause.
+		{"CREATE EXTERNAL TABLE USING raw LOCATION 'x.csv'", "expected USING, found raw", 28},
+		{"CREATE EXTERNAL TABLE t (a int) LOCATION 'x.csv'", "expected USING", 32},
+		{"CREATE EXTERNAL TABLE t USING raw LOCATION 'a.csv' WITH (k = 1, k = 2)", "duplicate option \"k\"", 64},
+		{"DROP t", "expected TABLE", 5},
+		{"DROP TABLE IF t", "expected EXISTS", 14},
+		{"DROP TABLE", "expected table name", 10},
+		{"ALTER TABLE t (x = 1)", "expected SET", 14},
+		{"ALTER TABLE t SET ()", "expected option name", 19},
+		{"SHOW", "expected TABLES", 4},
+		{"DESCRIBE", "expected table name", 8},
+		{"SELECT * FROM t; SELECT", "unexpected SELECT after statement", 17},
+	}
+	for _, tc := range cases {
+		_, err := ParseStatement(tc.src)
+		if err == nil {
+			t.Errorf("ParseStatement(%q) unexpectedly succeeded", tc.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("ParseStatement(%q) error %q, want substring %q", tc.src, err, tc.wantSub)
+		}
+		if tc.wantOff >= 0 {
+			if want := fmt.Sprintf("near offset %d", tc.wantOff); !strings.Contains(err.Error(), want) {
+				t.Errorf("ParseStatement(%q) error %q, want %q", tc.src, err, want)
+			}
+		}
+	}
+}

@@ -1,0 +1,242 @@
+package sql
+
+import (
+	"strings"
+
+	"nodb/internal/value"
+)
+
+// expectIdent consumes an identifier token, with what naming the production
+// for the error message.
+func (p *parser) expectIdent(what string) (string, error) {
+	t := p.peek()
+	if t.Kind != TokIdent {
+		return "", p.errorf("expected %s, found %s", what, t)
+	}
+	p.advance()
+	return t.Text, nil
+}
+
+// parseCreateTable parses
+//
+//	CREATE [OR REPLACE] EXTERNAL TABLE name [(col type, ...)]
+//	    USING {raw|baseline|load} LOCATION 'path-or-glob' [WITH (k = v, ...)]
+func (p *parser) parseCreateTable() (Statement, error) {
+	if err := p.expectWord("CREATE"); err != nil {
+		return nil, err
+	}
+	st := &CreateTable{}
+	if p.acceptKeyword("OR") {
+		if err := p.expectWord("REPLACE"); err != nil {
+			return nil, err
+		}
+		st.OrReplace = true
+	}
+	if err := p.expectWord("EXTERNAL"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+
+	// Optional schema clause; omitting it engages schema inference over the
+	// first matched file.
+	if p.acceptSymbol("(") {
+		for {
+			col, err := p.expectIdent("column name")
+			if err != nil {
+				return nil, err
+			}
+			typPos := p.peek()
+			typ, err := p.expectIdent("column type")
+			if err != nil {
+				return nil, err
+			}
+			kind, kerr := value.ParseKind(typ)
+			if kerr != nil {
+				return nil, p.errorfAt(typPos.Pos, "unknown column type %q (want int, float, text, bool or date)", typ)
+			}
+			st.Columns = append(st.Columns, ColumnDef{Name: col, Type: strings.ToLower(kind.String())})
+			if !p.acceptSymbol(",") {
+				break
+			}
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+
+	if err := p.expectWord("USING"); err != nil {
+		return nil, err
+	}
+	modePos := p.peek()
+	mode, err := p.expectIdent("access mode after USING")
+	if err != nil {
+		return nil, err
+	}
+	switch st.Mode = strings.ToLower(mode); st.Mode {
+	case "raw", "baseline", "load":
+	case "insitu": // accepted alias of the DSN/API surface
+		st.Mode = "raw"
+	default:
+		return nil, p.errorfAt(modePos.Pos, "unknown USING mode %q (want raw, baseline or load)", mode)
+	}
+
+	if err := p.expectWord("LOCATION"); err != nil {
+		return nil, err
+	}
+	locPos := p.peek()
+	if locPos.Kind != TokString {
+		return nil, p.errorf("expected quoted location after LOCATION, found %s", locPos)
+	}
+	p.advance()
+	if locPos.Text == "" {
+		return nil, p.errorfAt(locPos.Pos, "LOCATION must not be empty")
+	}
+	st.Location = locPos.Text
+
+	if p.acceptWord("WITH") {
+		opts, err := p.parseOptionList()
+		if err != nil {
+			return nil, err
+		}
+		st.With = opts
+	}
+	return st, nil
+}
+
+// parseOptionList parses "( key = value [, key = value]... )". Values are
+// string/number literals, TRUE/FALSE, or bare identifiers.
+func (p *parser) parseOptionList() ([]Option, error) {
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	var opts []Option
+	seen := map[string]bool{}
+	for {
+		keyPos := p.peek()
+		key, err := p.expectIdent("option name")
+		if err != nil {
+			return nil, err
+		}
+		key = strings.ToLower(key)
+		if seen[key] {
+			return nil, p.errorfAt(keyPos.Pos, "duplicate option %q", key)
+		}
+		seen[key] = true
+		if err := p.expectSymbol("="); err != nil {
+			return nil, err
+		}
+		val, quoted, err := p.parseOptionValue()
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, Option{Key: key, Value: val, Quoted: quoted})
+		if !p.acceptSymbol(",") {
+			break
+		}
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	return opts, nil
+}
+
+// parseOptionValue consumes one option literal, returning its text and
+// whether it was a quoted string.
+func (p *parser) parseOptionValue() (string, bool, error) {
+	neg := p.acceptSymbol("-")
+	t := p.peek()
+	switch {
+	case t.Kind == TokString && !neg:
+		p.advance()
+		return t.Text, true, nil
+	case t.Kind == TokInt || t.Kind == TokFloat:
+		p.advance()
+		if neg {
+			return "-" + t.Text, false, nil
+		}
+		return t.Text, false, nil
+	case t.Kind == TokKeyword && (t.Text == "TRUE" || t.Text == "FALSE") && !neg:
+		p.advance()
+		return strings.ToLower(t.Text), false, nil
+	case t.Kind == TokIdent && !neg:
+		p.advance()
+		return t.Text, false, nil
+	default:
+		return "", false, p.errorf("expected option value, found %s", t)
+	}
+}
+
+// parseDropTable parses DROP TABLE [IF EXISTS] name.
+func (p *parser) parseDropTable() (Statement, error) {
+	if err := p.expectWord("DROP"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("TABLE"); err != nil {
+		return nil, err
+	}
+	st := &DropTable{}
+	if p.acceptWord("IF") {
+		if err := p.expectWord("EXISTS"); err != nil {
+			return nil, err
+		}
+		st.IfExists = true
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	st.Name = name
+	return st, nil
+}
+
+// parseAlterTable parses ALTER TABLE name SET (k = v, ...).
+func (p *parser) parseAlterTable() (Statement, error) {
+	if err := p.expectWord("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("TABLE"); err != nil {
+		return nil, err
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("SET"); err != nil {
+		return nil, err
+	}
+	opts, err := p.parseOptionList()
+	if err != nil {
+		return nil, err
+	}
+	return &AlterTable{Name: name, Set: opts}, nil
+}
+
+// parseShowTables parses SHOW TABLES.
+func (p *parser) parseShowTables() (Statement, error) {
+	if err := p.expectWord("SHOW"); err != nil {
+		return nil, err
+	}
+	if err := p.expectWord("TABLES"); err != nil {
+		return nil, err
+	}
+	return &ShowTables{}, nil
+}
+
+// parseDescribe parses DESCRIBE name (DESC is accepted as a synonym).
+func (p *parser) parseDescribe() (Statement, error) {
+	if !p.acceptWord("DESCRIBE") && !p.acceptKeyword("DESC") {
+		return nil, p.errorf("expected DESCRIBE, found %s", p.peek())
+	}
+	name, err := p.expectIdent("table name")
+	if err != nil {
+		return nil, err
+	}
+	return &Describe{Name: name}, nil
+}

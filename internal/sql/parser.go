@@ -6,27 +6,66 @@ import (
 )
 
 // Parse parses a single SELECT statement, optionally prefixed with EXPLAIN
-// (an optional trailing semicolon is allowed).
+// (an optional trailing semicolon is allowed). Other statement kinds are an
+// error; use ParseStatement for the full statement surface.
 func Parse(src string) (*Select, error) {
+	st, err := ParseStatement(src)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*Select)
+	if !ok {
+		return nil, fmt.Errorf("sql: expected a SELECT statement, got %T", st)
+	}
+	return sel, nil
+}
+
+// ParseStatement parses one statement of any supported kind: SELECT
+// (optionally EXPLAIN-prefixed), CREATE [OR REPLACE] EXTERNAL TABLE,
+// DROP TABLE, ALTER TABLE ... SET, SHOW TABLES, or DESCRIBE. An optional
+// trailing semicolon is allowed; anything after it is an error.
+func ParseStatement(src string) (Statement, error) {
 	toks, err := Lex(src)
 	if err != nil {
 		return nil, err
 	}
 	p := &parser{toks: toks}
-	explain := p.acceptKeyword("EXPLAIN")
-	sel, err := p.parseSelect()
+	var st Statement
+	// DDL dispatch is by leading word, not reserved keyword: CREATE etc. lex
+	// as plain identifiers, so they stay usable as column/table names inside
+	// queries. A statement can only start with one of these words or
+	// [EXPLAIN] SELECT, so the dispatch is unambiguous.
+	switch t := p.peek(); {
+	case isWord(t, "CREATE"):
+		st, err = p.parseCreateTable()
+	case isWord(t, "DROP"):
+		st, err = p.parseDropTable()
+	case isWord(t, "ALTER"):
+		st, err = p.parseAlterTable()
+	case isWord(t, "SHOW"):
+		st, err = p.parseShowTables()
+	case isWord(t, "DESCRIBE"), t.Kind == TokKeyword && t.Text == "DESC":
+		st, err = p.parseDescribe()
+	default:
+		explain := p.acceptKeyword("EXPLAIN")
+		var sel *Select
+		sel, err = p.parseSelect()
+		if err == nil {
+			sel.Explain = explain
+			sel.NumParams = p.params
+			st = sel
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
-	sel.Explain = explain
-	sel.NumParams = p.params
 	if p.peek().Kind == TokSymbol && p.peek().Text == ";" {
 		p.advance()
 	}
 	if p.peek().Kind != TokEOF {
 		return nil, p.errorf("unexpected %s after statement", p.peek())
 	}
-	return sel, nil
+	return st, nil
 }
 
 type parser struct {
@@ -45,7 +84,11 @@ func (p *parser) advance() Token {
 }
 
 func (p *parser) errorf(format string, args ...any) error {
-	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+	return p.errorfAt(p.peek().Pos, format, args...)
+}
+
+func (p *parser) errorfAt(pos int, format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near offset %d)", fmt.Sprintf(format, args...), pos)
 }
 
 func (p *parser) acceptKeyword(kw string) bool {
@@ -59,6 +102,32 @@ func (p *parser) acceptKeyword(kw string) bool {
 func (p *parser) expectKeyword(kw string) error {
 	if !p.acceptKeyword(kw) {
 		return p.errorf("expected %s, found %s", kw, p.peek())
+	}
+	return nil
+}
+
+// isWord reports whether t is the given bare word: a keyword, or an
+// identifier matching it case-insensitively. The DDL productions use words
+// rather than reserved keywords so their vocabulary never collides with
+// user column/table names in queries.
+func isWord(t Token, w string) bool {
+	if t.Kind == TokKeyword {
+		return t.Text == w
+	}
+	return t.Kind == TokIdent && upper(t.Text) == w
+}
+
+func (p *parser) acceptWord(w string) bool {
+	if isWord(p.peek(), w) {
+		p.advance()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(w string) error {
+	if !p.acceptWord(w) {
+		return p.errorf("expected %s, found %s", w, p.peek())
 	}
 	return nil
 }

@@ -40,6 +40,11 @@ func (t Token) String() string {
 
 // keywords recognized by the lexer. Identifiers matching these
 // (case-insensitively) become TokKeyword with upper-case Text.
+//
+// The DDL clause words (CREATE, TABLE, LOCATION, SET, SHOW, ...) are
+// deliberately NOT in this table: the statement parser matches them
+// context-sensitively (see isWord), so schemas that use them as column or
+// table names keep parsing in queries.
 var keywords = map[string]bool{
 	"SELECT": true, "EXPLAIN": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
 	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,

@@ -5,22 +5,30 @@
 // an adaptive positional map, an adaptive binary cache and on-the-fly
 // statistics.
 //
-// Three access modes are provided so the paper's comparisons can be
-// reproduced in-process:
+// The catalog is DDL-first: every registration/management operation is
+// reachable as SQL (Exec with CREATE EXTERNAL TABLE / DROP TABLE / ALTER
+// TABLE, plus SHOW TABLES and DESCRIBE through Query), as a programmatic
+// spec (CreateTable with a TableSpec), and through the database/sql driver.
+// A LOCATION glob registers the matched files as one sharded table — each
+// shard with its own reader, positional map, cache and statistics — whose
+// query results are byte-identical to the files' concatenation.
 //
-//   - RegisterRaw: PostgresRaw-style in-situ querying (adaptive structures
-//     on, zero data-to-query time).
-//   - RegisterBaseline: "external files" — every query re-tokenizes and
-//     re-parses the whole file (the paper's Baseline).
-//   - Load: a conventional load-first engine (binary heap storage, optional
-//     statistics and B+tree indexes) standing in for PostgreSQL, MySQL and
-//     the commercial DBMS X of the paper's friendly race.
+// Three access modes are provided so the paper's comparisons can be
+// reproduced in-process (USING raw|baseline|load in DDL):
+//
+//   - raw (RegisterRaw): PostgresRaw-style in-situ querying (adaptive
+//     structures on, zero data-to-query time).
+//   - baseline (RegisterBaseline): "external files" — every query
+//     re-tokenizes and re-parses the whole file (the paper's Baseline).
+//   - load (Load): a conventional load-first engine (binary heap storage,
+//     optional statistics and B+tree indexes) standing in for PostgreSQL,
+//     MySQL and the commercial DBMS X of the paper's friendly race.
 //
 // Minimal use:
 //
 //	db, _ := nodb.Open(nodb.Config{})
 //	defer db.Close()
-//	db.RegisterRaw("events", "events.csv", "id:int,ts:date,kind:text,val:float", nil)
+//	db.Exec(ctx, "CREATE EXTERNAL TABLE events (id int, ts date, kind text, val float) USING raw LOCATION 'events-*.csv'")
 //	res, _ := db.Query("SELECT kind, COUNT(*) FROM events GROUP BY kind")
 //	fmt.Print(res)
 package nodb
@@ -28,14 +36,12 @@ package nodb
 import (
 	"fmt"
 	"os"
-	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nodb/internal/core"
-	"nodb/internal/metrics"
 	"nodb/internal/planner"
 	"nodb/internal/schema"
 	"nodb/internal/storage"
@@ -267,35 +273,24 @@ func (o *RawOptions) coreOptions(defaultParallelism int) core.Options {
 // RegisterRaw attaches a CSV file for in-situ querying (the PostgresRaw
 // mode). The file is not read — data-to-query time is zero. schemaSpec is
 // "name:type,..." (types: int, float, text, bool, date); empty infers the
-// schema from a sample of the file.
+// schema from a sample of the file. csvPath may be a glob, in which case the
+// matched files form an ordered sharded table.
+//
+// RegisterRaw is a thin wrapper over CreateTable (the DDL-first catalog
+// surface); new code should prefer CreateTable or Exec with
+// CREATE EXTERNAL TABLE.
 func (db *DB) RegisterRaw(name, csvPath, schemaSpec string, opts *RawOptions) error {
-	return db.registerRaw(name, csvPath, schemaSpec, opts, schema.AccessInSitu)
+	return db.CreateTable(TableSpec{Name: name, Location: csvPath, Schema: schemaSpec, Mode: "raw", Raw: opts})
 }
 
 // RegisterBaseline attaches a CSV file in "external files" mode: every query
 // tokenizes and parses the raw file from scratch, with no adaptive
 // structures (the paper's Baseline configuration).
+//
+// RegisterBaseline is a thin wrapper over CreateTable; new code should
+// prefer CreateTable or Exec with CREATE EXTERNAL TABLE ... USING baseline.
 func (db *DB) RegisterBaseline(name, csvPath, schemaSpec string) error {
-	return db.registerRaw(name, csvPath, schemaSpec, &RawOptions{
-		DisablePosMap: true, DisableCache: true, DisableStats: true,
-	}, schema.AccessBaseline)
-}
-
-func (db *DB) registerRaw(name, csvPath, schemaSpec string, opts *RawOptions, mode schema.AccessMode) error {
-	sch, err := db.resolveSchema(csvPath, schemaSpec, opts)
-	if err != nil {
-		return err
-	}
-	tbl, err := core.NewTable(csvPath, sch, opts.coreOptions(db.parallelism))
-	if err != nil {
-		return err
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.catGen.Add(1)
-	return db.cat.Register(&schema.Table{
-		Name: name, Schema: sch, Mode: mode, Path: csvPath, Handle: tbl,
-	})
+	return db.CreateTable(TableSpec{Name: name, Location: csvPath, Schema: schemaSpec, Mode: "baseline"})
 }
 
 // Profile selects which conventional contender a Load imitates. The
@@ -333,54 +328,15 @@ func (p Profile) String() string {
 // the profile) before the call returns. The returned duration is the
 // initialization time the paper's race charges before the first query;
 // stats carries its cost breakdown.
+//
+// Load is a thin wrapper over the CreateTable path (USING load in DDL);
+// CreateTable discards the load timing, so callers that race the
+// contenders keep using Load.
 func (db *DB) Load(name, csvPath, schemaSpec string, profile Profile, indexCols ...string) (time.Duration, *QueryStats, error) {
-	sch, err := db.resolveSchema(csvPath, schemaSpec, nil)
-	if err != nil {
-		return 0, nil, err
-	}
-	opts := storage.LoadOptions{}
-	switch profile {
-	case ProfilePostgres:
-		opts.CollectStats = true
-	case ProfileMySQL:
-		// plain load
-	case ProfileDBMSX:
-		opts.CollectStats = true
-		if len(indexCols) == 0 && sch.Len() > 0 {
-			indexCols = []string{sch.Col(0).Name}
-		}
-	default:
-		return 0, nil, fmt.Errorf("nodb: unknown profile %v", profile)
-	}
-	for _, c := range indexCols {
-		i := sch.Index(c)
-		if i < 0 {
-			return 0, nil, fmt.Errorf("nodb: index column %q not in schema", c)
-		}
-		opts.IndexAttrs = append(opts.IndexAttrs, i)
-	}
-
-	heapPath := filepath.Join(db.dataDir, fmt.Sprintf("%s-%d.heap", sanitize(name), time.Now().UnixNano()))
-	var b metrics.Breakdown
-	t0 := time.Now()
-	tbl, err := storage.LoadCSV(csvPath, heapPath, sch, opts, &b)
-	initTime := time.Since(t0)
-	if err != nil {
-		return 0, nil, err
-	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.catGen.Add(1)
-	if err := db.cat.Register(&schema.Table{
-		Name: name, Schema: sch, Mode: schema.AccessLoadFirst, Path: csvPath, Handle: tbl,
-	}); err != nil {
-		tbl.Close()
-		os.Remove(heapPath)
-		return 0, nil, err
-	}
-	db.loaded = append(db.loaded, tbl)
-	qs := newQueryStats(&b, initTime)
-	return initTime, &qs, nil
+	return db.createTable(TableSpec{
+		Name: name, Location: csvPath, Schema: schemaSpec, Mode: "load",
+		Profile: profile, IndexCols: indexCols,
+	})
 }
 
 // Tables lists the registered table names.
@@ -392,12 +348,17 @@ func (db *DB) Tables() []string {
 
 // Drop removes a table registration (heap files of loaded tables are kept
 // until Close). Queries already streaming over the table hold pins and run
-// to completion unaffected.
+// to completion unaffected. Dropping a name that is not registered is a
+// no-op: it reports false and leaves the plan cache valid (the catalog
+// generation only advances on an actual drop).
 func (db *DB) Drop(name string) bool {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if !db.cat.Drop(name) {
+		return false
+	}
 	db.catGen.Add(1)
-	return db.cat.Drop(name)
+	return true
 }
 
 // Refresh checks a raw table's file for outside changes (the demo's Updates
@@ -434,14 +395,14 @@ func (db *DB) SetComponents(name string, posMap, cache, stats bool) error {
 	return nil
 }
 
-func (db *DB) rawTable(name string) (*core.Table, error) {
+func (db *DB) rawTable(name string) (core.RawTable, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	entry, ok := db.cat.Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("nodb: unknown table %q", name)
 	}
-	t, ok := entry.Handle.(*core.Table)
+	t, ok := entry.Handle.(core.RawTable)
 	if !ok {
 		return nil, fmt.Errorf("nodb: table %q is not a raw table", name)
 	}

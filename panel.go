@@ -1,6 +1,9 @@
 package nodb
 
 import (
+	"fmt"
+
+	"nodb/internal/core"
 	"nodb/internal/monitor"
 )
 
@@ -9,11 +12,35 @@ import (
 // display.
 type Panel = monitor.Panel
 
-// Panel captures the current monitoring panel for a raw table.
+// Panel captures the current monitoring panel for a raw table. For a
+// sharded (multi-file) table it returns the first shard's panel; Panels
+// returns every shard's.
 func (db *DB) Panel(name string) (*Panel, error) {
+	ps, err := db.Panels(name)
+	if err != nil {
+		return nil, err
+	}
+	return ps[0], nil
+}
+
+// Panels captures the monitoring panels of a raw table's shards, one per
+// shard file in scan order (a single-file table yields exactly one panel).
+func (db *DB) Panels(name string) ([]*Panel, error) {
 	t, err := db.rawTable(name)
 	if err != nil {
 		return nil, err
 	}
-	return monitor.Snapshot(name, t), nil
+	switch h := t.(type) {
+	case *core.Table:
+		return []*Panel{monitor.Snapshot(name, h)}, nil
+	case *core.ShardedTable:
+		shards := h.Shards()
+		out := make([]*Panel, len(shards))
+		for i, sh := range shards {
+			out[i] = monitor.Snapshot(fmt.Sprintf("%s[%d/%d] %s", name, i, len(shards), sh.Path()), sh)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("nodb: table %q has an unknown raw handle", name)
+	}
 }

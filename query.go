@@ -132,9 +132,23 @@ func (db *DB) QueryContext(ctx context.Context, q string, args ...any) (*Rows, e
 	}
 	prep, hit, _, err := db.prepared(q)
 	if err != nil {
+		// SHOW TABLES / DESCRIBE are served straight from the catalog as
+		// static rows; DDL is pointed at Exec.
+		if ns, isCatalog := err.(*notSelectError); isCatalog {
+			return db.catalogRows(ctx, ns.st, args)
+		}
 		return nil, err
 	}
 	return db.execPrepared(ctx, prep, hit, args)
+}
+
+// notSelectError reports a statement that parsed fine but is not a SELECT:
+// QueryContext intercepts it to serve catalog statements, Prepare and Exec
+// turn it into user-facing guidance.
+type notSelectError struct{ st sql.Statement }
+
+func (e *notSelectError) Error() string {
+	return fmt.Sprintf("nodb: %s is not a SELECT statement", statementKind(e.st))
 }
 
 // prepared returns the plan skeleton for q, consulting the prepared-plan
@@ -149,11 +163,17 @@ func (db *DB) prepared(q string) (prep *planner.Prepared, hit bool, gen int64, e
 		return c.prep, true, gen, nil
 	}
 	db.planMu.Unlock()
-	db.planMisses.Add(1)
-	sel, err := sql.Parse(q)
+	st, err := sql.ParseStatement(q)
 	if err != nil {
 		return nil, false, gen, err
 	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		// Catalog statements (SHOW TABLES, DESCRIBE) are never cached and
+		// must not skew the plan-cache miss counter.
+		return nil, false, gen, &notSelectError{st: st}
+	}
+	db.planMisses.Add(1)
 	db.mu.RLock()
 	prep, err = planner.Prepare(sel, db.cat)
 	db.mu.RUnlock()
@@ -193,9 +213,10 @@ func (db *DB) execPrepared(ctx context.Context, prep *planner.Prepared, cacheHit
 		return nil, err
 	}
 
-	// Auto-refresh referenced raw tables (the demo's Updates scenario).
+	// Auto-refresh referenced raw tables (the demo's Updates scenario);
+	// sharded tables refresh shard by shard.
 	for _, e := range entries {
-		if t, isRaw := e.Handle.(*core.Table); isRaw {
+		if t, isRaw := e.Handle.(core.RawTable); isRaw {
 			if _, err := t.Refresh(); err != nil {
 				return fail(err)
 			}

@@ -1,0 +1,188 @@
+package nodb
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// writeShardDataset writes one deterministic dataset twice: as a single CSV
+// and split into shard files whose byte concatenation equals the single
+// file. Shard row counts are multiples of chunkRows except the last, so the
+// chunk decomposition of the sharded table aligns with the single file's and
+// every QueryStats counter (including PartialGroups) must match exactly.
+func writeShardDataset(t *testing.T, rows int, splits []int) (single, glob string) {
+	t.Helper()
+	lines := make([]string, rows)
+	for i := 0; i < rows; i++ {
+		flag := "true"
+		if i%3 == 0 {
+			flag = "false"
+		}
+		lines[i] = fmt.Sprintf("%d,name-%d,%g,%d,%s\n", i, i, float64(i)*0.37, i%7, flag)
+	}
+	dir := t.TempDir()
+	single = filepath.Join(dir, "single.csv")
+	if err := os.WriteFile(single, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	start := 0
+	for s, n := range splits {
+		p := filepath.Join(dir, fmt.Sprintf("shard-%02d.csv", s))
+		if err := os.WriteFile(p, []byte(strings.Join(lines[start:start+n], "")), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		start += n
+	}
+	if start != rows {
+		t.Fatalf("splits sum to %d, want %d", start, rows)
+	}
+	return single, filepath.Join(dir, "shard-*.csv")
+}
+
+// counterVector extracts every deterministic work counter of a QueryStats
+// (the duration fields vary run to run; these must not).
+func counterVector(s QueryStats) [11]int64 {
+	return [11]int64{
+		s.BytesRead, s.BytesSkipped, s.RowsScanned, s.FieldsTokenized,
+		s.FieldsConverted, s.CacheHitFields, s.MapJumpFields, s.MapNearFields,
+		s.PartialGroups, s.VecRows, s.PlanCacheHits,
+	}
+}
+
+// TestShardedQueryDifferential is the acceptance differential for the glob
+// tentpole: a CREATE EXTERNAL TABLE over K shard files must produce
+// byte-identical rows and QueryStats counters to the same data registered
+// as one file — at Parallelism 1 and 8, cold and warm, across full scans,
+// filtered scans, the COUNT(*) metadata path, and a GROUP BY exercising the
+// cross-shard partial-aggregate merge (order-sensitive float SUM/AVG
+// included). The per-shard adaptive structures must jointly hold exactly
+// the single file's state.
+func TestShardedQueryDifferential(t *testing.T) {
+	const schemaSpec = "id:int,name:text,score:float,grp:int,flag:bool"
+	single, glob := writeShardDataset(t, 583, []int{256, 192, 135})
+
+	queries := []string{
+		"SELECT * FROM t",
+		"SELECT id, score, name FROM t WHERE grp = 2 AND flag",
+		"SELECT COUNT(*) FROM t",
+		"SELECT grp, COUNT(*), SUM(score), AVG(score), MIN(id), MAX(name), COUNT(DISTINCT flag) FROM t GROUP BY grp",
+		"SELECT grp, SUM(score) FROM t WHERE id > 100 GROUP BY grp ORDER BY grp DESC LIMIT 5",
+	}
+
+	for _, par := range []int{1, 8} {
+		open := func(location string) *DB {
+			t.Helper()
+			db, err := Open(Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			if err := db.Exec(nil, fmt.Sprintf(
+				"CREATE EXTERNAL TABLE t (id int, name text, score float, grp int, flag bool) "+
+					"USING raw LOCATION '%s' WITH (chunk_rows = 64, parallelism = %d)", location, par)); err != nil {
+				t.Fatal(err)
+			}
+			return db
+		}
+		sDB, shDB := open(single), open(glob)
+
+		for pass := 0; pass < 2; pass++ { // cold, then warm (structures populated)
+			for _, q := range queries {
+				sRes, err := sDB.Query(q)
+				if err != nil {
+					t.Fatalf("single par=%d %q: %v", par, q, err)
+				}
+				shRes, err := shDB.Query(q)
+				if err != nil {
+					t.Fatalf("sharded par=%d %q: %v", par, q, err)
+				}
+				label := fmt.Sprintf("par=%d pass=%d %q", par, pass, q)
+				if !reflect.DeepEqual(shRes.Rows, sRes.Rows) {
+					t.Fatalf("%s: rows differ\nsharded: %v\nsingle:  %v", label, shRes.Rows, sRes.Rows)
+				}
+				if got, want := counterVector(shRes.Stats), counterVector(sRes.Stats); got != want {
+					t.Errorf("%s: counters %v, want %v", label, got, want)
+				}
+			}
+		}
+
+		// The shards' adaptive structures jointly hold exactly the single
+		// file's state: summed positional-map and cache totals match.
+		sPanels, err := sDB.Panels("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		shPanels, err := shDB.Panels("t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sPanels) != 1 || len(shPanels) != 3 {
+			t.Fatalf("par=%d: %d single panels, %d shard panels", par, len(sPanels), len(shPanels))
+		}
+		var pmUsed, pmGrains, cUsed, cFrags, rowSum int64
+		for _, p := range shPanels {
+			pmUsed += p.PosMap.UsedBytes
+			pmGrains += int64(p.PosMap.Grains)
+			cUsed += p.Cache.UsedBytes
+			cFrags += int64(p.Cache.Fragments)
+			rowSum += p.RowCount
+		}
+		sp := sPanels[0]
+		if pmUsed != sp.PosMap.UsedBytes || pmGrains != int64(sp.PosMap.Grains) {
+			t.Errorf("par=%d: shard posmap totals (%d bytes, %d grains) vs single (%d, %d)",
+				par, pmUsed, pmGrains, sp.PosMap.UsedBytes, sp.PosMap.Grains)
+		}
+		if cUsed != sp.Cache.UsedBytes || cFrags != int64(sp.Cache.Fragments) {
+			t.Errorf("par=%d: shard cache totals (%d bytes, %d fragments) vs single (%d, %d)",
+				par, cUsed, cFrags, sp.Cache.UsedBytes, sp.Cache.Fragments)
+		}
+		if rowSum != sp.RowCount || rowSum != 583 {
+			t.Errorf("par=%d: shard rows %d, single %d", par, rowSum, sp.RowCount)
+		}
+	}
+}
+
+// TestShardedExplainAndLimit covers the remaining sharded plumbing: EXPLAIN
+// shows the shard count, and a LIMIT that is satisfied by the first shard
+// leaves the later shards' structures untouched (their files unopened).
+func TestShardedExplainAndLimit(t *testing.T) {
+	_, glob := writeShardDataset(t, 421, []int{128, 150, 143})
+	db, err := Open(Config{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.Exec(nil, "CREATE EXTERNAL TABLE t (id int, name text, score float, grp int, flag bool) "+
+		"USING raw LOCATION '"+glob+"' WITH (chunk_rows = 64)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query("EXPLAIN SELECT id FROM t WHERE grp = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := fmt.Sprint(res.Rows)
+	if !strings.Contains(plan, "shards=3") {
+		t.Errorf("EXPLAIN lacks shards marker: %s", plan)
+	}
+
+	if _, err := db.Query("SELECT id FROM t LIMIT 5"); err != nil {
+		t.Fatal(err)
+	}
+	panels, err := db.Panels("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if panels[0].Queries == 0 {
+		t.Errorf("first shard saw no scan")
+	}
+	for i, p := range panels[1:] {
+		if p.Queries != 0 || p.PosMap.Grains != 0 || p.Cache.Fragments != 0 {
+			t.Errorf("shard %d touched by LIMIT-satisfied query: queries=%d grains=%d frags=%d",
+				i+1, p.Queries, p.PosMap.Grains, p.Cache.Fragments)
+		}
+	}
+}

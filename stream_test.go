@@ -9,6 +9,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"nodb/internal/core"
 )
 
 // drainValues pulls every row of a Rows cursor into the Result row shape.
@@ -26,9 +28,13 @@ func drainValues(t *testing.T, r *Rows) [][]any {
 // inserts). Byte-identical structures produce identical snapshots.
 func structState(t *testing.T, db *DB, name string) [6]int64 {
 	t.Helper()
-	tbl, err := db.rawTable(name)
+	raw, err := db.rawTable(name)
 	if err != nil {
 		t.Fatal(err)
+	}
+	tbl, ok := raw.(*core.Table)
+	if !ok {
+		t.Fatalf("table %q is not a single-file raw table", name)
 	}
 	pm := tbl.PosMap().Stats()
 	cs := tbl.Cache().Stats()
