@@ -94,10 +94,15 @@ func (db *DB) createTable(spec TableSpec) (time.Duration, *QueryStats, error) {
 				o.Delim = opts.Delim
 				o.ChunkRows = opts.ChunkRows
 				o.Parallelism = opts.Parallelism
+				o.OnError = opts.OnError
+				o.MaxErrors = opts.MaxErrors
 			}
 			opts = &o
 		}
-		coreOpts := opts.coreOptions(db.parallelism)
+		coreOpts, cerr := opts.coreOptions(db.parallelism)
+		if cerr != nil {
+			return 0, nil, cerr
+		}
 		if len(paths) == 1 {
 			tbl, terr := core.NewTable(paths[0], sch, coreOpts)
 			if terr != nil {

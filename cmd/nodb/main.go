@@ -159,8 +159,18 @@ func main() {
 		default:
 			fmt.Printf("(%d rows)\n", n)
 		}
+		// Surface silent data-quality events: a query that nulled or dropped
+		// malformed input still succeeds, but the user should know.
+		st := rows.Stats()
+		if st.RowsDropped > 0 {
+			fmt.Printf("-- %d row(s) dropped, %d malformed field(s) (on_error=skip)\n", st.RowsDropped, st.MalformedFields)
+		} else if st.MalformedFields > 0 {
+			fmt.Printf("-- %d malformed field(s) nulled (on_error=null)\n", st.MalformedFields)
+		}
+		if st.IORetries > 0 {
+			fmt.Printf("-- %d transient read retries\n", st.IORetries)
+		}
 		if *breakdown {
-			st := rows.Stats()
 			fmt.Printf("-- %v total; %s\n", st.Total, st.Breakdown())
 		}
 		if *panel && *mode != "load" {

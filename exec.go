@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"nodb/internal/core"
 	"nodb/internal/metrics"
 	"nodb/internal/sql"
 	"nodb/internal/value"
@@ -173,6 +174,19 @@ func tableSpecFromDDL(s *sql.CreateTable) (TableSpec, error) {
 				raw.DisableStats = !v
 			}
 			haveRaw = true
+		case "on_error":
+			if _, err := core.ParseOnErrorPolicy(strings.ToLower(o.Value)); err != nil {
+				return spec, fmt.Errorf("nodb: option on_error: unknown policy %q (want 'fail', 'null' or 'skip')", o.Value)
+			}
+			raw.OnError = strings.ToLower(o.Value)
+			haveRaw = true
+		case "max_errors":
+			n, err := strconv.ParseInt(o.Value, 10, 64)
+			if err != nil || n < 0 {
+				return spec, fmt.Errorf("nodb: option max_errors: bad count %q (want an integer >= 0)", o.Value)
+			}
+			raw.MaxErrors = n
+			haveRaw = true
 		case "profile":
 			switch strings.ToLower(o.Value) {
 			case "postgres":
@@ -214,7 +228,8 @@ func (db *DB) alterTable(s *sql.AlterTable) error {
 	cur := t.Options()
 	posBudget, cacheBudget := cur.PosMapBudget, cur.CacheBudget
 	posMap, cache, stats := cur.EnablePosMap, cur.EnableCache, cur.EnableStats
-	budgetsChanged, componentsChanged := false, false
+	onErr, maxErrs := cur.OnError, cur.MaxErrors
+	budgetsChanged, componentsChanged, policyChanged := false, false, false
 	for _, o := range s.Set {
 		switch o.Key {
 		case "posmap_budget", "cache_budget":
@@ -242,8 +257,22 @@ func (db *DB) alterTable(s *sql.AlterTable) error {
 				stats = v
 			}
 			componentsChanged = true
+		case "on_error":
+			p, err := core.ParseOnErrorPolicy(strings.ToLower(o.Value))
+			if err != nil {
+				return fmt.Errorf("nodb: option on_error: unknown policy %q (want 'fail', 'null' or 'skip')", o.Value)
+			}
+			onErr = p
+			policyChanged = true
+		case "max_errors":
+			n, err := strconv.ParseInt(o.Value, 10, 64)
+			if err != nil || n < 0 {
+				return fmt.Errorf("nodb: option max_errors: bad count %q (want an integer >= 0)", o.Value)
+			}
+			maxErrs = n
+			policyChanged = true
 		default:
-			return fmt.Errorf("nodb: unknown ALTER option %q (want posmap_budget, cache_budget, posmap, cache or stats)", o.Key)
+			return fmt.Errorf("nodb: unknown ALTER option %q (want posmap_budget, cache_budget, posmap, cache, stats, on_error or max_errors)", o.Key)
 		}
 	}
 	if budgetsChanged {
@@ -251,6 +280,9 @@ func (db *DB) alterTable(s *sql.AlterTable) error {
 	}
 	if componentsChanged {
 		t.SetEnabled(posMap, cache, stats)
+	}
+	if policyChanged {
+		t.SetErrorPolicy(onErr, maxErrs)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 	"sync"
 
+	"nodb/internal/faults"
 	"nodb/internal/metrics"
 	"nodb/internal/rawfile"
 )
@@ -170,6 +171,15 @@ func (p *pipeline) splitter() {
 	defer p.wg.Done()
 	defer close(p.work)
 	s := p.s
+	c := 0
+	// A panicking splitter must not kill the process or strand the merge:
+	// recover into a typed error chunk for the chunk being split. Runs
+	// before close(p.work) (defer LIFO), so workers still drain and exit.
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.emit(&chunkOut{c: c, err: faults.Panicked(s.t.path, c, rec), countFinal: -1, base: -1, nextBase: -1})
+		}
+	}()
 	reader := s.reader.View(nil)
 	cr := rawfile.NewChunkReader(reader, s.opts.BlockSize)
 	var ch rawfile.Chunk
@@ -178,7 +188,7 @@ func (p *pipeline) splitter() {
 	if s.spec.Ctx != nil {
 		ctxDone = s.spec.Ctx.Done()
 	}
-	for c := 0; ; c++ {
+	for ; ; c++ {
 		select {
 		case <-p.done:
 			return
@@ -252,25 +262,40 @@ func (p *pipeline) worker() {
 	w := newChunkWorker(p.s.t, p.s.opts, p.s.spec, nil, reader, nil, false)
 	w.free = p.free
 	for it := range p.work {
-		b := &metrics.Breakdown{}
-		if it.splitB != nil {
-			b.Merge(it.splitB)
-		}
-		w.b = b
-		reader.SetBreakdown(b)
-		out := w.run(it.c, chunkSrc{kind: it.kind, nrows: it.nrows, known: it.known, ch: it.ch})
-		if it.ch != nil {
-			// The chunk's bytes are fully materialized into the output (value
-			// parsing copies); recycle the splitter copy for a later workItem.
-			chunkPool.Put(it.ch)
-		}
-		out.b = b
+		out := p.runItem(w, reader, it)
 		select {
 		case p.results <- out:
 		case <-p.done:
 			return
 		}
 	}
+}
+
+// runItem processes one work item, containing any panic — from the worker
+// stage itself or from user predicates — as a typed error result, so one
+// poisoned chunk fails the query through the ordered merge instead of
+// crashing the process. chunkWorker.run has its own recover; this is the
+// safety net for the surrounding bookkeeping.
+func (p *pipeline) runItem(w *chunkWorker, reader *rawfile.Reader, it workItem) (out *chunkOut) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			out = &chunkOut{c: it.c, err: faults.Panicked(p.s.t.path, it.c, rec), countFinal: -1, base: -1, nextBase: -1}
+		}
+	}()
+	b := &metrics.Breakdown{}
+	if it.splitB != nil {
+		b.Merge(it.splitB)
+	}
+	w.b = b
+	reader.SetBreakdown(b)
+	out = w.run(it.c, chunkSrc{kind: it.kind, nrows: it.nrows, known: it.known, ch: it.ch})
+	if it.ch != nil {
+		// The chunk's bytes are fully materialized into the output (value
+		// parsing copies); recycle the splitter copy for a later workItem.
+		chunkPool.Put(it.ch)
+	}
+	out.b = b
+	return out
 }
 
 // copyChunk copies a chunk out of the splitter's reused read buffer into a

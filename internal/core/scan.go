@@ -6,6 +6,7 @@ import (
 	"io"
 
 	"nodb/internal/expr"
+	"nodb/internal/faults"
 	"nodb/internal/metrics"
 	"nodb/internal/rawfile"
 	"nodb/internal/value"
@@ -85,6 +86,11 @@ type Scan struct {
 	finished  bool
 	countOnly int64 // pending synthetic rows for zero-attribute scans
 
+	closed     bool
+	err        error               // sticky: a failed scan stays failed
+	fp         rawfile.Fingerprint // file version the scan is reading
+	errorsSeen int64               // malformed-input events, accumulated in commit order
+
 	cur      *chunkOut // current committed chunk
 	selPos   int       // cursor into cur.sel for Next
 	out      []value.Value
@@ -121,6 +127,30 @@ func (t *Table) NewScan(spec ScanSpec) (*Scan, error) {
 	if err != nil {
 		return nil, err
 	}
+	fp, err := reader.Fingerprint()
+	if err != nil {
+		reader.Close()
+		return nil, err
+	}
+	// Warm-scan reuse check: if the file's fingerprint moved since the
+	// table's structures were learned, adapt them before scanning (the
+	// deterministic invalidation Refresh implements) and reopen — a rename
+	// replacement leaves an already-open descriptor pointing at the old
+	// inode. One attempt only: a mismatch that survives Refresh (e.g. an
+	// injected fault faking the fingerprint) is caught per chunk instead.
+	if sz, mt := t.snapMeta(); sz != fp.Size || mt != fp.ModTime {
+		reader.Close()
+		if _, err := t.Refresh(); err != nil {
+			return nil, err
+		}
+		if reader, err = rawfile.Open(t.path, spec.B); err != nil {
+			return nil, err
+		}
+		if fp, err = reader.Fingerprint(); err != nil {
+			reader.Close()
+			return nil, err
+		}
+	}
 	t.noteAccess(spec.Needed)
 	s := &Scan{
 		t:      t,
@@ -128,6 +158,7 @@ func (t *Table) NewScan(spec ScanSpec) (*Scan, error) {
 		opts:   t.Options(),
 		spec:   spec,
 		reader: reader,
+		fp:     fp,
 		out:    make([]value.Value, len(spec.Needed)),
 	}
 	if s.opts.Parallelism <= 1 {
@@ -139,7 +170,14 @@ func (t *Table) NewScan(spec ScanSpec) (*Scan, error) {
 
 // Close releases the scan's file handle and, for parallel scans, stops the
 // pipeline (discarding any chunks read ahead but not yet returned).
+// Idempotent: repeated Close calls return nil without touching the
+// already-released descriptor, and Next/NextBatch/DrainAgg after Close
+// report faults.ErrClosed instead of scanning.
 func (s *Scan) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
 	if s.pl != nil {
 		s.pl.shutdown()
 		s.pl = nil
@@ -155,6 +193,9 @@ func (s *Scan) Close() error {
 // Next returns the next qualifying row in the Needed layout. The slice is
 // reused between calls. ok=false signals end of data.
 func (s *Scan) Next() ([]value.Value, bool, error) {
+	if err := s.usable(); err != nil {
+		return nil, false, err
+	}
 	for {
 		if s.countOnly > 0 {
 			s.countOnly--
@@ -186,6 +227,9 @@ func (s *Scan) Next() ([]value.Value, bool, error) {
 // Next and NextBatch is allowed: NextBatch serves whatever of the current
 // chunk Next has not consumed yet.
 func (s *Scan) NextBatch() (*Batch, bool, error) {
+	if err := s.usable(); err != nil {
+		return nil, false, err
+	}
 	for {
 		if s.countOnly > 0 {
 			n := s.countOnly
@@ -233,10 +277,52 @@ func (s *Scan) ctxErr() error {
 	}
 }
 
+// usable reports why the scan cannot serve: closed, or failed earlier. A
+// failed scan stays failed — its worker scratch and pipeline state may be
+// mid-chunk, so re-entering would serve undefined data.
+func (s *Scan) usable() error {
+	if s.closed {
+		return faults.Closed(s.t.path)
+	}
+	return s.err
+}
+
+// checkFile compares the file's current fingerprint (via fstat on the open
+// descriptor) against the version the scan started on. Called at every
+// chunk boundary so a file changing under a running scan surfaces as a
+// typed error instead of silently mixing two file versions.
+func (s *Scan) checkFile() error {
+	fp, err := s.reader.Fingerprint()
+	if err != nil {
+		return err
+	}
+	if fp == s.fp {
+		return nil
+	}
+	if fp.Size < s.fp.Size {
+		return faults.Truncated(s.t.path,
+			fmt.Sprintf("size %d -> %d mid-scan", s.fp.Size, fp.Size))
+	}
+	return faults.Changed(s.t.path,
+		fmt.Sprintf("fingerprint moved mid-scan (size %d -> %d)", s.fp.Size, fp.Size))
+}
+
 // advance loads the next chunk (sequentially or from the pipeline's ordered
-// merge) into s.cur. Returns io.EOF when the scan is exhausted.
+// merge) into s.cur. Returns io.EOF when the scan is exhausted. Any other
+// error is sticky: the scan refuses further use.
 func (s *Scan) advance() error {
+	err := s.advanceChunk()
+	if err != nil && err != io.EOF {
+		s.err = err
+	}
+	return err
+}
+
+func (s *Scan) advanceChunk() error {
 	if err := s.ctxErr(); err != nil {
+		return err
+	}
+	if err := s.checkFile(); err != nil {
 		return err
 	}
 	// COUNT(*)-style scans need no attribute data: once the row count is
@@ -270,6 +356,16 @@ func (s *Scan) commit(o *chunkOut) error {
 	}
 	if o.err != nil {
 		return o.err
+	}
+	if o.errFields > 0 || o.dropped > 0 {
+		s.t.noteErrors(o.errFields, o.dropped)
+		s.errorsSeen += o.errFields
+		if s.opts.MaxErrors > 0 && s.errorsSeen > s.opts.MaxErrors {
+			// Over budget: reject before applying this chunk's side effects,
+			// so the committed structure state is exactly the clean prefix
+			// and a warm rerun re-detects the same events in the same order.
+			return faults.TooMany(s.t.path, s.errorsSeen, s.opts.MaxErrors)
+		}
 	}
 	if o.base >= 0 {
 		s.t.learnChunkBase(o.c, o.base)

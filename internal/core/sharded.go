@@ -42,6 +42,12 @@ type RawTable interface {
 	SetBudgets(posMapBudget, cacheBudget int64)
 	// SetEnabled toggles the adaptive components at run time.
 	SetEnabled(posMap, cache, stats bool)
+	// SetErrorPolicy changes the malformed-input policy at run time,
+	// discarding adaptive structures learned under the previous policy.
+	SetErrorPolicy(p OnErrorPolicy, maxErrors int64)
+	// ErrorCounts returns the cumulative malformed-input events and
+	// dropped rows observed across all scans (summed over shards).
+	ErrorCounts() (malformed, dropped int64)
 }
 
 // Scanner is the operator-facing scan contract: the subset of *Scan the
@@ -202,6 +208,29 @@ func (t *ShardedTable) SetEnabled(posMap, cache, statsOn bool) {
 	for _, sh := range t.shards {
 		sh.SetEnabled(posMap, cache, statsOn)
 	}
+}
+
+// SetErrorPolicy changes the malformed-input policy on every shard (and in
+// the table-level option set). Each shard discards its own adaptive
+// structures when the policy actually changes.
+func (t *ShardedTable) SetErrorPolicy(p OnErrorPolicy, maxErrors int64) {
+	t.mu.Lock()
+	t.opts.OnError = p
+	t.opts.MaxErrors = maxErrors
+	t.mu.Unlock()
+	for _, sh := range t.shards {
+		sh.SetErrorPolicy(p, maxErrors)
+	}
+}
+
+// ErrorCounts sums the shards' cumulative malformed-input counters.
+func (t *ShardedTable) ErrorCounts() (malformed, dropped int64) {
+	for _, sh := range t.shards {
+		m, d := sh.ErrorCounts()
+		malformed += m
+		dropped += d
+	}
+	return malformed, dropped
 }
 
 // OpenScan opens a sharded scan: the shards run the ordinary chunk pipeline

@@ -46,6 +46,61 @@ type Options struct {
 	// contents; with N > 1 the breakdown's time categories aggregate CPU
 	// time across workers rather than wall-clock time.
 	Parallelism int
+	// OnError selects what a scan does with malformed input (a field that
+	// does not convert to its column type, or a row with too few fields for
+	// the attributes the query touches). The zero value is OnErrorNull.
+	// Enforced identically in the row and vectorized paths at any
+	// Parallelism.
+	OnError OnErrorPolicy
+	// MaxErrors, when > 0, fails the scan with faults.ErrTooManyErrors once
+	// more than MaxErrors malformed-input events accumulated (in chunk
+	// order, so the failure point is deterministic). 0 means unlimited.
+	MaxErrors int64
+}
+
+// OnErrorPolicy is a table's malformed-input policy.
+type OnErrorPolicy uint8
+
+const (
+	// OnErrorNull nulls the malformed field and counts the event
+	// (metrics.Breakdown.MalformedFields) — the loader's behavior, now
+	// observable.
+	OnErrorNull OnErrorPolicy = iota
+	// OnErrorFail aborts the query with a typed error (faults.ErrMalformed
+	// or faults.ErrRagged) at the first bad field the query touches.
+	OnErrorFail
+	// OnErrorSkip drops rows containing malformed fields from the result
+	// (counted in metrics.Breakdown.RowsDropped). Chunks with dropped rows
+	// contribute nothing to the positional map, cache or statistics, so
+	// warm rescans re-detect the same rows.
+	OnErrorSkip
+)
+
+// String returns the DDL spelling of the policy.
+func (p OnErrorPolicy) String() string {
+	switch p {
+	case OnErrorFail:
+		return "fail"
+	case OnErrorSkip:
+		return "skip"
+	default:
+		return "null"
+	}
+}
+
+// ParseOnErrorPolicy parses the DDL spelling of an on_error policy
+// ("null", "fail", "skip"; empty means the default, null).
+func ParseOnErrorPolicy(s string) (OnErrorPolicy, error) {
+	switch s {
+	case "", "null":
+		return OnErrorNull, nil
+	case "fail":
+		return OnErrorFail, nil
+	case "skip":
+		return OnErrorSkip, nil
+	default:
+		return OnErrorNull, fmt.Errorf("core: unknown on_error policy %q (want 'fail', 'null' or 'skip')", s)
+	}
 }
 
 func (o *Options) fillDefaults() {
@@ -98,6 +153,9 @@ type Table struct {
 	accessCounts []int64 // per-attribute access tally (monitoring panel)
 	queries      int64
 	statsSeen    map[[2]int]struct{} // (chunk, attr) pairs already sampled
+
+	errMalformed int64 // cumulative malformed-input events across scans
+	errDropped   int64 // cumulative rows dropped by on_error=skip
 }
 
 // NewTable registers a raw file. The file must exist; its contents are not
@@ -156,6 +214,60 @@ func (t *Table) SetBudgets(posMapBudget, cacheBudget int64) {
 	t.mu.Unlock()
 	t.pm.SetBudget(posMapBudget)
 	t.cache.SetBudget(cacheBudget)
+}
+
+// SetErrorPolicy changes the table's malformed-input policy at run time
+// (ALTER TABLE ... SET on_error/max_errors). Changing the policy discards
+// the positional map, cache, statistics and sampling bookkeeping: the
+// structures were learned under the old policy's view of the file (e.g.
+// skip suppresses learning on chunks with bad rows, null does not), and
+// keeping them would let a warm scan serve rows the new policy must drop
+// or fail on. Chunk bases and the row count are byte facts of the file,
+// independent of policy, and are kept.
+func (t *Table) SetErrorPolicy(p OnErrorPolicy, maxErrors int64) {
+	t.mu.Lock()
+	changed := t.opts.OnError != p
+	t.opts.OnError = p
+	t.opts.MaxErrors = maxErrors
+	rc := t.rowCount
+	if changed {
+		t.statsSeen = nil
+	}
+	t.mu.Unlock()
+	if !changed {
+		return
+	}
+	t.pm.Clear()
+	t.cache.Clear()
+	t.stats.Clear()
+	if rc >= 0 {
+		t.stats.SetRowCount(rc)
+	}
+}
+
+// noteErrors tallies one committed chunk's malformed-input events and
+// dropped rows into the table's cumulative counters (monitoring panel).
+func (t *Table) noteErrors(malformed, dropped int64) {
+	t.mu.Lock()
+	t.errMalformed += malformed
+	t.errDropped += dropped
+	t.mu.Unlock()
+}
+
+// ErrorCounts returns the cumulative malformed-input events and dropped
+// rows observed across all scans of this table.
+func (t *Table) ErrorCounts() (malformed, dropped int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.errMalformed, t.errDropped
+}
+
+// snapMeta returns the size and mtime of the file version the table's
+// structures describe, for warm-scan fingerprint checks.
+func (t *Table) snapMeta() (size, modTime int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.snap.Size, t.snap.ModTime
 }
 
 // RowCount returns the learned row count, or -1 before any full scan.
@@ -305,6 +417,12 @@ func (t *Table) Refresh() (watch.Change, error) {
 	}
 	switch change {
 	case watch.Unchanged:
+		// Even "unchanged" can refresh the snapshot: a touched-but-identical
+		// file keeps its content fingerprint but moves its mtime, and warm
+		// scans compare against the stored snapshot's mtime.
+		t.mu.Lock()
+		t.snap = newSnap
+		t.mu.Unlock()
 		return change, nil
 	case watch.Appended:
 		t.mu.Lock()

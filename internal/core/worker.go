@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"nodb/internal/expr"
+	"nodb/internal/faults"
 	"nodb/internal/metrics"
 	"nodb/internal/posmap"
 	"nodb/internal/rawcache"
@@ -68,6 +69,12 @@ type chunkOut struct {
 	frags    []*rawcache.Fragment
 	samples  []statsSample
 
+	// Malformed-input accounting, applied by commit in chunk order so the
+	// max_errors failure point is deterministic at any Parallelism.
+	errFields int64 // malformed-input events detected in this chunk
+	dropped   int64 // rows excluded by on_error=skip
+	dirty     bool  // chunk had events: adaptive-structure learning suppressed
+
 	// groups holds the chunk's partial aggregation states when the scan has
 	// an AggPushdown installed; the batch (cols/sel) is then not served to
 	// the consumer, commit merges the groups instead.
@@ -121,6 +128,14 @@ type chunkWorker struct {
 	// spec.NewBatchFilter); identSel is the identity selection it narrows.
 	batchFilter *expr.VecEval
 	identSel    []int32
+
+	// Malformed-input scratch, reset per chunk: badRows marks rows with at
+	// least one event (dedup for counting; the drop set under
+	// on_error=skip), nbad counts them, chunkErrs counts events.
+	badRows   []bool
+	nbad      int
+	chunkErrs int64
+	skipSel   []int32 // base selection excluding bad rows (vectorized skip path)
 
 	// Partial-aggregation scratch (spec.Agg != nil), reused across chunks.
 	aggMap     map[string]*PartialGroup // cleared per chunk
@@ -198,6 +213,7 @@ func resetOut(o *chunkOut, c int) *chunkOut {
 	o.frags = o.frags[:0]
 	o.samples = o.samples[:0]
 	o.groups = o.groups[:0]
+	o.errFields, o.dropped, o.dirty = 0, 0, false
 	return o
 }
 
@@ -219,15 +235,33 @@ func (w *chunkWorker) newOut(c int) *chunkOut {
 }
 
 // run processes chunk c from the given source into a chunkOut. Errors and
-// end-of-data are reported on the result, never panicked across goroutines.
-func (w *chunkWorker) run(c int, src chunkSrc) *chunkOut {
-	out := w.newOut(c)
+// end-of-data are reported on the result, never panicked across goroutines:
+// a panic anywhere in the per-chunk path (including user predicates)
+// recovers into a typed faults.ErrPanic error on the result, so the query
+// fails cleanly through the ordered-commit path instead of crashing the
+// process.
+func (w *chunkWorker) run(c int, src chunkSrc) (out *chunkOut) {
+	out = w.newOut(c)
+	defer func() {
+		if rec := recover(); rec != nil {
+			out = &chunkOut{c: c, countFinal: -1, base: -1, nextBase: -1,
+				err: faults.Panicked(w.t.path, c, rec)}
+		}
+	}()
 	if err := w.process(c, src, out); err == io.EOF {
 		out.eof = true
 	} else if err != nil {
 		out.err = err
 	}
 	return out
+}
+
+// noteBadRow marks row r as containing malformed input, once.
+func (w *chunkWorker) noteBadRow(r int) {
+	if !w.badRows[r] {
+		w.badRows[r] = true
+		w.nbad++
+	}
 }
 
 // charge runs fn and charges its elapsed time, minus any I/O time fn
@@ -457,7 +491,15 @@ func (w *chunkWorker) serveMapped(c, nrows int, view *posmap.View, out *chunkOut
 	}
 	w.rangeBuf = w.rangeBuf[:n]
 	if n > 0 {
-		if _, err := w.reader.ReadAt(w.rangeBuf, lo); err != nil && err != io.EOF {
+		m, err := w.reader.ReadAt(w.rangeBuf, lo)
+		if m < n && (err == nil || err == io.EOF) {
+			// The map promised fields out to hi, but the file ended first:
+			// it shrank since the positions were learned. A silent short
+			// read here would materialize stale buffer bytes as field data.
+			return faults.Truncated(w.t.path,
+				fmt.Sprintf("mapped range [%d,%d) cut short at byte %d", lo, hi, lo+int64(m)))
+		}
+		if err != nil && err != io.EOF {
 			return err
 		}
 	}
@@ -519,12 +561,19 @@ func (w *chunkWorker) loadChunkBytes(c int, src chunkSrc) (*rawfile.Chunk, error
 // positional map cannot answer, learning new positions along the way.
 func (w *chunkWorker) serveTokenize(c, knownRows int, known, haveView bool, view *posmap.View, src chunkSrc, out *chunkOut) error {
 	ch, err := w.loadChunkBytes(c, src)
+	if err == io.EOF && known && knownRows > 0 {
+		// Structures say this chunk has rows, but the file ended first: it
+		// shrank since the row count was learned.
+		return faults.Truncated(w.t.path,
+			fmt.Sprintf("chunk %d should have %d rows, file ended first", c, knownRows))
+	}
 	if err != nil {
 		return err // io.EOF propagates: commit learns the row count
 	}
 	nrows := ch.Rows
 	if known && nrows != knownRows {
-		return fmt.Errorf("core: chunk %d has %d rows, structures say %d (file changed without Refresh?)", c, nrows, knownRows)
+		return faults.Changed(w.t.path,
+			fmt.Sprintf("chunk %d has %d rows, structures say %d (file changed without Refresh?)", c, nrows, knownRows))
 	}
 	out.base = ch.Base
 	if nrows == w.opts.ChunkRows {
@@ -666,6 +715,25 @@ func (w *chunkWorker) serveTokenize(c, knownRows int, known, haveView bool, view
 					}
 					g++
 				}
+				if g <= d {
+					// The row ran out of fields before a delimiter the query
+					// needs: a ragged row. fail aborts the chunk; null and
+					// skip record the event (once per row — later gap steps
+					// restart from the clamped position and would re-detect)
+					// and clamp the remaining positions to the row end, so
+					// the missing fields read as empty spans (NULL).
+					if w.opts.OnError == OnErrorFail {
+						return faults.Ragged(w.t.path, c,
+							int64(c)*int64(w.opts.ChunkRows)+int64(r),
+							fmt.Sprintf("row has no field %d", g))
+					}
+					if !w.badRows[r] {
+						w.badRows[r] = true
+						w.nbad++
+						w.chunkErrs++
+						w.b.MalformedFields++
+					}
+				}
 				for ; g <= d; g++ { // row ran out of fields
 					if j := w.learnSlot[g+1]; j != 0 {
 						learnPos[r*L+int(j-1)] = uint32(rowEnd)
@@ -724,6 +792,7 @@ func (w *chunkWorker) materialize(c, nrows int, data []byte, K int, out *chunkOu
 	// tuple formation). When nothing was filtered out the conversion is
 	// complete and cacheable.
 	selAll := len(out.sel) == nrows
+	phase2Bad := w.nbad
 	for i := range w.spec.Needed {
 		if w.filterIdx[i] {
 			continue
@@ -734,6 +803,18 @@ func (w *chunkWorker) materialize(c, nrows int, data []byte, K int, out *chunkOu
 		if selAll {
 			fullConverted[i] = true
 		}
+	}
+	// Rows that turned out bad during phase-2 conversion (under
+	// on_error=skip) passed the filter already; compact them out of the
+	// selection now, before aggregation folds or the batch is served.
+	if w.opts.OnError == OnErrorSkip && w.nbad > phase2Bad {
+		kept := out.sel[:0]
+		for _, r := range out.sel {
+			if !w.badRows[r] {
+				kept = append(kept, r)
+			}
+		}
+		out.sel = kept
 	}
 
 	// Cache population: fragments for fully converted file-served attrs,
@@ -846,7 +927,11 @@ func (w *chunkWorker) materializeAttr(i, nrows int, rows []int32, data []byte, K
 	}
 	sw.Stop(metrics.Parsing)
 
-	// Conversion (Convert): text -> binary.
+	// Conversion (Convert): text -> binary. A field that does not convert
+	// is a malformed-input event (empty fields are legitimate NULLs, never
+	// events — value.Parse accepts them): fail aborts the chunk with a
+	// typed error, null serves NULL (the loader's behavior, now counted),
+	// skip additionally marks the row for exclusion.
 	kind := w.t.sch.Col(fa.attr).Kind
 	sw.Restart()
 	for k := 0; k < n; k++ {
@@ -856,6 +941,17 @@ func (w *chunkWorker) materializeAttr(i, nrows int, rows []int32, data []byte, K
 		}
 		v, perr := value.Parse(data[w.spanLo[k]:w.spanHi[k]], kind)
 		if perr != nil {
+			if w.opts.OnError == OnErrorFail {
+				sw.Stop(metrics.Convert)
+				return faults.Malformed(w.t.path, out.c,
+					int64(out.c)*int64(w.opts.ChunkRows)+int64(r),
+					w.t.sch.Col(fa.attr).Name, fieldSnippet(data[w.spanLo[k]:w.spanHi[k]], kind))
+			}
+			if w.opts.OnError == OnErrorSkip {
+				w.noteBadRow(r)
+			}
+			w.chunkErrs++
+			w.b.MalformedFields++
 			v = value.Null() // malformed field reads as NULL, like the loader
 		}
 		col[r] = v
@@ -863,6 +959,17 @@ func (w *chunkWorker) materializeAttr(i, nrows int, rows []int32, data []byte, K
 	}
 	sw.Stop(metrics.Convert)
 	return nil
+}
+
+// fieldSnippet renders a bounded excerpt of a malformed field for error
+// messages.
+func fieldSnippet(b []byte, kind value.Kind) string {
+	const max = 40
+	s := string(b)
+	if len(s) > max {
+		s = s[:max] + "..."
+	}
+	return fmt.Sprintf("%q is not a valid %s", s, kind)
 }
 
 // runFilter evaluates the pushed-down predicate over the batch, producing
@@ -878,10 +985,17 @@ func (w *chunkWorker) runFilter(nrows int, out *chunkOut) error {
 		// sequential and parallel scans, whose fresh outputs hit this path).
 		sel = make([]int32, 0, nrows)
 	}
+	// Under on_error=skip, rows already marked bad (ragged rows, malformed
+	// filter attributes) are excluded before the predicate runs, in both
+	// the row and vectorized paths, so the two agree on every input.
+	skip := w.opts.OnError == OnErrorSkip && w.nbad > 0
 	sw := metrics.NewStopwatch(w.b)
 	defer sw.Stop(metrics.Processing)
 	if w.spec.Filter == nil {
 		for r := 0; r < nrows; r++ {
+			if skip && w.badRows[r] {
+				continue
+			}
 			sel = append(sel, int32(r))
 		}
 		out.sel = sel
@@ -894,13 +1008,26 @@ func (w *chunkWorker) runFilter(nrows int, out *chunkOut) error {
 		for len(w.identSel) < nrows {
 			w.identSel = append(w.identSel, int32(len(w.identSel)))
 		}
+		base := w.identSel[:nrows]
+		if skip {
+			w.skipSel = w.skipSel[:0]
+			for r := 0; r < nrows; r++ {
+				if !w.badRows[r] {
+					w.skipSel = append(w.skipSel, int32(r))
+				}
+			}
+			base = w.skipSel
+		}
 		before := w.batchFilter.VecRows()
-		sel, err := w.batchFilter.SelectTrue(out.cols, w.identSel[:nrows], sel)
+		sel, err := w.batchFilter.SelectTrue(out.cols, base, sel)
 		out.sel = sel
 		w.b.VecRows += w.batchFilter.VecRows() - before
 		return err
 	}
 	for r := 0; r < nrows; r++ {
+		if skip && w.badRows[r] {
+			continue
+		}
 		for i := range out.cols {
 			if w.filterIdx[i] {
 				w.rowBuf[i] = out.cols[i][r]
@@ -923,10 +1050,26 @@ func (w *chunkWorker) runFilter(nrows int, out *chunkOut) error {
 
 // finishChunk records the chunk's row accounting on the worker breakdown
 // and, when aggregation is pushed down, folds the chunk into partial group
-// states.
+// states. A chunk with malformed-input events is "dirty": its deferred
+// adaptive-structure learning is discarded so warm rescans re-tokenize and
+// re-detect the same events — results and error counters then agree
+// between cold and warm runs under every policy. (Chunk base offsets stay:
+// row boundaries are byte facts of the file, independent of policy.)
 func (w *chunkWorker) finishChunk(nrows int, out *chunkOut) error {
 	w.b.RowsScanned += int64(nrows)
 	out.nrows = nrows
+	if w.chunkErrs > 0 {
+		out.errFields = w.chunkErrs
+		out.dirty = true
+		out.learnDel = out.learnDel[:0]
+		out.learnPos = out.learnPos[:0]
+		out.frags = out.frags[:0]
+		out.samples = out.samples[:0]
+		if w.opts.OnError == OnErrorSkip && w.nbad > 0 {
+			out.dropped = int64(w.nbad)
+			w.b.RowsDropped += int64(w.nbad)
+		}
+	}
 	if w.spec.Agg != nil {
 		return w.foldAgg(out)
 	}
@@ -934,7 +1077,9 @@ func (w *chunkWorker) finishChunk(nrows int, out *chunkOut) error {
 }
 
 // ensureBatch sizes the batch columns for nrows rows, growing the output's
-// own buffers in place (fresh outputs allocate, recycled ones reuse).
+// own buffers in place (fresh outputs allocate, recycled ones reuse). It is
+// the single per-chunk sizing point, so the malformed-input scratch resets
+// here too.
 func (w *chunkWorker) ensureBatch(nrows int, out *chunkOut) {
 	out.nrows = nrows
 	if out.cols == nil {
@@ -946,4 +1091,13 @@ func (w *chunkWorker) ensureBatch(nrows int, out *chunkOut) {
 		}
 		out.cols[i] = out.cols[i][:nrows]
 	}
+	if cap(w.badRows) < nrows {
+		w.badRows = make([]bool, nrows)
+	}
+	w.badRows = w.badRows[:nrows]
+	for r := range w.badRows {
+		w.badRows[r] = false
+	}
+	w.nbad = 0
+	w.chunkErrs = 0
 }

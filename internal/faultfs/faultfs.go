@@ -1,0 +1,194 @@
+// Package faultfs is the fault-injection harness of the scan layer: a
+// rawfile.File wrapper that injects read faults — short reads, transient
+// and permanent I/O errors, mid-scan truncation and mutation, panics —
+// underneath the whole scan stack via rawfile.SetOpenHook.
+//
+// Faults trigger on reads intersecting a fixed byte region [From, ∞), not
+// on cumulative bytes read, so the first affected chunk is the same at any
+// Parallelism and read order: whatever the schedule, the lowest chunk id
+// whose bytes cross From fails, and the ordered-commit path turns that
+// into a deterministic committed prefix. All state is atomic; the harness
+// is exercised under -race.
+//
+// Test-only: nothing in the production path imports this package.
+package faultfs
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"nodb/internal/faults"
+	"nodb/internal/rawfile"
+)
+
+// Kind selects the injected fault class.
+type Kind int
+
+const (
+	// None passes every operation through.
+	None Kind = iota
+	// ShortRead returns half the requested bytes with a transient error
+	// for reads intersecting the fault region, Times times.
+	ShortRead
+	// TransientErr fails reads intersecting the fault region with a
+	// retryable error, Times times; rawfile's retry budget should absorb
+	// Times ≤ RetryAttempts and surface faults.ErrIO beyond it.
+	TransientErr
+	// PermanentErr always fails reads intersecting the fault region with a
+	// non-retryable error.
+	PermanentErr
+	// Truncate makes the file look cut at From: reads at or past From hit
+	// EOF and Stat reports the shrunken size with a bumped mtime —
+	// a file truncated by an external process mid-scan.
+	Truncate
+	// Mutate leaves bytes alone but, once any read crossed From, bumps the
+	// mtime Stat reports — an in-place overwrite by an external process.
+	Mutate
+	// PanicRead panics on reads intersecting the fault region, Times
+	// times — a worker hitting a bug on one chunk's bytes.
+	PanicRead
+)
+
+// Options configures one injected fault.
+type Options struct {
+	Kind  Kind
+	From  int64 // fault region start offset; reads touching [From, ∞) are affected
+	Times int   // ShortRead/TransientErr/PanicRead: injections before recovery; <= 0 means every time
+	Err   error // optional underlying error; nil picks a class-appropriate default
+}
+
+// File wraps a rawfile.File, injecting the configured fault.
+type File struct {
+	inner rawfile.File
+	opts  Options
+
+	remaining atomic.Int64 // injections left; negative means unlimited
+	touched   atomic.Bool  // Mutate: a read crossed From
+}
+
+// Wrap returns a File injecting o's fault over inner.
+func Wrap(inner rawfile.File, o Options) *File {
+	f := &File{inner: inner, opts: o}
+	if o.Times > 0 {
+		f.remaining.Store(int64(o.Times))
+	} else {
+		f.remaining.Store(-1)
+	}
+	return f
+}
+
+// Install points rawfile.SetOpenHook at a wrapper applying o to every
+// opened file whose path match accepts (nil matches everything) and
+// returns the uninstall function. Callers must uninstall before the test
+// ends; pair with t.Cleanup.
+func Install(match func(path string) bool, o Options) (uninstall func()) {
+	rawfile.SetOpenHook(func(path string, f rawfile.File) rawfile.File {
+		if match == nil || match(path) {
+			return Wrap(f, o)
+		}
+		return f
+	})
+	return func() { rawfile.SetOpenHook(nil) }
+}
+
+// take consumes one injection slot, reporting whether the fault fires.
+func (f *File) take() bool {
+	for {
+		n := f.remaining.Load()
+		if n < 0 {
+			return true // unlimited
+		}
+		if n == 0 {
+			return false
+		}
+		if f.remaining.CompareAndSwap(n, n-1) {
+			return true
+		}
+	}
+}
+
+func (f *File) injectedErr(off int64, transient bool) error {
+	if f.opts.Err != nil {
+		return f.opts.Err
+	}
+	if transient {
+		return fmt.Errorf("faultfs: injected transient error at byte %d: %w", off, faults.ErrTransient)
+	}
+	return fmt.Errorf("faultfs: injected permanent I/O error at byte %d", off)
+}
+
+// ReadAt injects the configured fault for reads intersecting [From, ∞) and
+// passes everything else to the wrapped file.
+func (f *File) ReadAt(p []byte, off int64) (int, error) {
+	hit := off+int64(len(p)) > f.opts.From
+	switch f.opts.Kind {
+	case ShortRead:
+		if hit && f.take() {
+			n, _ := f.inner.ReadAt(p[:len(p)/2], off)
+			return n, f.injectedErr(off, true)
+		}
+	case TransientErr:
+		if hit && f.take() {
+			return 0, f.injectedErr(off, true)
+		}
+	case PermanentErr:
+		if hit {
+			return 0, f.injectedErr(off, false)
+		}
+	case Truncate:
+		if off >= f.opts.From {
+			return 0, io.EOF
+		}
+		if hit {
+			n, err := f.inner.ReadAt(p[:f.opts.From-off], off)
+			if err == nil {
+				err = io.EOF
+			}
+			return n, err
+		}
+	case PanicRead:
+		if hit && f.take() {
+			panic(fmt.Sprintf("faultfs: injected panic reading bytes [%d, %d)", off, off+int64(len(p))))
+		}
+	case Mutate:
+		if hit {
+			f.touched.Store(true)
+		}
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+// Stat reports the wrapped file's info, adjusted for faults that change
+// the file's apparent fingerprint (Truncate, Mutate after a read crossed
+// the region).
+func (f *File) Stat() (os.FileInfo, error) {
+	st, err := f.inner.Stat()
+	if err != nil {
+		return st, err
+	}
+	switch f.opts.Kind {
+	case Truncate:
+		return fakeInfo{FileInfo: st, size: f.opts.From, mtime: st.ModTime().Add(time.Second)}, nil
+	case Mutate:
+		if f.touched.Load() {
+			return fakeInfo{FileInfo: st, size: st.Size(), mtime: st.ModTime().Add(time.Second)}, nil
+		}
+	}
+	return st, nil
+}
+
+// Close closes the wrapped file.
+func (f *File) Close() error { return f.inner.Close() }
+
+// fakeInfo overrides the size and mtime of an os.FileInfo.
+type fakeInfo struct {
+	os.FileInfo
+	size  int64
+	mtime time.Time
+}
+
+func (f fakeInfo) Size() int64        { return f.size }
+func (f fakeInfo) ModTime() time.Time { return f.mtime }

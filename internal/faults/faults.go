@@ -1,0 +1,197 @@
+// Package faults is the error taxonomy of the in-situ scan layer.
+//
+// NoDB does not own its data: raw files live in the wild and can be
+// corrupted, appended to, truncated, rewritten or deleted by external
+// processes at any moment. Every failure the scan pipeline can hit on the
+// way from raw bytes to tuples is classified here as a typed, errors.Is-able
+// sentinel, wrapped in a *ScanError carrying the file, chunk, row and
+// attribute context needed to act on it. Callers switch on the class —
+// errors.Is(err, faults.ErrMalformed) — without parsing message strings,
+// and the same classes drive the per-table on_error policy (fail, null,
+// skip) enforced by internal/core.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"syscall"
+)
+
+// Sentinel error classes. Every error produced by the scan layer wraps
+// exactly one of these (plus any underlying cause), so errors.Is works at
+// any wrapping depth.
+var (
+	// ErrMalformed: a field's bytes did not convert to the declared column
+	// type (e.g. "12x3" in an INT column).
+	ErrMalformed = errors.New("malformed field")
+
+	// ErrRagged: a row ended before supplying a field the query needed
+	// (fewer delimiters than the schema requires).
+	ErrRagged = errors.New("ragged row")
+
+	// ErrFileChanged: the file's fingerprint (size + mtime) changed under a
+	// running scan, or structures learned from a previous version disagree
+	// with the bytes on disk.
+	ErrFileChanged = errors.New("file changed under scan")
+
+	// ErrTruncated: the file shrank — reads hit EOF before the bytes the
+	// scan's view of the file says must exist. A special case of
+	// ErrFileChanged (Is matches both).
+	ErrTruncated = errors.New("file truncated under scan")
+
+	// ErrIO: a permanent read error (EIO and friends) that survived the
+	// transient-retry budget.
+	ErrIO = errors.New("read error")
+
+	// ErrTransient marks an I/O error worth retrying. It is never returned
+	// to callers: rawfile retries transient reads with backoff and reports
+	// ErrIO once the budget is exhausted. Fault injectors wrap it to request
+	// retry behavior.
+	ErrTransient = errors.New("transient read error")
+
+	// ErrPanic: a chunk worker or the splitter panicked; the panic was
+	// contained and converted into this query error instead of crashing the
+	// process.
+	ErrPanic = errors.New("panic during scan")
+
+	// ErrTooManyErrors: the table's max_errors budget was exceeded.
+	ErrTooManyErrors = errors.New("too many malformed-input errors")
+
+	// ErrClosed: the scan (or cursor) was used after Close.
+	ErrClosed = errors.New("scan is closed")
+)
+
+// ScanError is the concrete error type of the scan layer: one sentinel
+// class plus the context needed to locate the failure. Fields that do not
+// apply are zero ("" / -1).
+type ScanError struct {
+	Kind   error  // one of the package sentinels
+	Path   string // file being scanned
+	Chunk  int    // chunk id, -1 when unknown
+	Row    int64  // absolute row number in the file, -1 when unknown
+	Attr   string // column name, "" when not field-specific
+	Detail string // human-readable specifics
+	Err    error  // underlying cause, if any
+}
+
+func (e *ScanError) Error() string {
+	msg := "faults: " + e.Kind.Error()
+	if e.Path != "" {
+		msg += " (" + e.Path
+		if e.Chunk >= 0 {
+			msg += fmt.Sprintf(", chunk %d", e.Chunk)
+		}
+		if e.Row >= 0 {
+			msg += fmt.Sprintf(", row %d", e.Row)
+		}
+		if e.Attr != "" {
+			msg += ", column " + e.Attr
+		}
+		msg += ")"
+	}
+	if e.Detail != "" {
+		msg += ": " + e.Detail
+	}
+	if e.Err != nil {
+		msg += ": " + e.Err.Error()
+	}
+	return msg
+}
+
+// Unwrap exposes both the sentinel class and the underlying cause, so
+// errors.Is(err, ErrIO) and errors.Is(err, io.ErrUnexpectedEOF) can both
+// hold for the same error.
+func (e *ScanError) Unwrap() []error {
+	if e.Err != nil {
+		return []error{e.Kind, e.Err}
+	}
+	return []error{e.Kind}
+}
+
+// Truncation is a special case of change-under-foot: make ErrTruncated
+// errors match ErrFileChanged too by pairing the sentinels in Unwrap.
+type truncated struct{ ScanError }
+
+func (e *truncated) Unwrap() []error {
+	errs := []error{ErrTruncated, ErrFileChanged}
+	if e.Err != nil {
+		errs = append(errs, e.Err)
+	}
+	return errs
+}
+
+// Malformed reports a conversion failure: the field's bytes are not a
+// valid value of the declared column type.
+func Malformed(path string, chunk int, row int64, attr, detail string) error {
+	return &ScanError{Kind: ErrMalformed, Path: path, Chunk: chunk, Row: row, Attr: attr, Detail: detail}
+}
+
+// Ragged reports a row with fewer fields than the query needs.
+func Ragged(path string, chunk int, row int64, detail string) error {
+	return &ScanError{Kind: ErrRagged, Path: path, Chunk: chunk, Row: row, Detail: detail}
+}
+
+// Changed reports a file whose fingerprint moved under a running scan.
+func Changed(path, detail string) error {
+	return &ScanError{Kind: ErrFileChanged, Path: path, Chunk: -1, Row: -1, Detail: detail}
+}
+
+// Truncated reports a file that shrank under a running scan. The result
+// matches both ErrTruncated and ErrFileChanged.
+func Truncated(path, detail string) error {
+	return &truncated{ScanError{Kind: ErrTruncated, Path: path, Chunk: -1, Row: -1, Detail: detail}}
+}
+
+// IO reports a permanent read failure at the given byte offset (-1 when
+// the offset is unknown).
+func IO(path string, off int64, err error) error {
+	detail := ""
+	if off >= 0 {
+		detail = fmt.Sprintf("at byte %d", off)
+	}
+	return &ScanError{Kind: ErrIO, Path: path, Chunk: -1, Row: -1, Detail: detail, Err: err}
+}
+
+// Panicked converts a recovered panic value into a query error, capturing
+// the stack at the recovery point (which still includes the panicking
+// frames when called from a deferred recover).
+func Panicked(path string, chunk int, rec any) error {
+	return &ScanError{
+		Kind:   ErrPanic,
+		Path:   path,
+		Chunk:  chunk,
+		Row:    -1,
+		Detail: fmt.Sprintf("%v\n%s", rec, debug.Stack()),
+	}
+}
+
+// TooMany reports a scan that exceeded the table's max_errors budget.
+func TooMany(path string, seen, limit int64) error {
+	return &ScanError{
+		Kind:   ErrTooManyErrors,
+		Path:   path,
+		Chunk:  -1,
+		Row:    -1,
+		Detail: fmt.Sprintf("%d malformed-input errors, max_errors = %d", seen, limit),
+	}
+}
+
+// Closed reports use of a scan after Close.
+func Closed(path string) error {
+	return &ScanError{Kind: ErrClosed, Path: path, Chunk: -1, Row: -1}
+}
+
+// IsTransient reports whether a read error is worth retrying: explicit
+// ErrTransient markers (fault injection) and the classic interrupted /
+// try-again syscall results. Permanent classes (EIO, ENOSPC, bad fd, ...)
+// are not transient; neither is io.EOF, which is a result, not a failure.
+func IsTransient(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, ErrTransient) {
+		return true
+	}
+	return errors.Is(err, syscall.EINTR) || errors.Is(err, syscall.EAGAIN)
+}

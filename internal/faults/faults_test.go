@@ -1,0 +1,77 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+func TestSentinelMatching(t *testing.T) {
+	cases := []struct {
+		err  error
+		want []error
+		not  []error
+	}{
+		{Malformed("f.csv", 3, 3100, "id", "\"x2\" is not an INT"), []error{ErrMalformed}, []error{ErrRagged, ErrIO}},
+		{Ragged("f.csv", 0, 7, "row ends before field 3"), []error{ErrRagged}, []error{ErrMalformed}},
+		{Changed("f.csv", "mtime moved"), []error{ErrFileChanged}, []error{ErrTruncated}},
+		{Truncated("f.csv", "size 100 -> 10"), []error{ErrTruncated, ErrFileChanged}, []error{ErrIO}},
+		{IO("f.csv", 4096, syscall.EIO), []error{ErrIO, syscall.EIO}, []error{ErrTransient}},
+		{Panicked("f.csv", 2, "boom"), []error{ErrPanic}, []error{ErrIO}},
+		{TooMany("f.csv", 11, 10), []error{ErrTooManyErrors}, []error{ErrMalformed}},
+		{Closed("f.csv"), []error{ErrClosed}, []error{ErrIO}},
+	}
+	for i, c := range cases {
+		for _, w := range c.want {
+			if !errors.Is(c.err, w) {
+				t.Errorf("case %d: %v should match %v", i, c.err, w)
+			}
+		}
+		for _, n := range c.not {
+			if errors.Is(c.err, n) {
+				t.Errorf("case %d: %v must not match %v", i, c.err, n)
+			}
+		}
+	}
+}
+
+func TestWrappedMatching(t *testing.T) {
+	// One fmt.Errorf wrap (the rawfile style) must not break classification.
+	err := fmt.Errorf("rawfile: read chunk at 4096: %w", IO("f.csv", 4096, syscall.EIO))
+	if !errors.Is(err, ErrIO) || !errors.Is(err, syscall.EIO) {
+		t.Fatalf("wrapped IO error lost its classes: %v", err)
+	}
+}
+
+func TestErrorMessageContext(t *testing.T) {
+	msg := Malformed("data.csv", 3, 3100, "id", "bad int").Error()
+	for _, want := range []string{"data.csv", "chunk 3", "row 3100", "column id", "bad int"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("message %q missing %q", msg, want)
+		}
+	}
+	var se *ScanError
+	if !errors.As(Malformed("d", 1, 2, "a", "x"), &se) {
+		t.Fatal("Malformed should be errors.As-able to *ScanError")
+	}
+	if se.Chunk != 1 || se.Row != 2 || se.Attr != "a" {
+		t.Fatalf("context fields lost: %+v", se)
+	}
+}
+
+func TestIsTransient(t *testing.T) {
+	if !IsTransient(fmt.Errorf("injected: %w", ErrTransient)) {
+		t.Error("ErrTransient wrap should be transient")
+	}
+	if !IsTransient(syscall.EINTR) || !IsTransient(fmt.Errorf("x: %w", syscall.EAGAIN)) {
+		t.Error("EINTR/EAGAIN should be transient")
+	}
+	for _, err := range []error{nil, io.EOF, syscall.EIO, errors.New("whatever")} {
+		if IsTransient(err) {
+			t.Errorf("%v must not be transient", err)
+		}
+	}
+}

@@ -74,6 +74,11 @@ type Breakdown struct {
 	MapNearFields   int64 // fields located via a nearby map entry (partial tokenize)
 	PartialGroups   int64 // per-chunk partial group states folded in scan workers
 	VecRows         int64 // (row, expression) evaluations served column-at-a-time
+
+	// Robustness counters.
+	MalformedFields int64 // malformed-input events: bad conversions + ragged rows
+	RowsDropped     int64 // rows excluded by the on_error=skip policy
+	IORetries       int64 // transient read errors retried by rawfile
 }
 
 // Add charges d to category c.
@@ -94,6 +99,9 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	b.MapNearFields += o.MapNearFields
 	b.PartialGroups += o.PartialGroups
 	b.VecRows += o.VecRows
+	b.MalformedFields += o.MalformedFields
+	b.RowsDropped += o.RowsDropped
+	b.IORetries += o.IORetries
 }
 
 // Total returns the sum of all category times.

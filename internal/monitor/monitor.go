@@ -42,6 +42,13 @@ type Panel struct {
 	FileCoverage   []CoverKind
 
 	StatsAttrs []stats.AttrSnapshot
+
+	// Robustness: the table's malformed-input policy and lifetime error
+	// counters (events across all queries since registration/policy change).
+	OnError         core.OnErrorPolicy
+	MaxErrors       int64
+	MalformedFields int64
+	RowsDropped     int64
 }
 
 // Snapshot captures the current panel for a raw table.
@@ -57,6 +64,9 @@ func Snapshot(name string, t *core.Table) *Panel {
 		PosMap:    t.PosMap().Stats(),
 		Cache:     t.Cache().Stats(),
 	}
+	opts := t.Options()
+	p.OnError, p.MaxErrors = opts.OnError, opts.MaxErrors
+	p.MalformedFields, p.RowsDropped = t.ErrorCounts()
 	for i := 0; i < nattrs; i++ {
 		p.AttrNames = append(p.AttrNames, sch.Col(i).Name)
 	}
@@ -114,6 +124,15 @@ func (p *Panel) String() string {
 		rc = fmt.Sprint(p.RowCount)
 	}
 	fmt.Fprintf(&sb, "rows: %s   chunks: %d   queries: %d\n", rc, p.NumChunks, p.Queries)
+	// The errors line appears only when there is something to report, so the
+	// clean-table panel keeps its classic shape.
+	if p.OnError != core.OnErrorNull || p.MaxErrors > 0 || p.MalformedFields > 0 || p.RowsDropped > 0 {
+		fmt.Fprintf(&sb, "errors: policy=%s", p.OnError)
+		if p.MaxErrors > 0 {
+			fmt.Fprintf(&sb, " max_errors=%d", p.MaxErrors)
+		}
+		fmt.Fprintf(&sb, "   malformed fields: %d   rows dropped: %d\n", p.MalformedFields, p.RowsDropped)
+	}
 
 	mu := utilization(p.PosMap.UsedBytes, p.PosMap.BudgetBytes)
 	cu := utilization(p.Cache.UsedBytes, p.Cache.BudgetBytes)

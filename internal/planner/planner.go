@@ -587,6 +587,14 @@ func (pb *builder) buildRawScan(ti int, h core.RawTable, conjuncts []sql.Expr) (
 	if sh, sharded := h.(*core.ShardedTable); sharded {
 		label += fmt.Sprintf(" shards=%d", sh.NumShards())
 	}
+	// Non-default error policy is part of the plan's observable behavior
+	// (it changes result rows), so EXPLAIN surfaces it; defaults stay quiet.
+	if hopts := h.Options(); hopts.OnError != core.OnErrorNull || hopts.MaxErrors > 0 {
+		label += " on_error=" + hopts.OnError.String()
+		if hopts.MaxErrors > 0 {
+			label += fmt.Sprintf(" max_errors=%d", hopts.MaxErrors)
+		}
+	}
 	if len(conjuncts) > 0 {
 		label += " filter=" + andAll(conjuncts).String()
 		if spec.NewBatchFilter != nil {

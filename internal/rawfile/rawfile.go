@@ -6,16 +6,52 @@ package rawfile
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
+	"nodb/internal/faults"
 	"nodb/internal/metrics"
 )
 
 // DefaultBlockSize is the read granularity when none is configured.
 const DefaultBlockSize = 256 * 1024
+
+// Transient read errors (EINTR/EAGAIN and injected faults.ErrTransient
+// wraps) are retried with exponential backoff before being reported as a
+// permanent faults.ErrIO. Variables so tests can shrink the budget.
+var (
+	RetryAttempts = 3
+	RetryBackoff  = 100 * time.Microsecond
+)
+
+// File is the underlying handle a Reader preads from. Production readers
+// wrap an *os.File; the fault-injection harness substitutes its own
+// implementation through SetOpenHook.
+type File interface {
+	io.ReaderAt
+	io.Closer
+	Stat() (os.FileInfo, error)
+}
+
+// openHook, when set, wraps every file Open returns — the seam the
+// fault-injection harness (internal/faultfs) uses to inject read errors,
+// truncation and panics underneath the whole scan stack. Test-only.
+var openHook atomic.Pointer[func(path string, f File) File]
+
+// SetOpenHook installs (or, with nil, removes) a hook wrapping every file
+// opened by Open. Intended for fault-injection tests; not for production
+// use. Safe for concurrent use with Open.
+func SetOpenHook(h func(path string, f File) File) {
+	if h == nil {
+		openHook.Store(nil)
+		return
+	}
+	openHook.Store(&h)
+}
 
 // Reader reads a file in blocks and charges time and bytes to a metrics
 // breakdown. ReadAt is a stateless pread, so concurrent readers may share
@@ -23,7 +59,8 @@ const DefaultBlockSize = 256 * 1024
 // synchronized, so each concurrent user needs its own Reader or View with a
 // private breakdown.
 type Reader struct {
-	f      *os.File
+	f      File
+	path   string
 	size   int64
 	b      *metrics.Breakdown
 	shared bool // view over another Reader's descriptor; Close is a no-op
@@ -31,27 +68,53 @@ type Reader struct {
 
 // Open opens path for raw access, charging I/O to b (which may be nil).
 func Open(path string, b *metrics.Breakdown) (*Reader, error) {
-	f, err := os.Open(path)
+	osf, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("rawfile: %w", err)
+	}
+	var f File = osf
+	if hp := openHook.Load(); hp != nil {
+		f = (*hp)(path, osf)
 	}
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("rawfile: %w", err)
 	}
-	return &Reader{f: f, size: st.Size(), b: b}, nil
+	return &Reader{f: f, path: path, size: st.Size(), b: b}, nil
 }
 
 // Size returns the file size at open time.
 func (r *Reader) Size() int64 { return r.size }
+
+// Path returns the path the reader was opened with.
+func (r *Reader) Path() string { return r.path }
+
+// Fingerprint identifies one version of a file's bytes: size plus
+// modification time in nanoseconds. Scans compare fingerprints at chunk
+// boundaries and on warm-structure reuse to detect files changing under
+// foot.
+type Fingerprint struct {
+	Size    int64
+	ModTime int64 // unix nanoseconds
+}
+
+// Fingerprint stats the open descriptor (not the path, so a rename swap is
+// seen as the old file) and returns its current fingerprint.
+func (r *Reader) Fingerprint() (Fingerprint, error) {
+	st, err := r.f.Stat()
+	if err != nil {
+		return Fingerprint{}, faults.IO(r.path, -1, err)
+	}
+	return Fingerprint{Size: st.Size(), ModTime: st.ModTime().UnixNano()}, nil
+}
 
 // View returns a reader sharing r's descriptor but charging I/O to its own
 // breakdown, so parallel scan workers can pread concurrently without racing
 // on accounting. Closing a view is a no-op; the owner's Close releases the
 // descriptor.
 func (r *Reader) View(b *metrics.Breakdown) *Reader {
-	return &Reader{f: r.f, size: r.size, b: b, shared: true}
+	return &Reader{f: r.f, path: r.path, size: r.size, b: b, shared: true}
 }
 
 // SetBreakdown redirects accounting to b.
@@ -59,12 +122,28 @@ func (r *Reader) SetBreakdown(b *metrics.Breakdown) { r.b = b }
 
 // ReadAt fills p from the given offset, charging I/O time and bytes.
 // Like io.ReaderAt it returns io.EOF with a short count at end of file.
+// Transient failures (EINTR and injected transients) are retried with
+// backoff, resuming after any bytes already read; errors that survive the
+// retry budget — and permanent failures — come back wrapped as
+// faults.ErrIO.
 func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
 	t0 := time.Now()
 	n, err := r.f.ReadAt(p, off)
+	for attempt := 0; err != nil && err != io.EOF && faults.IsTransient(err) && attempt < RetryAttempts; attempt++ {
+		if r.b != nil {
+			r.b.IORetries++
+		}
+		time.Sleep(RetryBackoff << attempt)
+		var m int
+		m, err = r.f.ReadAt(p[n:], off+int64(n))
+		n += m
+	}
 	if r.b != nil {
 		r.b.Add(metrics.IO, time.Since(t0))
 		r.b.BytesRead += int64(n)
+	}
+	if err != nil && err != io.EOF && !errors.Is(err, faults.ErrIO) {
+		err = faults.IO(r.path, off, err)
 	}
 	return n, err
 }
@@ -225,6 +304,12 @@ func ReadChunkAt(r *Reader, base, limit int64, maxRows int, buf []byte, ch *Chun
 		if err == io.EOF && got == n {
 			err = nil
 		}
+		if err == io.EOF {
+			// The range was computed from the scan's view of the file; an
+			// early EOF means the file shrank underneath it.
+			return buf, faults.Truncated(r.Path(),
+				fmt.Sprintf("chunk at %d wants %d bytes, file ends after %d", base, n, got))
+		}
 		if err != nil {
 			return buf, fmt.Errorf("rawfile: read chunk at %d: %w", base, err)
 		}
@@ -294,6 +379,11 @@ func (c *ChunkReader) fill() error {
 	switch {
 	case err == io.EOF:
 		c.eof = true
+		if got := c.base + int64(c.nbuf); got < c.r.Size() {
+			// EOF before the size the file had at open: it shrank mid-scan.
+			return faults.Truncated(c.r.Path(),
+				fmt.Sprintf("read at %d hit end of file before expected size %d", got, c.r.Size()))
+		}
 		return nil
 	case err != nil:
 		return fmt.Errorf("rawfile: read at %d: %w", c.base+int64(c.nbuf-n), err)

@@ -1,0 +1,316 @@
+package rawfile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"nodb/internal/faults"
+	"nodb/internal/metrics"
+)
+
+// flakyFile is a File returning a configurable error for the first fails
+// reads, then delegating. A local stand-in for internal/faultfs, which the
+// rawfile tests cannot import (it imports rawfile).
+type flakyFile struct {
+	inner *os.File
+	err   error
+	fails int
+	reads int
+}
+
+func (f *flakyFile) ReadAt(p []byte, off int64) (int, error) {
+	f.reads++
+	if f.fails != 0 {
+		if f.fails > 0 {
+			f.fails--
+		}
+		return 0, f.err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *flakyFile) Stat() (os.FileInfo, error) { return f.inner.Stat() }
+func (f *flakyFile) Close() error               { return f.inner.Close() }
+
+func fastBackoff(t *testing.T) {
+	t.Helper()
+	old := RetryBackoff
+	RetryBackoff = time.Microsecond
+	t.Cleanup(func() { RetryBackoff = old })
+}
+
+// installFlaky hooks Open to wrap the next opened file.
+func installFlaky(t *testing.T, err error, fails int) *flakyFile {
+	t.Helper()
+	ff := &flakyFile{err: err, fails: fails}
+	SetOpenHook(func(path string, f File) File {
+		ff.inner = f.(*os.File)
+		return ff
+	})
+	t.Cleanup(func() { SetOpenHook(nil) })
+	return ff
+}
+
+func TestOpenHookPathFingerprint(t *testing.T) {
+	path := writeTemp(t, "1,a\n2,b\n")
+	ff := installFlaky(t, nil, 0)
+	r, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Path() != path {
+		t.Fatalf("Path=%q, want %q", r.Path(), path)
+	}
+	buf := make([]byte, 3)
+	if _, err := r.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if ff.reads == 0 {
+		t.Fatal("hook-installed wrapper never saw a read")
+	}
+	st, _ := os.Stat(path)
+	fp, err := r.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Size != st.Size() || fp.ModTime != st.ModTime().UnixNano() {
+		t.Fatalf("fingerprint %+v does not match stat (%d, %d)", fp, st.Size(), st.ModTime().UnixNano())
+	}
+}
+
+func TestViewSharesDescriptor(t *testing.T) {
+	var owner, viewer metrics.Breakdown
+	r, err := Open(writeTemp(t, "hello world"), &owner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	v := r.View(&viewer)
+	if v.Path() != r.Path() || v.Size() != r.Size() {
+		t.Fatal("view metadata differs from owner")
+	}
+	buf := make([]byte, 5)
+	if _, err := v.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if viewer.BytesRead != 5 || owner.BytesRead != 0 {
+		t.Fatalf("view charged owner=%d viewer=%d, want 0 and 5", owner.BytesRead, viewer.BytesRead)
+	}
+	// Closing the view must not release the shared descriptor.
+	if err := v.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadAt(buf, 6); err != nil {
+		t.Fatalf("owner read after view close: %v", err)
+	}
+	var redirected metrics.Breakdown
+	v.SetBreakdown(&redirected)
+	if _, err := v.ReadAt(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if redirected.BytesRead != 5 {
+		t.Fatalf("SetBreakdown not honored: %d bytes", redirected.BytesRead)
+	}
+}
+
+func TestReadAtRetriesTransient(t *testing.T) {
+	fastBackoff(t)
+	path := writeTemp(t, "0123456789")
+	ff := installFlaky(t, syscall.EINTR, 2)
+	var b metrics.Breakdown
+	r, err := Open(path, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	buf := make([]byte, 4)
+	n, err := r.ReadAt(buf, 2)
+	if err != nil || n != 4 || string(buf) != "2345" {
+		t.Fatalf("retried read: n=%d err=%v buf=%q", n, err, buf)
+	}
+	if b.IORetries != 2 {
+		t.Fatalf("IORetries=%d, want 2", b.IORetries)
+	}
+	if ff.reads != 3 {
+		t.Fatalf("%d physical reads, want 3 (two failures + success)", ff.reads)
+	}
+}
+
+func TestReadAtRetryExhaustion(t *testing.T) {
+	fastBackoff(t)
+	path := writeTemp(t, "0123456789")
+	installFlaky(t, syscall.EAGAIN, -1) // never recovers
+	var b metrics.Breakdown
+	r, err := Open(path, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = r.ReadAt(make([]byte, 4), 0)
+	if !errors.Is(err, faults.ErrIO) {
+		t.Fatalf("want ErrIO after exhausting retries, got %v", err)
+	}
+	if b.IORetries != int64(RetryAttempts) {
+		t.Fatalf("IORetries=%d, want %d", b.IORetries, RetryAttempts)
+	}
+}
+
+func TestReadAtPermanentErrorNoRetry(t *testing.T) {
+	path := writeTemp(t, "0123456789")
+	ff := installFlaky(t, fmt.Errorf("disk on fire"), -1)
+	r, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	_, err = r.ReadAt(make([]byte, 4), 0)
+	if !errors.Is(err, faults.ErrIO) {
+		t.Fatalf("want ErrIO, got %v", err)
+	}
+	if errors.Is(err, faults.ErrTransient) {
+		t.Fatalf("permanent error classified transient: %v", err)
+	}
+	if ff.reads != 1 {
+		t.Fatalf("%d reads for a permanent error, want 1 (no retries)", ff.reads)
+	}
+}
+
+func TestReadChunkAtBasics(t *testing.T) {
+	path := writeTemp(t, "aa\nbbb\r\n\ncccc\nlast")
+	r, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	var ch Chunk
+	// limit beyond the file size clamps; the final newline-less line counts;
+	// the empty line is skipped; \r is trimmed.
+	if _, err := ReadChunkAt(r, 0, r.Size()+100, 100, nil, &ch); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"aa", "bbb", "cccc", "last"}
+	if ch.Rows != len(want) {
+		t.Fatalf("rows=%d, want %d", ch.Rows, len(want))
+	}
+	for i, w := range want {
+		if got := string(ch.RowBytes(i)); got != w {
+			t.Fatalf("row %d = %q, want %q", i, got, w)
+		}
+	}
+	// maxRows caps the split.
+	if _, err := ReadChunkAt(r, 0, r.Size(), 2, nil, &ch); err != nil {
+		t.Fatal(err)
+	}
+	if ch.Rows != 2 {
+		t.Fatalf("capped rows=%d, want 2", ch.Rows)
+	}
+	// A range past the end is an empty chunk: io.EOF.
+	if _, err := ReadChunkAt(r, r.Size(), r.Size(), 10, nil, &ch); err != io.EOF {
+		t.Fatalf("past-end range: %v, want io.EOF", err)
+	}
+}
+
+func TestReadChunkAtDetectsShrunkFile(t *testing.T) {
+	path := writeTemp(t, "aaaa\nbbbb\ncccc\ndddd\n")
+	r, err := Open(path, nil) // size captured here
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := os.Truncate(path, 8); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadChunkAt(r, 0, r.Size(), 100, nil, &Chunk{})
+	if !errors.Is(err, faults.ErrTruncated) || !errors.Is(err, faults.ErrFileChanged) {
+		t.Fatalf("want ErrTruncated (an ErrFileChanged), got %v", err)
+	}
+}
+
+func TestChunkReaderDetectsShrunkFile(t *testing.T) {
+	content := ""
+	for i := 0; i < 100; i++ {
+		content += fmt.Sprintf("row-%03d\n", i)
+	}
+	path := writeTemp(t, content)
+	r, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	cr := NewChunkReader(r, 64) // small blocks force refills
+	var ch Chunk
+	if err := cr.NextChunk(5, &ch); err != nil || ch.Rows != 5 {
+		t.Fatalf("first chunk: rows=%d err=%v", ch.Rows, err)
+	}
+	if err := os.Truncate(path, 128); err != nil {
+		t.Fatal(err)
+	}
+	var got error
+	for {
+		if got = cr.NextChunk(5, &ch); got != nil {
+			break
+		}
+	}
+	if !errors.Is(got, faults.ErrTruncated) {
+		t.Fatalf("want ErrTruncated from mid-scan shrink, got %v", got)
+	}
+	// The fault is sticky: the reader refuses to resume over a torn file.
+	if err := cr.NextChunk(5, &ch); !errors.Is(err, faults.ErrTruncated) {
+		t.Fatalf("sticky fault lost: %v", err)
+	}
+}
+
+// TestNoTrailingNewlineThenAppend pins the append semantics the table-level
+// Refresh relies on: a final line without a newline is a complete row, and
+// appended bytes merge into it on the next (re-opened) read.
+func TestNoTrailingNewlineThenAppend(t *testing.T) {
+	path := writeTemp(t, "1,a\n2,b")
+	rows, _ := readAllChunks(t, path, 10, 64)
+	if len(rows) != 2 || rows[1] != "2,b" {
+		t.Fatalf("pre-append rows: %v", rows)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("cd\n3,e\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rows, _ = readAllChunks(t, path, 10, 64)
+	want := []string{"1,a", "2,bcd", "3,e"}
+	if len(rows) != len(want) {
+		t.Fatalf("post-append rows: %v", rows)
+	}
+	for i, w := range want {
+		if rows[i] != w {
+			t.Fatalf("post-append row %d = %q, want %q", i, rows[i], w)
+		}
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{syscall.EINTR, true},
+		{syscall.EAGAIN, true},
+		{fmt.Errorf("wrap: %w", syscall.EINTR), true},
+		{fmt.Errorf("wrap: %w", faults.ErrTransient), true},
+		{io.EOF, false},
+		{syscall.EIO, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := faults.IsTransient(c.err); got != c.want {
+			t.Errorf("IsTransient(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}

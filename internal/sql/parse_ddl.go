@@ -162,7 +162,8 @@ func (p *parser) parseOptionValue() (string, bool, error) {
 			return "-" + t.Text, false, nil
 		}
 		return t.Text, false, nil
-	case t.Kind == TokKeyword && (t.Text == "TRUE" || t.Text == "FALSE") && !neg:
+	case t.Kind == TokKeyword && (t.Text == "TRUE" || t.Text == "FALSE" || t.Text == "NULL") && !neg:
+		// NULL is accepted bare so WITH (on_error = null) reads naturally.
 		p.advance()
 		return strings.ToLower(t.Text), false, nil
 	case t.Kind == TokIdent && !neg:

@@ -243,9 +243,18 @@ type RawOptions struct {
 	// table. 0 inherits the DB's Config.Parallelism (which itself defaults
 	// to GOMAXPROCS); 1 runs the sequential scan.
 	Parallelism int
+	// OnError selects the malformed-input policy: "null" (or "", the
+	// default) nulls a field that does not convert and counts the event,
+	// "fail" aborts the query with a typed error, "skip" drops the
+	// offending row. The DDL equivalent is WITH (on_error = '...').
+	OnError string
+	// MaxErrors, when > 0, fails a query once more than MaxErrors
+	// malformed-input events accumulated during its scan of this table
+	// (per shard for sharded tables). 0 = unlimited.
+	MaxErrors int64
 }
 
-func (o *RawOptions) coreOptions(defaultParallelism int) core.Options {
+func (o *RawOptions) coreOptions(defaultParallelism int) (core.Options, error) {
 	opts := core.Options{
 		EnablePosMap: true,
 		EnableCache:  true,
@@ -253,8 +262,17 @@ func (o *RawOptions) coreOptions(defaultParallelism int) core.Options {
 		Parallelism:  defaultParallelism,
 	}
 	if o == nil {
-		return opts
+		return opts, nil
 	}
+	onErr, err := core.ParseOnErrorPolicy(strings.ToLower(o.OnError))
+	if err != nil {
+		return opts, fmt.Errorf("nodb: %w", err)
+	}
+	opts.OnError = onErr
+	if o.MaxErrors < 0 {
+		return opts, fmt.Errorf("nodb: MaxErrors must be >= 0, got %d", o.MaxErrors)
+	}
+	opts.MaxErrors = o.MaxErrors
 	opts.Delim = o.Delim
 	opts.ChunkRows = o.ChunkRows
 	opts.PosMapBudget = o.PosMapBudget
@@ -267,7 +285,7 @@ func (o *RawOptions) coreOptions(defaultParallelism int) core.Options {
 	if o.Parallelism != 0 {
 		opts.Parallelism = o.Parallelism
 	}
-	return opts
+	return opts, nil
 }
 
 // RegisterRaw attaches a CSV file for in-situ querying (the PostgresRaw

@@ -44,6 +44,10 @@ type QueryStats struct {
 	PartialGroups   int64 // partial group states folded by scan workers (aggregation pushdown)
 	VecRows         int64 // (row, expression) evaluations served by the vectorized (column-at-a-time) path
 	PlanCacheHits   int64 // 1 when this query reused a cached plan skeleton (prepared statement or plan cache)
+
+	MalformedFields int64 // malformed-input events (bad conversions, ragged rows) hit by this query's scan work
+	RowsDropped     int64 // rows excluded from the result by on_error=skip
+	IORetries       int64 // transient read errors retried (with backoff) by the raw-file layer
 }
 
 func newQueryStats(b *metrics.Breakdown, total time.Duration) QueryStats {
@@ -66,6 +70,9 @@ func newQueryStats(b *metrics.Breakdown, total time.Duration) QueryStats {
 		MapNearFields:   b.MapNearFields,
 		PartialGroups:   b.PartialGroups,
 		VecRows:         b.VecRows,
+		MalformedFields: b.MalformedFields,
+		RowsDropped:     b.RowsDropped,
+		IORetries:       b.IORetries,
 	}
 }
 
