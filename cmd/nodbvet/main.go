@@ -1,0 +1,225 @@
+// Command nodbvet is the engine's project-specific static-analysis suite:
+// it machine-checks the determinism, panic-safety, error-taxonomy,
+// hot-path allocation and cancellation invariants the paper's adaptive
+// structures depend on (see CONTRIBUTING.md for the full list).
+//
+// It speaks the go vet tool protocol, so the canonical invocation is
+//
+//	go vet -vettool=$(which nodbvet) ./...
+//
+// in which mode the go command hands it one JSON config file per package
+// (files, import map, export data), exactly like x/tools' unitchecker —
+// reimplemented here on the standard library alone, because this module
+// deliberately carries no external dependencies.
+//
+// Invoked with package patterns instead of a config file, it re-executes
+// itself through the go command:
+//
+//	nodbvet ./...
+//
+// Exit status: 0 clean, 1 tool/type-check failure, 2 findings.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"strings"
+
+	"nodb/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	var cfgFile string
+	var patterns []string
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			printVersion()
+			return 0
+		case a == "-flags" || a == "--flags":
+			// The go command may query supported analyzer flags; the suite
+			// has none.
+			fmt.Println("[]")
+			return 0
+		case strings.HasPrefix(a, "-"):
+			// Tolerate and ignore driver flags (-json, -c=N, ...): the go
+			// command decides what to pass and the suite's output shape is
+			// fixed.
+		case strings.HasSuffix(a, ".cfg"):
+			cfgFile = a
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+	switch {
+	case cfgFile != "":
+		return vetUnit(cfgFile)
+	case len(patterns) > 0:
+		return reexec(patterns)
+	default:
+		fmt.Fprintln(os.Stderr, "usage: nodbvet ./...  (or, via the go command: go vet -vettool=$(which nodbvet) ./...)")
+		return 1
+	}
+}
+
+// printVersion answers the go command's -V=full probe. The build ID must
+// change whenever the analyzers change, or stale vet results would be
+// served from the go cache: hash the executable itself.
+func printVersion() {
+	id := "unknown"
+	if exe, err := os.Executable(); err == nil {
+		if data, err := os.ReadFile(exe); err == nil {
+			sum := sha256.Sum256(data)
+			id = fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	fmt.Printf("nodbvet version devel buildID=%s\n", id)
+}
+
+// reexec runs the suite over package patterns by delegating to go vet,
+// which drives this same binary in unit mode with a proper build graph.
+func reexec(patterns []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nodbvet:", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
+	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintln(os.Stderr, "nodbvet:", err)
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the per-package JSON the go command hands a vet tool (the
+// same schema x/tools' unitchecker reads).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one package from a vet config file.
+func vetUnit(cfgFile string) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nodbvet:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "nodbvet: parsing %s: %v\n", cfgFile, err)
+		return 1
+	}
+	// The suite keeps no cross-package facts, but the go command expects
+	// the facts file to exist for caching.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "nodbvet:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency visited only to produce facts
+	}
+
+	// Parse the package, skipping test files: the invariants bind
+	// production code, and external-test configs then have nothing to do.
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		if strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nodbvet:", err)
+			return 1
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return 0
+	}
+
+	// Type-check against the export data the go command already built.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if p, ok := cfg.ImportMap[path]; ok {
+			path = p
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tconf := types.Config{
+		Importer:  importer.ForCompiler(fset, compiler, lookup),
+		Sizes:     types.SizesFor(compiler, runtime.GOARCH),
+		GoVersion: cfg.GoVersion,
+	}
+	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "nodbvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := analysis.RunSuite(fset, files, pkg, info)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nodbvet:", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	// No package header: the go command already prints "# <pkg>" around a
+	// failing vet tool's stderr.
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+	}
+	return 2
+}

@@ -1,0 +1,103 @@
+// Package analysistest runs a nodbvet analyzer over a fixture package and
+// checks its diagnostics against `// want` expectations, mirroring the
+// x/tools analysistest convention without the dependency:
+//
+//	for k := range m { // want `range over map`
+//
+// Each expectation is a back-quoted or double-quoted regular expression;
+// several may sit in one comment. Every diagnostic must match an
+// expectation on its line and every expectation must be matched by a
+// diagnostic. Suppression directives are applied before matching, so
+// fixtures exercise the justification rules too.
+package analysistest
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"nodb/internal/analysis/loadpkg"
+	"nodb/internal/analysis/nodbvet"
+)
+
+// expectation is one `// want` regexp at a file line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// wantRx splits a want comment into its quoted regexps.
+var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+// Run loads the fixture package in dir, runs the analyzer (with the
+// framework's suppression filtering) and diffs diagnostics against the
+// fixture's want comments.
+func Run(t *testing.T, a *nodbvet.Analyzer, dir string) {
+	t.Helper()
+	pkg, err := loadpkg.Dir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", dir, err)
+	}
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		wants = append(wants, parseWants(t, pkg.Fset, f)...)
+	}
+	diags, err := nodbvet.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*nodbvet.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Category, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the `// want` expectations of one file.
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			ms := wantRx.FindAllStringSubmatch(text, -1)
+			if len(ms) == 0 {
+				t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+			}
+			for _, m := range ms {
+				src := m[1]
+				if src == "" {
+					src = m[2]
+				}
+				re, err := regexp.Compile(src)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pos, src, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}

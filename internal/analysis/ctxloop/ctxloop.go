@@ -1,0 +1,140 @@
+// Package ctxloop enforces the PR 3 cancellation contract: loops that pull
+// bytes or pages from storage must probe for cancellation at a bounded
+// interval, so QueryContext cancellation takes effect within one chunk or
+// page of work.
+//
+// The engine's contract puts the probes at the leaves (see engine.ctxDone):
+// blocking operators pull from leaf scans, so a leaf I/O loop without a
+// probe is where cancellation latency becomes unbounded. In internal/core
+// and internal/engine, any for/range loop whose body performs leaf I/O
+// (ReadPage, Fetch, NextChunk, ReadChunkAt, ReadAt) must also contain a
+// cancellation probe: a ctxDone/ctxErr helper call, a ctx.Done()/ctx.Err()
+// call, or a select with a receive case (the pipeline's done-channel
+// pattern).
+package ctxloop
+
+import (
+	"go/ast"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// Packages lists the package names whose loops are checked.
+var Packages = map[string]bool{"core": true, "engine": true}
+
+// ioCalls are the leaf I/O method names that make a loop a scan loop.
+var ioCalls = map[string]bool{
+	"ReadPage": true, "Fetch": true, "NextChunk": true, "ReadChunkAt": true, "ReadAt": true,
+}
+
+// probeCalls are the cancellation probes the contract accepts.
+var probeCalls = map[string]bool{
+	"ctxDone": true, "ctxErr": true, "Done": true, "Err": true,
+}
+
+// Analyzer is the ctxloop check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "ctxloop",
+	Directive: "ctxloop-ok",
+	Doc: "leaf I/O loops in core and engine (ReadPage/Fetch/NextChunk/ReadChunkAt/ReadAt in the " +
+		"body) must probe cancellation each iteration (ctxDone/ctxErr/ctx.Done/ctx.Err or a " +
+		"select with a receive), keeping cancellation latency bounded by one chunk or page",
+	Run: run,
+}
+
+func run(pass *nodbvet.Pass) error {
+	if !Packages[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				body = n.Body
+			case *ast.RangeStmt:
+				body = n.Body
+			default:
+				return true
+			}
+			io := ioCallIn(body)
+			if io == "" || hasProbe(body) {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"loop performs leaf I/O (%s) with no cancellation probe; check ctx.Done()/ctxDone "+
+					"at a bounded interval so cancellation latency stays within one chunk/page, or "+
+					"suppress with //nodbvet:ctxloop-ok <why>", io)
+			return true
+		})
+	}
+	return nil
+}
+
+// ioCallIn returns the name of a leaf I/O call made directly in the loop
+// body (nested function literals excluded — their loops are checked where
+// they run), or "".
+func ioCallIn(body *ast.BlockStmt) string {
+	name := ""
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || name != "" {
+			return
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.SelectorExpr:
+			if ioCalls[fun.Sel.Name] {
+				name = fun.Sel.Name
+			}
+		case *ast.Ident:
+			if ioCalls[fun.Name] {
+				name = fun.Name
+			}
+		}
+	})
+	return name
+}
+
+// hasProbe reports whether the loop body contains an accepted cancellation
+// probe.
+func hasProbe(body *ast.BlockStmt) bool {
+	found := false
+	inspectSkippingFuncLits(body, func(n ast.Node) {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			switch fun := n.Fun.(type) {
+			case *ast.SelectorExpr:
+				if probeCalls[fun.Sel.Name] {
+					found = true
+				}
+			case *ast.Ident:
+				if probeCalls[fun.Name] {
+					found = true
+				}
+			}
+		case *ast.SelectStmt:
+			for _, clause := range n.Body.List {
+				if comm, ok := clause.(*ast.CommClause); ok && comm.Comm != nil {
+					if _, isSend := comm.Comm.(*ast.SendStmt); !isSend {
+						found = true // receive case: done-channel pattern
+					}
+				}
+			}
+		}
+	})
+	return found
+}
+
+// inspectSkippingFuncLits walks n but does not descend into function
+// literals.
+func inspectSkippingFuncLits(root ast.Node, fn func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}

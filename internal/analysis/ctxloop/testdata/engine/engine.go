@@ -1,0 +1,80 @@
+// Fixture for the ctxloop analyzer. The package is named engine so its
+// leaf-I/O loops are checked for cancellation probes.
+package engine
+
+import "context"
+
+type pager interface {
+	ReadPage(int) ([]byte, error)
+}
+
+type op struct {
+	p    pager
+	ctx  context.Context
+	page int
+}
+
+// drainUnchecked pulls pages forever with no cancellation probe.
+func (o *op) drainUnchecked() error {
+	for { // want `loop performs leaf I/O`
+		if _, err := o.p.ReadPage(o.page); err != nil {
+			return err
+		}
+		o.page++
+	}
+}
+
+// drainPolled probes ctx.Done() each iteration: clean.
+func (o *op) drainPolled() error {
+	for {
+		select {
+		case <-o.ctx.Done():
+			return o.ctx.Err()
+		default:
+		}
+		if _, err := o.p.ReadPage(o.page); err != nil {
+			return err
+		}
+		o.page++
+	}
+}
+
+func ctxDone(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// drainHelper uses the engine's leaf-check helper: clean.
+func (o *op) drainHelper() error {
+	for {
+		if err := ctxDone(o.ctx); err != nil {
+			return err
+		}
+		if _, err := o.p.ReadPage(o.page); err != nil {
+			return err
+		}
+		o.page++
+	}
+}
+
+// drainBounded is justified: iteration count is a small constant.
+func (o *op) drainBounded() error {
+	//nodbvet:ctxloop-ok bounded to two pages by construction, latency cannot grow with input
+	for i := 0; i < 2; i++ {
+		if _, err := o.p.ReadPage(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spin does no leaf I/O: out of scope.
+func (o *op) spin() int {
+	n := 0
+	for i := 0; i < 100; i++ {
+		n += i
+	}
+	return n
+}

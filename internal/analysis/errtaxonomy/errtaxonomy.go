@@ -1,0 +1,164 @@
+// Package errtaxonomy keeps the scan boundary typed: every error built on
+// a scan path in internal/core and internal/rawfile must speak the
+// internal/faults taxonomy, so callers can switch on errors.Is classes and
+// the per-table on_error policies can act on them without parsing message
+// strings.
+//
+// Flagged: bare errors.New anywhere in scope, and fmt.Errorf that does not
+// verifiably wrap the faults package — i.e. its arguments contain no
+// faults sentinel, faults constructor call or *faults.ScanError, or its
+// format has no %w verb. Construction-time validation helpers that are not
+// reachable from the scan-serving surface are out of scope.
+package errtaxonomy
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// Roots names, per package, the scan-path entry points. In rawfile the
+// whole package is scan substrate, so every function is a root.
+var Roots = map[string]map[string]bool{
+	"core":    {"Next": true, "NextBatch": true, "DrainAgg": true, "splitter": true, "worker": true, "OpenScan": true},
+	"rawfile": {"*": true},
+}
+
+// Analyzer is the errtaxonomy check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "errtaxonomy",
+	Directive: "errtaxonomy-ok",
+	Doc: "errors constructed on scan paths (core, rawfile) must be typed: use the faults package " +
+		"constructors or wrap a faults sentinel with %w; bare errors.New/fmt.Errorf leaves callers " +
+		"and on_error policies unable to classify the failure",
+	Run: run,
+}
+
+func run(pass *nodbvet.Pass) error {
+	roots, ok := Roots[pass.Pkg.Name()]
+	if !ok {
+		return nil
+	}
+	g := nodbvet.BuildCallGraph(pass)
+	var reach map[*types.Func]bool
+	if !roots["*"] {
+		reach = g.ReachableFrom(roots)
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if reach != nil {
+				obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+				if !ok || !reach[obj] {
+					continue
+				}
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *nodbvet.Pass, fn *ast.FuncDecl) {
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleePath(pass, call) {
+		case "errors.New":
+			pass.Reportf(call.Pos(),
+				"untyped errors.New on a scan path; construct a faults.ScanError (faults.Malformed, "+
+					"faults.IO, ...) or wrap a faults sentinel so the error is errors.Is-classifiable, "+
+					"or suppress with //nodbvet:errtaxonomy-ok <why>")
+		case "fmt.Errorf":
+			if wrapsFaults(pass, call) {
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf on a scan path does not verifiably wrap the faults taxonomy; wrap a "+
+					"faults sentinel with %%w, use a faults constructor, or suppress with "+
+					"//nodbvet:errtaxonomy-ok <why>")
+		}
+		return true
+	})
+}
+
+// calleePath renders a call's callee as "pkg.Func" for package-level
+// functions of imported packages.
+func calleePath(pass *nodbvet.Pass, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pkgID, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pkgName.Imported().Path() + "." + sel.Sel.Name
+}
+
+// wrapsFaults reports whether a fmt.Errorf call provably produces a
+// faults-classified error: its format string contains %w and at least one
+// argument mentions the faults package (a sentinel like faults.ErrIO, a
+// constructor call, or a value of a faults type).
+func wrapsFaults(pass *nodbvet.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return false
+	}
+	if !strings.Contains(constant.StringVal(tv.Value), "%w") {
+		return false
+	}
+	for _, arg := range call.Args[1:] {
+		if mentionsFaults(pass, arg) {
+			return true
+		}
+	}
+	return false
+}
+
+func mentionsFaults(pass *nodbvet.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || found {
+			return true
+		}
+		if pkgName, ok := pass.TypesInfo.Uses[id].(*types.PkgName); ok &&
+			pkgName.Imported().Path() == "nodb/internal/faults" {
+			found = true
+		}
+		// A value whose static type is declared in faults (e.g. a
+		// *faults.ScanError variable) counts too.
+		if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+			if named, ok := derefNamed(obj.Type()); ok && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "nodb/internal/faults" {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func derefNamed(t types.Type) (*types.Named, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return named, ok
+}

@@ -1,0 +1,12 @@
+package errtaxonomy_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/errtaxonomy"
+)
+
+func TestErrtaxonomy(t *testing.T) {
+	analysistest.Run(t, errtaxonomy.Analyzer, "testdata/core")
+}

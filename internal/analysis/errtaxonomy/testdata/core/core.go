@@ -1,0 +1,53 @@
+// Fixture for the errtaxonomy analyzer. The package is named core, where
+// Next/NextBatch/DrainAgg/splitter/worker/OpenScan root the scan paths.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"nodb/internal/faults"
+)
+
+type scan struct{ path string }
+
+// Next is a scan-path root: untyped constructions are flagged, faults
+// constructors and %w-wrapped sentinels are clean.
+func (s *scan) Next() error {
+	if bad() {
+		return errors.New("core: scan failed") // want `untyped errors.New on a scan path`
+	}
+	if worse() {
+		return fmt.Errorf("core: row %d broken", 7) // want `does not verifiably wrap the faults taxonomy`
+	}
+	if err := s.read(); err != nil {
+		return fmt.Errorf("core: reading %s: %w", s.path, faults.ErrIO)
+	}
+	return s.typed()
+}
+
+// typed is reachable from Next; a faults constructor wrapped with %w is the
+// taxonomy-preserving shape.
+func (s *scan) typed() error {
+	return fmt.Errorf("core: chunk 0: %w", faults.Malformed(s.path, 0, 1, "a", "not an int"))
+}
+
+// DrainAgg carries a justified suppression for a caller-misuse error.
+func (s *scan) DrainAgg() error {
+	//nodbvet:errtaxonomy-ok API misuse by the caller, not a scan-path fault
+	return errors.New("core: DrainAgg without PushAgg")
+}
+
+// validate is construction-time and unreachable from any scan root: plain
+// errors are fine here.
+func validate(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: bad row count %d", n)
+	}
+	return nil
+}
+
+func (s *scan) read() error { return nil }
+
+func bad() bool   { return false }
+func worse() bool { return false }

@@ -1,0 +1,235 @@
+// Package hotalloc keeps annotated per-row/per-chunk kernels allocation
+// lean. The tokenize/convert tax the paper's adaptive structures amortize
+// only shrinks if the hot loops themselves stay off the allocator, and the
+// planned compiled-kernel work (ROADMAP: "Code Generation Techniques for
+// Raw Data Processing") assumes kernels it can fuse without hidden
+// allocations.
+//
+// Functions annotated //nodbvet:hotpath are checked for per-call
+// allocation sources:
+//
+//   - fmt.Sprint/Sprintf/Sprintln/Errorf calls;
+//   - interface boxing of ints, floats and bools (arguments passed to
+//     interface-typed parameters, which heap-allocate the value);
+//   - function literals capturing local variables (the closure and its
+//     captures escape together);
+//   - append growth into a slice declared in the function without a
+//     capacity hint (no make with length/capacity), which reallocates as
+//     it grows instead of reusing a sized buffer.
+//
+// Cold sub-paths inside a hot function (e.g. malformed-input reporting)
+// carry //nodbvet:hotalloc-ok suppressions with a justification.
+package hotalloc
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "hotalloc",
+	Directive: "hotalloc-ok",
+	Doc: "functions annotated //nodbvet:hotpath must not allocate per call: no fmt.Sprint*, no " +
+		"interface boxing of numerics, no capturing closures, no unhinted append growth",
+	Run: run,
+}
+
+func run(pass *nodbvet.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if !nodbvet.FuncHasDirective(pass.Fset, f, fn, nodbvet.HotpathDirective) {
+				continue
+			}
+			checkFunc(pass, fn)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *nodbvet.Pass, fn *ast.FuncDecl) {
+	unhinted := unhintedSlices(pass, fn)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCall(pass, n, unhinted)
+		case *ast.FuncLit:
+			if captured := captures(pass, fn, n); len(captured) > 0 {
+				pass.Reportf(n.Pos(),
+					"hotpath closure captures %s; the closure and its captures escape and allocate "+
+						"per call — hoist it or pass state explicitly (//nodbvet:hotalloc-ok to justify)",
+					strings.Join(captured, ", "))
+			}
+		}
+		return true
+	})
+}
+
+func checkCall(pass *nodbvet.Pass, call *ast.CallExpr, unhinted map[*types.Var]bool) {
+	// Builtin append into an unhinted locally-declared slice.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if dst, ok := call.Args[0].(*ast.Ident); ok {
+			if v, ok := pass.TypesInfo.ObjectOf(dst).(*types.Var); ok && unhinted[v] {
+				pass.Reportf(call.Pos(),
+					"hotpath append grows %s, declared without a capacity hint; preallocate with "+
+						"make(len/cap) or reuse a sized buffer (//nodbvet:hotalloc-ok to justify)", dst.Name)
+			}
+		}
+		return
+	}
+
+	// fmt.Sprint* / fmt.Errorf.
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if pkgID, ok := sel.X.(*ast.Ident); ok {
+			if pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName); ok &&
+				pkgName.Imported().Path() == "fmt" {
+				switch sel.Sel.Name {
+				case "Sprint", "Sprintf", "Sprintln", "Errorf":
+					pass.Reportf(call.Pos(),
+						"hotpath calls fmt.%s, which allocates per call; move formatting off the hot "+
+							"path or append to a reused buffer (//nodbvet:hotalloc-ok to justify)",
+						sel.Sel.Name)
+					return // args are boxed by the same call; one report is enough
+				}
+			}
+		}
+	}
+
+	// Interface boxing of numerics at call boundaries.
+	sig := callSignature(pass, call)
+	if sig == nil {
+		return
+	}
+	for i, arg := range call.Args {
+		p := paramType(sig, i)
+		if p == nil {
+			continue
+		}
+		if _, isIface := p.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Type == nil {
+			continue
+		}
+		if b, ok := tv.Type.Underlying().(*types.Basic); ok &&
+			b.Info()&(types.IsInteger|types.IsFloat|types.IsBoolean) != 0 {
+			pass.Reportf(arg.Pos(),
+				"hotpath boxes a %s into an interface parameter, allocating per call; use a typed "+
+					"variant or restructure the call (//nodbvet:hotalloc-ok to justify)", b.Name())
+		}
+	}
+}
+
+func callSignature(pass *nodbvet.Pass, call *ast.CallExpr) *types.Signature {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// paramType returns the type of parameter i, unrolling variadics.
+func paramType(sig *types.Signature, i int) types.Type {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		if slice, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+			return slice.Elem()
+		}
+		return nil
+	}
+	if i >= params.Len() {
+		return nil
+	}
+	return params.At(i).Type()
+}
+
+// captures lists local variables of fn that lit references, i.e. the
+// closure's captured environment. Package-level objects and the literal's
+// own locals do not count.
+func captures(pass *nodbvet.Pass, fn *ast.FuncDecl, lit *ast.FuncLit) []string {
+	var names []string
+	seen := map[*types.Var]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+		if !ok || seen[v] || v.IsField() {
+			return true
+		}
+		// Captured = declared inside fn but outside lit.
+		if v.Pos() >= fn.Pos() && v.Pos() < fn.End() &&
+			!(v.Pos() >= lit.Pos() && v.Pos() < lit.End()) {
+			seen[v] = true
+			names = append(names, v.Name())
+		}
+		return true
+	})
+	return names
+}
+
+// unhintedSlices finds slice variables declared in fn with no capacity
+// hint: `var x []T`, `x := []T{}` or `x := []T(nil)`. A make with a
+// length or capacity, an assignment from another expression (sub-slicing a
+// reused buffer), parameters and fields are all considered hinted.
+func unhintedSlices(pass *nodbvet.Pass, fn *ast.FuncDecl) map[*types.Var]bool {
+	out := map[*types.Var]bool{}
+	mark := func(id *ast.Ident, init ast.Expr) {
+		v, ok := pass.TypesInfo.Defs[id].(*types.Var)
+		if !ok {
+			return
+		}
+		if _, isSlice := v.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		if init == nil {
+			out[v] = true // var x []T
+			return
+		}
+		if lit, ok := init.(*ast.CompositeLit); ok && len(lit.Elts) == 0 {
+			out[v] = true // x := []T{}
+		}
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok.String() != ":=" {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && i < len(n.Rhs) {
+					mark(id, n.Rhs[i])
+				}
+			}
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var init ast.Expr
+					if i < len(vs.Values) {
+						init = vs.Values[i]
+					}
+					mark(id, init)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

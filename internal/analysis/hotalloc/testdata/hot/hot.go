@@ -1,0 +1,73 @@
+// Fixture for the hotalloc analyzer. The package name is irrelevant: the
+// analyzer fires only on functions annotated //nodbvet:hotpath.
+package hot
+
+import "fmt"
+
+// render formats per element: flagged.
+//
+//nodbvet:hotpath
+func render(vals []int64) string {
+	out := ""
+	for _, v := range vals {
+		out = fmt.Sprintf("%s,%d", out, v) // want `calls fmt.Sprintf`
+	}
+	return out
+}
+
+func sink(v any) {}
+
+// box passes numerics to an interface parameter: flagged.
+//
+//nodbvet:hotpath
+func box(vals []int64) {
+	for _, v := range vals {
+		sink(v) // want `boxes a int64 into an interface parameter`
+	}
+}
+
+// closure captures a local: the closure and its captures escape together.
+//
+//nodbvet:hotpath
+func closure(vals []int64) func() int64 {
+	total := int64(0)
+	for _, v := range vals {
+		total += v
+	}
+	f := func() int64 { // want `closure captures total`
+		return total
+	}
+	return f
+}
+
+// gather grows an unhinted slice: flagged.
+//
+//nodbvet:hotpath
+func gather(vals []int64) []int64 {
+	var out []int64
+	for _, v := range vals {
+		out = append(out, v) // want `append grows out, declared without a capacity hint`
+	}
+	return out
+}
+
+// gatherHinted preallocates: clean.
+//
+//nodbvet:hotpath
+func gatherHinted(vals []int64) []int64 {
+	out := make([]int64, 0, len(vals))
+	for _, v := range vals {
+		out = append(out, v)
+	}
+	return out
+}
+
+// slow suppresses a cold sub-path with a justification: clean.
+//
+//nodbvet:hotpath
+func slow(vals []int64) string {
+	return fmt.Sprintf("%d values", len(vals)) //nodbvet:hotalloc-ok cold summary path, runs once per query not per row
+}
+
+// cold is not annotated: nothing is checked.
+func cold() string { return fmt.Sprintf("%d", 1) }

@@ -1,0 +1,119 @@
+// Package loadpkg parses and type-checks a directory of Go source for the
+// nodbvet analyzers, resolving imports through the go command's build
+// cache (`go list -export`). It is what lets analyzer fixtures and ad-hoc
+// loads type-check against the real standard library and real engine
+// packages (e.g. nodb/internal/faults) without any dependency on
+// golang.org/x/tools.
+package loadpkg
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one parsed, type-checked package.
+type Package struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// exportCache memoizes import path -> export data file across loads (the
+// go command is invoked at most once per path per process).
+var exportCache sync.Map // string -> string
+
+// exportFile resolves an import path to its export data file by asking the
+// go command, building the package if the cache is cold.
+func exportFile(path string) (string, error) {
+	if f, ok := exportCache.Load(path); ok {
+		return f.(string), nil
+	}
+	cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", "--", path)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return "", fmt.Errorf("loadpkg: go list -export %s: %v: %s", path, err, errb.String())
+	}
+	f := strings.TrimSpace(out.String())
+	if f == "" {
+		return "", fmt.Errorf("loadpkg: no export data for %q", path)
+	}
+	exportCache.Store(path, f)
+	return f, nil
+}
+
+// NewImporter returns a types importer backed by the go build cache.
+func NewImporter(fset *token.FileSet) types.ImporterFrom {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, err := exportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup).(types.ImporterFrom)
+}
+
+// NewInfo returns a types.Info with every map the analyzers use filled in.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// Dir parses and type-checks the non-test .go files of one directory as a
+// single package.
+func Dir(dir string) (*Package, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("loadpkg: no Go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{
+		Importer: NewImporter(fset),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("loadpkg: type-check %s: %w", dir, err)
+	}
+	return &Package{Fset: fset, Files: files, Types: pkg, Info: info}, nil
+}

@@ -1,0 +1,138 @@
+// Package mapiter flags map iteration on the engine's deterministic paths.
+//
+// The ordered-commit contract (PRs 1-2) promises that results, adaptive
+// structure contents and counters are byte-identical at any parallelism.
+// Go's map iteration order is deliberately randomized, so a `range` over a
+// map anywhere on an ordered-commit / result-emission path is a
+// nondeterminism bug of exactly the grouping-key class fixed in PR 2 —
+// unless the keys are collected and sorted first, or the site carries a
+// //nodbvet:unordered-ok justification (e.g. the loop only folds into an
+// order-insensitive accumulator).
+package mapiter
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// Roots names, per package, the entry points of ordered-commit and
+// result-emission paths; every package function reachable from them is
+// checked. Matching is by bare function/method name, so "Next" covers every
+// operator's Next method.
+var Roots = map[string]map[string]bool{
+	// internal/core: chunk commit/merge and the scan's serving surface.
+	"core": {"commit": true, "mergePartials": true, "Next": true, "NextBatch": true, "DrainAgg": true},
+	// internal/engine: operator output.
+	"engine": {"Next": true, "NextBatch": true},
+	// internal/expr: aggregate state merge and finalization.
+	"expr": {"Merge": true, "Result": true},
+}
+
+// Analyzer is the mapiter check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "mapiter",
+	Directive: "unordered-ok",
+	Doc: "flags range-over-map in functions reachable from ordered-commit/result-emission paths " +
+		"(core commit/merge, engine operator output, expr aggregate merge); map order is randomized, " +
+		"so such loops break the byte-identical-at-any-parallelism contract unless keys are sorted first",
+	Run: run,
+}
+
+func run(pass *nodbvet.Pass) error {
+	roots, ok := Roots[pass.Pkg.Name()]
+	if !ok {
+		return nil
+	}
+	g := nodbvet.BuildCallGraph(pass)
+	for fn := range g.ReachableFrom(roots) {
+		decl, ok := g.Decl(fn)
+		if !ok {
+			continue
+		}
+		checkFunc(pass, fn, decl)
+	}
+	return nil
+}
+
+func checkFunc(pass *nodbvet.Pass, fn *types.Func, decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		if collectsSortedKeys(pass, rng, decl) {
+			return true
+		}
+		pass.Reportf(rng.Pos(),
+			"range over map in %s, which is reachable from an ordered-commit/result-emission root; "+
+				"map order is randomized — iterate sorted keys, keep a first-seen order slice, "+
+				"or suppress with //nodbvet:unordered-ok <why>", fn.Name())
+		return true
+	})
+}
+
+// collectsSortedKeys recognizes the one blessed shape of map iteration on
+// an ordered path: a loop whose body only appends the key (or value) to a
+// slice that the same function later sorts.
+//
+//	for k := range m { keys = append(keys, k) }
+//	sort.Strings(keys)            // or sort.Slice(keys, ...), slices.Sort(keys)
+func collectsSortedKeys(pass *nodbvet.Pass, rng *ast.RangeStmt, decl *ast.FuncDecl) bool {
+	if len(rng.Body.List) != 1 {
+		return false
+	}
+	assign, ok := rng.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != 1 || len(assign.Rhs) != 1 {
+		return false
+	}
+	dst, ok := assign.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := assign.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if fun, ok := call.Fun.(*ast.Ident); !ok || fun.Name != "append" {
+		return false
+	}
+	dstObj := pass.TypesInfo.ObjectOf(dst)
+	if dstObj == nil {
+		return false
+	}
+	// The collected slice must be sorted somewhere in the same function:
+	// a call like sort.X(dst, ...) or slices.Sort(dst).
+	sorted := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 || sorted {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if pkgName, ok := pass.TypesInfo.Uses[pkg].(*types.PkgName); !ok ||
+			(pkgName.Imported().Path() != "sort" && pkgName.Imported().Path() != "slices") {
+			return true
+		}
+		if arg, ok := call.Args[0].(*ast.Ident); ok && pass.TypesInfo.ObjectOf(arg) == dstObj {
+			sorted = true
+		}
+		return true
+	})
+	return sorted
+}

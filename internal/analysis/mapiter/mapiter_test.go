@@ -1,0 +1,12 @@
+package mapiter_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/mapiter"
+)
+
+func TestMapiter(t *testing.T) {
+	analysistest.Run(t, mapiter.Analyzer, "testdata/core")
+}

@@ -1,0 +1,64 @@
+// Fixture for the mapiter analyzer. The package is named core so the
+// analyzer's root set applies: commit, Next, NextBatch and DrainAgg are
+// ordered-commit/result-emission roots here.
+package core
+
+import "sort"
+
+type scan struct {
+	groups map[string]int
+}
+
+// commit is a root: direct map iteration is flagged.
+func (s *scan) commit() int {
+	total := 0
+	for _, v := range s.groups { // want `range over map in commit`
+		total += v
+	}
+	return total
+}
+
+// Next is a root; emitViaHelper is reachable from it, so its map range is
+// flagged too.
+func (s *scan) Next() []string {
+	return s.emitViaHelper()
+}
+
+func (s *scan) emitViaHelper() []string {
+	var out []string
+	for k := range s.groups { // want `range over map in emitViaHelper`
+		out = append(out, k)
+	}
+	return out
+}
+
+// NextBatch shows the blessed shape: collect the keys, then sort them.
+func (s *scan) NextBatch() []string {
+	var keys []string
+	for k := range s.groups {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// DrainAgg carries a justified suppression: the loop only folds into an
+// order-insensitive accumulator.
+func (s *scan) DrainAgg() int {
+	n := 0
+	//nodbvet:unordered-ok order-insensitive count accumulation
+	for range s.groups {
+		n++
+	}
+	return n
+}
+
+// unreachable is not reachable from any root: map order cannot leak into
+// emitted results, so it is clean.
+func (s *scan) unreachable() int {
+	n := 0
+	for range s.groups {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,79 @@
+package nodbvet
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CallGraph is a conservative intra-package reference graph: an edge A -> B
+// exists when A's body mentions package function/method B at all (called,
+// deferred, launched with go, passed as a value, used as a method value).
+// Over-approximating references as calls errs toward checking more code,
+// which is the right direction for an invariant checker.
+type CallGraph struct {
+	decls map[*types.Func]*ast.FuncDecl
+	edges map[*types.Func][]*types.Func
+}
+
+// BuildCallGraph indexes every function declaration of the pass's package.
+func BuildCallGraph(pass *Pass) *CallGraph {
+	g := &CallGraph{
+		decls: map[*types.Func]*ast.FuncDecl{},
+		edges: map[*types.Func][]*types.Func{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			g.decls[obj] = fn
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				callee, ok := pass.TypesInfo.Uses[id].(*types.Func)
+				if !ok || callee.Pkg() != pass.Pkg {
+					return true
+				}
+				g.edges[obj] = append(g.edges[obj], callee)
+				return true
+			})
+		}
+	}
+	return g
+}
+
+// Decl returns the declaration of fn, if it is declared in this package.
+func (g *CallGraph) Decl(fn *types.Func) (*ast.FuncDecl, bool) {
+	d, ok := g.decls[fn]
+	return d, ok
+}
+
+// ReachableFrom returns the set of package functions reachable from any
+// declared function whose bare name is in roots (methods match by method
+// name, so "Next" covers every operator's Next).
+func (g *CallGraph) ReachableFrom(roots map[string]bool) map[*types.Func]bool {
+	seen := map[*types.Func]bool{}
+	var visit func(fn *types.Func)
+	visit = func(fn *types.Func) {
+		if seen[fn] {
+			return
+		}
+		seen[fn] = true
+		for _, callee := range g.edges[fn] {
+			visit(callee)
+		}
+	}
+	for fn := range g.decls {
+		if roots[fn.Name()] {
+			visit(fn)
+		}
+	}
+	return seen
+}

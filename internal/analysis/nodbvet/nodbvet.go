@@ -1,0 +1,213 @@
+// Package nodbvet is the engine-specific static-analysis framework behind
+// cmd/nodbvet. It is a small, dependency-free workalike of
+// golang.org/x/tools/go/analysis (this module deliberately has no external
+// dependencies): an Analyzer inspects one type-checked package at a time
+// and reports Diagnostics, and the drivers — the go vet -vettool protocol
+// in cmd/nodbvet and the analysistest fixture harness — load packages and
+// apply the shared suppression-directive rules.
+//
+// Suppressions are comment directives of the form
+//
+//	//nodbvet:<directive> <justification>
+//
+// placed on the flagged line or the line directly above it. Every
+// suppression must carry a non-empty justification string; a bare
+// directive is itself reported as a violation. The directive name for an
+// analyzer is Analyzer.Directive (by convention "<name>-ok"; mapiter uses
+// the historical "unordered-ok"). The //nodbvet:hotpath marker is not a
+// suppression — it opts a function into the hotalloc analyzer.
+package nodbvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Directive is the suppression directive ("<name>-ok" by convention);
+	// a site carrying //nodbvet:<Directive> <justification> is exempt.
+	Directive string
+	// Run inspects the package and reports findings via pass.Report.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	Report    func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position plus a message. Category is filled
+// by the driver with the analyzer name.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Category string
+}
+
+// DirectivePrefix introduces every nodbvet comment directive.
+const DirectivePrefix = "//nodbvet:"
+
+// HotpathDirective marks a function for the hotalloc analyzer.
+const HotpathDirective = "hotpath"
+
+// Directive is one parsed //nodbvet: comment.
+type Directive struct {
+	Pos           token.Pos
+	Line          int
+	Name          string // e.g. "unordered-ok", "hotpath"
+	Justification string
+}
+
+// ParseDirectives extracts every //nodbvet: directive from a file. The
+// directive applies to the line it is on (trailing comment) or the line
+// below it (own-line comment) — both are recorded via Line, which callers
+// match against diagnostic lines with a one-line tolerance.
+func ParseDirectives(fset *token.FileSet, f *ast.File) []Directive {
+	var ds []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+			if !ok {
+				continue
+			}
+			name, just, _ := strings.Cut(text, " ")
+			ds = append(ds, Directive{
+				Pos:           c.Pos(),
+				Line:          fset.Position(c.Pos()).Line,
+				Name:          strings.TrimSpace(name),
+				Justification: strings.TrimSpace(just),
+			})
+		}
+	}
+	return ds
+}
+
+// FuncHasDirective reports whether fn (or its doc comment) carries the
+// named directive: in the doc group, or on any line from the doc through
+// the "func" line itself.
+func FuncHasDirective(fset *token.FileSet, f *ast.File, fn *ast.FuncDecl, name string) bool {
+	start := fset.Position(fn.Pos()).Line
+	if fn.Doc != nil {
+		docStart := fset.Position(fn.Doc.Pos()).Line
+		if docStart < start {
+			start = docStart
+		}
+	}
+	end := fset.Position(fn.Pos()).Line
+	for _, d := range ParseDirectives(fset, f) {
+		if d.Name == name && d.Line >= start && d.Line <= end {
+			return true
+		}
+	}
+	return false
+}
+
+// knownDirectives lists every directive name the suite understands; an
+// unknown //nodbvet: directive is reported so typos cannot silently
+// disable a check.
+func knownDirectives(analyzers []*Analyzer) map[string]bool {
+	known := map[string]bool{HotpathDirective: true}
+	for _, a := range analyzers {
+		known[a.Directive] = true
+	}
+	return known
+}
+
+// Filter applies the suppression rules to one package's diagnostics:
+//
+//   - a diagnostic whose line (or the line above) carries the reporting
+//     analyzer's directive with a justification is dropped;
+//   - a suppression directive with no justification is itself a finding;
+//   - an unknown //nodbvet: directive is a finding.
+//
+// It returns the surviving diagnostics sorted by position.
+func Filter(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	byName := map[string]*Analyzer{}
+	for _, a := range analyzers {
+		byName[a.Category()] = a
+	}
+	known := knownDirectives(analyzers)
+
+	// file -> line -> directive names present there.
+	type key struct {
+		file string
+		line int
+		name string
+	}
+	have := map[key]bool{}
+	var out []Diagnostic
+	for _, f := range files {
+		for _, d := range ParseDirectives(fset, f) {
+			if !known[d.Name] {
+				out = append(out, Diagnostic{Pos: d.Pos, Category: "directive",
+					Message: fmt.Sprintf("unknown nodbvet directive %q", d.Name)})
+				continue
+			}
+			if d.Justification == "" && d.Name != HotpathDirective {
+				out = append(out, Diagnostic{Pos: d.Pos, Category: "directive",
+					Message: fmt.Sprintf("nodbvet:%s suppression requires a justification string", d.Name)})
+				continue
+			}
+			file := fset.Position(d.Pos).Filename
+			have[key{file, d.Line, d.Name}] = true
+		}
+	}
+
+	for _, dg := range diags {
+		a := byName[dg.Category]
+		pos := fset.Position(dg.Pos)
+		if a != nil &&
+			(have[key{pos.Filename, pos.Line, a.Directive}] ||
+				have[key{pos.Filename, pos.Line - 1, a.Directive}]) {
+			continue
+		}
+		out = append(out, dg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos < out[j].Pos })
+	return out
+}
+
+// Category returns the label diagnostics of a carry.
+func (a *Analyzer) Category() string { return a.Name }
+
+// RunAnalyzers executes each analyzer over the package and returns the
+// suppressed-filtered findings.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report: func(d Diagnostic) {
+				d.Category = a.Category()
+				diags = append(diags, d)
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	return Filter(fset, files, analyzers, diags), nil
+}

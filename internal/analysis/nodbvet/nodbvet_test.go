@@ -1,0 +1,115 @@
+package nodbvet
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// filterSrc exercises every directive rule: suppression on the flagged line
+// and the line above, a bare directive with no justification, and an
+// unknown directive name.
+const filterSrc = `package p
+
+func a() {
+	_ = 1 //nodbvet:demo-ok trailing-comment suppression with a justification
+}
+
+func b() {
+	//nodbvet:demo-ok own-line suppression applies to the line below
+	_ = 2
+}
+
+func c() {
+	_ = 3 //nodbvet:demo-ok
+}
+
+func d() {
+	_ = 4 //nodbvet:tpyo-ok misspelled directive name
+}
+
+func e() {
+	_ = 5
+}
+`
+
+func TestFilterDirectiveRules(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", filterSrc, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	demo := &Analyzer{Name: "demo", Directive: "demo-ok"}
+
+	// Fabricate one "demo" diagnostic per assignment line.
+	var diags []Diagnostic
+	file := fset.File(f.Pos())
+	for i, l := range strings.Split(filterSrc, "\n") {
+		if strings.Contains(l, "_ =") {
+			diags = append(diags, Diagnostic{Pos: file.LineStart(i + 1), Message: "demo finding", Category: "demo"})
+		}
+	}
+	if len(diags) != 5 {
+		t.Fatalf("expected 5 fabricated diagnostics, got %d", len(diags))
+	}
+
+	out := Filter(fset, []*ast.File{f}, []*Analyzer{demo}, diags)
+
+	// Surviving findings per line: a() and b() suppressed; c()'s bare
+	// directive yields a justification finding AND its demo finding stands
+	// (an unjustified suppression does not suppress); d()'s unknown
+	// directive yields a directive finding and its demo finding stands;
+	// e()'s demo finding stands.
+	type want struct {
+		line     int
+		category string
+		msgPart  string
+	}
+	wants := []want{
+		{13, "demo", "demo finding"},
+		{13, "directive", "requires a justification"},
+		{17, "demo", "demo finding"},
+		{17, "directive", "unknown nodbvet directive"},
+		{21, "demo", "demo finding"},
+	}
+	if len(out) != len(wants) {
+		for _, d := range out {
+			t.Logf("got: %s [%s] %s", fset.Position(d.Pos), d.Category, d.Message)
+		}
+		t.Fatalf("expected %d surviving diagnostics, got %d", len(wants), len(out))
+	}
+	for i, w := range wants {
+		d := out[i]
+		pos := fset.Position(d.Pos)
+		if pos.Line != w.line || d.Category != w.category || !strings.Contains(d.Message, w.msgPart) {
+			t.Errorf("diag %d: got line %d [%s] %q, want line %d [%s] ~%q",
+				i, pos.Line, d.Category, d.Message, w.line, w.category, w.msgPart)
+		}
+	}
+}
+
+func TestFuncHasDirective(t *testing.T) {
+	src := `package p
+
+// doc comment.
+//
+//nodbvet:hotpath
+func hot() {}
+
+func cold() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		fn := decl.(*ast.FuncDecl)
+		got := FuncHasDirective(fset, f, fn, HotpathDirective)
+		if want := fn.Name.Name == "hot"; got != want {
+			t.Errorf("FuncHasDirective(%s) = %v, want %v", fn.Name.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+// Package panicroute enforces the PR 6 panic-containment contract: a panic
+// on a scan goroutine must become a typed faults.ErrPanic query error, not
+// a process crash.
+//
+// Every goroutine launched in internal/core, internal/engine and
+// internal/rawfile must route panics into the faults taxonomy: the launched
+// function (literal or same-package declaration) needs a top-level deferred
+// recover that converts the panic value via the faults package
+// (faults.Panicked / faults.ErrPanic). Goroutines launching functions the
+// analyzer cannot see into are flagged too — a naked goroutine in a scan
+// path is exactly how a user-predicate panic escapes containment.
+package panicroute
+
+import (
+	"go/ast"
+	"go/types"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// Packages lists the package names whose goroutines are checked.
+var Packages = map[string]bool{"core": true, "engine": true, "rawfile": true}
+
+// Analyzer is the panicroute check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "panicroute",
+	Directive: "panicroute-ok",
+	Doc: "every goroutine launched in scan packages (core, engine, rawfile) must carry a top-level " +
+		"deferred recover that converts panics via the faults taxonomy (faults.Panicked/ErrPanic), " +
+		"so a panicking worker fails the query instead of the process",
+	Run: run,
+}
+
+func run(pass *nodbvet.Pass) error {
+	if !Packages[pass.Pkg.Name()] {
+		return nil
+	}
+	g := nodbvet.BuildCallGraph(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkGoStmt(pass, g, gs)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkGoStmt(pass *nodbvet.Pass, g *nodbvet.CallGraph, gs *ast.GoStmt) {
+	var body *ast.BlockStmt
+	switch fun := gs.Call.Fun.(type) {
+	case *ast.FuncLit:
+		body = fun.Body
+	default:
+		// go p.worker() / go splitter(): resolve the launched declaration
+		// when it lives in this package.
+		var id *ast.Ident
+		switch fun := fun.(type) {
+		case *ast.Ident:
+			id = fun
+		case *ast.SelectorExpr:
+			id = fun.Sel
+		}
+		if id != nil {
+			if callee, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
+				if decl, ok := g.Decl(callee); ok {
+					body = decl.Body
+				}
+			}
+		}
+	}
+	if body == nil {
+		pass.Reportf(gs.Pos(),
+			"goroutine launches a function outside this package; panics on it will not reach the "+
+				"faults taxonomy — wrap it in a literal with a deferred faults.Panicked recover, "+
+				"or suppress with //nodbvet:panicroute-ok <why>")
+		return
+	}
+	if hasFaultsRecover(pass, body) {
+		return
+	}
+	pass.Reportf(gs.Pos(),
+		"goroutine has no top-level deferred recover routing panics into the faults taxonomy; "+
+			"a panic here crashes the process — add `defer func() { if rec := recover(); ... "+
+			"faults.Panicked(...) }()` or suppress with //nodbvet:panicroute-ok <why>")
+}
+
+// hasFaultsRecover reports whether body has a top-level deferred function
+// literal that both calls recover() and mentions the faults package.
+func hasFaultsRecover(pass *nodbvet.Pass, body *ast.BlockStmt) bool {
+	for _, stmt := range body.List {
+		def, ok := stmt.(*ast.DeferStmt)
+		if !ok {
+			continue
+		}
+		lit, ok := def.Call.Fun.(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		callsRecover, usesFaults := false, false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "recover" &&
+					pass.TypesInfo.Uses[id] == types.Universe.Lookup("recover") {
+					callsRecover = true
+				}
+			case *ast.Ident:
+				if pkgName, ok := pass.TypesInfo.Uses[n].(*types.PkgName); ok &&
+					pkgName.Imported().Path() == "nodb/internal/faults" {
+					usesFaults = true
+				}
+			}
+			return true
+		})
+		if callsRecover && usesFaults {
+			return true
+		}
+	}
+	return false
+}

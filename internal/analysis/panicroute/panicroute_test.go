@@ -1,0 +1,12 @@
+package panicroute_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/panicroute"
+)
+
+func TestPanicroute(t *testing.T) {
+	analysistest.Run(t, panicroute.Analyzer, "testdata/core")
+}

@@ -1,0 +1,40 @@
+// Fixture for the panicroute analyzer. The package is named core so every
+// goroutine launch in it is checked for faults-routed panic containment.
+package core
+
+import (
+	"fmt"
+
+	"nodb/internal/faults"
+)
+
+type pool struct{ path string }
+
+// start launches goroutines in every containment state.
+func (p *pool) start() {
+	go p.contained() // declaration with a faults recover: clean
+	go p.naked()     // want `no top-level deferred recover`
+	go func() {      // want `no top-level deferred recover`
+		fmt.Println("work")
+	}()
+	go func() { // literal with a faults recover: clean
+		defer func() {
+			if rec := recover(); rec != nil {
+				_ = faults.Panicked(p.path, 0, rec)
+			}
+		}()
+	}()
+	go fmt.Println("external") // want `outside this package`
+	//nodbvet:panicroute-ok fixture goroutine supervised by the harness, panics asserted directly
+	go p.naked()
+}
+
+func (p *pool) contained() {
+	defer func() {
+		if rec := recover(); rec != nil {
+			_ = faults.Panicked(p.path, 0, rec)
+		}
+	}()
+}
+
+func (p *pool) naked() {}

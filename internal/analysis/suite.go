@@ -1,0 +1,32 @@
+// Package analysis assembles the nodbvet analyzer suite. cmd/nodbvet runs
+// every analyzer listed here; adding an invariant check means adding it to
+// Suite (and documenting it in CONTRIBUTING.md).
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"nodb/internal/analysis/ctxloop"
+	"nodb/internal/analysis/errtaxonomy"
+	"nodb/internal/analysis/hotalloc"
+	"nodb/internal/analysis/mapiter"
+	"nodb/internal/analysis/nodbvet"
+	"nodb/internal/analysis/panicroute"
+)
+
+// Suite is the full nodbvet analyzer set, in reporting order.
+var Suite = []*nodbvet.Analyzer{
+	mapiter.Analyzer,
+	panicroute.Analyzer,
+	errtaxonomy.Analyzer,
+	hotalloc.Analyzer,
+	ctxloop.Analyzer,
+}
+
+// RunSuite executes every analyzer in Suite over one type-checked package
+// and returns the suppression-filtered findings.
+func RunSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]nodbvet.Diagnostic, error) {
+	return nodbvet.RunAnalyzers(fset, files, pkg, info, Suite)
+}

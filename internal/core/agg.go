@@ -95,6 +95,7 @@ func (s *Scan) PushAgg(spec *AggPushdown) bool {
 // after a successful PushAgg.
 func (s *Scan) DrainAgg() ([]*PartialGroup, error) {
 	if s.spec.Agg == nil {
+		//nodbvet:errtaxonomy-ok API misuse by the caller, not a scan-path fault
 		return nil, fmt.Errorf("core: DrainAgg without PushAgg")
 	}
 	for !s.finished {

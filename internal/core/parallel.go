@@ -255,14 +255,24 @@ func (p *pipeline) splitter() {
 }
 
 // worker claims chunks from the splitter and processes them with a private
-// chunkWorker, breakdown and reader view.
+// chunkWorker, breakdown and reader view. Worker construction happens
+// lazily inside runItem's recover scope, so a panic anywhere on the worker
+// goroutine — including scratch setup — becomes a typed error for a chunk
+// the ordered merge is waiting on, never a process crash or a stalled
+// merge. The top-level recover is the last-resort containment for the
+// claim/emit bookkeeping itself.
 func (p *pipeline) worker() {
 	defer p.wg.Done()
-	reader := p.s.reader.View(nil)
-	w := newChunkWorker(p.s.t, p.s.opts, p.s.spec, nil, reader, nil, false)
-	w.free = p.free
+	cur := -1
+	defer func() {
+		if rec := recover(); rec != nil {
+			p.emit(&chunkOut{c: cur, err: faults.Panicked(p.s.t.path, cur, rec), countFinal: -1, base: -1, nextBase: -1})
+		}
+	}()
+	var w *chunkWorker
 	for it := range p.work {
-		out := p.runItem(w, reader, it)
+		cur = it.c
+		out := p.runItem(&w, it)
 		select {
 		case p.results <- out:
 		case <-p.done:
@@ -271,23 +281,29 @@ func (p *pipeline) worker() {
 	}
 }
 
-// runItem processes one work item, containing any panic — from the worker
-// stage itself or from user predicates — as a typed error result, so one
-// poisoned chunk fails the query through the ordered merge instead of
-// crashing the process. chunkWorker.run has its own recover; this is the
-// safety net for the surrounding bookkeeping.
-func (p *pipeline) runItem(w *chunkWorker, reader *rawfile.Reader, it workItem) (out *chunkOut) {
+// runItem processes one work item, containing any panic — from worker
+// construction, the worker stage itself or user predicates — as a typed
+// error result, so one poisoned chunk fails the query through the ordered
+// merge instead of crashing the process. chunkWorker.run has its own
+// recover; this is the safety net for the surrounding bookkeeping.
+func (p *pipeline) runItem(wp **chunkWorker, it workItem) (out *chunkOut) {
 	defer func() {
 		if rec := recover(); rec != nil {
 			out = &chunkOut{c: it.c, err: faults.Panicked(p.s.t.path, it.c, rec), countFinal: -1, base: -1, nextBase: -1}
 		}
 	}()
+	if *wp == nil {
+		w := newChunkWorker(p.s.t, p.s.opts, p.s.spec, nil, p.s.reader.View(nil), nil, false)
+		w.free = p.free
+		*wp = w
+	}
+	w := *wp
 	b := &metrics.Breakdown{}
 	if it.splitB != nil {
 		b.Merge(it.splitB)
 	}
 	w.b = b
-	reader.SetBreakdown(b)
+	w.reader.SetBreakdown(b)
 	out = w.run(it.c, chunkSrc{kind: it.kind, nrows: it.nrows, known: it.known, ch: it.ch})
 	if it.ch != nil {
 		// The chunk's bytes are fully materialized into the output (value

@@ -105,21 +105,28 @@ type Scan struct {
 
 // NewScan opens a scan. Close must be called when done.
 func (t *Table) NewScan(spec ScanSpec) (*Scan, error) {
+	// Spec validation below reports API misuse by the caller, before any file
+	// is touched — deliberately outside the faults taxonomy, which classifies
+	// runtime file/scan failures for retry and quarantine policy.
 	if spec.B == nil {
+		//nodbvet:errtaxonomy-ok construction-time API misuse, not a scan-path fault
 		return nil, fmt.Errorf("core: ScanSpec.B must be non-nil")
 	}
 	seen := make(map[int]bool, len(spec.Needed))
 	for _, a := range spec.Needed {
 		if a < 0 || a >= t.sch.Len() {
+			//nodbvet:errtaxonomy-ok construction-time API misuse, not a scan-path fault
 			return nil, fmt.Errorf("core: attribute %d out of range (schema has %d)", a, t.sch.Len())
 		}
 		if seen[a] {
+			//nodbvet:errtaxonomy-ok construction-time API misuse, not a scan-path fault
 			return nil, fmt.Errorf("core: attribute %d listed twice in Needed", a)
 		}
 		seen[a] = true
 	}
 	for _, a := range spec.FilterAttrs {
 		if !seen[a] {
+			//nodbvet:errtaxonomy-ok construction-time API misuse, not a scan-path fault
 			return nil, fmt.Errorf("core: filter attribute %d not in Needed", a)
 		}
 	}

@@ -293,6 +293,9 @@ func (s *ShardedScan) open() error {
 	if s.agg != nil {
 		if !sc.PushAgg(s.agg) {
 			sc.Close()
+			// Unreachable unless ShardedScan.PushAgg and Scan.PushAgg drift
+			// apart: an internal invariant, not a file fault.
+			//nodbvet:errtaxonomy-ok internal invariant violation, not a scan-path fault
 			return fmt.Errorf("core: shard %d refused aggregation pushdown", s.idx)
 		}
 		// Share the scan-level merge state so the new shard's chunk partials
@@ -384,6 +387,7 @@ func (s *ShardedScan) PushAgg(spec *AggPushdown) bool {
 // merged groups in global first-seen row order.
 func (s *ShardedScan) DrainAgg() ([]*PartialGroup, error) {
 	if s.agg == nil {
+		//nodbvet:errtaxonomy-ok API misuse by the caller, not a scan-path fault
 		return nil, fmt.Errorf("core: DrainAgg without PushAgg")
 	}
 	s.started = true

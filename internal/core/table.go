@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sync"
 
+	"nodb/internal/faults"
 	"nodb/internal/posmap"
 	"nodb/internal/rawcache"
 	"nodb/internal/schema"
@@ -439,6 +440,10 @@ func (t *Table) Refresh() (watch.Change, error) {
 		}
 		t.rowCount = -1
 		t.snap = newSnap
+		// Predicate-delete over the seen-set: every key is tested against the
+		// same cutoff and deletion is the only effect, so visit order cannot
+		// influence any output.
+		//nodbvet:unordered-ok order-insensitive predicate-delete; no emission or commit depends on visit order
 		for k := range t.statsSeen {
 			if k[0] >= lastFull {
 				delete(t.statsSeen, k)
@@ -460,6 +465,8 @@ func (t *Table) Refresh() (watch.Change, error) {
 		t.stats.Clear()
 		return change, nil
 	default: // watch.Missing
-		return change, fmt.Errorf("core: raw file %s disappeared", t.path)
+		// The file vanished out from under the table: the same
+		// structures-vs-file disagreement class as a rewrite.
+		return change, faults.Changed(t.path, "raw file disappeared")
 	}
 }

@@ -457,7 +457,11 @@ func (w *chunkWorker) serveMapped(c, nrows int, view *posmap.View, out *chunkOut
 		pf, ok1 := view.Pos(r, dFirst)
 		pl, ok2 := view.Pos(r, dLast)
 		if !ok1 || !ok2 {
-			return fmt.Errorf("core: positional map lost a delimiter mid-scan")
+			// The map vouched for these positions when the plan chose the
+			// mapped path; losing one means the structures no longer describe
+			// the file (concurrent truncate/rewrite) — the ErrFileChanged
+			// class, so callers retry or quarantine like any stale read.
+			return faults.Changed(w.t.path, fmt.Sprintf("positional map lost a delimiter for row %d mid-scan", r))
 		}
 		if pf < lo {
 			lo = pf
@@ -472,7 +476,7 @@ func (w *chunkWorker) serveMapped(c, nrows int, view *posmap.View, out *chunkOut
 		for j, d := range w.delims {
 			p, ok := view.Pos(r, d)
 			if !ok {
-				return fmt.Errorf("core: positional map lost delimiter %d mid-scan", d)
+				return faults.Changed(w.t.path, fmt.Sprintf("positional map lost delimiter %d mid-scan", d))
 			}
 			rel := int32(p - lo)
 			if d == -1 {
@@ -528,6 +532,9 @@ func (w *chunkWorker) loadChunkBytes(c int, src chunkSrc) (*rawfile.Chunk, error
 	case srcFetch:
 		base, ok := w.t.chunkBase(c)
 		if !ok {
+			// Planner-invariant breach, not a file fault: the splitter only
+			// dispatches srcFetch claims for chunks whose base is recorded.
+			//nodbvet:errtaxonomy-ok internal invariant violation, not an I/O-path error; a faults class would misdirect retry/quarantine policy
 			return nil, fmt.Errorf("core: internal: chunk %d dispatched to a worker without a base offset", c)
 		}
 		limit := w.reader.Size()
@@ -676,7 +683,7 @@ func (w *chunkWorker) serveTokenize(c, knownRows int, known, haveView bool, view
 				if st.kind == stepMapped {
 					p, ok := view.Pos(r, d)
 					if !ok {
-						return fmt.Errorf("core: positional map lost delimiter %d mid-scan", d)
+						return faults.Changed(w.t.path, fmt.Sprintf("positional map lost delimiter %d mid-scan", d))
 					}
 					w.posBuf[r*K+st.j] = int32(p - base)
 					w.b.MapJumpFields++
@@ -692,7 +699,7 @@ func (w *chunkWorker) serveTokenize(c, knownRows int, known, haveView bool, view
 				case st.fromView:
 					p, ok := view.Pos(r, st.from)
 					if !ok {
-						return fmt.Errorf("core: positional map lost delimiter %d mid-scan", st.from)
+						return faults.Changed(w.t.path, fmt.Sprintf("positional map lost delimiter %d mid-scan", st.from))
 					}
 					fromPos = int32(p - base)
 					w.b.MapNearFields++
@@ -867,6 +874,11 @@ func (w *chunkWorker) materialize(c, nrows int, data []byte, K int, out *chunkOu
 
 // materializeAttr fills cols[i] for the given rows (nil = all nrows rows),
 // from the cache fragment or by extracting and converting file bytes.
+//
+// The per-chunk convert loop: runs once per needed attribute per chunk,
+// touching every selected row.
+//
+//nodbvet:hotpath
 func (w *chunkWorker) materializeAttr(i, nrows int, rows []int32, data []byte, K int, out *chunkOut) error {
 	col := out.cols[i]
 	if frag := w.frags[i]; frag != nil {
@@ -895,7 +907,8 @@ func (w *chunkWorker) materializeAttr(i, nrows int, rows []int32, data []byte, K
 		}
 	}
 	if fa == nil {
-		return fmt.Errorf("core: internal: attr index %d not planned", i)
+		//nodbvet:errtaxonomy-ok internal invariant violation (attr not in the plan), not a scan-path file fault
+		return fmt.Errorf("core: internal: attr index %d not planned", i) //nodbvet:hotalloc-ok invariant-breach path terminates the query; never runs in steady state
 	}
 
 	// Extraction (Parsing): compute field spans.
@@ -974,6 +987,8 @@ func fieldSnippet(b []byte, kind value.Kind) string {
 
 // runFilter evaluates the pushed-down predicate over the batch, producing
 // the selection vector.
+//
+//nodbvet:hotpath
 func (w *chunkWorker) runFilter(nrows int, out *chunkOut) error {
 	sel := out.sel[:0]
 	if sel == nil {

@@ -61,12 +61,12 @@ func (n arithNode) Eval(row []value.Value) (value.Value, error) {
 			return value.Int(a * b), nil
 		case sql.OpDiv:
 			if b == 0 {
-				return value.Null(), fmt.Errorf("expr: division by zero")
+				return value.Null(), errDivZero
 			}
 			return value.Int(a / b), nil
 		case sql.OpMod:
 			if b == 0 {
-				return value.Null(), fmt.Errorf("expr: modulo by zero")
+				return value.Null(), errModZero
 			}
 			return value.Int(a % b), nil
 		}
@@ -81,7 +81,7 @@ func (n arithNode) Eval(row []value.Value) (value.Value, error) {
 		return value.Float(a * b), nil
 	case sql.OpDiv:
 		if b == 0 {
-			return value.Null(), fmt.Errorf("expr: division by zero")
+			return value.Null(), errDivZero
 		}
 		return value.Float(a / b), nil
 	}

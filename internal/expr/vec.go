@@ -35,6 +35,14 @@ import (
 // error never escapes the package.
 var errVecBail = errors.New("expr: batch value outside the static type model")
 
+// Arithmetic runtime errors, shared by the row and vector evaluators so the
+// hot kernels return a preallocated value instead of formatting per failure
+// (and the two paths stay byte-identical on the error message).
+var (
+	errDivZero = errors.New("expr: division by zero")
+	errModZero = errors.New("expr: modulo by zero")
+)
+
 // VecEval is a compiled vectorized evaluator. It carries per-node scratch
 // vectors reused across batches and is therefore NOT safe for concurrent
 // use; callers that evaluate from several goroutines (the parallel scan's
@@ -391,6 +399,7 @@ type vecConst struct {
 
 func (n *vecConst) kind() value.Kind { return n.v.K }
 
+//nodbvet:hotpath
 func (n *vecConst) eval(_ [][]value.Value, sel []int32) (*vec, error) {
 	m := len(sel)
 	if m > cap(n.out.null) {
@@ -428,12 +437,15 @@ type vecCol struct {
 
 func (n *vecCol) kind() value.Kind { return n.k }
 
+//nodbvet:hotpath
 func (n *vecCol) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	n.out.size(n.k, len(sel))
 	if len(sel) == 0 {
 		return &n.out, nil // nothing to read; mirror the row path, which never evaluates
 	}
 	if n.slot >= len(cols) {
+		// Planner/engine contract breach, reached at most once per query.
+		//nodbvet:hotalloc-ok error path terminates the query; never allocates in steady state
 		return nil, fmt.Errorf("expr: batch has %d columns, need %d", len(cols), n.slot+1)
 	}
 	col := cols[n.slot]
@@ -572,6 +584,7 @@ type vecCmp struct {
 
 func (n *vecCmp) kind() value.Kind { return value.KindBool }
 
+//nodbvet:hotpath
 func (n *vecCmp) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	lv, err := n.l.eval(cols, sel)
 	if err != nil {
@@ -636,6 +649,7 @@ type vecArith struct {
 
 func (n *vecArith) kind() value.Kind { return n.k }
 
+//nodbvet:hotpath
 func (n *vecArith) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	lv, err := n.l.eval(cols, sel)
 	if err != nil {
@@ -669,12 +683,12 @@ func (n *vecArith) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 				n.out.i[k] = a * b
 			case opDiv:
 				if b == 0 {
-					return nil, fmt.Errorf("expr: division by zero")
+					return nil, errDivZero
 				}
 				n.out.i[k] = a / b
 			case opMod:
 				if b == 0 {
-					return nil, fmt.Errorf("expr: modulo by zero")
+					return nil, errModZero
 				}
 				n.out.i[k] = a % b
 			}
@@ -696,10 +710,11 @@ func (n *vecArith) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 				n.out.f[k] = a * b
 			case opDiv:
 				if b == 0 {
-					return nil, fmt.Errorf("expr: division by zero")
+					return nil, errDivZero
 				}
 				n.out.f[k] = a / b
 			case opMod: // compile guarantees integer mod; mirror the row error
+				//nodbvet:hotalloc-ok unreachable compile-contract breach; terminates the query
 				return nil, fmt.Errorf("expr: bad arithmetic op %q", sql.OpMod)
 			}
 		}
@@ -723,6 +738,7 @@ type vecLogic struct {
 
 func (n *vecLogic) kind() value.Kind { return value.KindBool }
 
+//nodbvet:hotpath
 func (n *vecLogic) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	lv, err := n.l.eval(cols, sel)
 	if err != nil {
@@ -795,6 +811,7 @@ type vecNot struct {
 
 func (n *vecNot) kind() value.Kind { return value.KindBool }
 
+//nodbvet:hotpath
 func (n *vecNot) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	cv, err := n.x.eval(cols, sel)
 	if err != nil {
@@ -821,6 +838,7 @@ type vecNeg struct {
 
 func (n *vecNeg) kind() value.Kind { return n.k }
 
+//nodbvet:hotpath
 func (n *vecNeg) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	cv, err := n.x.eval(cols, sel)
 	if err != nil {
@@ -863,6 +881,7 @@ type vecIsNull struct {
 
 func (n *vecIsNull) kind() value.Kind { return value.KindBool }
 
+//nodbvet:hotpath
 func (n *vecIsNull) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	cv, err := n.x.eval(cols, sel)
 	if err != nil {
@@ -886,6 +905,7 @@ type vecIn struct {
 
 func (n *vecIn) kind() value.Kind { return value.KindBool }
 
+//nodbvet:hotpath
 func (n *vecIn) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	xv, err := n.x.eval(cols, sel)
 	if err != nil {
@@ -933,6 +953,7 @@ type vecBetween struct {
 
 func (n *vecBetween) kind() value.Kind { return value.KindBool }
 
+//nodbvet:hotpath
 func (n *vecBetween) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	xv, err := n.x.eval(cols, sel)
 	if err != nil {
@@ -968,6 +989,7 @@ type vecLike struct {
 
 func (n *vecLike) kind() value.Kind { return value.KindBool }
 
+//nodbvet:hotpath
 func (n *vecLike) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	xv, err := n.x.eval(cols, sel)
 	if err != nil {
@@ -1013,6 +1035,7 @@ type vecFunc struct {
 
 func (n *vecFunc) kind() value.Kind { return n.k }
 
+//nodbvet:hotpath
 func (n *vecFunc) eval(cols [][]value.Value, sel []int32) (*vec, error) {
 	for i, a := range n.args {
 		av, err := a.eval(cols, sel)

@@ -148,3 +148,56 @@ func TestBarAndBytes(t *testing.T) {
 		t.Errorf("truncate=%q", got)
 	}
 }
+
+func TestErrorsPanelLine(t *testing.T) {
+	tbl := setupTable(t, 200)
+
+	// Clean table, default policy: the panel keeps its classic shape.
+	if out := Snapshot("t", tbl).String(); strings.Contains(out, "errors:") {
+		t.Errorf("clean panel shows an errors line:\n%s", out)
+	}
+
+	// A non-default policy alone surfaces the line, before any scan.
+	tbl.SetErrorPolicy(core.OnErrorSkip, 5)
+	p := Snapshot("t", tbl)
+	if p.OnError != core.OnErrorSkip || p.MaxErrors != 5 {
+		t.Fatalf("panel policy=%v max=%d", p.OnError, p.MaxErrors)
+	}
+	out := p.String()
+	for _, want := range []string{"errors: policy=skip", "max_errors=5", "malformed fields: 0", "rows dropped: 0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("panel missing %q:\n%s", want, out)
+		}
+	}
+	tbl.SetErrorPolicy(core.OnErrorNull, 0)
+}
+
+func TestErrorsPanelCountsMalformed(t *testing.T) {
+	// One malformed int field; under the default null policy the lifetime
+	// malformed counter alone must surface the errors line.
+	path := filepath.Join(t.TempDir(), "bad.csv")
+	if err := os.WriteFile(path, []byte("1,a\n2,b\nx,c\n4,d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sch := schema.MustNew([]schema.Column{
+		{Name: "id", Kind: value.KindInt},
+		{Name: "name", Kind: value.KindText},
+	})
+	tbl, err := core.NewTable(path, sch, core.Options{ChunkRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scanAll(t, tbl, []int{0})
+
+	p := Snapshot("bad", tbl)
+	if p.MalformedFields == 0 {
+		t.Fatalf("malformed counter not populated: %+v", p)
+	}
+	out := p.String()
+	if !strings.Contains(out, "errors: policy=null") || !strings.Contains(out, "malformed fields: 1") {
+		t.Errorf("panel missing malformed accounting:\n%s", out)
+	}
+	if strings.Contains(out, "max_errors") {
+		t.Errorf("panel shows max_errors with no cap:\n%s", out)
+	}
+}

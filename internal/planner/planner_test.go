@@ -353,3 +353,59 @@ func TestConstantConjunctStaysResidual(t *testing.T) {
 }
 
 var _ engine.Operator = (*engine.ValuesOp)(nil)
+
+// explain builds the query and returns its EXPLAIN rendering.
+func explain(t *testing.T, cat *schema.Catalog, q string) string {
+	t.Helper()
+	sel, err := sql.Parse(q)
+	if err != nil {
+		t.Fatalf("parse %q: %v", q, err)
+	}
+	var b metrics.Breakdown
+	plan, err := Build(sel, cat, &b)
+	if err != nil {
+		t.Fatalf("plan %q: %v", q, err)
+	}
+	defer plan.Close()
+	return plan.ExplainText
+}
+
+func TestExplainSurfacesErrorPolicy(t *testing.T) {
+	cat := setup(t, 100)
+
+	// Default policy (null, no cap) stays quiet: the classic label shape.
+	out := explain(t, cat, "SELECT id FROM raw WHERE id < 10")
+	if strings.Contains(out, "on_error") {
+		t.Errorf("default-policy EXPLAIN mentions on_error:\n%s", out)
+	}
+
+	entry, ok := cat.Lookup("raw")
+	if !ok {
+		t.Fatal("raw table missing from catalog")
+	}
+	tbl := entry.Handle.(*core.Table)
+
+	// A non-default policy changes result rows, so EXPLAIN must surface it.
+	tbl.SetErrorPolicy(core.OnErrorSkip, 10)
+	out = explain(t, cat, "SELECT id FROM raw WHERE id < 10")
+	if !strings.Contains(out, "on_error=skip") || !strings.Contains(out, "max_errors=10") {
+		t.Errorf("EXPLAIN missing on_error=skip max_errors=10:\n%s", out)
+	}
+
+	// fail with no cap: only the policy is shown.
+	tbl.SetErrorPolicy(core.OnErrorFail, 0)
+	out = explain(t, cat, "SELECT id FROM raw WHERE id < 10")
+	if !strings.Contains(out, "on_error=fail") {
+		t.Errorf("EXPLAIN missing on_error=fail:\n%s", out)
+	}
+	if strings.Contains(out, "max_errors") {
+		t.Errorf("EXPLAIN shows max_errors with no cap set:\n%s", out)
+	}
+
+	// Back to the default: quiet again (policy changes are live).
+	tbl.SetErrorPolicy(core.OnErrorNull, 0)
+	out = explain(t, cat, "SELECT id FROM raw WHERE id < 10")
+	if strings.Contains(out, "on_error") {
+		t.Errorf("restored-default EXPLAIN mentions on_error:\n%s", out)
+	}
+}

@@ -70,7 +70,7 @@ type Reader struct {
 func Open(path string, b *metrics.Breakdown) (*Reader, error) {
 	osf, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("rawfile: %w", err)
+		return nil, faults.IO(path, -1, err)
 	}
 	var f File = osf
 	if hp := openHook.Load(); hp != nil {
@@ -79,7 +79,7 @@ func Open(path string, b *metrics.Breakdown) (*Reader, error) {
 	st, err := f.Stat()
 	if err != nil {
 		f.Close()
-		return nil, fmt.Errorf("rawfile: %w", err)
+		return nil, faults.IO(path, -1, err)
 	}
 	return &Reader{f: f, path: path, size: st.Size(), b: b}, nil
 }
@@ -311,7 +311,9 @@ func ReadChunkAt(r *Reader, base, limit int64, maxRows int, buf []byte, ch *Chun
 				fmt.Sprintf("chunk at %d wants %d bytes, file ends after %d", base, n, got))
 		}
 		if err != nil {
-			return buf, fmt.Errorf("rawfile: read chunk at %d: %w", base, err)
+			// Already faults.IO-typed (and retried) by Reader.ReadAt; an
+			// extra wrap here would only bury the offset it recorded.
+			return buf, err
 		}
 	}
 
@@ -386,7 +388,8 @@ func (c *ChunkReader) fill() error {
 		}
 		return nil
 	case err != nil:
-		return fmt.Errorf("rawfile: read at %d: %w", c.base+int64(c.nbuf-n), err)
+		// Already faults.IO-typed (and retried) by Reader.ReadAt.
+		return err
 	}
 	if c.base+int64(c.nbuf) >= c.r.Size() {
 		c.eof = true

@@ -18,6 +18,10 @@ import "bytes"
 // It returns the extended slice; fewer entries are appended when the row has
 // fewer fields. The last field's boundary is the row length. This is the
 // paper's selective tokenizing: scanning aborts once `upto` is reached.
+//
+// Runs once per row per scan — the innermost loop of cold in-situ queries.
+//
+//nodbvet:hotpath
 func TokenizeUpTo(row []byte, sep byte, from, upto, start int, ends []int32) []int32 {
 	pos := start
 	for f := from; f <= upto; f++ {

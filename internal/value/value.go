@@ -411,6 +411,10 @@ func (v Value) Hash() uint64 {
 // elimination across the whole engine key on this one function, so the
 // worker-side partial aggregation and the single-consumer hash aggregation
 // agree on group identity byte for byte.
+//
+// Runs once per row of every grouped query.
+//
+//nodbvet:hotpath
 func AppendGroupKey(buf []byte, vals []Value) []byte {
 	for _, v := range vals {
 		buf = append(buf, byte(v.K))
