@@ -1,0 +1,310 @@
+// End-to-end tests of the go vet tool protocol: a scratch module is
+// checked both through the real `go vet -vettool` driver (build graph,
+// vetx fact routing and exit codes all owned by the go command) and
+// through hand-built unit configs run in-process, which pins the exact
+// .cfg contract this binary implements.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+const scratchGoMod = "module scratch\n\ngo 1.21\n"
+
+// scratch/util ranges a map unsorted: it exports the mapiter.ranges fact
+// but (not being a checked package) reports nothing itself.
+const scratchUtil = `package util
+
+// Frob iterates a map unsorted.
+func Frob(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+`
+
+// scratch/core is a checked package whose commit root calls the imported
+// fact carrier: the diagnostic only exists if facts crossed the package
+// boundary through the vetx channel.
+const scratchCore = `package core
+
+import "scratch/util"
+
+type scan struct{ groups map[string]int }
+
+func (s *scan) commit() []string {
+	return util.Frob(s.groups)
+}
+`
+
+func writeScratchModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod":       scratchGoMod,
+		"util/util.go": scratchUtil,
+		"core/core.go": scratchCore,
+	}
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func buildTool(t *testing.T) string {
+	t.Helper()
+	exe := filepath.Join(t.TempDir(), "nodbvet.exe")
+	cmd := exec.Command("go", "build", "-o", exe, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building nodbvet: %v\n%s", err, out)
+	}
+	return exe
+}
+
+func goVet(t *testing.T, dir, tool string, extra ...string) (stdout, stderr string, exit int) {
+	t.Helper()
+	args := append(append([]string{"vet", "-vettool=" + tool}, extra...), "./...")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var outBuf, errBuf bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &outBuf, &errBuf
+	err := cmd.Run()
+	exit = 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		exit = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running go vet: %v\n%s", err, errBuf.String())
+	}
+	return outBuf.String(), errBuf.String(), exit
+}
+
+// TestGoVetProtocol drives the binary through the real go command.
+func TestGoVetProtocol(t *testing.T) {
+	tool := buildTool(t)
+	dir := writeScratchModule(t)
+
+	t.Run("findings", func(t *testing.T) {
+		_, stderr, exit := goVet(t, dir, tool)
+		if exit == 0 {
+			t.Fatalf("expected nonzero exit for a finding, got 0\nstderr:\n%s", stderr)
+		}
+		if !strings.Contains(stderr, "core.go:8:14:") {
+			t.Errorf("stderr missing diagnostic position core.go:8:14:\n%s", stderr)
+		}
+		if !strings.Contains(stderr, "[mapiter]") {
+			t.Errorf("stderr missing analyzer tag [mapiter]:\n%s", stderr)
+		}
+		if !strings.Contains(stderr, "util.Frob") {
+			t.Errorf("stderr missing cross-package callee name:\n%s", stderr)
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		cmd := exec.Command("go", "vet", "-vettool="+tool, "./util")
+		cmd.Dir = dir
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("expected clean exit for scratch/util: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("json", func(t *testing.T) {
+		_, stderr, exit := goVet(t, dir, tool, "-json")
+		if exit != 0 {
+			t.Fatalf("-json mode must exit 0, got %d\nstderr:\n%s", exit, stderr)
+		}
+		// go vet relays the tool's stdout onto its own stderr, one JSON
+		// document per checked package, each preceded by a "# pkg" header.
+		var docs strings.Builder
+		for _, line := range strings.Split(stderr, "\n") {
+			if !strings.HasPrefix(line, "#") {
+				docs.WriteString(line)
+				docs.WriteString("\n")
+			}
+		}
+		dec := json.NewDecoder(strings.NewReader(docs.String()))
+		found := false
+		for dec.More() {
+			var doc map[string]map[string][]struct {
+				Posn    string `json:"posn"`
+				Message string `json:"message"`
+			}
+			if err := dec.Decode(&doc); err != nil {
+				t.Fatalf("parsing -json output: %v\n%s", err, stderr)
+			}
+			for _, d := range doc["scratch/core"]["mapiter"] {
+				if strings.Contains(d.Posn, "core.go:8:14") && strings.Contains(d.Message, "util.Frob") {
+					found = true
+				}
+			}
+		}
+		if !found {
+			t.Errorf("-json output missing the scratch/core mapiter diagnostic:\n%s", stderr)
+		}
+	})
+}
+
+// TestVetUnitInProcess hand-builds the per-package .cfg files the go
+// command would pass and runs them through run() directly, asserting the
+// unit-level contract: exit codes, fact-file contents and diagnostic
+// positions.
+func TestVetUnitInProcess(t *testing.T) {
+	dir := writeScratchModule(t)
+
+	// Export data for scratch/util, produced by the real compiler.
+	list := exec.Command("go", "list", "-export", "-f", "{{.ImportPath}}\t{{.Export}}", "./...")
+	list.Dir = dir
+	out, err := list.Output()
+	if err != nil {
+		t.Fatalf("go list -export: %v", err)
+	}
+	exports := map[string]string{}
+	for _, line := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if ip, exp, ok := strings.Cut(line, "\t"); ok && exp != "" {
+			exports[ip] = exp
+		}
+	}
+	if exports["scratch/util"] == "" {
+		t.Fatalf("no export data for scratch/util in %q", string(out))
+	}
+
+	work := t.TempDir()
+	utilVetx := filepath.Join(work, "util.vetx")
+	writeCfg := func(name string, cfg map[string]any) string {
+		t.Helper()
+		path := filepath.Join(work, name)
+		data, err := json.Marshal(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, data, 0o666); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	// Unit 1: the dependency, facts-only. Must exit 0, print nothing, and
+	// leave a vetx carrying util.Frob's mapiter fact.
+	utilCfg := writeCfg("util.cfg", map[string]any{
+		"ID":         "scratch/util",
+		"Compiler":   "gc",
+		"Dir":        filepath.Join(dir, "util"),
+		"ImportPath": "scratch/util",
+		"ModulePath": "scratch",
+		"GoFiles":    []string{filepath.Join(dir, "util", "util.go")},
+		"VetxOnly":   true,
+		"VetxOutput": utilVetx,
+	})
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{utilCfg}, &stdout, &stderr); code != 0 {
+		t.Fatalf("VetxOnly unit exited %d\nstderr:\n%s", code, stderr.String())
+	}
+	if stdout.Len() != 0 || stderr.Len() != 0 {
+		t.Errorf("VetxOnly unit produced output: stdout=%q stderr=%q", stdout.String(), stderr.String())
+	}
+	raw, err := os.ReadFile(utilVetx)
+	if err != nil {
+		t.Fatalf("VetxOnly unit left no vetx: %v", err)
+	}
+	facts, err := nodbvet.DecodeFactSet(raw)
+	if err != nil {
+		t.Fatalf("decoding vetx: %v", err)
+	}
+	if !facts.FuncHas("scratch/util.Frob", "mapiter.ranges") {
+		t.Fatalf("vetx missing scratch/util.Frob mapiter.ranges fact: %s", raw)
+	}
+
+	// Unit 2: the dependent, wired to the dependency's export data and
+	// vetx. Must exit 2 with a positioned cross-package diagnostic.
+	coreVetx := filepath.Join(work, "core.vetx")
+	coreCfg := writeCfg("core.cfg", map[string]any{
+		"ID":          "scratch/core",
+		"Compiler":    "gc",
+		"Dir":         filepath.Join(dir, "core"),
+		"ImportPath":  "scratch/core",
+		"ModulePath":  "scratch",
+		"GoFiles":     []string{filepath.Join(dir, "core", "core.go")},
+		"ImportMap":   map[string]string{"scratch/util": "scratch/util"},
+		"PackageFile": map[string]string{"scratch/util": exports["scratch/util"]},
+		"PackageVetx": map[string]string{"scratch/util": utilVetx},
+		"VetxOutput":  coreVetx,
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{coreCfg}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unit with findings exited %d, want 2\nstderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "core.go:8:14:") || !strings.Contains(stderr.String(), "[mapiter]") {
+		t.Errorf("diagnostic missing position or tag:\n%s", stderr.String())
+	}
+	// The dependent's vetx is the transitive closure: dep facts plus its own.
+	raw, err = os.ReadFile(coreVetx)
+	if err != nil {
+		t.Fatalf("dependent unit left no vetx: %v", err)
+	}
+	facts, err = nodbvet.DecodeFactSet(raw)
+	if err != nil {
+		t.Fatalf("decoding vetx: %v", err)
+	}
+	if !facts.FuncHas("scratch/util.Frob", "mapiter.ranges") {
+		t.Errorf("dependent vetx lost the dep's fact (no transitive closure): %s", raw)
+	}
+
+	// Same unit in -json mode: diagnostics to stdout as JSON, exit 0.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-json", coreCfg}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-json unit exited %d, want 0\nstderr:\n%s", code, stderr.String())
+	}
+	var doc map[string]map[string][]struct {
+		Posn    string `json:"posn"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal(stdout.Bytes(), &doc); err != nil {
+		t.Fatalf("parsing -json unit output: %v\n%s", err, stdout.String())
+	}
+	if len(doc["scratch/core"]["mapiter"]) != 1 {
+		t.Errorf("-json unit output missing mapiter diagnostic:\n%s", stdout.String())
+	}
+
+	// A typecheck-failure unit with SucceedOnTypecheckFailure set must
+	// stay silent, exit 0 and still write its (empty) vetx.
+	brokenDir := t.TempDir()
+	broken := filepath.Join(brokenDir, "broken.go")
+	if err := os.WriteFile(broken, []byte("package broken\n\nfunc f() { undefined() }\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	brokenVetx := filepath.Join(work, "broken.vetx")
+	brokenCfg := writeCfg("broken.cfg", map[string]any{
+		"ID":                        "scratch/broken",
+		"Compiler":                  "gc",
+		"ImportPath":                "scratch/broken",
+		"ModulePath":                "scratch",
+		"GoFiles":                   []string{broken},
+		"VetxOutput":                brokenVetx,
+		"SucceedOnTypecheckFailure": true,
+	})
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{brokenCfg}, &stdout, &stderr); code != 0 {
+		t.Fatalf("SucceedOnTypecheckFailure unit exited %d\nstderr:\n%s", code, stderr.String())
+	}
+	if _, err := os.Stat(brokenVetx); err != nil {
+		t.Errorf("typecheck-failure unit must still write its vetx: %v", err)
+	}
+}

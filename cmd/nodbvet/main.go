@@ -1,7 +1,8 @@
 // Command nodbvet is the engine's project-specific static-analysis suite:
 // it machine-checks the determinism, panic-safety, error-taxonomy,
-// hot-path allocation and cancellation invariants the paper's adaptive
-// structures depend on (see CONTRIBUTING.md for the full list).
+// hot-path allocation, cancellation, commit-scope, lock-order, channel-
+// leak, float-determinism and counter-plumbing invariants the paper's
+// adaptive structures depend on (see CONTRIBUTING.md for the full list).
 //
 // It speaks the go vet tool protocol, so the canonical invocation is
 //
@@ -10,14 +11,20 @@
 // in which mode the go command hands it one JSON config file per package
 // (files, import map, export data), exactly like x/tools' unitchecker —
 // reimplemented here on the standard library alone, because this module
-// deliberately carries no external dependencies.
+// deliberately carries no external dependencies. Cross-package facts ride
+// the same protocol: every unit (dependencies included) is analyzed and
+// writes its fact set to the .vetx file the go command assigns it; the
+// facts of a unit's dependencies are read back from the PackageVetx map,
+// so analyzers see through package boundaries with full go-cache reuse.
 //
 // Invoked with package patterns instead of a config file, it re-executes
 // itself through the go command:
 //
 //	nodbvet ./...
+//	nodbvet -json ./...
 //
-// Exit status: 0 clean, 1 tool/type-check failure, 2 findings.
+// Exit status: 0 clean (or -json mode), 1 tool/type-check failure,
+// 2 findings.
 package main
 
 import (
@@ -36,27 +43,32 @@ import (
 	"strings"
 
 	"nodb/internal/analysis"
+	"nodb/internal/analysis/nodbvet"
 )
 
 func main() {
-	os.Exit(run(os.Args[1:]))
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string) int {
+func run(args []string, stdout, stderr io.Writer) int {
 	var cfgFile string
 	var patterns []string
+	jsonOut := false
 	for _, a := range args {
 		switch {
 		case a == "-V=full" || a == "--V=full":
-			printVersion()
+			printVersion(stdout)
 			return 0
 		case a == "-flags" || a == "--flags":
-			// The go command may query supported analyzer flags; the suite
-			// has none.
-			fmt.Println("[]")
+			// The go command probes which vet flags the tool supports and
+			// forwards only those; -json is the one driver flag the suite
+			// honors.
+			fmt.Fprintln(stdout, `[{"Name":"json","Bool":true,"Usage":"emit diagnostics as JSON"}]`)
 			return 0
+		case a == "-json" || a == "--json" || a == "-json=true" || a == "--json=true":
+			jsonOut = true
 		case strings.HasPrefix(a, "-"):
-			// Tolerate and ignore driver flags (-json, -c=N, ...): the go
+			// Tolerate and ignore other driver flags (-c=N, ...): the go
 			// command decides what to pass and the suite's output shape is
 			// fixed.
 		case strings.HasSuffix(a, ".cfg"):
@@ -67,11 +79,11 @@ func run(args []string) int {
 	}
 	switch {
 	case cfgFile != "":
-		return vetUnit(cfgFile)
+		return vetUnit(cfgFile, jsonOut, stdout, stderr)
 	case len(patterns) > 0:
-		return reexec(patterns)
+		return reexec(patterns, jsonOut, stdout, stderr)
 	default:
-		fmt.Fprintln(os.Stderr, "usage: nodbvet ./...  (or, via the go command: go vet -vettool=$(which nodbvet) ./...)")
+		fmt.Fprintln(stderr, "usage: nodbvet [-json] ./...  (or, via the go command: go vet -vettool=$(which nodbvet) ./...)")
 		return 1
 	}
 }
@@ -79,7 +91,7 @@ func run(args []string) int {
 // printVersion answers the go command's -V=full probe. The build ID must
 // change whenever the analyzers change, or stale vet results would be
 // served from the go cache: hash the executable itself.
-func printVersion() {
+func printVersion(stdout io.Writer) {
 	id := "unknown"
 	if exe, err := os.Executable(); err == nil {
 		if data, err := os.ReadFile(exe); err == nil {
@@ -87,24 +99,28 @@ func printVersion() {
 			id = fmt.Sprintf("%x", sum[:12])
 		}
 	}
-	fmt.Printf("nodbvet version devel buildID=%s\n", id)
+	fmt.Fprintf(stdout, "nodbvet version devel buildID=%s\n", id)
 }
 
 // reexec runs the suite over package patterns by delegating to go vet,
 // which drives this same binary in unit mode with a proper build graph.
-func reexec(patterns []string) int {
+func reexec(patterns []string, jsonOut bool, stdout, stderr io.Writer) int {
 	exe, err := os.Executable()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nodbvet:", err)
+		fmt.Fprintln(stderr, "nodbvet:", err)
 		return 1
 	}
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, patterns...)...)
-	cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+	vetArgs := []string{"vet", "-vettool=" + exe}
+	if jsonOut {
+		vetArgs = append(vetArgs, "-json")
+	}
+	cmd := exec.Command("go", append(vetArgs, patterns...)...)
+	cmd.Stdout, cmd.Stderr = stdout, stderr
 	if err := cmd.Run(); err != nil {
 		if ee, ok := err.(*exec.ExitError); ok {
 			return ee.ExitCode()
 		}
-		fmt.Fprintln(os.Stderr, "nodbvet:", err)
+		fmt.Fprintln(stderr, "nodbvet:", err)
 		return 1
 	}
 	return 0
@@ -118,6 +134,7 @@ type vetConfig struct {
 	Dir                       string
 	ImportPath                string
 	GoVersion                 string
+	ModulePath                string
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
@@ -128,28 +145,69 @@ type vetConfig struct {
 	SucceedOnTypecheckFailure bool
 }
 
+// jsonDiagnostic is one finding in -json mode, shaped like x/tools'
+// unitchecker output so editors and CI matchers can reuse their parsers.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
 // vetUnit analyzes one package from a vet config file.
-func vetUnit(cfgFile string) int {
+func vetUnit(cfgFile string, jsonOut bool, stdout, stderr io.Writer) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nodbvet:", err)
+		fmt.Fprintln(stderr, "nodbvet:", err)
 		return 1
 	}
 	var cfg vetConfig
 	if err := json.Unmarshal(data, &cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "nodbvet: parsing %s: %v\n", cfgFile, err)
+		fmt.Fprintf(stderr, "nodbvet: parsing %s: %v\n", cfgFile, err)
 		return 1
 	}
-	// The suite keeps no cross-package facts, but the go command expects
-	// the facts file to exist for caching.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "nodbvet:", err)
+
+	// Merge the dependency facts the go command routed to this unit. Each
+	// vetx already holds its package's transitive closure (own facts plus
+	// its deps'), so one level of links reconstructs the whole cone.
+	deps := nodbvet.NewFactSet()
+	for _, vetxFile := range cfg.PackageVetx {
+		raw, err := os.ReadFile(vetxFile)
+		if err != nil {
+			continue // cache miss for a dep: degrade to fewer facts, not failure
+		}
+		fs, err := nodbvet.DecodeFactSet(raw)
+		if err != nil {
+			fmt.Fprintf(stderr, "nodbvet: decoding facts %s: %v\n", vetxFile, err)
 			return 1
 		}
+		deps.Merge(fs)
 	}
-	if cfg.VetxOnly {
-		return 0 // dependency visited only to produce facts
+
+	// The go command expects VetxOutput to exist whenever it was requested,
+	// findings or not — write it on every exit path.
+	vetxWritten := false
+	writeVetx := func(fs *nodbvet.FactSet) int {
+		if cfg.VetxOutput == "" || vetxWritten {
+			return 0
+		}
+		data, err := fs.Encode()
+		if err == nil {
+			err = os.WriteFile(cfg.VetxOutput, data, 0o666)
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "nodbvet:", err)
+			return 1
+		}
+		vetxWritten = true
+		return 0
+	}
+
+	// Only module packages carry engine invariants. Standard-library units
+	// arrive with no ModulePath (cfg.Standard lists a unit's std *deps*,
+	// never the unit itself) — publish an empty fact set and move on
+	// instead of re-analyzing the stdlib every build and polluting the fact
+	// space with fmt/runtime internals.
+	if cfg.ModulePath == "" || cfg.Standard[cfg.ImportPath] {
+		return writeVetx(nodbvet.NewFactSet())
 	}
 
 	// Parse the package, skipping test files: the invariants bind
@@ -162,13 +220,14 @@ func vetUnit(cfgFile string) int {
 		}
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "nodbvet:", err)
+			writeVetx(nodbvet.NewFactSet())
+			fmt.Fprintln(stderr, "nodbvet:", err)
 			return 1
 		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
-		return 0
+		return writeVetx(deps)
 	}
 
 	// Type-check against the export data the go command already built.
@@ -201,25 +260,57 @@ func vetUnit(cfgFile string) int {
 	}
 	pkg, err := tconf.Check(cfg.ImportPath, fset, files, info)
 	if err != nil {
+		writeVetx(nodbvet.NewFactSet())
 		if cfg.SucceedOnTypecheckFailure {
 			return 0
 		}
-		fmt.Fprintf(os.Stderr, "nodbvet: type-checking %s: %v\n", cfg.ImportPath, err)
+		fmt.Fprintf(stderr, "nodbvet: type-checking %s: %v\n", cfg.ImportPath, err)
 		return 1
 	}
 
-	diags, err := analysis.RunSuite(fset, files, pkg, info)
+	diags, out, err := analysis.RunSuite(fset, files, pkg, info, deps)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "nodbvet:", err)
+		writeVetx(nodbvet.NewFactSet())
+		fmt.Fprintln(stderr, "nodbvet:", err)
 		return 1
 	}
+	deps.Merge(out)
+	if code := writeVetx(deps); code != 0 {
+		return code
+	}
+	if cfg.VetxOnly {
+		return 0 // dependency visited only to produce facts
+	}
 	if len(diags) == 0 {
+		if jsonOut {
+			fmt.Fprintln(stdout, "{}")
+		}
+		return 0
+	}
+	if jsonOut {
+		// x/tools unitchecker shape: {"<pkg>": {"<analyzer>": [diags]}},
+		// exit 0 — the findings are the payload, not a failure.
+		byAnalyzer := map[string][]jsonDiagnostic{}
+		for _, d := range diags {
+			byAnalyzer[d.Category] = append(byAnalyzer[d.Category], jsonDiagnostic{
+				Posn:    fset.Position(d.Pos).String(),
+				Message: d.Message,
+			})
+		}
+		// encoding/json sorts map keys, so the output is deterministic.
+		ordered := map[string]map[string][]jsonDiagnostic{cfg.ImportPath: byAnalyzer}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(ordered); err != nil {
+			fmt.Fprintln(stderr, "nodbvet:", err)
+			return 1
+		}
 		return 0
 	}
 	// No package header: the go command already prints "# <pkg>" around a
 	// failing vet tool's stderr.
 	for _, d := range diags {
-		fmt.Fprintf(os.Stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
+		fmt.Fprintf(stderr, "%s: [%s] %s\n", fset.Position(d.Pos), d.Category, d.Message)
 	}
 	return 2
 }

@@ -36,17 +36,33 @@ var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 // Run loads the fixture package in dir, runs the analyzer (with the
 // framework's suppression filtering) and diffs diagnostics against the
 // fixture's want comments.
-func Run(t *testing.T, a *nodbvet.Analyzer, dir string) {
+//
+// deps names fixture directories to load first, in dependency order; the
+// fixture in dir (and each later dep) may import an earlier one by its
+// package name. The analyzer runs over every dep too, but only to
+// accumulate the facts it exports — dep diagnostics are discarded and
+// `// want` comments are honored only in dir. This is how the
+// cross-package fact tests stage a mini build graph.
+func Run(t *testing.T, a *nodbvet.Analyzer, dir string, deps ...string) {
 	t.Helper()
-	pkg, err := loadpkg.Dir(dir)
+	pkgs, err := loadpkg.Chain(append(append([]string{}, deps...), dir)...)
 	if err != nil {
-		t.Fatalf("loading fixture %s: %v", dir, err)
+		t.Fatalf("loading fixture %s (deps %v): %v", dir, deps, err)
 	}
+	facts := nodbvet.NewFactSet()
+	for _, dep := range pkgs[:len(pkgs)-1] {
+		_, out, err := nodbvet.RunAnalyzers(dep.Fset, dep.Files, dep.Types, dep.Info, []*nodbvet.Analyzer{a}, facts)
+		if err != nil {
+			t.Fatalf("running %s on dep %s: %v", a.Name, dep.Types.Path(), err)
+		}
+		facts.Merge(out)
+	}
+	pkg := pkgs[len(pkgs)-1]
 	var wants []*expectation
 	for _, f := range pkg.Files {
 		wants = append(wants, parseWants(t, pkg.Fset, f)...)
 	}
-	diags, err := nodbvet.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*nodbvet.Analyzer{a})
+	diags, _, err := nodbvet.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info, []*nodbvet.Analyzer{a}, facts)
 	if err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}

@@ -1,0 +1,89 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nodb/internal/analysis"
+	"nodb/internal/analysis/loadpkg"
+	"nodb/internal/analysis/nodbvet"
+)
+
+// benchDirs is a dependency-ordered slice of the engine packages the suite
+// spends its time on in a full-tree run: the scan core and its leaf
+// dependencies, the executor above it, and the public API at the root.
+// Each entry is a directory relative to the module root; facts exported by
+// earlier packages feed later ones, so the benchmark exercises the same
+// cross-package propagation the go vet protocol does.
+var benchDirs = []string{
+	"internal/faults",
+	"internal/metrics",
+	"internal/value",
+	"internal/expr",
+	"internal/rawfile",
+	"internal/posmap",
+	"internal/rawcache",
+	"internal/core",
+	"internal/engine",
+	"internal/planner",
+	".",
+}
+
+// BenchmarkNodbvetSuite measures one full analyzer-suite pass over the
+// engine's hot packages — the pre-commit latency a `go vet -vettool`
+// run pays per package, minus the go command's own build-graph overhead.
+func BenchmarkNodbvetSuite(b *testing.B) {
+	root, err := moduleRoot()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// One go list round trip warms the export cache for the whole tree.
+	if err := loadpkg.Prefetch("nodb/..."); err != nil {
+		b.Fatal(err)
+	}
+	// Parse and type-check once, outside the timed loop: the benchmark
+	// isolates analysis time, which is what adding an analyzer changes.
+	pkgs := make([]*loadpkg.Package, len(benchDirs))
+	for i, dir := range benchDirs {
+		p, err := loadpkg.Dir(filepath.Join(root, dir))
+		if err != nil {
+			b.Fatalf("loading %s: %v", dir, err)
+		}
+		pkgs[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		facts := nodbvet.NewFactSet()
+		var diags int
+		for j, p := range pkgs {
+			ds, out, err := analysis.RunSuite(p.Fset, p.Files, p.Types, p.Info, facts)
+			if err != nil {
+				b.Fatalf("suite over %s: %v", benchDirs[j], err)
+			}
+			facts.Merge(out)
+			diags += len(ds)
+		}
+		if diags != 0 {
+			b.Fatalf("suite found %d diagnostics on a clean tree", diags)
+		}
+	}
+}
+
+// moduleRoot walks up from the test's working directory to the go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", os.ErrNotExist
+		}
+		dir = parent
+	}
+}

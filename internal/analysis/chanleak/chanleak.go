@@ -1,0 +1,401 @@
+// Package chanleak enforces the pipeline-shutdown contract: a goroutine
+// in the scan packages (core, engine, rawfile) must never block forever
+// on a channel. Every send or receive reachable on a goroutine must
+// either sit in a select with a default or an abort-style case (<-done,
+// <-ctx.Done(), ...), receive from an abort-style channel directly, or
+// drain a close-terminated channel with range. A bare `ch <- v` on a
+// worker is exactly the deadlock class PRs 3 and 6 fixed by hand: the
+// consumer errors out, stops receiving, and the worker pins its chunk
+// buffer forever.
+//
+// The check is cross-package through the "chanleak.blocks" fact: a
+// function anywhere in the module that performs an unguarded channel
+// operation (transitively) exports it, and a goroutine-scope call to a
+// carrier is flagged at the call site.
+package chanleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// BlocksFact marks a function that may block on an unguarded channel op.
+const BlocksFact = "chanleak.blocks"
+
+// Packages lists the package names whose goroutines are checked.
+var Packages = map[string]bool{"core": true, "engine": true, "rawfile": true}
+
+// Analyzer is the chanleak check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "chanleak",
+	Directive: "chanleak-ok",
+	Doc: "goroutine channel sends/receives in the scan packages must select on ctx/abort (or use a " +
+		"default case, an abort-named channel, or range over a close-terminated channel); a bare " +
+		"blocking op leaks the goroutine when the pipeline cancels",
+	Run: run,
+}
+
+// abortWords are the name fragments that mark a channel as an
+// abort/completion signal; receiving from one IS the guard.
+var abortWords = []string{"done", "abort", "quit", "stop", "cancel", "close", "ctx"}
+
+type event struct {
+	pos    token.Pos
+	msg    string
+	direct bool // reached without crossing a `go func(){...}` boundary
+	launch bool // reached inside a launched literal (always goroutine context)
+}
+
+type checker struct {
+	pass   *nodbvet.Pass
+	graph  *nodbvet.CallGraph
+	scope  map[*types.Func]bool // declared functions running on goroutines
+	events map[*types.Func][]event
+	cur    *types.Func // function currently being walked
+}
+
+func run(pass *nodbvet.Pass) error {
+	c := &checker{
+		pass:   pass,
+		graph:  nodbvet.BuildCallGraph(pass),
+		scope:  map[*types.Func]bool{},
+		events: map[*types.Func][]event{},
+	}
+	c.computeScope()
+	for fn, decl := range c.graph.Decls() {
+		c.cur = fn
+		c.stmts(decl.Body.List, c.scope[fn], false)
+	}
+
+	// Report: events in goroutine context, in the checked packages.
+	if Packages[pass.Pkg.Name()] {
+		var flagged []event
+		for fn, evs := range c.events {
+			for _, e := range evs {
+				if e.launch || (c.scope[fn] && e.direct) {
+					flagged = append(flagged, e)
+				}
+			}
+		}
+		sort.Slice(flagged, func(i, j int) bool { return flagged[i].pos < flagged[j].pos })
+		for _, e := range flagged {
+			pass.Reportf(e.pos, "%s", e.msg)
+		}
+	}
+
+	// Facts: a function with an unsuppressed direct event blocks; so does
+	// one that calls a blocking local function or imported carrier.
+	tainted := map[*types.Func]bool{}
+	for fn, evs := range c.events {
+		for _, e := range evs {
+			if e.direct && !pass.SuppressedAt(e.pos) {
+				tainted[fn] = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range c.graph.Decls() {
+			if tainted[fn] {
+				continue
+			}
+			for _, site := range c.graph.Sites(fn) {
+				if tainted[site.Callee] {
+					tainted[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for fn := range tainted {
+		pass.Out.AddFunc(nodbvet.FuncID(fn), BlocksFact)
+	}
+	return nil
+}
+
+// computeScope seeds the goroutine scope with every locally declared
+// function launched by a go statement, then closes it over same-package
+// calls: a helper called from a worker runs on the worker's goroutine.
+func (c *checker) computeScope() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var id *ast.Ident
+			switch fun := gs.Call.Fun.(type) {
+			case *ast.Ident:
+				id = fun
+			case *ast.SelectorExpr:
+				id = fun.Sel
+			}
+			if id != nil {
+				if callee, ok := c.pass.TypesInfo.Uses[id].(*types.Func); ok {
+					if _, declared := c.graph.Decl(callee); declared {
+						c.scope[callee] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range c.scope {
+			for _, site := range c.graph.Sites(fn) {
+				if _, declared := c.graph.Decl(site.Callee); declared && !c.scope[site.Callee] {
+					c.scope[site.Callee] = true
+					changed = true
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) record(pos token.Pos, msg string, inGo, launched bool) {
+	c.events[c.cur] = append(c.events[c.cur], event{pos: pos, msg: msg, direct: !launched, launch: launched && inGo})
+}
+
+// stmts walks a statement list. inGo: the code runs on a goroutine (the
+// enclosing declared function is goroutine scope, or a `go func` literal
+// was crossed). launched: a go-literal boundary was crossed inside this
+// function, so events belong to the spawned goroutine, not to callers of
+// the function.
+func (c *checker) stmts(list []ast.Stmt, inGo, launched bool) {
+	for _, s := range list {
+		c.stmt(s, inGo, launched)
+	}
+}
+
+func (c *checker) stmt(s ast.Stmt, inGo, launched bool) {
+	switch s := s.(type) {
+	case *ast.SendStmt:
+		c.record(s.Arrow, "goroutine sends on a channel without selecting on ctx/abort; if the "+
+			"receiver has quit, this goroutine leaks — wrap in select { case ch <- v: case <-done: }, "+
+			"or suppress with //nodbvet:chanleak-ok <why>", inGo, launched)
+		c.expr(s.Value, inGo, launched)
+	case *ast.SelectStmt:
+		guarded := selectGuarded(c.pass, s)
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			if !guarded && cc.Comm != nil {
+				switch comm := cc.Comm.(type) {
+				case *ast.SendStmt:
+					c.record(comm.Arrow, "select has no default or ctx/abort case: the send can still "+
+						"block forever — add one, or suppress with //nodbvet:chanleak-ok <why>", inGo, launched)
+				default:
+					if pos, ok := commRecvPos(c.pass, cc.Comm); ok {
+						c.record(pos, "select has no default or ctx/abort case: the receive can still "+
+							"block forever — add one, or suppress with //nodbvet:chanleak-ok <why>", inGo, launched)
+					}
+				}
+			}
+			c.stmts(cc.Body, inGo, launched)
+		}
+	case *ast.RangeStmt:
+		// range over a channel terminates via close: the blessed drain.
+		c.stmts(s.Body.List, inGo, launched)
+	case *ast.GoStmt:
+		for _, arg := range s.Call.Args {
+			c.expr(arg, inGo, launched)
+		}
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, true, true)
+		}
+	case *ast.ExprStmt:
+		c.expr(s.X, inGo, launched)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			c.expr(e, inGo, launched)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			c.expr(e, inGo, launched)
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, inGo, launched)
+		}
+		c.expr(s.Cond, inGo, launched)
+		c.stmts(s.Body.List, inGo, launched)
+		if s.Else != nil {
+			c.stmt(s.Else, inGo, launched)
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, inGo, launched)
+		}
+		if s.Cond != nil {
+			c.expr(s.Cond, inGo, launched)
+		}
+		if s.Post != nil {
+			c.stmt(s.Post, inGo, launched)
+		}
+		c.stmts(s.Body.List, inGo, launched)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, inGo, launched)
+		}
+		if s.Tag != nil {
+			c.expr(s.Tag, inGo, launched)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, inGo, launched)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			c.stmt(s.Init, inGo, launched)
+		}
+		for _, cl := range s.Body.List {
+			if cc, ok := cl.(*ast.CaseClause); ok {
+				c.stmts(cc.Body, inGo, launched)
+			}
+		}
+	case *ast.BlockStmt:
+		c.stmts(s.List, inGo, launched)
+	case *ast.LabeledStmt:
+		c.stmt(s.Stmt, inGo, launched)
+	case *ast.DeferStmt:
+		if lit, ok := s.Call.Fun.(*ast.FuncLit); ok {
+			c.stmts(lit.Body.List, inGo, launched)
+		} else {
+			c.expr(s.Call, inGo, launched)
+		}
+	case *ast.IncDecStmt:
+		c.expr(s.X, inGo, launched)
+	}
+}
+
+// expr finds receives and blocking-carrier calls inside an expression.
+func (c *checker) expr(e ast.Expr, inGo, launched bool) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			c.stmts(n.Body.List, inGo, launched)
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !abortChan(c.pass, n.X) {
+				c.record(n.OpPos, "goroutine receives from a channel without selecting on ctx/abort; "+
+					"if the sender has quit, this goroutine leaks — use select with a done case, range "+
+					"over a close-terminated channel, or suppress with //nodbvet:chanleak-ok <why>", inGo, launched)
+			}
+		case *ast.CallExpr:
+			if callee := calleeFunc(c.pass, n); callee != nil {
+				if _, declared := c.graph.Decl(callee); !declared &&
+					c.pass.Deps.FuncHas(nodbvet.FuncID(callee), BlocksFact) {
+					c.record(n.Pos(), "call to "+nodbvet.ShortName(callee)+" performs an unguarded "+
+						"channel operation (chanleak.blocks fact); on a goroutine this can leak — guard "+
+						"the callee, or suppress with //nodbvet:chanleak-ok <why>", inGo, launched)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// selectGuarded reports whether a select cannot block forever: it has a
+// default case, or one of its comm cases involves an abort-style channel.
+func selectGuarded(pass *nodbvet.Pass, s *ast.SelectStmt) bool {
+	for _, cl := range s.Body.List {
+		cc, ok := cl.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default:
+		}
+		switch comm := cc.Comm.(type) {
+		case *ast.SendStmt:
+			if abortChan(pass, comm.Chan) {
+				return true
+			}
+		case *ast.ExprStmt:
+			if u, ok := comm.X.(*ast.UnaryExpr); ok && u.Op == token.ARROW && abortChan(pass, u.X) {
+				return true
+			}
+		case *ast.AssignStmt:
+			for _, r := range comm.Rhs {
+				if u, ok := r.(*ast.UnaryExpr); ok && u.Op == token.ARROW && abortChan(pass, u.X) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// commRecvPos extracts the receive position of a non-send comm clause.
+func commRecvPos(pass *nodbvet.Pass, s ast.Stmt) (token.Pos, bool) {
+	var u *ast.UnaryExpr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		u, _ = s.X.(*ast.UnaryExpr)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			if ue, ok := r.(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+				u = ue
+			}
+		}
+	}
+	if u == nil || u.Op != token.ARROW || abortChan(pass, u.X) {
+		return token.NoPos, false
+	}
+	return u.OpPos, true
+}
+
+// abortChan recognizes abort/completion channels: ctx.Done()-style calls,
+// and channel expressions whose final name contains an abort word.
+func abortChan(pass *nodbvet.Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		if sel, ok := e.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Done" {
+			return true
+		}
+	case *ast.Ident:
+		return hasAbortWord(e.Name)
+	case *ast.SelectorExpr:
+		return hasAbortWord(e.Sel.Name)
+	}
+	return false
+}
+
+func hasAbortWord(name string) bool {
+	lower := strings.ToLower(name)
+	for _, w := range abortWords {
+		if strings.Contains(lower, w) {
+			return true
+		}
+	}
+	return false
+}
+
+func calleeFunc(pass *nodbvet.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

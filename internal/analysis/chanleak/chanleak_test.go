@@ -1,0 +1,12 @@
+package chanleak_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/chanleak"
+)
+
+func TestChanleak(t *testing.T) {
+	analysistest.Run(t, chanleak.Analyzer, "testdata/core", "testdata/pipe")
+}

@@ -1,0 +1,98 @@
+// Fixture under test for the chanleak analyzer. Package core, so
+// goroutine channel discipline is enforced. Dep: pipe (exports
+// chanleak.blocks for its bare-send helpers).
+package core
+
+import (
+	"context"
+
+	"pipe"
+)
+
+type pump struct {
+	out  chan int
+	done chan struct{}
+}
+
+// launch spawns the goroutines under test.
+func (p *pump) launch(ctx context.Context, ch chan int) {
+	go func() {
+		ch <- 1 // want `goroutine sends on a channel without selecting on ctx/abort`
+	}()
+	go func() {
+		<-ch // want `goroutine receives from a channel without selecting on ctx/abort`
+	}()
+	go func() { // guarded send: clean.
+		select {
+		case ch <- 2:
+		case <-p.done:
+		}
+	}()
+	go func() { // default-guarded: clean.
+		select {
+		case ch <- 3:
+		default:
+		}
+	}()
+	go func() { // unguarded select: both cases can block forever.
+		select {
+		case ch <- 4: // want `select has no default or ctx/abort case: the send can still block forever`
+		case v := <-ch: // want `select has no default or ctx/abort case: the receive can still block forever`
+			_ = v
+		}
+	}()
+	go func() { // ctx.Done-guarded: clean.
+		select {
+		case ch <- 5:
+		case <-ctx.Done():
+		}
+	}()
+	go func() { // receiving the abort signal itself is the guard: clean.
+		<-p.done
+	}()
+	go func() { // close-terminated drain: clean.
+		for v := range ch {
+			_ = v
+		}
+	}()
+	go func() {
+		pipe.BlockingSend(ch, 6) // want `call to pipe\.BlockingSend performs an unguarded channel operation`
+	}()
+	go func() {
+		pipe.BlockingIndirect(ch) // want `call to pipe\.BlockingIndirect performs an unguarded channel operation`
+	}()
+	go func() { // guarded dep helper: clean.
+		pipe.GuardedSend(ch, p.done, 7)
+	}()
+	go func() {
+		//nodbvet:chanleak-ok fixture: consumer provably outlives this send (joined before close)
+		ch <- 8
+	}()
+	go p.run()
+	go p.runGuarded()
+	close(p.out)
+}
+
+// run was launched with go: its helper chain is goroutine scope.
+func (p *pump) run() {
+	p.emit(9)
+}
+
+func (p *pump) emit(v int) {
+	p.out <- v // want `goroutine sends on a channel without selecting on ctx/abort`
+}
+
+// runGuarded shows the sanctioned worker shape.
+func (p *pump) runGuarded() {
+	select {
+	case p.out <- 10:
+	case <-p.done:
+	}
+}
+
+// synchronous is never launched on a goroutine: a blocking send here is a
+// plain synchronous handoff, not a leak — clean locally (it would export
+// the blocks fact for cross-package callers).
+func (p *pump) synchronous(v int) {
+	p.out <- v
+}

@@ -1,0 +1,22 @@
+// Dep fixture for chanleak: BlockingSend exports the chanleak.blocks
+// fact; GuardedSend does not.
+package pipe
+
+// BlockingSend performs a bare send: callers on goroutines are flagged
+// through the exported fact.
+func BlockingSend(ch chan int, v int) {
+	ch <- v
+}
+
+// BlockingIndirect only calls BlockingSend; the taint is transitive.
+func BlockingIndirect(ch chan int) {
+	BlockingSend(ch, 0)
+}
+
+// GuardedSend selects on done: no fact, callers stay clean.
+func GuardedSend(ch chan int, done chan struct{}, v int) {
+	select {
+	case ch <- v:
+	case <-done:
+	}
+}

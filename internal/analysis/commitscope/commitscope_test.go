@@ -1,0 +1,13 @@
+package commitscope_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/commitscope"
+)
+
+func TestCommitscope(t *testing.T) {
+	analysistest.Run(t, commitscope.Analyzer, "testdata/core",
+		"testdata/posmap", "testdata/adaptive")
+}

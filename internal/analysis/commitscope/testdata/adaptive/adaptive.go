@@ -1,0 +1,27 @@
+// Intermediary package: it mutates the posmap on behalf of callers, so
+// the fact machinery must taint its helpers and carry the taint across
+// the package boundary to the fixture under test.
+package adaptive
+
+import "posmap"
+
+// WarmFromSidecar mutates the map outside any commit scope; the analyzer
+// exports a commitscope.mutates fact for it (the in-package finding is
+// the dep loader's to discard — the fixture under test asserts the
+// cross-package consequence).
+func WarmFromSidecar(m *posmap.Map, pos []uint32) {
+	m.Populate(0, pos)
+}
+
+// warmIndirect shows transitive taint: it only calls WarmFromSidecar,
+// and still carries the fact.
+func WarmIndirect(m *posmap.Map) {
+	WarmFromSidecar(m, nil)
+}
+
+// Rebuild's mutation is suppressed with a justification, so the finding
+// is settled here and no fact propagates: callers of Rebuild stay clean.
+func Rebuild(m *posmap.Map, pos []uint32) {
+	//nodbvet:commitscope-ok fixture: rebuild runs under an exclusive table lock during recovery
+	m.Populate(1, pos)
+}

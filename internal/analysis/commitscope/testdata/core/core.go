@@ -1,0 +1,62 @@
+// Fixture under test for the commitscope analyzer: package core, so
+// commit/Refresh root the sanctioned scope. Deps: posmap (the structure),
+// adaptive (a fact-carrying intermediary).
+package core
+
+import (
+	"adaptive"
+	"posmap"
+)
+
+type scan struct {
+	pm *posmap.Map
+}
+
+type table struct {
+	pm *posmap.Map
+}
+
+// commit is the sanctioned root: direct mutation is fine.
+func (s *scan) commit(pos []uint32) {
+	s.pm.Populate(0, pos)
+	s.learn(pos)
+}
+
+// learn is reachable from commit, so its mutation is sanctioned too.
+func (s *scan) learn(pos []uint32) {
+	s.pm.Populate(1, pos)
+}
+
+// Refresh may call a fact-carrying helper: still sanctioned scope.
+func (t *table) Refresh(pos []uint32) {
+	adaptive.WarmFromSidecar(t.pm, pos)
+}
+
+// prefetch is NOT commit-reachable: a direct mutation is flagged.
+func (t *table) prefetch(pos []uint32) {
+	t.pm.Populate(2, pos) // want `call to \(\*posmap\.Map\)\.Populate mutates the posmap adaptive structure outside commit scope`
+}
+
+// warmup reaches the mutation only through the adaptive package; the
+// imported fact makes the cross-package call visible.
+func (t *table) warmup(pos []uint32) {
+	adaptive.WarmFromSidecar(t.pm, pos) // want `call to adaptive\.WarmFromSidecar mutates an adaptive structure outside commit scope`
+}
+
+// warmupIndirect consumes a transitively tainted helper.
+func (t *table) warmupIndirect() {
+	adaptive.WarmIndirect(t.pm) // want `call to adaptive\.WarmIndirect mutates an adaptive structure outside commit scope`
+}
+
+// recover- and suppression-style escapes: Rebuild's mutation was settled
+// with a justification in its own package, so no fact arrived and the
+// call is clean.
+func (t *table) recoverTable(pos []uint32) {
+	adaptive.Rebuild(t.pm, pos)
+}
+
+// resetCounts carries its own justified suppression.
+func (t *table) resetCounts(pos []uint32) {
+	//nodbvet:commitscope-ok fixture: policy change discards structures under the table lock
+	t.pm.Populate(3, pos)
+}

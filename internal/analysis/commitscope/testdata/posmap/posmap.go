@@ -1,0 +1,26 @@
+// Stand-in for the real positional map: the analyzer matches mutators by
+// package base name + method name, so this fixture package exercises the
+// same code paths as nodb/internal/posmap. Internal mutation (this
+// package IS the structure) is exempt by construction.
+package posmap
+
+type Map struct {
+	chunks map[int][]uint32
+}
+
+func New() *Map { return &Map{chunks: map[int][]uint32{}} }
+
+// Populate is the mutator the analyzer polices.
+func (m *Map) Populate(chunkID int, pos []uint32) {
+	m.chunks[chunkID] = pos
+}
+
+// compact mutates internally; the defining package is exempt, so no
+// finding here even though compact is not commit-reachable.
+func (m *Map) compact() {
+	for id, pos := range m.chunks {
+		if len(pos) == 0 {
+			delete(m.chunks, id)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+// Package counterflow audits the metrics plumbing end to end: every
+// int64 counter field of metrics.Breakdown must be incremented somewhere
+// in the analyzed tree AND read back out in the root package (where
+// QueryStats mirrors the breakdown for users). A counter that nobody
+// increments misreports the scan as doing no such work; one that is
+// incremented but never surfaced is invisible effort — both are the PR-2
+// HashAgg charging-bug class, now caught statically.
+//
+// Producer packages export the package-level "counterflow.increments"
+// fact (the Breakdown fields they write); the check itself fires only in
+// the root package (named nodb), where the full dependency cone's facts
+// are in scope. At most two aggregate diagnostics are reported, anchored
+// at the metrics import.
+package counterflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path"
+	"sort"
+	"strings"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// IncrementsFact is the package fact listing written Breakdown fields.
+const IncrementsFact = "counterflow.increments"
+
+// Analyzer is the counterflow check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "counterflow",
+	Directive: "counterflow-ok",
+	Doc: "every metrics.Breakdown int64 counter must be incremented somewhere in the tree and " +
+		"surfaced through the root package's QueryStats; dead or unplumbed counters misreport " +
+		"the scan (the HashAgg charging-bug class)",
+	Run: run,
+}
+
+func run(pass *nodbvet.Pass) error {
+	if pass.Pkg.Name() == "metrics" {
+		return nil // Merge legitimately touches every field
+	}
+
+	// Classify every Breakdown-field selector in this package as a write
+	// (assignment target, op-assign, inc/dec) or a read.
+	writes := map[string]bool{}
+	reads := map[string]bool{}
+	writeSels := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if sel, ok := lhs.(*ast.SelectorExpr); ok && breakdownField(pass, sel) != "" {
+						writeSels[sel] = true
+					}
+				}
+			case *ast.IncDecStmt:
+				if sel, ok := n.X.(*ast.SelectorExpr); ok && breakdownField(pass, sel) != "" {
+					writeSels[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field := breakdownField(pass, sel)
+			if field == "" {
+				return true
+			}
+			if writeSels[sel] {
+				writes[field] = true
+			} else {
+				reads[field] = true
+			}
+			return true
+		})
+	}
+
+	// Producer side: publish what this package writes.
+	if len(writes) > 0 {
+		fields := make([]string, 0, len(writes))
+		for f := range writes {
+			fields = append(fields, f)
+		}
+		sort.Strings(fields)
+		pass.Out.AddPkg(pass.Pkg.Path(), IncrementsFact, fields...)
+	}
+
+	// Consumer side: only the root package sees the whole cone.
+	if pass.Pkg.Name() != "nodb" {
+		return nil
+	}
+	breakdown, importPos := findBreakdown(pass)
+	if breakdown == nil {
+		return nil
+	}
+	incremented := map[string]bool{}
+	for f := range writes {
+		incremented[f] = true
+	}
+	for _, f := range pass.Deps.PkgValues(IncrementsFact) {
+		incremented[f] = true
+	}
+	var dead, unsurfaced []string
+	st, ok := breakdown.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		field := st.Field(i)
+		basic, isBasic := field.Type().Underlying().(*types.Basic)
+		if !isBasic || basic.Kind() != types.Int64 {
+			continue
+		}
+		if !incremented[field.Name()] {
+			dead = append(dead, field.Name())
+			continue
+		}
+		if !reads[field.Name()] {
+			unsurfaced = append(unsurfaced, field.Name())
+		}
+	}
+	sort.Strings(dead)
+	sort.Strings(unsurfaced)
+	if len(dead) > 0 {
+		pass.Reportf(importPos,
+			"metrics.Breakdown counters never incremented in any analyzed package: %s — a dead "+
+				"counter reports the scan as doing no such work; wire it up or delete the field "+
+				"(//nodbvet:counterflow-ok <why> to suppress)", strings.Join(dead, ", "))
+	}
+	if len(unsurfaced) > 0 {
+		pass.Reportf(importPos,
+			"metrics.Breakdown counters incremented but never surfaced through this package's "+
+				"QueryStats: %s — the work is counted, then thrown away; mirror the field or drop "+
+				"the counter (//nodbvet:counterflow-ok <why> to suppress)", strings.Join(unsurfaced, ", "))
+	}
+	return nil
+}
+
+// breakdownField names the Breakdown counter a selector touches, or "".
+func breakdownField(pass *nodbvet.Pass, sel *ast.SelectorExpr) string {
+	s, ok := pass.TypesInfo.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	t := s.Recv()
+	if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Name() != "Breakdown" || named.Obj().Pkg() == nil ||
+		path.Base(named.Obj().Pkg().Path()) != "metrics" {
+		return ""
+	}
+	basic, ok := s.Obj().Type().Underlying().(*types.Basic)
+	if !ok || basic.Kind() != types.Int64 {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// findBreakdown locates the imported metrics.Breakdown type and the
+// position of the metrics import (the diagnostics' anchor).
+func findBreakdown(pass *nodbvet.Pass) (*types.Named, token.Pos) {
+	var breakdown *types.Named
+	for _, imp := range pass.Pkg.Imports() {
+		if path.Base(imp.Path()) != "metrics" {
+			continue
+		}
+		if obj, ok := imp.Scope().Lookup("Breakdown").(*types.TypeName); ok {
+			breakdown, _ = obj.Type().(*types.Named)
+		}
+	}
+	if breakdown == nil {
+		return nil, token.NoPos
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			if path.Base(strings.Trim(imp.Path.Value, `"`)) == "metrics" {
+				return breakdown, imp.Pos()
+			}
+		}
+	}
+	return breakdown, pass.Files[0].Pos()
+}

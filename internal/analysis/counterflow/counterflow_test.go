@@ -1,0 +1,12 @@
+package counterflow_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/counterflow"
+)
+
+func TestCounterflow(t *testing.T) {
+	analysistest.Run(t, counterflow.Analyzer, "testdata/nodb", "testdata/metrics", "testdata/core")
+}

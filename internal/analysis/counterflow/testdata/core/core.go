@@ -1,0 +1,14 @@
+// Dep fixture for counterflow: a producer package. Its writes to
+// Breakdown counters are exported as the counterflow.increments package
+// fact, which the root-package check consumes.
+package core
+
+import "metrics"
+
+// Scan charges three counters in the three write spellings the analyzer
+// recognizes: op-assign, inc/dec, and plain assignment.
+func Scan(b *metrics.Breakdown, n int64) {
+	b.BytesRead += n
+	b.RowsScanned++
+	b.VecRows = b.VecRows + n
+}

@@ -1,0 +1,25 @@
+// Dep fixture for counterflow: a miniature metrics.Breakdown. The
+// analyzer identifies the type by package base name + type name, so this
+// stands in for the real nodb/internal/metrics.
+package metrics
+
+// Breakdown mirrors the real per-query counter block.
+type Breakdown struct {
+	BytesRead     int64
+	RowsScanned   int64
+	VecRows       int64
+	MapJumpFields int64
+	DeadCounter   int64
+	Elapsed       float64 // not a counter: int64 fields only
+}
+
+// Merge folds another breakdown in. The metrics package itself is exempt
+// from the producer scan — Merge legitimately touches every field.
+func (b *Breakdown) Merge(o Breakdown) {
+	b.BytesRead += o.BytesRead
+	b.RowsScanned += o.RowsScanned
+	b.VecRows += o.VecRows
+	b.MapJumpFields += o.MapJumpFields
+	b.DeadCounter += o.DeadCounter
+	b.Elapsed += o.Elapsed
+}

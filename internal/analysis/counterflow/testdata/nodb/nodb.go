@@ -1,0 +1,31 @@
+// Fixture under test for counterflow. Package nodb, so the end-to-end
+// check fires here: every int64 Breakdown counter must be incremented
+// somewhere in the cone (locally or via a dep's counterflow.increments
+// fact) and read back out in this package. DeadCounter is never written
+// anywhere; VecRows is written in core but never surfaced here.
+package nodb
+
+import "metrics" // want `counters never incremented in any analyzed package: DeadCounter` `counters incremented but never surfaced through this package's QueryStats: VecRows`
+
+// QueryStats is the user-facing mirror of the breakdown.
+type QueryStats struct {
+	BytesRead     int64
+	RowsScanned   int64
+	MapJumpFields int64
+}
+
+// newQueryStats surfaces BytesRead, RowsScanned and MapJumpFields; it
+// forgets VecRows, which core increments — flagged at the import.
+func newQueryStats(b metrics.Breakdown) QueryStats {
+	return QueryStats{
+		BytesRead:     b.BytesRead,
+		RowsScanned:   b.RowsScanned,
+		MapJumpFields: b.MapJumpFields,
+	}
+}
+
+// chargeJump is a local producer: MapJumpFields is incremented here and
+// surfaced above, so it is fully plumbed.
+func chargeJump(b *metrics.Breakdown) {
+	b.MapJumpFields++
+}

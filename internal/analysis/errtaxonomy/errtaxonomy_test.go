@@ -8,5 +8,5 @@ import (
 )
 
 func TestErrtaxonomy(t *testing.T) {
-	analysistest.Run(t, errtaxonomy.Analyzer, "testdata/core")
+	analysistest.Run(t, errtaxonomy.Analyzer, "testdata/core", "testdata/value")
 }

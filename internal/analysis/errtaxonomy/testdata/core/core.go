@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 
+	"value"
+
 	"nodb/internal/faults"
 )
 
@@ -48,6 +50,35 @@ func validate(n int) error {
 }
 
 func (s *scan) read() error { return nil }
+
+// OpenScan is a root consuming the dep's facts: untyped carriers whose
+// error escapes through the return are flagged; wrapping, typed callees
+// and locally-handled errors are clean.
+func (s *scan) OpenScan(raw string) error {
+	if raw == "direct" {
+		return value.Parse(raw) // want `call to value\.Parse returns an untyped error`
+	}
+	if err := value.ParseIndirect(raw); err != nil { // want `call to value\.ParseIndirect returns an untyped error`
+		return err
+	}
+	if err := value.Parse(raw); err != nil { // handled locally: clean
+		s.path = "fallback"
+	}
+	if err := value.ParseTyped(raw); err != nil { // typed callee: clean
+		return err
+	}
+	return nil
+}
+
+// worker lets the carrier's error escape but justifies it: the path is
+// monitoring-only, so classification does not matter here.
+func (s *scan) worker(raw string) error {
+	//nodbvet:errtaxonomy-ok monitoring-only path, error string is logged not classified
+	if err := value.Parse(raw); err != nil {
+		return err
+	}
+	return nil
+}
 
 func bad() bool   { return false }
 func worse() bool { return false }

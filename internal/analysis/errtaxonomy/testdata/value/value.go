@@ -1,0 +1,42 @@
+// Dep fixture for errtaxonomy: Parse lets a bare errors.New escape
+// through its return, so it exports the errtaxonomy.untyped fact;
+// ParseTyped speaks the faults taxonomy and exports nothing.
+package value
+
+import (
+	"errors"
+	"fmt"
+
+	"nodb/internal/faults"
+)
+
+// Parse returns an untyped error: fact exported.
+func Parse(s string) error {
+	if s == "" {
+		return errors.New("value: empty field")
+	}
+	return nil
+}
+
+// ParseIndirect taints transitively through Parse.
+func ParseIndirect(s string) error {
+	return Parse(s)
+}
+
+// ParseTyped wraps a faults sentinel: no fact.
+func ParseTyped(s string) error {
+	if s == "" {
+		return fmt.Errorf("value: empty field: %w", faults.ErrMalformed)
+	}
+	return nil
+}
+
+// Validate builds an untyped error but handles it locally: the taxonomy
+// only cares about errors that escape, so no fact.
+func Validate(s string) bool {
+	err := Parse(s)
+	if err != nil {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,12 @@
+package floatdet_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/floatdet"
+)
+
+func TestFloatdet(t *testing.T) {
+	analysistest.Run(t, floatdet.Analyzer, "testdata/expr", "testdata/mathutil")
+}

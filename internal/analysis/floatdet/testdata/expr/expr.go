@@ -1,0 +1,109 @@
+// Fixture under test for the floatdet analyzer. Package expr, so
+// Step/Merge/Result root the sanctioned accumulation scope. Dep:
+// mathutil (exports floatdet.accum for its running-total helpers).
+package expr
+
+import "mathutil"
+
+type sumAgg struct {
+	sum   float64
+	count int64
+}
+
+// Step is sanctioned: per-chunk folds run in pinned order.
+func (s *sumAgg) Step(v float64) {
+	s.sum += v
+	s.count++
+}
+
+// Merge is sanctioned: the commit path merges partials in file order.
+func (s *sumAgg) Merge(o *sumAgg) {
+	s.fold(o)
+}
+
+// fold is reachable from Merge: sanctioned too.
+func (s *sumAgg) fold(o *sumAgg) {
+	s.sum += o.sum
+	s.count += o.count
+}
+
+// Result is sanctioned.
+func (s *sumAgg) Result() float64 {
+	return s.sum / float64(s.count)
+}
+
+// estimate keeps a running float total outside any sanctioned scope.
+func estimate(vals []float64) float64 {
+	total := 0.0
+	for _, v := range vals {
+		total += v // want `float accumulation in estimate outside the ordered-merge scope`
+	}
+	return total
+}
+
+// selfAssign uses the x = x + y spelling: same hazard.
+func selfAssign(vals []float64) float64 {
+	var total float64
+	for _, v := range vals {
+		total = total + v // want `float accumulation in selfAssign outside the ordered-merge scope`
+	}
+	return total
+}
+
+// scaleDown compounds with *=: still order-sensitive.
+func scaleDown(x float32, steps int) float32 {
+	for i := 0; i < steps; i++ {
+		x *= 0.5 // want `float accumulation in scaleDown outside the ordered-merge scope`
+	}
+	return x
+}
+
+// intCounter accumulates integers: associative, clean.
+func intCounter(vals []int) int {
+	n := 0
+	for range vals {
+		n++
+	}
+	return n
+}
+
+// callsCarrier reaches the accumulation only through mathutil's fact.
+func callsCarrier(vals []float64) float64 {
+	return mathutil.RunningMean(vals) // want `call to mathutil\.RunningMean accumulates floats`
+}
+
+// callsCarrierIndirect consumes the transitive taint.
+func callsCarrierIndirect(vals []float64) float64 {
+	return mathutil.RunningIndirect(vals) // want `call to mathutil\.RunningIndirect accumulates floats`
+}
+
+// avgAgg.Merge is sanctioned: calling a float-accumulating helper from
+// Merge scope is exactly where accumulation belongs.
+type avgAgg struct {
+	sum float64
+}
+
+func (a *avgAgg) Merge(vals []float64) {
+	a.sum += mathutil.RunningMean(vals) * float64(len(vals))
+}
+
+// cleanHelper calls the accumulation-free dep function.
+func cleanHelper(vals []float64) []float64 {
+	return mathutil.Scale(vals, 2)
+}
+
+// justified keeps an error-bound estimate; the suppression settles it and
+// stops the fact.
+func justified(vals []float64) float64 {
+	bound := 0.0
+	for _, v := range vals {
+		//nodbvet:floatdet-ok fixture: monitoring-only estimate, never compared bitwise
+		bound += v * v
+	}
+	return bound
+}
+
+// callsJustified stays clean: justified exported no fact.
+func callsJustified(vals []float64) float64 {
+	return justified(vals)
+}

@@ -1,0 +1,27 @@
+// Dep fixture for floatdet: RunningMean exports the floatdet.accum fact
+// (it keeps a float running total); PairwiseSum is recursion-structured
+// and accumulation-free at statement level, so it stays clean.
+package mathutil
+
+// RunningMean keeps running float state: fact exported.
+func RunningMean(vals []float64) float64 {
+	sum := 0.0
+	for _, v := range vals {
+		sum += v
+	}
+	return sum / float64(len(vals))
+}
+
+// RunningIndirect taints transitively.
+func RunningIndirect(vals []float64) float64 {
+	return RunningMean(vals)
+}
+
+// Scale has no self-referential accumulation: clean.
+func Scale(vals []float64, k float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v * k
+	}
+	return out
+}

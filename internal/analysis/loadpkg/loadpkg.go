@@ -56,6 +56,29 @@ func exportFile(path string) (string, error) {
 	return f, nil
 }
 
+// Prefetch warms the export cache for every package matching the patterns
+// and their dependencies with a single go list invocation, instead of one
+// per import path on first use. A full-tree analysis run (the
+// BenchmarkNodbvetSuite pre-commit path) drops from dozens of go list
+// round trips to one.
+func Prefetch(patterns ...string) error {
+	args := append([]string{"list", "-export", "-deps", "-f", "{{.ImportPath}}\t{{.Export}}", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &out, &errb
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("loadpkg: go list -export -deps: %v: %s", err, errb.String())
+	}
+	for _, line := range strings.Split(out.String(), "\n") {
+		path, export, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if !ok || export == "" {
+			continue
+		}
+		exportCache.Store(path, export)
+	}
+	return nil
+}
+
 // NewImporter returns a types importer backed by the go build cache.
 func NewImporter(fset *token.FileSet) types.ImporterFrom {
 	lookup := func(path string) (io.ReadCloser, error) {
@@ -83,37 +106,81 @@ func NewInfo() *types.Info {
 // Dir parses and type-checks the non-test .go files of one directory as a
 // single package.
 func Dir(dir string) (*Package, error) {
-	ents, err := os.ReadDir(dir)
+	pkgs, err := Chain(dir)
 	if err != nil {
 		return nil, err
 	}
-	var names []string
-	for _, e := range ents {
-		if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
-			names = append(names, n)
-		}
+	return pkgs[0], nil
+}
+
+// chainImporter resolves imports first against the packages loaded earlier
+// in the same Chain call (keyed by their package name, which doubles as
+// the fixture import path), then against the go build cache. It is what
+// lets a fact-propagation fixture split across directories — a "posmap"
+// stand-in, an intermediary, the package under test — type-check as a
+// miniature multi-package build graph.
+type chainImporter struct {
+	local    map[string]*types.Package
+	fallback types.ImporterFrom
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
 	}
-	sort.Strings(names)
-	if len(names) == 0 {
-		return nil, fmt.Errorf("loadpkg: no Go files in %s", dir)
+	return c.fallback.Import(path)
+}
+
+func (c chainImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if p, ok := c.local[path]; ok {
+		return p, nil
 	}
+	return c.fallback.ImportFrom(path, dir, mode)
+}
+
+// Chain parses and type-checks several directories as one dependency
+// chain, in order: each directory's package may import any earlier one by
+// its package name. All packages share a FileSet, so positions and type
+// identities line up across the chain. Returns one Package per directory,
+// in argument order.
+func Chain(dirs ...string) ([]*Package, error) {
 	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, n := range names {
-		f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+	imp := chainImporter{local: map[string]*types.Package{}, fallback: NewImporter(fset)}
+	var out []*Package
+	for _, dir := range dirs {
+		ents, err := os.ReadDir(dir)
 		if err != nil {
 			return nil, err
 		}
-		files = append(files, f)
+		var names []string
+		for _, e := range ents {
+			if n := e.Name(); strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				names = append(names, n)
+			}
+		}
+		sort.Strings(names)
+		if len(names) == 0 {
+			return nil, fmt.Errorf("loadpkg: no Go files in %s", dir)
+		}
+		var files []*ast.File
+		for _, n := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				return nil, err
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{
+			Importer: imp,
+			Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		}
+		pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("loadpkg: type-check %s: %w", dir, err)
+		}
+		imp.local[pkg.Path()] = pkg
+		out = append(out, &Package{Fset: fset, Files: files, Types: pkg, Info: info})
 	}
-	info := NewInfo()
-	conf := types.Config{
-		Importer: NewImporter(fset),
-		Sizes:    types.SizesFor("gc", runtime.GOARCH),
-	}
-	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
-	if err != nil {
-		return nil, fmt.Errorf("loadpkg: type-check %s: %w", dir, err)
-	}
-	return &Package{Fset: fset, Files: files, Types: pkg, Info: info}, nil
+	return out, nil
 }

@@ -1,0 +1,538 @@
+// Package lockorder builds the engine's mutex acquisition graph and flags
+// the three hazards that matter for a scan engine: lock-ordering cycles
+// (deadlock), channel operations while holding a lock (a blocked pipeline
+// keeps the lock and stalls every other path into it), and leaf I/O while
+// holding a lock (an os/syscall round trip turns a micro-critical-section
+// into an unbounded one — the catalog freeze class).
+//
+// Locks are identified structurally as "(pkg.Type).field" for a
+// sync.Mutex/RWMutex struct field (RLock counts as Lock: a reader still
+// blocks writers) or "pkg.var" for a package-level mutex. Held-sets are
+// tracked by a linear, branch-copying walk of each function body: Lock
+// adds, Unlock removes, `defer Unlock` holds to the end of the function.
+//
+// The analysis is cross-package through three facts: "lockorder.acquires"
+// (the lock IDs a function may take, transitively), "lockorder.io" (the
+// function eventually performs os/syscall I/O) and the package-level
+// "lockorder.edge" ("A->B": A is held while B is acquired somewhere in
+// the package). Cycle detection runs over the union of local and imported
+// edges, and reports at the local edge that closes the cycle.
+package lockorder
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// Fact names exported by this analyzer.
+const (
+	AcquiresFact = "lockorder.acquires"
+	IOFact       = "lockorder.io"
+	EdgeFact     = "lockorder.edge"
+)
+
+// Analyzer is the lockorder check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "lockorder",
+	Directive: "lockorder-ok",
+	Doc: "flags lock-ordering cycles over the engine's mutexes (DB.mu/planMu/pinMu, Table.mu, " +
+		"adaptive-structure mutexes), channel operations while holding a lock, and leaf I/O " +
+		"(os/syscall) inside a critical section; acquisition edges and I/O reach across packages " +
+		"via lockorder.* facts",
+	Run: run,
+}
+
+// osPure lists os functions that don't touch the filesystem or block:
+// calling them under a lock is unremarkable.
+var osPure = map[string]bool{
+	"Getenv": true, "LookupEnv": true, "Environ": true,
+	"Getpid": true, "Getppid": true, "Getuid": true, "Geteuid": true,
+	"Getgid": true, "Getegid": true,
+	"IsNotExist": true, "IsExist": true, "IsPermission": true, "IsTimeout": true,
+}
+
+type edge struct{ from, to string }
+
+type report struct {
+	pos token.Pos
+	msg string
+}
+
+type analysis struct {
+	pass    *nodbvet.Pass
+	graph   *nodbvet.CallGraph
+	acq     map[*types.Func]map[string]bool // transitive lock IDs per local fn
+	io      map[*types.Func]bool            // transitive I/O per local fn
+	edges   map[edge]token.Pos              // local acquisition-order edges
+	reports []report
+}
+
+func run(pass *nodbvet.Pass) error {
+	a := &analysis{
+		pass:  pass,
+		graph: nodbvet.BuildCallGraph(pass),
+		acq:   map[*types.Func]map[string]bool{},
+		io:    map[*types.Func]bool{},
+		edges: map[edge]token.Pos{},
+	}
+	a.summarize()
+	for _, decl := range a.graph.Decls() {
+		a.walkStmts(decl.Body.List, map[string]token.Pos{})
+	}
+	a.detectCycles()
+	sort.Slice(a.reports, func(i, j int) bool { return a.reports[i].pos < a.reports[j].pos })
+	for _, r := range a.reports {
+		pass.Reportf(r.pos, "%s", r.msg)
+	}
+	a.exportFacts()
+	return nil
+}
+
+// summarize computes, per declared function, the transitive set of lock
+// IDs it may acquire and whether it may perform leaf I/O — seeded with
+// direct lock calls, direct os/syscall calls and imported facts, then
+// propagated to fixpoint over the package call graph.
+func (a *analysis) summarize() {
+	for fn, decl := range a.graph.Decls() {
+		acquires := map[string]bool{}
+		io := false
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, op, ok := a.lockOp(call); ok {
+				if op == "acquire" {
+					acquires[id] = true
+				}
+				return true
+			}
+			if callee := a.callee(call); callee != nil {
+				if a.calleeIO(callee) {
+					io = true
+				}
+				for _, l := range a.pass.Deps.FuncValues(nodbvet.FuncID(callee), AcquiresFact) {
+					acquires[l] = true
+				}
+			}
+			return true
+		})
+		a.acq[fn] = acquires
+		a.io[fn] = io
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range a.graph.Decls() {
+			for _, site := range a.graph.Sites(fn) {
+				if _, declared := a.graph.Decls()[site.Callee]; !declared {
+					continue
+				}
+				if a.io[site.Callee] && !a.io[fn] {
+					a.io[fn] = true
+					changed = true
+				}
+				for l := range a.acq[site.Callee] {
+					if !a.acq[fn][l] {
+						a.acq[fn][l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// calleeIO reports whether calling fn may perform leaf I/O: it is an
+// os/syscall function (minus the pure ones), or an imported function
+// carrying the lockorder.io fact.
+func (a *analysis) calleeIO(fn *types.Func) bool {
+	if pkg := fn.Pkg(); pkg != nil {
+		switch pkg.Path() {
+		case "os":
+			return !osPure[fn.Name()]
+		case "syscall":
+			return true
+		}
+	}
+	return a.pass.Deps.FuncHas(nodbvet.FuncID(fn), IOFact)
+}
+
+// callee resolves a call's target to a *types.Func when possible.
+func (a *analysis) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := a.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+// lockOp classifies a call as a mutex acquire/release and names the lock.
+func (a *analysis) lockOp(call *ast.CallExpr) (id, op string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	m, isFn := a.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", "", false
+	}
+	switch m.Name() {
+	case "Lock", "RLock":
+		op = "acquire"
+	case "Unlock", "RUnlock":
+		op = "release"
+	default:
+		return "", "", false
+	}
+	id = a.lockID(sel.X)
+	if id == "" {
+		return "", "", false
+	}
+	return id, op, true
+}
+
+// lockID names the mutex expression: a struct field as "(pkg.Type).field",
+// a package-level var as "pkg.var". Locals and unresolvable shapes yield
+// "" and are skipped — every shared mutex in the engine is one of the two.
+func (a *analysis) lockID(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := a.pass.TypesInfo.Selections[x]; ok {
+			t := sel.Recv()
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+				return fmt.Sprintf("(%s.%s).%s", named.Obj().Pkg().Name(), named.Obj().Name(), x.Sel.Name)
+			}
+			return ""
+		}
+		// Package-qualified var: pkg.Mu.Lock().
+		if v, ok := a.pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := a.pass.TypesInfo.Uses[x].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+func heldList(held map[string]token.Pos) string {
+	ids := make([]string, 0, len(held))
+	for id := range held {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return strings.Join(ids, ", ")
+}
+
+func copyHeld(held map[string]token.Pos) map[string]token.Pos {
+	c := make(map[string]token.Pos, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// walkStmts tracks the held-set through a statement list. Branch bodies
+// get a copy: a conditional Lock does not leak past its branch.
+func (a *analysis) walkStmts(list []ast.Stmt, held map[string]token.Pos) {
+	for _, s := range list {
+		a.walkStmt(s, held)
+	}
+}
+
+func (a *analysis) walkStmt(s ast.Stmt, held map[string]token.Pos) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		a.scanExpr(s.X, held)
+	case *ast.AssignStmt:
+		for _, e := range s.Rhs {
+			a.scanExpr(e, held)
+		}
+		for _, e := range s.Lhs {
+			a.scanExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range s.Results {
+			a.scanExpr(e, held)
+		}
+	case *ast.IncDecStmt:
+		a.scanExpr(s.X, held)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			a.reportf(s.Arrow, "channel send while holding %s; a blocked pipeline would hold the lock "+
+				"— release it first, or suppress with //nodbvet:lockorder-ok <why>", heldList(held))
+		}
+		a.scanExpr(s.Chan, held)
+		a.scanExpr(s.Value, held)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held to function end: no-op for
+		// the walk. Other deferred work runs before that unlock (LIFO), so
+		// it executes under whatever is held here.
+		if _, op, ok := a.lockOp(s.Call); ok && op == "release" {
+			return
+		}
+		if lit, isLit := s.Call.Fun.(*ast.FuncLit); isLit {
+			for _, arg := range s.Call.Args {
+				a.scanExpr(arg, held)
+			}
+			a.walkStmts(lit.Body.List, copyHeld(held))
+			return
+		}
+		a.scanExpr(s.Call, held)
+	case *ast.GoStmt:
+		// The goroutine runs on its own stack: it does not inherit the
+		// held-set (chanleak and panicroute police its body).
+		for _, arg := range s.Call.Args {
+			a.scanExpr(arg, held)
+		}
+		if lit, isLit := s.Call.Fun.(*ast.FuncLit); isLit {
+			a.walkStmts(lit.Body.List, map[string]token.Pos{})
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, held)
+		}
+		a.scanExpr(s.Cond, held)
+		a.walkStmts(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			a.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			a.scanExpr(s.Cond, held)
+		}
+		inner := copyHeld(held)
+		if s.Post != nil {
+			a.walkStmt(s.Post, inner)
+		}
+		a.walkStmts(s.Body.List, inner)
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if tv, ok := a.pass.TypesInfo.Types[s.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					a.reportf(s.For, "range over channel while holding %s; a stalled producer would hold "+
+						"the lock — release it first, or suppress with //nodbvet:lockorder-ok <why>", heldList(held))
+				}
+			}
+		}
+		a.scanExpr(s.X, held)
+		a.walkStmts(s.Body.List, copyHeld(held))
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			a.scanExpr(s.Tag, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, isCase := c.(*ast.CaseClause); isCase {
+				a.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			a.walkStmt(s.Init, held)
+		}
+		for _, c := range s.Body.List {
+			if cc, isCase := c.(*ast.CaseClause); isCase {
+				a.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		if len(held) > 0 {
+			a.reportf(s.Select, "select while holding %s; every communication case blocks with the lock "+
+				"held — release it first, or suppress with //nodbvet:lockorder-ok <why>", heldList(held))
+		}
+		for _, c := range s.Body.List {
+			if cc, isComm := c.(*ast.CommClause); isComm {
+				a.walkStmts(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.BlockStmt:
+		a.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		a.walkStmt(s.Stmt, held)
+	case *ast.DeclStmt:
+		if gd, isGen := s.Decl.(*ast.GenDecl); isGen {
+			for _, spec := range gd.Specs {
+				if vs, isVal := spec.(*ast.ValueSpec); isVal {
+					for _, e := range vs.Values {
+						a.scanExpr(e, held)
+					}
+				}
+			}
+		}
+	}
+}
+
+// scanExpr classifies the calls and channel receives inside one
+// expression against the current held-set, updating it for lock
+// operations. Function literals are walked as inline code (they run on
+// this goroutine under the same locks, e.g. a sort.Slice comparator).
+func (a *analysis) scanExpr(e ast.Expr, held map[string]token.Pos) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			a.walkStmts(n.Body.List, copyHeld(held))
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && len(held) > 0 {
+				a.reportf(n.OpPos, "channel receive while holding %s; a stalled sender would hold the "+
+					"lock — release it first, or suppress with //nodbvet:lockorder-ok <why>", heldList(held))
+			}
+		case *ast.CallExpr:
+			a.scanCall(n, held)
+		}
+		return true
+	})
+}
+
+func (a *analysis) scanCall(call *ast.CallExpr, held map[string]token.Pos) {
+	if id, op, ok := a.lockOp(call); ok {
+		switch op {
+		case "acquire":
+			if _, already := held[id]; already {
+				a.reportf(call.Pos(), "acquires %s while already holding it; sync mutexes are not "+
+					"reentrant — this self-deadlocks", id)
+				return
+			}
+			for from := range held {
+				a.addEdge(from, id, call.Pos())
+			}
+			held[id] = call.Pos()
+		case "release":
+			delete(held, id)
+		}
+		return
+	}
+	callee := a.callee(call)
+	if callee == nil || len(held) == 0 {
+		return
+	}
+	if a.calleeIO(callee) || a.io[callee] {
+		a.reportf(call.Pos(), "call to %s performs leaf I/O while holding %s; an os/syscall round "+
+			"trip makes the critical section unbounded — release the lock first, or suppress with "+
+			"//nodbvet:lockorder-ok <why>", nodbvet.ShortName(callee), heldList(held))
+	}
+	var acquired map[string]bool
+	if _, declared := a.graph.Decls()[callee]; declared {
+		acquired = a.acq[callee]
+	} else {
+		acquired = map[string]bool{}
+		for _, l := range a.pass.Deps.FuncValues(nodbvet.FuncID(callee), AcquiresFact) {
+			acquired[l] = true
+		}
+	}
+	for to := range acquired {
+		for from := range held {
+			a.addEdge(from, to, call.Pos())
+		}
+	}
+}
+
+// addEdge records an acquisition-order edge, keeping the earliest
+// position so diagnostics stay deterministic across map iteration order.
+func (a *analysis) addEdge(from, to string, pos token.Pos) {
+	if cur, seen := a.edges[edge{from, to}]; !seen || pos < cur {
+		a.edges[edge{from, to}] = pos
+	}
+}
+
+func (a *analysis) reportf(pos token.Pos, format string, args ...any) {
+	a.reports = append(a.reports, report{pos: pos, msg: fmt.Sprintf(format, args...)})
+}
+
+// detectCycles reports every local acquisition edge that closes a cycle in
+// the combined (local + imported) edge graph: the to-lock reaches the
+// from-lock again through some chain of held-while-acquired edges.
+func (a *analysis) detectCycles() {
+	succ := map[string]map[string]bool{}
+	add := func(from, to string) {
+		if succ[from] == nil {
+			succ[from] = map[string]bool{}
+		}
+		succ[from][to] = true
+	}
+	for e := range a.edges {
+		add(e.from, e.to)
+	}
+	for _, v := range a.pass.Deps.PkgValues(EdgeFact) {
+		if from, to, ok := strings.Cut(v, "->"); ok {
+			add(from, to)
+		}
+	}
+	reaches := func(from, to string) bool {
+		seen := map[string]bool{}
+		stack := []string{from}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if cur == to {
+				return true
+			}
+			if seen[cur] {
+				continue
+			}
+			seen[cur] = true
+			for next := range succ[cur] {
+				stack = append(stack, next)
+			}
+		}
+		return false
+	}
+	for e, pos := range a.edges {
+		if reaches(e.to, e.from) {
+			a.reportf(pos, "acquiring %s while holding %s closes a lock-ordering cycle (%s is also "+
+				"held, possibly in another package, while %s is acquired); pick one global order — "+
+				"or suppress with //nodbvet:lockorder-ok <why>", e.to, e.from, e.to, e.from)
+		}
+	}
+}
+
+// exportFacts publishes the per-function summaries and the package's
+// acquisition edges. Summaries are information, not violations, so they
+// export unsuppressed: a justified finding silences the diagnostic at the
+// holding site, while callers elsewhere still deserve to know the callee
+// locks or does I/O.
+func (a *analysis) exportFacts() {
+	for fn := range a.graph.Decls() {
+		id := nodbvet.FuncID(fn)
+		if len(a.acq[fn]) > 0 {
+			locks := make([]string, 0, len(a.acq[fn]))
+			for l := range a.acq[fn] {
+				locks = append(locks, l)
+			}
+			sort.Strings(locks)
+			a.pass.Out.AddFunc(id, AcquiresFact, locks...)
+		}
+		if a.io[fn] {
+			a.pass.Out.AddFunc(id, IOFact)
+		}
+	}
+	for e := range a.edges {
+		a.pass.Out.AddPkg(a.pass.Pkg.Path(), EdgeFact, e.from+"->"+e.to)
+	}
+}

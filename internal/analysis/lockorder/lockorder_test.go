@@ -1,0 +1,12 @@
+package lockorder_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, lockorder.Analyzer, "testdata/core", "testdata/storage")
+}

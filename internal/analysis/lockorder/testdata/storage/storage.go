@@ -1,0 +1,40 @@
+// Dep fixture for lockorder: exports lockorder.io (Flush reaches
+// os.WriteFile), lockorder.acquires (WithLock takes the Store mutex) and
+// a package-level lockorder.edge (lockPair holds A while taking B).
+package storage
+
+import (
+	"os"
+	"sync"
+)
+
+type Store struct {
+	mu sync.Mutex
+}
+
+// Flush performs leaf I/O; callers holding a lock are flagged in their
+// own package via the exported fact.
+func Flush(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// WithLock runs f under the store mutex; the acquires fact tells callers
+// already holding a lock that this edge exists.
+func (s *Store) WithLock(f func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f()
+}
+
+// Pair carries two exported mutexes so the fixture under test can close a
+// cross-package ordering cycle against lockPair's A-then-B edge.
+type Pair struct {
+	A, B sync.Mutex
+}
+
+func (p *Pair) lockPair() {
+	p.A.Lock()
+	defer p.A.Unlock()
+	p.B.Lock()
+	p.B.Unlock()
+}

@@ -8,14 +8,27 @@
 // unless the keys are collected and sorted first, or the site carries a
 // //nodbvet:unordered-ok justification (e.g. the loop only folds into an
 // order-insensitive accumulator).
+//
+// The check is cross-package: every module package exports the
+// "mapiter.ranges" fact for functions that (transitively) iterate an
+// unsorted map, and a call to such a carrier from an ordered path in the
+// checked packages is flagged at the call site — a posmap helper that
+// ranges its shard map is just as nondeterministic when core's commit
+// calls it as a local loop would be.
 package mapiter
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
+	"sort"
 
 	"nodb/internal/analysis/nodbvet"
 )
+
+// RangesFact marks a function that (transitively) iterates an unsorted
+// map.
+const RangesFact = "mapiter.ranges"
 
 // Roots names, per package, the entry points of ordered-commit and
 // result-emission paths; every package function reachable from them is
@@ -41,43 +54,110 @@ var Analyzer = &nodbvet.Analyzer{
 }
 
 func run(pass *nodbvet.Pass) error {
-	roots, ok := Roots[pass.Pkg.Name()]
-	if !ok {
-		return nil
-	}
 	g := nodbvet.BuildCallGraph(pass)
-	for fn := range g.ReachableFrom(roots) {
-		decl, ok := g.Decl(fn)
-		if !ok {
-			continue
+	roots, checked := Roots[pass.Pkg.Name()]
+	var reach map[*types.Func]bool
+	if checked {
+		reach = g.ReachableFrom(roots)
+	}
+
+	// Direct unsorted-map-range sites per declared function.
+	direct := map[*types.Func][]token.Pos{}
+	for fn, decl := range g.Decls() {
+		fn, decl := fn, decl
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if collectsSortedKeys(pass, rng, decl) {
+				return true
+			}
+			direct[fn] = append(direct[fn], rng.Pos())
+			return true
+		})
+	}
+
+	// Report in checked packages: direct ranges and imported fact carriers
+	// called from root-reachable functions.
+	if checked {
+		type finding struct {
+			pos token.Pos
+			msg string
 		}
-		checkFunc(pass, fn, decl)
+		var found []finding
+		for fn := range reach {
+			if _, declared := g.Decl(fn); !declared {
+				continue
+			}
+			for _, pos := range direct[fn] {
+				found = append(found, finding{pos,
+					"range over map in " + fn.Name() + ", which is reachable from an ordered-commit/" +
+						"result-emission root; map order is randomized — iterate sorted keys, keep a " +
+						"first-seen order slice, or suppress with //nodbvet:unordered-ok <why>"})
+			}
+			for _, site := range g.Sites(fn) {
+				if _, declared := g.Decl(site.Callee); declared {
+					continue // local ranges report at their own site
+				}
+				if pass.Deps.FuncHas(nodbvet.FuncID(site.Callee), RangesFact) {
+					found = append(found, finding{site.Pos,
+						"call to " + nodbvet.ShortName(site.Callee) + " iterates an unsorted map " +
+							"(mapiter.ranges fact) on an ordered-commit/result-emission path — have the " +
+							"callee iterate sorted keys, or suppress with //nodbvet:unordered-ok <why>"})
+				}
+			}
+		}
+		sort.Slice(found, func(i, j int) bool { return found[i].pos < found[j].pos })
+		for _, f := range found {
+			pass.Reportf(f.pos, "%s", f.msg)
+		}
+	}
+
+	// Facts: functions with an unsuppressed unsorted map range, closed over
+	// local calls and imported carriers, exported from every package.
+	tainted := map[*types.Func]bool{}
+	for fn, sites := range direct {
+		for _, pos := range sites {
+			if !pass.SuppressedAt(pos) {
+				tainted[fn] = true
+				break
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for fn := range g.Decls() {
+			if tainted[fn] {
+				continue
+			}
+			for _, site := range g.Sites(fn) {
+				if tainted[site.Callee] {
+					tainted[fn] = true
+					changed = true
+					break
+				}
+				if _, declared := g.Decl(site.Callee); !declared &&
+					pass.Deps.FuncHas(nodbvet.FuncID(site.Callee), RangesFact) &&
+					!pass.SuppressedAt(site.Pos) {
+					tainted[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for fn := range tainted {
+		pass.Out.AddFunc(nodbvet.FuncID(fn), RangesFact)
 	}
 	return nil
-}
-
-func checkFunc(pass *nodbvet.Pass, fn *types.Func, decl *ast.FuncDecl) {
-	ast.Inspect(decl.Body, func(n ast.Node) bool {
-		rng, ok := n.(*ast.RangeStmt)
-		if !ok {
-			return true
-		}
-		tv, ok := pass.TypesInfo.Types[rng.X]
-		if !ok {
-			return true
-		}
-		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-			return true
-		}
-		if collectsSortedKeys(pass, rng, decl) {
-			return true
-		}
-		pass.Reportf(rng.Pos(),
-			"range over map in %s, which is reachable from an ordered-commit/result-emission root; "+
-				"map order is randomized — iterate sorted keys, keep a first-seen order slice, "+
-				"or suppress with //nodbvet:unordered-ok <why>", fn.Name())
-		return true
-	})
 }
 
 // collectsSortedKeys recognizes the one blessed shape of map iteration on

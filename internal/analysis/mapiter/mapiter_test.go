@@ -8,5 +8,5 @@ import (
 )
 
 func TestMapiter(t *testing.T) {
-	analysistest.Run(t, mapiter.Analyzer, "testdata/core")
+	analysistest.Run(t, mapiter.Analyzer, "testdata/core", "testdata/groupmap")
 }

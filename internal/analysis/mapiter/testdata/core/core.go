@@ -3,7 +3,11 @@
 // ordered-commit/result-emission roots here.
 package core
 
-import "sort"
+import (
+	"sort"
+
+	"groupmap"
+)
 
 type scan struct {
 	groups map[string]int
@@ -61,4 +65,20 @@ func (s *scan) unreachable() int {
 		n++
 	}
 	return n
+}
+
+// mergePartials is a root calling imported helpers: the mapiter.ranges
+// fact carriers are flagged at the call sites, the sorted and justified
+// ones stay clean.
+func (s *scan) mergePartials() []string {
+	_ = groupmap.Keys(s.groups)         // want `call to groupmap\.Keys iterates an unsorted map`
+	_ = groupmap.KeysIndirect(s.groups) // want `call to groupmap\.KeysIndirect iterates an unsorted map`
+	_ = groupmap.Count(s.groups)
+	return groupmap.SortedKeys(s.groups)
+}
+
+// offPath calls a carrier outside any root-reachable function: clean here,
+// but offPath itself inherits the fact for its own callers.
+func (s *scan) offPath() []string {
+	return groupmap.Keys(s.groups)
 }

@@ -1,0 +1,41 @@
+// Dep fixture for mapiter: a helper package whose unsorted map iteration
+// is exported as the mapiter.ranges fact and consumed across the package
+// boundary by the core fixture.
+package groupmap
+
+import "sort"
+
+// Keys iterates its map unsorted: fact exported.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// KeysIndirect taints transitively through Keys.
+func KeysIndirect(m map[string]int) []string {
+	return Keys(m)
+}
+
+// SortedKeys uses the blessed collect-then-sort shape: no fact.
+func SortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Count folds order-insensitively and carries a justification, so the
+// fact is withheld.
+func Count(m map[string]int) int {
+	n := 0
+	//nodbvet:unordered-ok fixture: order-insensitive count accumulation
+	for range m {
+		n++
+	}
+	return n
+}

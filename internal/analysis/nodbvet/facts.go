@@ -1,0 +1,170 @@
+// Cross-package fact propagation for the nodbvet suite, modelled on the
+// go/analysis fact mechanism but serialized as deterministic JSON so the
+// files travel through the go vet tool protocol's vetx channel (see
+// cmd/nodbvet): each analyzed package writes the facts it exports, the go
+// command hands dependents the dependency's vetx file, and analyzers read
+// them back through Pass.Deps. This is what lets the invariant checkers
+// see through the core -> engine -> planner -> nodb package boundaries
+// instead of stopping at imports.
+//
+// A fact is a named property of a function (keyed by its types.Func
+// FullName, e.g. "(*nodb/internal/posmap.Map).Populate") or of a package
+// (keyed by import path), optionally carrying a sorted value list. Fact
+// names are namespaced by analyzer ("lockorder.acquires",
+// "commitscope.mutates", ...) so the analyzers share one FactSet without
+// colliding.
+package nodbvet
+
+import (
+	"encoding/json"
+	"go/types"
+	"sort"
+)
+
+// Facts maps a fact name to its (sorted, deduplicated) values. A fact with
+// no values is a boolean marker: its presence is the information.
+type Facts map[string][]string
+
+// FactSet is every fact known about a set of packages: function facts
+// keyed by types.Func.FullName and package facts keyed by import path.
+type FactSet struct {
+	Funcs map[string]Facts `json:"funcs,omitempty"`
+	Pkgs  map[string]Facts `json:"pkgs,omitempty"`
+}
+
+// NewFactSet returns an empty, usable FactSet.
+func NewFactSet() *FactSet {
+	return &FactSet{Funcs: map[string]Facts{}, Pkgs: map[string]Facts{}}
+}
+
+// FuncID returns the stable cross-package identifier of a function: its
+// FullName, e.g. "(*nodb/internal/core.Table).Refresh" or
+// "nodb/internal/rawfile.Open".
+func FuncID(fn *types.Func) string { return fn.FullName() }
+
+// ShortName renders fn for diagnostics with the package's name instead of
+// its full import path: "(*posmap.Map).Populate", "rawfile.Open".
+func ShortName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		ptr := ""
+		if p, isPtr := t.(*types.Pointer); isPtr {
+			t = p.Elem()
+			ptr = "*"
+		}
+		if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+			return "(" + ptr + named.Obj().Pkg().Name() + "." + named.Obj().Name() + ")." + fn.Name()
+		}
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+func addValues(m map[string]Facts, key, fact string, values []string) {
+	f := m[key]
+	if f == nil {
+		f = Facts{}
+		m[key] = f
+	}
+	have := f[fact]
+	if have == nil {
+		have = []string{}
+	}
+	for _, v := range values {
+		if !containsStr(have, v) {
+			have = append(have, v)
+		}
+	}
+	sort.Strings(have)
+	f[fact] = have
+}
+
+func containsStr(s []string, v string) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// AddFunc records a function fact, merging and sorting values.
+func (s *FactSet) AddFunc(id, fact string, values ...string) {
+	addValues(s.Funcs, id, fact, values)
+}
+
+// AddPkg records a package fact, merging and sorting values.
+func (s *FactSet) AddPkg(pkgPath, fact string, values ...string) {
+	addValues(s.Pkgs, pkgPath, fact, values)
+}
+
+// FuncHas reports whether the function carries the named fact.
+func (s *FactSet) FuncHas(id, fact string) bool {
+	_, ok := s.Funcs[id][fact]
+	return ok
+}
+
+// FuncValues returns the values of a function fact (nil if absent).
+func (s *FactSet) FuncValues(id, fact string) []string {
+	return s.Funcs[id][fact]
+}
+
+// PkgValues returns the union of a package fact's values across every
+// package in the set, sorted.
+func (s *FactSet) PkgValues(fact string) []string {
+	var out []string
+	for _, f := range s.Pkgs {
+		for _, v := range f[fact] {
+			if !containsStr(out, v) {
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Merge folds other's facts into s.
+func (s *FactSet) Merge(other *FactSet) {
+	if other == nil {
+		return
+	}
+	for id, facts := range other.Funcs {
+		for name, vals := range facts {
+			s.AddFunc(id, name, vals...)
+		}
+	}
+	for pkg, facts := range other.Pkgs {
+		for name, vals := range facts {
+			s.AddPkg(pkg, name, vals...)
+		}
+	}
+}
+
+// Len returns the number of fact-carrying functions and packages.
+func (s *FactSet) Len() int { return len(s.Funcs) + len(s.Pkgs) }
+
+// Encode serializes the set as deterministic JSON (map keys sort, value
+// lists are already sorted), suitable for a vetx file: byte-identical
+// input facts produce byte-identical output, which keeps the go command's
+// action cache stable.
+func (s *FactSet) Encode() ([]byte, error) {
+	return json.Marshal(s)
+}
+
+// DecodeFactSet parses a vetx payload. Empty input (the fact file of a
+// standard-library package, or a pre-facts vetx) decodes as an empty set.
+func DecodeFactSet(data []byte) (*FactSet, error) {
+	out := NewFactSet()
+	if len(data) == 0 {
+		return out, nil
+	}
+	var raw FactSet
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return nil, err
+	}
+	out.Merge(&raw)
+	return out, nil
+}

@@ -48,6 +48,45 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 	Report    func(Diagnostic)
+
+	// Deps holds the facts exported by this package's (transitive)
+	// dependencies; never nil. Out collects the facts this package exports
+	// for its dependents — it is shared by every analyzer of the pass, so
+	// fact names must be namespaced ("<analyzer>.<fact>").
+	Deps *FactSet
+	Out  *FactSet
+
+	suppressed map[suppKey]bool // lazily built by SuppressedAt
+}
+
+type suppKey struct {
+	file string
+	line int
+}
+
+// SuppressedAt reports whether a finding of this pass's analyzer at pos
+// would be dropped by the suppression rules (a justified
+// //nodbvet:<Directive> on the same line or the line above). Analyzers
+// that export facts consult it so a justified suppression also stops the
+// fact from propagating to dependent packages — otherwise every caller of
+// the suppressed function would re-report the finding the justification
+// already settled.
+func (p *Pass) SuppressedAt(pos token.Pos) bool {
+	if p.suppressed == nil {
+		p.suppressed = map[suppKey]bool{}
+		for _, f := range p.Files {
+			for _, d := range ParseDirectives(p.Fset, f) {
+				if d.Name != p.Analyzer.Directive || d.Justification == "" {
+					continue
+				}
+				file := p.Fset.Position(d.Pos).Filename
+				p.suppressed[suppKey{file, d.Line}] = true
+			}
+		}
+	}
+	position := p.Fset.Position(pos)
+	return p.suppressed[suppKey{position.Filename, position.Line}] ||
+		p.suppressed[suppKey{position.Filename, position.Line - 1}]
 }
 
 // Reportf reports a finding at pos.
@@ -190,8 +229,17 @@ func Filter(fset *token.FileSet, files []*ast.File, analyzers []*Analyzer, diags
 func (a *Analyzer) Category() string { return a.Name }
 
 // RunAnalyzers executes each analyzer over the package and returns the
-// suppressed-filtered findings.
-func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+// suppressed-filtered findings plus the facts the package exports. deps
+// carries the facts of the package's (transitive) dependencies; nil means
+// none. The returned FactSet holds only this package's own facts — drivers
+// that feed dependents merge it with deps themselves (cmd/nodbvet writes
+// the union to the vetx file so one level of PackageVetx links yields the
+// transitive closure).
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer, deps *FactSet) ([]Diagnostic, *FactSet, error) {
+	if deps == nil {
+		deps = NewFactSet()
+	}
+	out := NewFactSet()
 	var diags []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -200,14 +248,16 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Deps:      deps,
+			Out:       out,
 			Report: func(d Diagnostic) {
 				d.Category = a.Category()
 				diags = append(diags, d)
 			},
 		}
 		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %w", a.Name, err)
+			return nil, nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
-	return Filter(fset, files, analyzers, diags), nil
+	return Filter(fset, files, analyzers, diags), out, nil
 }

@@ -18,6 +18,12 @@ import (
 	"nodb/internal/analysis/nodbvet"
 )
 
+// RoutesFact marks a function whose body opens with a deferred recover
+// that routes panics into the faults taxonomy: safe to launch directly.
+// Every module package exports it, so checked packages may launch
+// imported carriers without re-wrapping them.
+const RoutesFact = "panicroute.routes"
+
 // Packages lists the package names whose goroutines are checked.
 var Packages = map[string]bool{"core": true, "engine": true, "rawfile": true}
 
@@ -32,10 +38,19 @@ var Analyzer = &nodbvet.Analyzer{
 }
 
 func run(pass *nodbvet.Pass) error {
+	g := nodbvet.BuildCallGraph(pass)
+
+	// Every package exports the routing blessing for its contained
+	// functions, so checked packages can launch them directly.
+	for fn, decl := range g.Decls() {
+		if hasFaultsRecover(pass, decl.Body) {
+			pass.Out.AddFunc(nodbvet.FuncID(fn), RoutesFact)
+		}
+	}
+
 	if !Packages[pass.Pkg.Name()] {
 		return nil
 	}
-	g := nodbvet.BuildCallGraph(pass)
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			gs, ok := n.(*ast.GoStmt)
@@ -68,15 +83,18 @@ func checkGoStmt(pass *nodbvet.Pass, g *nodbvet.CallGraph, gs *ast.GoStmt) {
 			if callee, ok := pass.TypesInfo.Uses[id].(*types.Func); ok {
 				if decl, ok := g.Decl(callee); ok {
 					body = decl.Body
+				} else if pass.Deps.FuncHas(nodbvet.FuncID(callee), RoutesFact) {
+					return // imported function blessed by its own package's analysis
 				}
 			}
 		}
 	}
 	if body == nil {
 		pass.Reportf(gs.Pos(),
-			"goroutine launches a function outside this package; panics on it will not reach the "+
-				"faults taxonomy — wrap it in a literal with a deferred faults.Panicked recover, "+
-				"or suppress with //nodbvet:panicroute-ok <why>")
+			"goroutine launches a function outside this package with no panicroute.routes fact; "+
+				"panics on it will not reach the faults taxonomy — give the callee a top-level "+
+				"deferred faults recover, wrap the launch in a literal with one, or suppress with "+
+				"//nodbvet:panicroute-ok <why>")
 		return
 	}
 	if hasFaultsRecover(pass, body) {

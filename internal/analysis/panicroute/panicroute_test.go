@@ -8,5 +8,5 @@ import (
 )
 
 func TestPanicroute(t *testing.T) {
-	analysistest.Run(t, panicroute.Analyzer, "testdata/core")
+	analysistest.Run(t, panicroute.Analyzer, "testdata/core", "testdata/workerlib")
 }

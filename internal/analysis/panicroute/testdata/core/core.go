@@ -5,6 +5,8 @@ package core
 import (
 	"fmt"
 
+	"workerlib"
+
 	"nodb/internal/faults"
 )
 
@@ -27,6 +29,8 @@ func (p *pool) start() {
 	go fmt.Println("external") // want `outside this package`
 	//nodbvet:panicroute-ok fixture goroutine supervised by the harness, panics asserted directly
 	go p.naked()
+	go workerlib.Contained(p.path) // imported panicroute.routes carrier: clean
+	go workerlib.Naked()           // want `outside this package`
 }
 
 func (p *pool) contained() {

@@ -1,0 +1,17 @@
+// Dep fixture for panicroute: Contained opens with a faults-routed
+// recover and exports the panicroute.routes fact; Naked does not.
+package workerlib
+
+import "nodb/internal/faults"
+
+// Contained is safe to launch directly from a scan package.
+func Contained(path string) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			_ = faults.Panicked(path, 0, rec)
+		}
+	}()
+}
+
+// Naked has no recover: launching it from a scan package is flagged.
+func Naked() {}

@@ -8,9 +8,14 @@ import (
 	"go/token"
 	"go/types"
 
+	"nodb/internal/analysis/chanleak"
+	"nodb/internal/analysis/commitscope"
+	"nodb/internal/analysis/counterflow"
 	"nodb/internal/analysis/ctxloop"
 	"nodb/internal/analysis/errtaxonomy"
+	"nodb/internal/analysis/floatdet"
 	"nodb/internal/analysis/hotalloc"
+	"nodb/internal/analysis/lockorder"
 	"nodb/internal/analysis/mapiter"
 	"nodb/internal/analysis/nodbvet"
 	"nodb/internal/analysis/panicroute"
@@ -23,10 +28,17 @@ var Suite = []*nodbvet.Analyzer{
 	errtaxonomy.Analyzer,
 	hotalloc.Analyzer,
 	ctxloop.Analyzer,
+	commitscope.Analyzer,
+	lockorder.Analyzer,
+	chanleak.Analyzer,
+	floatdet.Analyzer,
+	counterflow.Analyzer,
 }
 
 // RunSuite executes every analyzer in Suite over one type-checked package
-// and returns the suppression-filtered findings.
-func RunSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info) ([]nodbvet.Diagnostic, error) {
-	return nodbvet.RunAnalyzers(fset, files, pkg, info, Suite)
+// and returns the suppression-filtered findings plus the package's own
+// exported facts. deps holds the merged facts of the package's (transitive)
+// dependencies; nil means none.
+func RunSuite(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, deps *nodbvet.FactSet) ([]nodbvet.Diagnostic, *nodbvet.FactSet, error) {
+	return nodbvet.RunAnalyzers(fset, files, pkg, info, Suite, deps)
 }

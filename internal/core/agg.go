@@ -60,6 +60,10 @@ type PartialGroup struct {
 func newAggStates(aggs []AggCall) ([]expr.Aggregator, error) {
 	states := make([]expr.Aggregator, len(aggs))
 	for i, a := range aggs {
+		// Unknown-aggregate errors are plan-time validation of the query
+		// text, not scan faults: no on_error policy should ever classify
+		// them, so the untyped error is the honest shape.
+		//nodbvet:errtaxonomy-ok plan-time aggregate validation, not a scan fault; surfaced as a query-compile error
 		st, err := expr.NewMergeableAggregator(a.Name, a.Star, a.Distinct)
 		if err != nil {
 			return nil, err

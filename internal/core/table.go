@@ -242,6 +242,11 @@ func (t *Table) SetErrorPolicy(p OnErrorPolicy, maxErrors int64) {
 	t.cache.Clear()
 	t.stats.Clear()
 	if rc >= 0 {
+		// Re-seeding the row count is ALTER TABLE lifecycle reconfiguration:
+		// the structures were just discarded wholesale, no scan commit is in
+		// flight, and the count is a byte fact of the file independent of
+		// visit order.
+		//nodbvet:commitscope-ok ALTER TABLE reconfiguration re-seeds a byte fact after a full clear; no commit in flight
 		t.stats.SetRowCount(rc)
 	}
 }
@@ -414,7 +419,10 @@ func (t *Table) Refresh() (watch.Change, error) {
 
 	change, newSnap, err := watch.Detect(t.path, snap)
 	if err != nil {
-		return change, err
+		// Detect errors are stat/read failures on the table file: classify
+		// them as I/O faults so on_error policies and errors.Is callers can
+		// act on them (the original error stays wrapped underneath).
+		return change, faults.IO(t.path, -1, err)
 	}
 	switch change {
 	case watch.Unchanged:

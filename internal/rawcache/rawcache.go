@@ -154,6 +154,10 @@ func (c *Cache) Clear() {
 func (c *Cache) DropChunk(chunk int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	// Predicate-delete: every key is tested independently, removal only
+	// shrinks the byte budget, and the surviving entries' LRU order is
+	// unaffected by which doomed entry goes first.
+	//nodbvet:unordered-ok order-insensitive predicate-delete; visit order cannot reach any output
 	for k, f := range c.frags {
 		if k.Chunk == chunk {
 			c.lru.Remove(f.elem)

@@ -145,30 +145,47 @@ func Open(cfg Config) (*DB, error) {
 // (Rows.Close); new queries fail immediately.
 func (db *DB) Close() error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.catGen.Add(1)
 	db.pinMu.Lock()
-	defer db.pinMu.Unlock()
 	if db.closed {
+		db.pinMu.Unlock()
+		db.mu.Unlock()
 		return nil
 	}
 	db.closed = true
-	var first error
+	// Partition under the locks, do the file I/O after releasing them:
+	// closing heaps and removing the data dir are unbounded syscalls, and
+	// once closed is set no new pins can appear, so the unpinned tables and
+	// the (pin-free) data dir are exclusively ours.
+	var toClose []*storage.Table
 	for _, t := range db.loaded {
 		t := t
 		if db.pins[t] > 0 {
 			db.doomed[t] = t.Close
 			continue
 		}
+		toClose = append(toClose, t)
+	}
+	db.loaded = nil
+	removeDir := false
+	if db.ownsDir {
+		if len(db.pins) > 0 {
+			db.dirWait = true
+		} else {
+			removeDir = true
+		}
+	}
+	db.pinMu.Unlock()
+	db.mu.Unlock()
+
+	var first error
+	for _, t := range toClose {
 		if err := t.Close(); err != nil && first == nil {
 			first = err
 		}
 	}
-	db.loaded = nil
-	if db.ownsDir {
-		if len(db.pins) > 0 {
-			db.dirWait = true
-		} else if err := os.RemoveAll(db.dataDir); err != nil && first == nil {
+	if removeDir {
+		if err := os.RemoveAll(db.dataDir); err != nil && first == nil {
 			first = err
 		}
 	}
@@ -195,19 +212,31 @@ func (db *DB) pin(entries []*schema.Table) error {
 // in-flight users left.
 func (db *DB) unpin(entries []*schema.Table) {
 	db.pinMu.Lock()
-	defer db.pinMu.Unlock()
+	// Collect the deferred releases under the lock, run them after: they
+	// close heap files and delete directories, and each doomed entry is
+	// removed from the map before the lock drops, so no other unpin can
+	// run the same release twice.
+	var release []func() error
 	for _, e := range entries {
 		h := e.Handle
 		if db.pins[h]--; db.pins[h] <= 0 {
 			delete(db.pins, h)
 			if fn := db.doomed[h]; fn != nil {
 				delete(db.doomed, h)
-				fn() //nolint:errcheck // deferred release; nowhere to report
+				release = append(release, fn)
 			}
 		}
 	}
+	removeDir := false
 	if db.closed && db.dirWait && len(db.pins) == 0 {
 		db.dirWait = false
+		removeDir = true
+	}
+	db.pinMu.Unlock()
+	for _, fn := range release {
+		fn() //nolint:errcheck // deferred release; nowhere to report
+	}
+	if removeDir {
 		os.RemoveAll(db.dataDir) //nolint:errcheck
 	}
 }
