@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -450,4 +452,73 @@ func BenchmarkQueryStream(b *testing.B) {
 		}
 		b.ReportMetric(float64(firstRow.Nanoseconds())/float64(b.N), "first-row-ns")
 	})
+}
+
+// BenchmarkConcurrentQueries measures the DB-level chunk scheduler under
+// concurrent load: N simultaneous queries against warm raw tables, once with
+// every query sharing one DB (one bounded pool multiplexing all scans) and
+// once with a DB — hence a full-size private pool — per query slot, the old
+// per-scan worker spawning. One op = all N queries completing. The shared
+// pool must hold throughput at 16 concurrent scans without oversubscribing
+// the machine.
+func BenchmarkConcurrentQueries(b *testing.B) {
+	spec := datagen.IntTable(benchRows, benchAttrs, 9)
+	path := genBench(b, "conc", spec)
+	q := fmt.Sprintf("SELECT a%d, a%d FROM t WHERE a%d < 250", benchAttrs/3, 2*benchAttrs/3, benchAttrs/3)
+
+	register := func(db *nodb.DB) {
+		b.Helper()
+		if err := db.RegisterRaw("t", path, spec.SchemaSpec(), nil); err != nil {
+			b.Fatal(err)
+		}
+		benchQuery(b, db, q) // warm the structures once
+	}
+	for _, n := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("pool=shared/queries=%d", n), func(b *testing.B) {
+			db, err := nodb.Open(nodb.Config{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			register(db)
+			runConcurrent(b, n, func(int) *nodb.DB { return db }, q)
+		})
+		b.Run(fmt.Sprintf("pool=perscan/queries=%d", n), func(b *testing.B) {
+			dbs := make([]*nodb.DB, n)
+			for i := range dbs {
+				db, err := nodb.Open(nodb.Config{MaxWorkers: runtime.GOMAXPROCS(0)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer db.Close()
+				register(db)
+				dbs[i] = db
+			}
+			runConcurrent(b, n, func(i int) *nodb.DB { return dbs[i] }, q)
+		})
+	}
+}
+
+// runConcurrent times n concurrent executions of q per op.
+func runConcurrent(b *testing.B, n int, pick func(int) *nodb.DB, q string) {
+	b.Helper()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		errs := make(chan error, n)
+		for j := 0; j < n; j++ {
+			wg.Add(1)
+			go func(j int) {
+				defer wg.Done()
+				if _, err := pick(j).Query(q); err != nil {
+					errs <- err
+				}
+			}(j)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			b.Fatal(err)
+		}
+	}
 }

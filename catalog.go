@@ -94,6 +94,8 @@ func (db *DB) createTable(spec TableSpec) (time.Duration, *QueryStats, error) {
 				o.Delim = opts.Delim
 				o.ChunkRows = opts.ChunkRows
 				o.Parallelism = opts.Parallelism
+				o.ShardAhead = opts.ShardAhead
+				o.PartitionBytes = opts.PartitionBytes
 				o.OnError = opts.OnError
 				o.MaxErrors = opts.MaxErrors
 			}
@@ -103,12 +105,21 @@ func (db *DB) createTable(spec TableSpec) (time.Duration, *QueryStats, error) {
 		if cerr != nil {
 			return 0, nil, cerr
 		}
+		coreOpts.Scheduler = db.sched
 		if len(paths) == 1 {
-			tbl, terr := core.NewTable(paths[0], sch, coreOpts)
-			if terr != nil {
-				return 0, nil, terr
+			if partBytes := resolvePartitionBytes(opts, paths[0]); partBytes > 0 {
+				tbl, terr := core.NewPartitionedTable(paths[0], sch, coreOpts, partBytes)
+				if terr != nil {
+					return 0, nil, terr
+				}
+				entry.Handle = tbl
+			} else {
+				tbl, terr := core.NewTable(paths[0], sch, coreOpts)
+				if terr != nil {
+					return 0, nil, terr
+				}
+				entry.Handle = tbl
 			}
-			entry.Handle = tbl
 		} else {
 			tbl, terr := core.NewShardedTable(spec.Location, paths, sch, coreOpts)
 			if terr != nil {
@@ -178,6 +189,28 @@ func (db *DB) createTable(spec TableSpec) (time.Duration, *QueryStats, error) {
 		db.loaded = append(db.loaded, loadedTbl)
 	}
 	return initTime, initStats, nil
+}
+
+// resolvePartitionBytes decides whether a single-file registration is split
+// into byte-range partitions: an explicit PartitionBytes > 0 always
+// partitions, < 0 never does, and 0 (the default) partitions files of at
+// least DefaultAutoPartitionBytes so very large files parallelize across
+// partition pipelines without any tuning.
+func resolvePartitionBytes(opts *RawOptions, path string) int64 {
+	pb := int64(0)
+	if opts != nil {
+		pb = opts.PartitionBytes
+	}
+	if pb != 0 {
+		if pb < 0 {
+			return 0
+		}
+		return pb
+	}
+	if fi, err := os.Stat(path); err == nil && fi.Size() >= core.DefaultAutoPartitionBytes {
+		return core.DefaultAutoPartitionBytes
+	}
+	return 0
 }
 
 // resolveSpecSchema parses an explicit schema spec or infers one from the

@@ -7,31 +7,40 @@ import (
 	"nodb/internal/faults"
 	"nodb/internal/metrics"
 	"nodb/internal/rawfile"
+	"nodb/internal/sched"
 )
 
 // The parallel chunk pipeline.
 //
 // A scan with Options.Parallelism = N > 1 runs three stages:
 //
-//	splitter  --work-->  N workers  --results-->  ordered merge (consumer)
+//	splitter  --tasks-->  shared DB pool  --results-->  ordered merge
 //
 // The splitter walks chunk IDs in file order. Chunks whose byte range is
 // already known (base offsets learned by an earlier scan, or the row count
-// known) are dispatched as claims — the worker preads the range itself, so
+// known) are dispatched as claims — the task preads the range itself, so
 // warm scans parallelize I/O, tokenizing and conversion alike. Over unknown
 // territory the splitter performs only the cheap sequential work that
 // cannot be parallelized on a file with no index — reading ahead and
-// finding row boundaries — and hands each raw chunk to a worker, which runs
-// the expensive selective-tokenize → convert → filter stage. Each worker
+// finding row boundaries — and hands each raw chunk to a task, which runs
+// the expensive selective-tokenize → convert → filter stage. Each task
 // charges a private metrics.Breakdown and defers all adaptive-structure
 // updates into its chunkOut.
+//
+// Chunk tasks do not run on goroutines owned by the scan: every pipeline
+// submits them to one bounded DB-level pool (internal/sched), which
+// multiplexes chunk work from all running scans with round-robin fairness
+// across their queues. Parallelism caps this scan's outstanding submissions
+// (the read-ahead window, enforced by p.sem); MaxWorkers caps how many
+// chunk tasks the whole process executes at once. The pool runs zero
+// goroutines when no scan is active.
 //
 // The consumer (Scan.advanceParallel) re-sequences results by chunk ID, so
 // rows come out in file order and Scan.commit applies positional-map,
 // cache and statistics population deterministically — byte-identical to
-// the sequential scan.
+// the sequential scan at any worker count.
 
-// workItem is one chunk assignment from the splitter to a worker.
+// workItem is one chunk assignment from the splitter to a chunk task.
 type workItem struct {
 	c      int
 	kind   int // srcFetch or srcRaw
@@ -43,58 +52,95 @@ type workItem struct {
 
 // chunkPool recycles the splitter's chunk copies across workItems (and
 // across scans). Each srcRaw dispatch used to allocate fresh Data/Start/End
-// slices per chunk; with the pool a worker returns the copy once the chunk's
+// slices per chunk; with the pool a task returns the copy once the chunk's
 // values are materialized (value parsing copies all bytes out), so steady
 // state runs with ~Parallelism+queue chunk buffers total.
 var chunkPool = sync.Pool{New: func() any { return new(rawfile.Chunk) }}
 
-// pipeline owns the goroutines and channels of one parallel scan.
+// Pooled chunk capacity caps: one wide-row file must not permanently
+// inflate every pooled chunk for the life of the process, so buffers that
+// grew past these bounds are dropped back to the GC instead of pooled.
+const (
+	maxPooledChunkBytes = 4 << 20  // Data capacity bound
+	maxPooledChunkRows  = 64 << 10 // Start/End capacity bound (entries)
+)
+
+// putChunk recycles ch unless its buffers outgrew the pooling caps.
+// Reports whether the chunk was pooled.
+func putChunk(ch *rawfile.Chunk) bool {
+	if cap(ch.Data) > maxPooledChunkBytes ||
+		cap(ch.Start) > maxPooledChunkRows || cap(ch.End) > maxPooledChunkRows {
+		return false
+	}
+	chunkPool.Put(ch)
+	return true
+}
+
+// pipeline owns one parallel scan's splitter, scheduler queue and merge
+// state.
 type pipeline struct {
 	s       *Scan
-	work    chan workItem
-	results chan *chunkOut
-	free    chan *chunkOut // committed outputs recycled back to workers
+	q       *sched.Queue       // this scan's lane into the shared pool
+	results chan *chunkOut     // task/splitter results into the merge
+	free    chan *chunkOut     // committed outputs recycled back to tasks
 	done    chan struct{}
 	stop    sync.Once
-	wg      sync.WaitGroup
+	wg      sync.WaitGroup // splitter goroutine
+	// sem bounds outstanding submissions at Parallelism: acquired by the
+	// splitter per dispatch, released by the merge per received task
+	// result. This is the scan's read-ahead window and the pool's
+	// backpressure — queues never hold more than a window of chunks.
+	sem chan struct{}
+
+	// Idle chunkWorker scratch, reused across tasks of this scan. At most
+	// Parallelism workers are ever live (bounded by sem).
+	wmu     sync.Mutex
+	workers []*chunkWorker
 
 	pending map[int]*chunkOut // out-of-order results awaiting their turn
 	nextC   int               // next chunk ID to commit
 	err     error             // terminal state (sticky, includes io.EOF)
 }
 
-// startPipeline spawns the splitter and worker pool for s.
+// startPipeline spawns the splitter for s and registers a queue with the
+// DB's shared pool (or the process-default pool for direct core usage).
 func startPipeline(s *Scan) *pipeline {
 	n := s.opts.Parallelism
+	pool := s.opts.Scheduler
+	if pool == nil {
+		pool = sched.Default()
+	}
 	p := &pipeline{
 		s: s,
-		// Buffers bound read-ahead: at most n queued claims and n finished
-		// chunks (plus one in flight per worker) exist at any moment.
-		work:    make(chan workItem, n),
-		results: make(chan *chunkOut, n),
+		q: pool.NewQueue(),
+		// At most n un-received task results exist at any moment (sem),
+		// plus one terminal splitter emit and one last-resort poison: task
+		// sends never block a pool worker on a slow consumer.
+		results: make(chan *chunkOut, n+2),
 		free:    make(chan *chunkOut, 2*n+1),
 		done:    make(chan struct{}),
+		sem:     make(chan struct{}, n),
 		pending: make(map[int]*chunkOut),
 	}
-	p.wg.Add(1 + n)
+	p.wg.Add(1)
 	go p.splitter()
-	for i := 0; i < n; i++ {
-		go p.worker()
-	}
 	return p
 }
 
-// shutdown stops all stages and waits for them to exit. Safe to call more
-// than once.
+// shutdown stops the splitter, drops this scan's queued tasks and waits
+// for its running tasks to finish. After shutdown no task of this scan is
+// executing, so the caller may close the reader. Safe to call more than
+// once.
 func (p *pipeline) shutdown() {
 	p.stop.Do(func() { close(p.done) })
+	p.q.Close()
 	p.wg.Wait()
 	p.pending = nil
 }
 
 // advanceParallel pulls the next in-order chunk from the pipeline and
 // commits it. Out-of-order arrivals park in pending; its size is bounded by
-// the worker count plus the results buffer.
+// the read-ahead window plus the results buffer.
 func (s *Scan) advanceParallel() error {
 	p := s.pl
 	if p.err != nil {
@@ -123,7 +169,7 @@ func (s *Scan) advanceParallel() error {
 				}
 			} else if old != nil && old != s.cur {
 				// The previous chunk's batch is now invalid per the Next/
-				// NextBatch contract: recycle its buffers to a worker.
+				// NextBatch contract: recycle its buffers to a task.
 				select {
 				case p.free <- old:
 				default:
@@ -136,6 +182,19 @@ func (s *Scan) advanceParallel() error {
 		// arrive, so block on both.
 		select {
 		case o := <-p.results:
+			if o.viaPool {
+				<-p.sem
+			}
+			if o.poison {
+				// Last-resort panic containment: the emitting side could not
+				// tie the failure to a reliable chunk ID (it may be -1 or a
+				// chunk already delivered), so parking it in pending could
+				// stall the merge forever. Poison is terminal regardless of
+				// chunk ID.
+				p.err = o.err
+				p.shutdown()
+				return p.err
+			}
 			p.pending[o.c] = o
 		case <-ctxDone:
 			p.err = s.spec.Ctx.Err()
@@ -145,14 +204,17 @@ func (s *Scan) advanceParallel() error {
 	}
 }
 
-// dispatch hands a chunk claim to the worker pool.
+// dispatch submits a chunk claim to the shared pool under the read-ahead
+// window: it blocks while Parallelism submissions are outstanding and
+// returns false once the pipeline is shut down.
 func (p *pipeline) dispatch(it workItem) bool {
 	select {
-	case p.work <- it:
-		return true
+	case p.sem <- struct{}{}:
 	case <-p.done:
 		return false
 	}
+	p.q.Submit(p.task(it))
+	return true
 }
 
 // emit sends a result (or end/error marker) straight into the merge.
@@ -165,19 +227,67 @@ func (p *pipeline) emit(o *chunkOut) bool {
 	}
 }
 
+// task wraps one work item as a pool task. Exactly one result is sent per
+// task — the processed chunk, or a poison marker if the bookkeeping around
+// chunk processing itself panicked (chunkWorker.run and runItem recover
+// everything inside the per-chunk path into typed per-chunk errors; this
+// is the last resort for failures outside that scope, where no chunk ID
+// can be trusted).
+func (p *pipeline) task(it workItem) sched.Task {
+	return func() {
+		delivered := false
+		defer func() {
+			if rec := recover(); rec != nil && !delivered {
+				p.emit(&chunkOut{c: it.c, poison: true, viaPool: true,
+					err: faults.Panicked(p.s.t.path, it.c, rec), countFinal: -1, base: -1, nextBase: -1})
+			}
+		}()
+		w := p.takeWorker()
+		out := p.runItem(&w, it)
+		if w != nil {
+			p.putWorker(w)
+		}
+		if out.b != nil {
+			out.b.SchedTasks++
+		}
+		out.viaPool = true
+		delivered = true
+		p.emit(out)
+	}
+}
+
+// takeWorker pops idle chunk-worker scratch, if any.
+func (p *pipeline) takeWorker() *chunkWorker {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	if n := len(p.workers); n > 0 {
+		w := p.workers[n-1]
+		p.workers = p.workers[:n-1]
+		return w
+	}
+	return nil
+}
+
+// putWorker returns scratch for the next task of this scan.
+func (p *pipeline) putWorker(w *chunkWorker) {
+	p.wmu.Lock()
+	p.workers = append(p.workers, w)
+	p.wmu.Unlock()
+}
+
 // splitter generates chunk claims in file order, falling back to
 // sequential read-and-split over territory whose chunk bases are unknown.
 func (p *pipeline) splitter() {
 	defer p.wg.Done()
-	defer close(p.work)
 	s := p.s
 	c := 0
 	// A panicking splitter must not kill the process or strand the merge:
-	// recover into a typed error chunk for the chunk being split. Runs
-	// before close(p.work) (defer LIFO), so workers still drain and exit.
+	// recover into a terminal poison marker — the panic may have fired
+	// between emitting chunk c and advancing, so c could already be
+	// delivered and a plain per-chunk error would park in pending forever.
 	defer func() {
 		if rec := recover(); rec != nil {
-			p.emit(&chunkOut{c: c, err: faults.Panicked(s.t.path, c, rec), countFinal: -1, base: -1, nextBase: -1})
+			p.emit(&chunkOut{c: c, poison: true, err: faults.Panicked(s.t.path, c, rec), countFinal: -1, base: -1, nextBase: -1})
 		}
 	}()
 	reader := s.reader.View(nil)
@@ -199,7 +309,7 @@ func (p *pipeline) splitter() {
 		}
 		if total := s.t.RowCount(); total >= 0 {
 			// Row count known (possibly learned mid-scan by a concurrent
-			// query): every chunk base is known, so workers claim chunks
+			// query): every chunk base is known, so tasks claim chunks
 			// outright; COUNT(*)-style scans finish from metadata alone.
 			if countSpec {
 				p.emit(&chunkOut{c: c, countFinal: total, base: -1, nextBase: -1})
@@ -218,15 +328,15 @@ func (p *pipeline) splitter() {
 		base, okBase := s.t.chunkBase(c)
 		if _, okNext := s.t.chunkBase(c + 1); okBase && okNext {
 			// Bases bracket the chunk (a full chunk from an earlier,
-			// possibly partial, scan): the worker preads it itself.
+			// possibly partial, scan): the task preads it itself.
 			if !p.dispatch(workItem{c: c, kind: srcFetch, nrows: s.opts.ChunkRows}) {
 				return
 			}
 			continue
 		}
 		// Unknown territory: do the only inherently sequential work — read
-		// ahead and find row boundaries — and hand the raw chunk to a
-		// worker for the expensive tokenize/convert/filter stage.
+		// ahead and find row boundaries — and hand the raw chunk to a task
+		// for the expensive tokenize/convert/filter stage.
 		b := &metrics.Breakdown{}
 		reader.SetBreakdown(b)
 		if okBase && cr.Offset() != base {
@@ -248,34 +358,7 @@ func (p *pipeline) splitter() {
 		it.ch = copyChunk(&ch)
 		sw.Stop(metrics.Tokenizing)
 		if !p.dispatch(it) {
-			chunkPool.Put(it.ch)
-			return
-		}
-	}
-}
-
-// worker claims chunks from the splitter and processes them with a private
-// chunkWorker, breakdown and reader view. Worker construction happens
-// lazily inside runItem's recover scope, so a panic anywhere on the worker
-// goroutine — including scratch setup — becomes a typed error for a chunk
-// the ordered merge is waiting on, never a process crash or a stalled
-// merge. The top-level recover is the last-resort containment for the
-// claim/emit bookkeeping itself.
-func (p *pipeline) worker() {
-	defer p.wg.Done()
-	cur := -1
-	defer func() {
-		if rec := recover(); rec != nil {
-			p.emit(&chunkOut{c: cur, err: faults.Panicked(p.s.t.path, cur, rec), countFinal: -1, base: -1, nextBase: -1})
-		}
-	}()
-	var w *chunkWorker
-	for it := range p.work {
-		cur = it.c
-		out := p.runItem(&w, it)
-		select {
-		case p.results <- out:
-		case <-p.done:
+			putChunk(it.ch)
 			return
 		}
 	}
@@ -308,15 +391,15 @@ func (p *pipeline) runItem(wp **chunkWorker, it workItem) (out *chunkOut) {
 	if it.ch != nil {
 		// The chunk's bytes are fully materialized into the output (value
 		// parsing copies); recycle the splitter copy for a later workItem.
-		chunkPool.Put(it.ch)
+		putChunk(it.ch)
 	}
 	out.b = b
 	return out
 }
 
 // copyChunk copies a chunk out of the splitter's reused read buffer into a
-// pooled chunk so it can cross the channel to a worker; capacities are
-// reused across workItems.
+// pooled chunk so it can cross to a pool task; capacities are reused
+// across workItems (up to the putChunk caps).
 func copyChunk(src *rawfile.Chunk) *rawfile.Chunk {
 	dst := chunkPool.Get().(*rawfile.Chunk)
 	dst.Base = src.Base

@@ -134,6 +134,7 @@ func (t *Table) NewScan(spec ScanSpec) (*Scan, error) {
 	if err != nil {
 		return nil, err
 	}
+	t.restrict(reader)
 	fp, err := reader.Fingerprint()
 	if err != nil {
 		reader.Close()
@@ -153,6 +154,7 @@ func (t *Table) NewScan(spec ScanSpec) (*Scan, error) {
 		if reader, err = rawfile.Open(t.path, spec.B); err != nil {
 			return nil, err
 		}
+		t.restrict(reader)
 		if fp, err = reader.Fingerprint(); err != nil {
 			reader.Close()
 			return nil, err
@@ -264,6 +266,21 @@ func (s *Scan) NextBatch() (*Batch, bool, error) {
 			return nil, false, err
 		}
 	}
+}
+
+// Prefetch starts the scan's parallel pipeline early, before the consumer
+// asks for rows — the shard read-ahead window uses it so upcoming shards'
+// chunk tasks overlap with the current shard's. Side effects still publish
+// only at commit, which runs on the consumer goroutine in chunk order once
+// the scan is actually driven, so prefetching never changes rows, counters
+// or adaptive-structure contents; a prefetched scan that is closed
+// undrained (LIMIT, cancellation) publishes nothing. No-op for sequential
+// scans and for scans already started, failed or closed.
+func (s *Scan) Prefetch() {
+	if s.closed || s.err != nil || s.pl != nil || s.opts.Parallelism <= 1 {
+		return
+	}
+	s.pl = startPipeline(s)
 }
 
 // ctxErr reports the scan's context error, if the scan is cancellable and

@@ -168,20 +168,25 @@ func (t *ShardedTable) RowCount() int64 {
 }
 
 // Refresh checks every shard file for outside changes, in shard order, and
-// adapts each shard's structures. The combined change reports the strongest
-// change any shard saw (rewritten > appended > unchanged).
+// adapts each shard's structures. A failing shard does not abort the pass:
+// every remaining shard still refreshes (best-effort), so one bad file
+// cannot leave the others stale. The combined change reports the strongest
+// change any shard saw (missing > rewritten > appended > unchanged), and
+// the first error comes back wrapped with its shard path (the underlying
+// faults classification stays visible to errors.Is).
 func (t *ShardedTable) Refresh() (watch.Change, error) {
 	combined := watch.Unchanged
+	var firstErr error
 	for _, sh := range t.shards {
 		change, err := sh.Refresh()
-		if err != nil {
-			return change, err
+		if err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("core: refresh shard %s: %w", sh.Path(), err)
 		}
-		if change == watch.Rewritten || (change == watch.Appended && combined == watch.Unchanged) {
+		if change > combined {
 			combined = change
 		}
 	}
-	return combined, nil
+	return combined, firstErr
 }
 
 // SetBudgets re-splits the table-level budgets across the shards, evicting
@@ -233,13 +238,25 @@ func (t *ShardedTable) ErrorCounts() (malformed, dropped int64) {
 	return malformed, dropped
 }
 
-// OpenScan opens a sharded scan: the shards run the ordinary chunk pipeline
-// one after another (each with its own reader and Parallelism workers) and
-// the outputs concatenate in shard order. The first shard's scan opens
-// eagerly so spec validation errors surface at construction, like
-// Table.NewScan.
+// OpenScan opens a sharded scan: each shard runs the ordinary chunk
+// pipeline and the outputs concatenate in shard order. With Parallelism > 1
+// and ShardAhead > 1, up to ShardAhead shards' pipelines run at once (the
+// shard read-ahead window) while results and structure updates still commit
+// strictly in shard order. The first shard's scan opens eagerly so spec
+// validation errors surface at construction, like Table.NewScan.
 func (t *ShardedTable) OpenScan(spec ScanSpec) (Scanner, error) {
-	s := &ShardedScan{t: t, spec: spec}
+	opts := t.Options()
+	win := opts.ShardAhead
+	if win < 1 {
+		win = 1
+	}
+	if opts.Parallelism <= 1 {
+		// Sequential scans are driven entirely on the caller's goroutine;
+		// prefetching would open files early for no overlap. Window 1 keeps
+		// the fully-lazy serial path.
+		win = 1
+	}
+	s := &ShardedScan{t: t, spec: spec, win: win}
 	first, err := t.shards[0].NewScan(spec)
 	if err != nil {
 		return nil, err
@@ -248,10 +265,13 @@ func (t *ShardedTable) OpenScan(spec ScanSpec) (Scanner, error) {
 	return s, nil
 }
 
-// ShardedScan concatenates per-shard scans in shard order. Only one shard
-// scan is open at a time: shard i+1 opens when shard i reaches EOF, so an
-// early Close (LIMIT, cancellation) never touches files the query didn't
-// reach — and their adaptive structures stay exactly as they were.
+// ShardedScan concatenates per-shard scans in shard order. The current
+// shard plus up to win-1 prefetched successors are open at a time: shard
+// i+1's pipeline processes chunks while shard i drains, but commits — and
+// hence every adaptive-structure update and the shared aggregation merge —
+// happen only when a shard becomes current, in strict shard order. An early
+// Close (LIMIT, cancellation) never touches shards beyond the read-ahead
+// window, and prefetched-but-undrained shards publish no structure updates.
 type ShardedScan struct {
 	t    *ShardedTable
 	spec ScanSpec
@@ -259,51 +279,132 @@ type ShardedScan struct {
 	idx     int   // current shard
 	cur     *Scan // nil between shards / after Close
 	started bool  // a Next/NextBatch/DrainAgg call happened
+	win     int   // shard read-ahead window (1 = strictly serial)
+
+	// ahead holds prefetched scans for shards idx+1..idx+win-1, in shard
+	// order. A slot with a nil scan records a failed prefetch; the open is
+	// retried synchronously when that shard becomes current, so transient
+	// failures surface exactly as they would on the serial path.
+	ahead []aheadShard
 
 	// Aggregation pushdown: the shard scans share one merge table so chunk
 	// partials fold across shard boundaries exactly as the single-file scan
 	// folds them across chunks — same left-to-right merge order, hence
-	// bitwise-identical float aggregates.
+	// bitwise-identical float aggregates. Workers only build per-chunk
+	// partials; the shared table is touched solely at commit time on the
+	// consumer goroutine, so prefetched shards never race on it.
 	agg       *AggPushdown
 	aggTable  map[string]*PartialGroup
 	aggGroups []*PartialGroup
 }
 
-// Close releases the currently open shard scan; shards not yet reached are
-// never opened.
-func (s *ShardedScan) Close() error {
-	s.idx = len(s.t.shards)
-	if s.cur == nil {
-		return nil
-	}
-	err := s.cur.Close()
-	s.cur = nil
-	return err
+// aheadShard is one prefetched slot of the shard read-ahead window.
+type aheadShard struct {
+	idx int
+	sc  *Scan // nil when the prefetch open failed
 }
 
-// open advances to shard s.idx, reporting io.EOF past the last shard.
+// Close releases the current shard scan and every prefetched one; shards
+// beyond the read-ahead window are never opened.
+func (s *ShardedScan) Close() error {
+	s.idx = len(s.t.shards)
+	var first error
+	if s.cur != nil {
+		first = s.cur.Close()
+		s.cur = nil
+	}
+	for _, a := range s.ahead {
+		if a.sc != nil {
+			if err := a.sc.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	s.ahead = nil
+	return first
+}
+
+// installAgg pushes the shared aggregation state onto a freshly opened
+// shard scan (before its pipeline starts).
+func (s *ShardedScan) installAgg(sc *Scan, idx int) error {
+	if !sc.PushAgg(s.agg) {
+		sc.Close()
+		// Unreachable unless ShardedScan.PushAgg and Scan.PushAgg drift
+		// apart: an internal invariant, not a file fault.
+		//nodbvet:errtaxonomy-ok internal invariant violation, not a scan-path fault
+		return fmt.Errorf("core: shard %d refused aggregation pushdown", idx)
+	}
+	// Share the scan-level merge table so the shard's chunk partials fold
+	// into the groups accumulated so far. The running group list is handed
+	// over only when the shard becomes current (see open), after every
+	// earlier shard committed its groups.
+	sc.aggTable = s.aggTable
+	return nil
+}
+
+// topUp extends the read-ahead window: shards idx+1..idx+win-1 get their
+// scans opened and pipelines prefetched. A failed open parks an empty slot
+// and stops extending (the retry happens when the shard becomes current).
+func (s *ShardedScan) topUp() {
+	if s.win <= 1 {
+		return
+	}
+	next := s.idx + 1
+	if n := len(s.ahead); n > 0 {
+		next = s.ahead[n-1].idx + 1
+	}
+	for next-s.idx < s.win && next < len(s.t.shards) {
+		if n := len(s.ahead); n > 0 && s.ahead[n-1].sc == nil {
+			return // a failed slot blocks further read-ahead
+		}
+		sc, err := s.t.shards[next].NewScan(s.spec)
+		if err == nil && s.agg != nil {
+			if err = s.installAgg(sc, next); err != nil {
+				sc = nil
+			}
+		}
+		if err != nil {
+			s.ahead = append(s.ahead, aheadShard{idx: next})
+			return
+		}
+		sc.Prefetch()
+		s.ahead = append(s.ahead, aheadShard{idx: next, sc: sc})
+		next++
+	}
+}
+
+// open advances to shard s.idx — adopting its prefetched scan when the
+// window holds one — and tops the window back up. Reports io.EOF past the
+// last shard.
 func (s *ShardedScan) open() error {
 	if s.idx >= len(s.t.shards) {
 		return io.EOF
 	}
-	sc, err := s.t.shards[s.idx].NewScan(s.spec)
-	if err != nil {
-		return err
+	var sc *Scan
+	if len(s.ahead) > 0 && s.ahead[0].idx == s.idx {
+		sc = s.ahead[0].sc
+		s.ahead = s.ahead[1:]
+	}
+	if sc == nil {
+		var err error
+		sc, err = s.t.shards[s.idx].NewScan(s.spec)
+		if err != nil {
+			return err
+		}
+		if s.agg != nil {
+			if err := s.installAgg(sc, s.idx); err != nil {
+				return err
+			}
+		}
 	}
 	if s.agg != nil {
-		if !sc.PushAgg(s.agg) {
-			sc.Close()
-			// Unreachable unless ShardedScan.PushAgg and Scan.PushAgg drift
-			// apart: an internal invariant, not a file fault.
-			//nodbvet:errtaxonomy-ok internal invariant violation, not a scan-path fault
-			return fmt.Errorf("core: shard %d refused aggregation pushdown", s.idx)
-		}
-		// Share the scan-level merge state so the new shard's chunk partials
-		// fold into the groups accumulated so far, in shard order.
-		sc.aggTable = s.aggTable
+		// Hand over the groups accumulated by all earlier shards: this shard
+		// is now current, so its commits extend the shared merge state in
+		// shard order.
 		sc.aggGroups = s.aggGroups
 	}
 	s.cur = sc
+	s.topUp()
 	return nil
 }
 
@@ -318,9 +419,19 @@ func (s *ShardedScan) finishShard() error {
 	return err
 }
 
+// begin marks the scan started on its first drive and opens the read-ahead
+// window. Deferred to this point (not OpenScan) so PushAgg — which must
+// precede any pipeline start — still installs on every prefetched shard.
+func (s *ShardedScan) begin() {
+	if !s.started {
+		s.started = true
+		s.topUp()
+	}
+}
+
 // Next implements Scanner: the next qualifying row, in shard order.
 func (s *ShardedScan) Next() ([]value.Value, bool, error) {
-	s.started = true
+	s.begin()
 	for {
 		if s.cur == nil {
 			if err := s.open(); err == io.EOF {
@@ -345,7 +456,7 @@ func (s *ShardedScan) Next() ([]value.Value, bool, error) {
 // NextBatch implements Scanner: the next chunk of qualifying rows, in shard
 // order. Batches never span shards (a chunk belongs to exactly one file).
 func (s *ShardedScan) NextBatch() (*Batch, bool, error) {
-	s.started = true
+	s.begin()
 	for {
 		if s.cur == nil {
 			if err := s.open(); err == io.EOF {
@@ -390,7 +501,7 @@ func (s *ShardedScan) DrainAgg() ([]*PartialGroup, error) {
 		//nodbvet:errtaxonomy-ok API misuse by the caller, not a scan-path fault
 		return nil, fmt.Errorf("core: DrainAgg without PushAgg")
 	}
-	s.started = true
+	s.begin()
 	for {
 		if s.cur == nil {
 			if err := s.open(); err == io.EOF {

@@ -16,6 +16,8 @@ import (
 	"nodb/internal/faults"
 	"nodb/internal/posmap"
 	"nodb/internal/rawcache"
+	"nodb/internal/rawfile"
+	"nodb/internal/sched"
 	"nodb/internal/schema"
 	"nodb/internal/stats"
 	"nodb/internal/watch"
@@ -25,6 +27,9 @@ import (
 const (
 	DefaultChunkRows        = 1024
 	DefaultStatsSampleEvery = 16
+	// DefaultShardAhead is the default shard read-ahead window of sharded
+	// and byte-range-partitioned scans (current shard + one prefetched).
+	DefaultShardAhead = 2
 )
 
 // Options configure a raw table. The enable flags and budgets are the demo's
@@ -57,6 +62,20 @@ type Options struct {
 	// more than MaxErrors malformed-input events accumulated (in chunk
 	// order, so the failure point is deterministic). 0 means unlimited.
 	MaxErrors int64
+	// Scheduler is the shared DB-level worker pool parallel scans submit
+	// their chunk tasks to. nil falls back to the process-default pool
+	// (sched.Default). Parallelism stays the per-scan read-ahead window;
+	// the pool bound caps how many chunk tasks run at once process-wide.
+	// Scheduling never affects results: rows, counters and structure
+	// contents are byte-identical at any pool size.
+	Scheduler *sched.Pool
+	// ShardAhead is the shard read-ahead window of a sharded (or
+	// byte-range-partitioned) scan: up to ShardAhead shards have their
+	// pipelines running at once, while results and structure updates still
+	// commit strictly in shard order. <= 0 defaults to 2; 1 scans shards
+	// strictly one after another. Scans with Parallelism <= 1 always run
+	// serially (window 1), preserving the fully-lazy sequential path.
+	ShardAhead int
 }
 
 // OnErrorPolicy is a table's malformed-input policy.
@@ -120,6 +139,9 @@ func (o *Options) fillDefaults() {
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
 	}
+	if o.ShardAhead <= 0 {
+		o.ShardAhead = DefaultShardAhead
+	}
 }
 
 // InSituOptions returns the paper's PostgresRaw (PM+C) configuration.
@@ -157,6 +179,14 @@ type Table struct {
 
 	errMalformed int64 // cumulative malformed-input events across scans
 	errDropped   int64 // cumulative rows dropped by on_error=skip
+
+	// Byte-range partition bounds: a ranged table serves only [lo, hi) of
+	// the file (both zero: the whole file; hi = 0 with lo > 0: through
+	// EOF). Scans restrict their readers to the range, so every offset
+	// above the reader — chunk bases, positional-map grains, cache
+	// fragments — is partition-relative, and the partition has its own
+	// chunk-ID territory and adaptive-structure segment.
+	lo, hi int64
 }
 
 // NewTable registers a raw file. The file must exist; its contents are not
@@ -166,7 +196,7 @@ func NewTable(path string, sch *schema.Schema, opts Options) (*Table, error) {
 	opts.fillDefaults()
 	snap, err := watch.Take(path)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, fmt.Errorf("core: %w", err) //nodbvet:errtaxonomy-ok watch.Take returns faults-classified errors; %w preserves the taxonomy
 	}
 	t := &Table{
 		path:         path,
@@ -180,6 +210,31 @@ func NewTable(path string, sch *schema.Schema, opts Options) (*Table, error) {
 		accessCounts: make([]int64, sch.Len()),
 	}
 	return t, nil
+}
+
+// NewTableRange registers the byte range [lo, hi) of a raw file as its own
+// table — one partition of a large single file. lo must fall on a row
+// start and hi one past a row terminator (or 0 for "through EOF"); the
+// partition then behaves exactly like a standalone file, with its own
+// chunk-base territory and adaptive-structure segment.
+func NewTableRange(path string, sch *schema.Schema, opts Options, lo, hi int64) (*Table, error) {
+	t, err := NewTable(path, sch, opts)
+	if err != nil {
+		return nil, err
+	}
+	t.lo, t.hi = lo, hi
+	return t, nil
+}
+
+// Range reports the table's byte-range bounds ((0, 0) for a whole-file
+// table; hi = 0 with lo > 0 means "through EOF").
+func (t *Table) Range() (lo, hi int64) { return t.lo, t.hi }
+
+// restrict narrows a freshly opened reader to the table's byte range.
+func (t *Table) restrict(r *rawfile.Reader) {
+	if t.lo > 0 || t.hi > 0 {
+		r.Restrict(t.lo, t.hi)
+	}
 }
 
 // Path returns the raw file path.
@@ -423,6 +478,13 @@ func (t *Table) Refresh() (watch.Change, error) {
 		// them as I/O faults so on_error policies and errors.Is callers can
 		// act on them (the original error stays wrapped underneath).
 		return change, faults.IO(t.path, -1, err)
+	}
+	if change == watch.Appended && t.hi > 0 {
+		// An append happens past the end of the file, and this table covers
+		// a fixed interior range [lo, hi): its bytes are untouched, so
+		// everything learned stays valid. Adopt the new snapshot (warm
+		// scans compare against its mtime) and report no change.
+		change = watch.Unchanged
 	}
 	switch change {
 	case watch.Unchanged:

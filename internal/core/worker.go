@@ -62,6 +62,14 @@ type chunkOut struct {
 	err        error
 	b          *metrics.Breakdown // private breakdown to fold in; nil when charged directly
 
+	// poison marks a last-resort panic result whose chunk ID cannot be
+	// trusted (it may be -1 or a chunk already delivered): the ordered
+	// merge treats it as terminal instead of parking it in pending.
+	poison bool
+	// viaPool marks results produced by a pool task; the merge releases
+	// one read-ahead window slot (pipeline.sem) per such result.
+	viaPool bool
+
 	base     int64 // discovered base offset of chunk c, -1 when none
 	nextBase int64 // discovered base offset of chunk c+1, -1 when none
 	learnDel []int16
@@ -206,6 +214,7 @@ func resetOut(o *chunkOut, c int) *chunkOut {
 	o.sel = o.sel[:0]
 	o.eof, o.err = false, nil
 	o.b = nil
+	o.poison, o.viaPool = false, false
 	o.countFinal = -1
 	o.base, o.nextBase = -1, -1
 	o.learnDel = o.learnDel[:0]

@@ -79,6 +79,13 @@ type Breakdown struct {
 	MalformedFields int64 // malformed-input events: bad conversions + ragged rows
 	RowsDropped     int64 // rows excluded by the on_error=skip policy
 	IORetries       int64 // transient read errors retried by rawfile
+
+	// Scheduler counters. SchedTasks counts committed chunks that ran as
+	// tasks on the shared DB-level worker pool; it is charged on the
+	// per-chunk breakdown and folded in at commit, so it is deterministic
+	// for a given table layout at any MaxWorkers setting (0 for sequential
+	// scans, which never enter the pool).
+	SchedTasks int64
 }
 
 // Add charges d to category c.
@@ -102,6 +109,7 @@ func (b *Breakdown) Merge(o *Breakdown) {
 	b.MalformedFields += o.MalformedFields
 	b.RowsDropped += o.RowsDropped
 	b.IORetries += o.IORetries
+	b.SchedTasks += o.SchedTasks
 }
 
 // Total returns the sum of all category times.

@@ -11,6 +11,7 @@ import (
 	"nodb/internal/core"
 	"nodb/internal/posmap"
 	"nodb/internal/rawcache"
+	"nodb/internal/sched"
 	"nodb/internal/stats"
 )
 
@@ -93,6 +94,24 @@ func Snapshot(name string, t *core.Table) *Panel {
 		}
 	}
 	return p
+}
+
+// PoolPanel renders a chunk-scheduler snapshot in the table panels' style:
+// worker occupancy as a utilization bar, the live scan queues, and the
+// lifetime totals. Everything here is timing-dependent telemetry — the
+// deterministic per-query figure (chunk tasks run) lives in QueryStats.
+func PoolPanel(s sched.Stats) string {
+	var sb strings.Builder
+	sb.WriteString("=== chunk scheduler: worker pool ===\n")
+	frac := 0.0
+	if s.MaxWorkers > 0 {
+		frac = float64(s.Running) / float64(s.MaxWorkers)
+	}
+	fmt.Fprintf(&sb, "workers        [%s] %d/%d running\n", bar(frac, 20), s.Running, s.MaxWorkers)
+	fmt.Fprintf(&sb, "scan queues: %d   queued chunks: %d\n", s.Queues, s.Queued)
+	fmt.Fprintf(&sb, "lifetime: %d tasks run, %d cross-queue claims, peak depth %d, peak queues %d\n",
+		s.TasksRun, s.Steals, s.MaxDepth, s.MaxQueues)
+	return sb.String()
 }
 
 // Utilization returns used/budget for a stats pair, or -1 when unlimited.

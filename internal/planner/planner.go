@@ -20,6 +20,7 @@ import (
 	"nodb/internal/engine"
 	"nodb/internal/expr"
 	"nodb/internal/metrics"
+	"nodb/internal/sched"
 	"nodb/internal/schema"
 	"nodb/internal/sql"
 	"nodb/internal/stats"
@@ -587,9 +588,28 @@ func (pb *builder) buildRawScan(ti int, h core.RawTable, conjuncts []sql.Expr) (
 	if sh, sharded := h.(*core.ShardedTable); sharded {
 		label += fmt.Sprintf(" shards=%d", sh.NumShards())
 	}
+	if pt, part := h.(*core.PartitionedTable); part {
+		// Boundary discovery is lazy; EXPLAIN must not do file I/O under the
+		// catalog lock, so an unscanned table shows "?" instead of a count.
+		if n := pt.DiscoveredPartitions(); n > 0 {
+			label += fmt.Sprintf(" partitions=%d", n)
+		} else {
+			label += " partitions=?"
+		}
+	}
+	hopts := h.Options()
+	// Static scheduler facts only: pool telemetry (queue depths, steals) is
+	// timing-dependent and stays out of the plan text.
+	if hopts.Parallelism > 1 {
+		pool := hopts.Scheduler
+		if pool == nil {
+			pool = sched.Default()
+		}
+		label += fmt.Sprintf(" parallel=%d pool=%d", hopts.Parallelism, pool.Stats().MaxWorkers)
+	}
 	// Non-default error policy is part of the plan's observable behavior
 	// (it changes result rows), so EXPLAIN surfaces it; defaults stay quiet.
-	if hopts := h.Options(); hopts.OnError != core.OnErrorNull || hopts.MaxErrors > 0 {
+	if hopts.OnError != core.OnErrorNull || hopts.MaxErrors > 0 {
 		label += " on_error=" + hopts.OnError.String()
 		if hopts.MaxErrors > 0 {
 			label += fmt.Sprintf(" max_errors=%d", hopts.MaxErrors)

@@ -62,6 +62,8 @@ type Reader struct {
 	f      File
 	path   string
 	size   int64
+	off    int64 // physical offset of logical offset 0 (byte-range restriction)
+	ranged bool  // reads are clamped to [off, off+size) of the file
 	b      *metrics.Breakdown
 	shared bool // view over another Reader's descriptor; Close is a no-op
 }
@@ -84,8 +86,34 @@ func Open(path string, b *metrics.Breakdown) (*Reader, error) {
 	return &Reader{f: f, path: path, size: st.Size(), b: b}, nil
 }
 
-// Size returns the file size at open time.
+// Size returns the file size at open time (of the restricted range, for a
+// ranged reader).
 func (r *Reader) Size() int64 { return r.size }
+
+// Restrict narrows the reader, in place, to the byte range [lo, hi) of the
+// region it currently covers: logical offset 0 becomes lo, Size() reports
+// hi-lo, and reads at or past hi return io.EOF exactly like a real end of
+// file. hi <= 0 (or past the end) means "through the end of the region".
+// Fingerprint is unaffected — it identifies the whole file's bytes.
+//
+// This is how byte-range partitions make an interior slice of one large
+// file behave like a standalone file: with lo and hi on row boundaries,
+// every layer above (chunk reading, tokenizing, positional map, cache)
+// works in partition-relative coordinates unchanged.
+func (r *Reader) Restrict(lo, hi int64) {
+	if hi <= 0 || hi > r.size {
+		hi = r.size
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > hi {
+		lo = hi
+	}
+	r.off += lo
+	r.size = hi - lo
+	r.ranged = true
+}
 
 // Path returns the path the reader was opened with.
 func (r *Reader) Path() string { return r.path }
@@ -114,7 +142,7 @@ func (r *Reader) Fingerprint() (Fingerprint, error) {
 // on accounting. Closing a view is a no-op; the owner's Close releases the
 // descriptor.
 func (r *Reader) View(b *metrics.Breakdown) *Reader {
-	return &Reader{f: r.f, path: r.path, size: r.size, b: b, shared: true}
+	return &Reader{f: r.f, path: r.path, size: r.size, off: r.off, ranged: r.ranged, b: b, shared: true}
 }
 
 // SetBreakdown redirects accounting to b.
@@ -127,16 +155,35 @@ func (r *Reader) SetBreakdown(b *metrics.Breakdown) { r.b = b }
 // retry budget — and permanent failures — come back wrapped as
 // faults.ErrIO.
 func (r *Reader) ReadAt(p []byte, off int64) (int, error) {
+	atEnd := false
+	if r.ranged {
+		// The restriction boundary is a hard end of file: clamp the read
+		// and synthesize io.EOF so callers never see bytes past the range
+		// (for interior partitions, the next partition's rows).
+		if off >= r.size {
+			if len(p) == 0 {
+				return 0, nil
+			}
+			return 0, io.EOF
+		}
+		if off+int64(len(p)) > r.size {
+			p = p[:r.size-off]
+			atEnd = true
+		}
+	}
 	t0 := time.Now()
-	n, err := r.f.ReadAt(p, off)
+	n, err := r.f.ReadAt(p, r.off+off)
 	for attempt := 0; err != nil && err != io.EOF && faults.IsTransient(err) && attempt < RetryAttempts; attempt++ {
 		if r.b != nil {
 			r.b.IORetries++
 		}
 		time.Sleep(RetryBackoff << attempt)
 		var m int
-		m, err = r.f.ReadAt(p[n:], off+int64(n))
+		m, err = r.f.ReadAt(p[n:], r.off+off+int64(n))
 		n += m
+	}
+	if atEnd && err == nil && n == len(p) {
+		err = io.EOF
 	}
 	if r.b != nil {
 		r.b.Add(metrics.IO, time.Since(t0))

@@ -1,0 +1,104 @@
+package rawfile
+
+import (
+	"io"
+	"testing"
+)
+
+// TestReaderRestrict pins the byte-range contract: a restricted reader
+// behaves exactly like a standalone file covering [lo, hi) — logical
+// offset 0 maps to lo, Size reports hi-lo, and the boundary is a hard EOF.
+func TestReaderRestrict(t *testing.T) {
+	content := "aaaa\nbbbb\ncccc\ndddd\n" // 20 bytes, rows at 0,5,10,15
+	path := writeTemp(t, content)
+
+	r, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	r.Restrict(5, 15) // "bbbb\ncccc\n"
+
+	if got := r.Size(); got != 10 {
+		t.Fatalf("Size = %d, want 10", got)
+	}
+	buf := make([]byte, 10)
+	n, err := r.ReadAt(buf, 0)
+	if n != 10 || (err != nil && err != io.EOF) {
+		t.Fatalf("ReadAt(0) = %d, %v", n, err)
+	}
+	if string(buf[:n]) != "bbbb\ncccc\n" {
+		t.Fatalf("ReadAt(0) = %q", buf[:n])
+	}
+	// A read crossing hi is clamped and reports EOF — bytes of the next
+	// partition must never leak through.
+	n, err = r.ReadAt(buf, 5)
+	if n != 5 || err != io.EOF {
+		t.Fatalf("ReadAt(5) = %d, %v, want 5, EOF", n, err)
+	}
+	if string(buf[:n]) != "cccc\n" {
+		t.Fatalf("ReadAt(5) = %q", buf[:n])
+	}
+	// At or past the boundary: immediate EOF.
+	if n, err := r.ReadAt(buf, 10); n != 0 || err != io.EOF {
+		t.Fatalf("ReadAt(10) = %d, %v, want 0, EOF", n, err)
+	}
+	if n, err := r.ReadAt(buf, 99); n != 0 || err != io.EOF {
+		t.Fatalf("ReadAt(99) = %d, %v, want 0, EOF", n, err)
+	}
+	// Views inherit the restriction.
+	v := r.View(nil)
+	if got := v.Size(); got != 10 {
+		t.Fatalf("view Size = %d, want 10", got)
+	}
+	if n, _ := v.ReadAt(buf[:4], 0); string(buf[:n]) != "bbbb" {
+		t.Fatalf("view ReadAt = %q", buf[:n])
+	}
+	// Fingerprint identifies the whole file, not the range.
+	fp, err := r.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Size != int64(len(content)) {
+		t.Fatalf("Fingerprint.Size = %d, want %d", fp.Size, len(content))
+	}
+
+	// hi = 0 means "through EOF".
+	r2, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	r2.Restrict(15, 0)
+	if got := r2.Size(); got != 5 {
+		t.Fatalf("tail Size = %d, want 5", got)
+	}
+	n, err = r2.ReadAt(buf, 0)
+	if string(buf[:n]) != "dddd\n" || (err != nil && err != io.EOF) {
+		t.Fatalf("tail ReadAt = %q, %v", buf[:n], err)
+	}
+
+	// A ChunkReader over a restricted reader sees exactly the range's rows.
+	r3, err := Open(path, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r3.Close()
+	r3.Restrict(5, 15)
+	cr := NewChunkReader(r3, 8) // tiny blocks to cross the boundary mid-read
+	var ch Chunk
+	var rows []string
+	for {
+		if err := cr.NextChunk(1, &ch); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < ch.Rows; i++ {
+			rows = append(rows, string(ch.Data[ch.Start[i]:ch.End[i]]))
+		}
+	}
+	if len(rows) != 2 || rows[0] != "bbbb" || rows[1] != "cccc" {
+		t.Fatalf("chunked rows over range = %q, want [bbbb cccc]", rows)
+	}
+}

@@ -43,6 +43,7 @@ import (
 
 	"nodb/internal/core"
 	"nodb/internal/planner"
+	"nodb/internal/sched"
 	"nodb/internal/schema"
 	"nodb/internal/storage"
 )
@@ -62,6 +63,14 @@ type Config struct {
 	// states, merged deterministically in chunk order), so aggregation
 	// throughput scales with this knob too.
 	Parallelism int
+	// MaxWorkers bounds the DB-level chunk scheduler: one shared worker pool
+	// multiplexes the chunk work of every concurrent scan on this DB, with
+	// round-robin fairness across scan queues, so N concurrent queries share
+	// MaxWorkers goroutines instead of spawning N*Parallelism. <= 0 uses
+	// GOMAXPROCS (a process-wide pool shared with other DBs opened with the
+	// default). Results are byte-identical at any setting; Parallelism still
+	// bounds how many chunks a single scan keeps in flight.
+	MaxWorkers int
 	// DisableVectorized forces row-at-a-time expression evaluation
 	// everywhere, turning off the column-at-a-time (vectorized) kernels
 	// that pushed-down filters and batch projections normally use. Results
@@ -80,6 +89,7 @@ type DB struct {
 	ownsDir     bool
 	parallelism int              // default scan parallelism for raw tables
 	noVec       bool             // force row-at-a-time expression evaluation
+	sched       *sched.Pool      // DB-level chunk scheduler for raw scans
 	loaded      []*storage.Table // for Close
 
 	// catGen counts catalog mutations (register/drop/close). Prepared plan
@@ -130,10 +140,15 @@ func Open(cfg Config) (*DB, error) {
 	} else if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("nodb: %w", err)
 	}
+	pool := sched.Default()
+	if cfg.MaxWorkers > 0 {
+		pool = sched.NewPool(cfg.MaxWorkers)
+	}
 	return &DB{
 		cat: schema.NewCatalog(), dataDir: dir, ownsDir: owns,
 		parallelism: cfg.Parallelism,
 		noVec:       cfg.DisableVectorized,
+		sched:       pool,
 		planCache:   make(map[string]*cachedPrep),
 		pins:        make(map[any]int),
 		doomed:      make(map[any]func() error),
@@ -272,6 +287,20 @@ type RawOptions struct {
 	// table. 0 inherits the DB's Config.Parallelism (which itself defaults
 	// to GOMAXPROCS); 1 runs the sequential scan.
 	Parallelism int
+	// ShardAhead is the number of shards (or byte-range partitions) a
+	// sharded scan keeps in flight concurrently: the current shard plus
+	// ShardAhead-1 prefetched ones, merged strictly in shard order. 0 uses
+	// the default (2); 1 restores fully serial shard dispatch. Ignored when
+	// Parallelism is 1. The DDL equivalent is WITH (shard_ahead = N).
+	ShardAhead int
+	// PartitionBytes splits a single-file registration into byte-range
+	// partitions of roughly this many bytes (rounded forward to row
+	// boundaries at first scan), each with its own positional-map/cache
+	// territory, scanned like shards of a sharded table. 0 partitions
+	// automatically when the file is at least 256 MiB; < 0 disables
+	// partitioning. Ignored for multi-file (glob) locations. The DDL
+	// equivalent is WITH (partition_bytes = N).
+	PartitionBytes int64
 	// OnError selects the malformed-input policy: "null" (or "", the
 	// default) nulls a field that does not convert and counts the event,
 	// "fail" aborts the query with a typed error, "skip" drops the
@@ -314,7 +343,24 @@ func (o *RawOptions) coreOptions(defaultParallelism int) (core.Options, error) {
 	if o.Parallelism != 0 {
 		opts.Parallelism = o.Parallelism
 	}
+	if o.ShardAhead < 0 {
+		return opts, fmt.Errorf("nodb: ShardAhead must be >= 0, got %d", o.ShardAhead)
+	}
+	opts.ShardAhead = o.ShardAhead
 	return opts, nil
+}
+
+// SchedulerStats is a live snapshot of the DB-level chunk scheduler (the
+// shared worker pool raw scans submit their chunk work to).
+type SchedulerStats = sched.Stats
+
+// SchedulerStats reports the DB's chunk-scheduler counters: worker bound,
+// currently running workers, scan queues and their queued tasks, plus
+// lifetime totals. The counters are monitoring telemetry — they vary with
+// timing and are deliberately kept out of QueryStats, whose counters are
+// deterministic.
+func (db *DB) SchedulerStats() SchedulerStats {
+	return db.sched.Stats()
 }
 
 // RegisterRaw attaches a CSV file for in-situ querying (the PostgresRaw

@@ -23,8 +23,16 @@ func (db *DB) Panel(name string) (*Panel, error) {
 	return ps[0], nil
 }
 
+// PoolPanel renders the DB-level chunk scheduler's current state (worker
+// occupancy, scan queues, lifetime totals) in the monitoring panels' style.
+func (db *DB) PoolPanel() string {
+	return monitor.PoolPanel(db.sched.Stats())
+}
+
 // Panels captures the monitoring panels of a raw table's shards, one per
-// shard file in scan order (a single-file table yields exactly one panel).
+// shard file in scan order (a single-file table yields exactly one panel; a
+// byte-range partitioned table yields one panel per partition, labeled with
+// its byte span).
 func (db *DB) Panels(name string) ([]*Panel, error) {
 	t, err := db.rawTable(name)
 	if err != nil {
@@ -38,6 +46,21 @@ func (db *DB) Panels(name string) ([]*Panel, error) {
 		out := make([]*Panel, len(shards))
 		for i, sh := range shards {
 			out[i] = monitor.Snapshot(fmt.Sprintf("%s[%d/%d] %s", name, i, len(shards), sh.Path()), sh)
+		}
+		return out, nil
+	case *core.PartitionedTable:
+		parts := h.Partitions()
+		if parts == nil {
+			return nil, fmt.Errorf("nodb: table %q: partition discovery failed", name)
+		}
+		out := make([]*Panel, len(parts))
+		for i, p := range parts {
+			lo, hi := p.Range()
+			span := fmt.Sprintf("bytes %d-", lo)
+			if hi > 0 {
+				span = fmt.Sprintf("bytes %d-%d", lo, hi)
+			}
+			out[i] = monitor.Snapshot(fmt.Sprintf("%s[%d/%d] %s", name, i, len(parts), span), p)
 		}
 		return out, nil
 	default:

@@ -42,6 +42,7 @@ type QueryStats struct {
 	MapJumpFields   int64
 	MapNearFields   int64 // fields located via a nearby map entry (short gap tokenize)
 	PartialGroups   int64 // partial group states folded by scan workers (aggregation pushdown)
+	SchedTasks      int64 // chunk tasks this query ran on the shared scheduler pool (0 for sequential scans; deterministic for a given file layout at any MaxWorkers)
 	VecRows         int64 // (row, expression) evaluations served by the vectorized (column-at-a-time) path
 	PlanCacheHits   int64 // 1 when this query reused a cached plan skeleton (prepared statement or plan cache)
 
@@ -69,6 +70,7 @@ func newQueryStats(b *metrics.Breakdown, total time.Duration) QueryStats {
 		MapJumpFields:   b.MapJumpFields,
 		MapNearFields:   b.MapNearFields,
 		PartialGroups:   b.PartialGroups,
+		SchedTasks:      b.SchedTasks,
 		VecRows:         b.VecRows,
 		MalformedFields: b.MalformedFields,
 		RowsDropped:     b.RowsDropped,
