@@ -14,6 +14,7 @@ import (
 	"strings"
 	"testing"
 
+	"nodb/internal/analysis"
 	"nodb/internal/analysis/nodbvet"
 )
 
@@ -306,5 +307,38 @@ func TestVetUnitInProcess(t *testing.T) {
 	}
 	if _, err := os.Stat(brokenVetx); err != nil {
 		t.Errorf("typecheck-failure unit must still write its vetx: %v", err)
+	}
+}
+
+// TestListFlag pins the -list contract: every suite analyzer appears with
+// a nonempty one-line doc, the output is in reporting order, and nothing
+// else runs (exit 0, no stderr).
+func TestListFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("-list exited %d\nstderr:\n%s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("-list wrote to stderr: %q", stderr.String())
+	}
+	lines := strings.Split(strings.TrimRight(stdout.String(), "\n"), "\n")
+	if len(lines) != len(analysis.Suite) {
+		t.Fatalf("-list printed %d lines, want one per analyzer (%d):\n%s",
+			len(lines), len(analysis.Suite), stdout.String())
+	}
+	for i, a := range analysis.Suite {
+		name, doc, ok := strings.Cut(lines[i], " ")
+		if !ok || name != a.Name {
+			t.Errorf("line %d = %q, want analyzer %q first", i, lines[i], a.Name)
+			continue
+		}
+		if strings.TrimSpace(doc) == "" {
+			t.Errorf("analyzer %s listed without a doc line", a.Name)
+		}
+	}
+	for _, name := range []string{"closeleak", "mustdefer", "nilguard"} {
+		if !strings.Contains(stdout.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, stdout.String())
+		}
 	}
 }

@@ -2,7 +2,11 @@
 // it machine-checks the determinism, panic-safety, error-taxonomy,
 // hot-path allocation, cancellation, commit-scope, lock-order, channel-
 // leak, float-determinism and counter-plumbing invariants the paper's
-// adaptive structures depend on (see CONTRIBUTING.md for the full list).
+// adaptive structures depend on, plus the CFG-based path-sensitive
+// checks — closeleak (resources closed on every path), mustdefer (locks
+// released on every path) and nilguard ((nil, nil) results checked
+// before dereference). See CONTRIBUTING.md for the full list, or run
+// `nodbvet -list` to print every analyzer with its one-line contract.
 //
 // It speaks the go vet tool protocol, so the canonical invocation is
 //
@@ -59,6 +63,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		case a == "-V=full" || a == "--V=full":
 			printVersion(stdout)
 			return 0
+		case a == "-list" || a == "--list":
+			listAnalyzers(stdout)
+			return 0
 		case a == "-flags" || a == "--flags":
 			// The go command probes which vet flags the tool supports and
 			// forwards only those; -json is the one driver flag the suite
@@ -83,8 +90,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case len(patterns) > 0:
 		return reexec(patterns, jsonOut, stdout, stderr)
 	default:
-		fmt.Fprintln(stderr, "usage: nodbvet [-json] ./...  (or, via the go command: go vet -vettool=$(which nodbvet) ./...)")
+		fmt.Fprintln(stderr, "usage: nodbvet [-json] ./...  (or, via the go command: go vet -vettool=$(which nodbvet) ./...); nodbvet -list prints the analyzers")
 		return 1
+	}
+}
+
+// listAnalyzers prints every suite analyzer with its one-line contract,
+// in reporting order.
+func listAnalyzers(stdout io.Writer) {
+	for _, a := range analysis.Suite {
+		fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 	}
 }
 

@@ -16,11 +16,19 @@ import (
 	"go/token"
 	"regexp"
 	"strings"
-	"testing"
 
 	"nodb/internal/analysis/loadpkg"
 	"nodb/internal/analysis/nodbvet"
 )
+
+// TB is the slice of testing.TB the harness needs. Tests pass *testing.T;
+// the harness's own meta-tests pass a recorder to assert that a stale
+// fixture fails with a readable message instead of silently passing.
+type TB interface {
+	Helper()
+	Fatalf(format string, args ...any)
+	Errorf(format string, args ...any)
+}
 
 // expectation is one `// want` regexp at a file line.
 type expectation struct {
@@ -43,7 +51,7 @@ var wantRx = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
 // accumulate the facts it exports — dep diagnostics are discarded and
 // `// want` comments are honored only in dir. This is how the
 // cross-package fact tests stage a mini build graph.
-func Run(t *testing.T, a *nodbvet.Analyzer, dir string, deps ...string) {
+func Run(t TB, a *nodbvet.Analyzer, dir string, deps ...string) {
 	t.Helper()
 	pkgs, err := loadpkg.Chain(append(append([]string{}, deps...), dir)...)
 	if err != nil {
@@ -88,7 +96,7 @@ func Run(t *testing.T, a *nodbvet.Analyzer, dir string, deps ...string) {
 }
 
 // parseWants extracts the `// want` expectations of one file.
-func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+func parseWants(t TB, fset *token.FileSet, f *ast.File) []*expectation {
 	t.Helper()
 	var wants []*expectation
 	for _, cg := range f.Comments {

@@ -1,0 +1,82 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+	"testing"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// metaAnalyzer flags every function named Flagged: a deterministic
+// diagnostic source for exercising the harness itself.
+var metaAnalyzer = &nodbvet.Analyzer{
+	Name:      "metatest",
+	Directive: "metatest-ok",
+	Doc:       "harness meta-test analyzer: flags functions named Flagged",
+	Run: func(pass *nodbvet.Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "Flagged" {
+					pass.Reportf(fd.Pos(), "function %s is flagged", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+// recorder satisfies TB, collecting failures instead of failing.
+type recorder struct {
+	fatals []string
+	errors []string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatals = append(r.fatals, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Errorf(format string, args ...any) {
+	r.errors = append(r.errors, fmt.Sprintf(format, args...))
+}
+
+// TestStaleWantFails pins the harness's failure mode: when a fixture's
+// want expectation no longer matches what the analyzer reports, Run
+// fails with a readable two-sided diff — the surplus diagnostic with its
+// position and message, and the unmatched expectation with its position
+// and pattern. A harness that let stale fixtures pass would turn every
+// analyzer test into a no-op.
+func TestStaleWantFails(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, metaAnalyzer, "testdata/stale")
+	if len(rec.fatals) != 0 {
+		t.Fatalf("stale fixture must fail via Errorf, got Fatalf: %v", rec.fatals)
+	}
+	if len(rec.errors) != 2 {
+		t.Fatalf("stale fixture produced %d failures, want 2 (surplus diagnostic + unmatched want):\n%s",
+			len(rec.errors), strings.Join(rec.errors, "\n"))
+	}
+	surplus, unmatched := rec.errors[0], rec.errors[1]
+	if !strings.Contains(surplus, "unexpected diagnostic") ||
+		!strings.Contains(surplus, "stale.go:7") ||
+		!strings.Contains(surplus, "function Flagged is flagged") {
+		t.Errorf("surplus-diagnostic failure not readable (need verdict, position, message): %q", surplus)
+	}
+	if !strings.Contains(unmatched, "expected diagnostic matching") ||
+		!strings.Contains(unmatched, "stale.go:7") ||
+		!strings.Contains(unmatched, "an expectation the analyzer no longer produces") {
+		t.Errorf("unmatched-want failure not readable (need verdict, position, pattern): %q", unmatched)
+	}
+}
+
+// TestFreshWantPasses is the control: a matching fixture reports nothing
+// through the same recorder, so the meta-test's failures above are the
+// harness's doing, not the recorder's.
+func TestFreshWantPasses(t *testing.T) {
+	rec := &recorder{}
+	Run(rec, metaAnalyzer, "testdata/fresh")
+	if len(rec.fatals) != 0 || len(rec.errors) != 0 {
+		t.Fatalf("fresh fixture must pass clean, got fatals=%v errors=%v", rec.fatals, rec.errors)
+	}
+}

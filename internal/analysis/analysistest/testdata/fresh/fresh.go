@@ -1,0 +1,6 @@
+// Control fixture for the harness meta-test: the expectation matches the
+// metatest analyzer's diagnostic exactly, so Run reports nothing.
+package fresh
+
+// Flagged triggers the metatest diagnostic and expects it.
+func Flagged() {} // want `function Flagged is flagged`

@@ -1,0 +1,7 @@
+// Fixture for the harness meta-test: the want expectation below does not
+// match what the metatest analyzer reports, so Run must fail twice —
+// once for the unmatched diagnostic, once for the unmatched expectation.
+package stale
+
+// Flagged triggers the metatest diagnostic, but the expectation is stale.
+func Flagged() {} // want `an expectation the analyzer no longer produces`

@@ -1,6 +1,8 @@
 package analysis_test
 
 import (
+	"go/ast"
+	"go/types"
 	"os"
 	"path/filepath"
 	"testing"
@@ -30,10 +32,11 @@ var benchDirs = []string{
 	".",
 }
 
-// BenchmarkNodbvetSuite measures one full analyzer-suite pass over the
-// engine's hot packages — the pre-commit latency a `go vet -vettool`
-// run pays per package, minus the go command's own build-graph overhead.
-func BenchmarkNodbvetSuite(b *testing.B) {
+// loadBenchCorpus parses and type-checks the bench packages once, outside
+// any timed loop: the benchmarks isolate analysis time, which is what
+// adding an analyzer (or CFG construction) changes.
+func loadBenchCorpus(b *testing.B) []*loadpkg.Package {
+	b.Helper()
 	root, err := moduleRoot()
 	if err != nil {
 		b.Fatal(err)
@@ -42,8 +45,6 @@ func BenchmarkNodbvetSuite(b *testing.B) {
 	if err := loadpkg.Prefetch("nodb/..."); err != nil {
 		b.Fatal(err)
 	}
-	// Parse and type-check once, outside the timed loop: the benchmark
-	// isolates analysis time, which is what adding an analyzer changes.
 	pkgs := make([]*loadpkg.Package, len(benchDirs))
 	for i, dir := range benchDirs {
 		p, err := loadpkg.Dir(filepath.Join(root, dir))
@@ -52,6 +53,14 @@ func BenchmarkNodbvetSuite(b *testing.B) {
 		}
 		pkgs[i] = p
 	}
+	return pkgs
+}
+
+// BenchmarkNodbvetSuite measures one full analyzer-suite pass over the
+// engine's hot packages — the pre-commit latency a `go vet -vettool`
+// run pays per package, minus the go command's own build-graph overhead.
+func BenchmarkNodbvetSuite(b *testing.B) {
+	pkgs := loadBenchCorpus(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		facts := nodbvet.NewFactSet()
@@ -68,6 +77,84 @@ func BenchmarkNodbvetSuite(b *testing.B) {
 			b.Fatalf("suite found %d diagnostics on a clean tree", diags)
 		}
 	}
+}
+
+// BenchmarkBuildCFG lowers every function body of the bench corpus into
+// basic blocks — the fixed cost each path-sensitive analyzer pays per
+// function before its dataflow pass runs.
+func BenchmarkBuildCFG(b *testing.B) {
+	pkgs := loadBenchCorpus(b)
+	type fnBody struct {
+		body *ast.BlockStmt
+		info *types.Info
+	}
+	var fns []fnBody
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					fns = append(fns, fnBody{fd.Body, p.Info})
+				}
+			}
+		}
+	}
+	b.ResetTimer()
+	var blocks int
+	for i := 0; i < b.N; i++ {
+		blocks = 0
+		for _, fn := range fns {
+			cfg := nodbvet.BuildCFG(fn.body, fn.info)
+			blocks += len(cfg.Blocks)
+		}
+	}
+	b.ReportMetric(float64(len(fns)), "funcs")
+	b.ReportMetric(float64(blocks), "blocks")
+}
+
+// BenchmarkDataflowSolve runs the generic worklist solver to a fixpoint
+// over every corpus CFG with a minimal forward problem, isolating the
+// solver's iteration overhead from any analyzer's transfer logic.
+func BenchmarkDataflowSolve(b *testing.B) {
+	pkgs := loadBenchCorpus(b)
+	var cfgs []*nodbvet.CFG
+	for _, p := range pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+					cfgs = append(cfgs, nodbvet.BuildCFG(fd.Body, p.Info))
+				}
+			}
+		}
+	}
+	// Saturating node-path length: joins take the max, transfers add the
+	// block's node count, capped so loops reach the fixpoint instead of
+	// counting forever. Monotone over a finite lattice, and every block is
+	// visited at least once per solve.
+	const cap = 1 << 6
+	problem := nodbvet.FlowProblem[int]{
+		Boundary: 0,
+		Bottom:   -1,
+		Transfer: func(blk *nodbvet.Block, in int) int {
+			if out := in + len(blk.Nodes); out < cap {
+				return out
+			}
+			return cap
+		},
+		Join: func(a, c int) int {
+			if a > c {
+				return a
+			}
+			return c
+		},
+		Equal: func(a, c int) bool { return a == c },
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, cfg := range cfgs {
+			nodbvet.Solve(cfg, problem)
+		}
+	}
+	b.ReportMetric(float64(len(cfgs)), "cfgs")
 }
 
 // moduleRoot walks up from the test's working directory to the go.mod.

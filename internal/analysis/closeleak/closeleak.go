@@ -1,0 +1,787 @@
+// Package closeleak is the path-sensitive resource-leak check: every value
+// obtained from a constructor of a closeable type (rawfile.Open,
+// Reader.View, core.NewScan, sched.Pool.NewQueue, the shard/pipeline
+// constructors, os.Open...) must reach Close/Release, be returned, or be
+// stored/handed off on *every* control-flow path out of the acquiring
+// function — including the early-error returns and cancel branches the
+// AST-level analyzers cannot see. A warm scan that leaks one fd per
+// injected fault is exactly the bug class PR 6's fault suite provokes; this
+// analyzer makes it a compile-time finding.
+//
+// Constructors are recognized cross-package through the "closeleak.opens"
+// fact: a function (in any module package) that returns a freshly created
+// closeable value exports it, computed to fixpoint within each package so
+// wrappers of wrappers count. Consumers track each open site through the
+// nodbvet CFG with a forward may-be-open dataflow:
+//
+//   - v.Close()/v.Release() — direct, deferred, or inside a deferred or
+//     launched closure — closes the site from that point on;
+//   - returning v, storing v (field, global, map, slice, channel), passing
+//     v to any call, or capturing it for another purpose transfers
+//     ownership and ends tracking;
+//   - the error-return convention is understood path-sensitively: on the
+//     true edge of `err != nil` (for the err bound at the open site, while
+//     still live) the constructor failed and there is nothing to close.
+//
+// A site that is still open when a non-panic path reaches the function
+// exit is reported at the open site. Panic edges are exempt: defer is the
+// only cleanup that runs there, and a function whose cleanup must survive
+// panics should use it (mustdefer polices the lock flavor of that rule).
+package closeleak
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// OpensFact marks a constructor whose closeable result the caller owns.
+const OpensFact = "closeleak.opens"
+
+// Analyzer is the closeleak check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "closeleak",
+	Directive: "closeleak-ok",
+	Doc: "values returned by closeable-resource constructors (closeleak.opens fact: rawfile.Open, " +
+		"Reader.View, core.NewScan, sched.Pool.NewQueue, os.Open, ...) must be closed, returned or " +
+		"stored on every CFG path out of the acquiring function, including early-error returns",
+	Run: run,
+}
+
+// stdOpeners are well-known external constructors that carry no fact
+// (the standard library is never analyzed).
+var stdOpeners = map[string]bool{
+	"os.Open": true, "os.Create": true, "os.OpenFile": true, "os.CreateTemp": true,
+	"net.Dial": true, "net.Listen": true,
+}
+
+// closeMethods are the method names that release a tracked resource.
+var closeMethods = map[string]bool{"Close": true, "Release": true}
+
+// site is one tracked acquisition: a local variable bound to the closeable
+// result of an opener call, plus the error variable bound at the same
+// assignment (if any) for the failed-constructor refinement.
+type site struct {
+	id     int
+	v      *types.Var // the closeable local; nil for a discarded result
+	errv   *types.Var // error bound at the open; nil if none
+	pos    token.Pos
+	callee string   // short name for diagnostics
+	gen    ast.Node // the assignment (or call statement) that opens
+}
+
+// Per-site dataflow state bits. A site is tracked while OPEN; ERRLIVE
+// means the error variable bound at the open has not been overwritten, so
+// an err-nil branch still refers to *this* acquisition.
+const (
+	stOpen    = 1
+	stErrLive = 2
+)
+
+// state maps site id -> bits; absent means not open on this path.
+type state map[int]int
+
+func (s state) clone() state {
+	c := make(state, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type checker struct {
+	pass    *nodbvet.Pass
+	graph   *nodbvet.CallGraph
+	openers map[*types.Func]bool // in-package openers (fixpoint)
+
+	// Per-function analysis state.
+	sites   []*site
+	byVar   map[*types.Var][]*site
+	byGen   map[ast.Node]*site
+	reports map[int]token.Pos // site id -> first leaking exit position
+}
+
+func run(pass *nodbvet.Pass) error {
+	c := &checker{
+		pass:    pass,
+		graph:   nodbvet.BuildCallGraph(pass),
+		openers: map[*types.Func]bool{},
+	}
+	c.findOpeners()
+
+	fns := make([]*types.Func, 0, len(c.graph.Decls()))
+	for fn := range c.graph.Decls() {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		decl, _ := c.graph.Decl(fn)
+		c.checkFunc(decl)
+	}
+
+	for fn := range c.openers {
+		c.pass.Out.AddFunc(nodbvet.FuncID(fn), OpensFact)
+	}
+	return nil
+}
+
+// isOpener reports whether calling fn hands the caller an open resource:
+// an imported fact carrier, a well-known stdlib constructor, or a
+// same-package opener from the fixpoint.
+func (c *checker) isOpener(fn *types.Func) bool {
+	if fn == nil {
+		return false
+	}
+	if c.openers[fn] {
+		return true
+	}
+	if pkg := fn.Pkg(); pkg != nil && stdOpeners[pkg.Name()+"."+fn.Name()] {
+		return true
+	}
+	return c.pass.Deps.FuncHas(nodbvet.FuncID(fn), OpensFact)
+}
+
+// closeable reports whether t's method set (or its pointer's) includes a
+// Close or Release method.
+func closeable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	for name := range closeMethods {
+		if obj, _, _ := types.LookupFieldOrMethod(t, true, nil, name); obj != nil {
+			if _, isFunc := obj.(*types.Func); isFunc {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// findOpeners computes the package's constructor set to fixpoint: a
+// function is an opener when some return statement hands back a freshly
+// created closeable — a call to a known opener, a composite literal or
+// new() of a closeable type, or a local variable assigned from one.
+func (c *checker) findOpeners() {
+	for changed := true; changed; {
+		changed = false
+		for fn, decl := range c.graph.Decls() {
+			if c.openers[fn] || !c.returnsCloseable(fn) {
+				continue
+			}
+			if c.createsReturnedCloseable(decl) {
+				c.openers[fn] = true
+				changed = true
+			}
+		}
+	}
+}
+
+func (c *checker) returnsCloseable(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	for i := 0; i < sig.Results().Len(); i++ {
+		if closeable(sig.Results().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// createsReturnedCloseable scans fn's returns (not descending into nested
+// function literals) for a freshly-created closeable result.
+func (c *checker) createsReturnedCloseable(decl *ast.FuncDecl) bool {
+	// Local var -> the expressions ever assigned to it (flow-insensitive).
+	assigned := map[*types.Var][]ast.Expr{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			v, ok := c.objOf(id).(*types.Var)
+			if !ok {
+				continue
+			}
+			if len(as.Rhs) == len(as.Lhs) {
+				assigned[v] = append(assigned[v], as.Rhs[i])
+			} else if len(as.Rhs) == 1 {
+				assigned[v] = append(assigned[v], as.Rhs[0])
+			}
+		}
+		return true
+	})
+	fresh := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if id, ok := e.Fun.(*ast.Ident); ok && id.Name == "new" {
+				if tv, ok := c.pass.TypesInfo.Types[e]; ok {
+					return closeable(tv.Type)
+				}
+			}
+			return c.isOpener(c.calleeOf(e))
+		case *ast.UnaryExpr:
+			if e.Op != token.AND {
+				return false
+			}
+			if _, isLit := ast.Unparen(e.X).(*ast.CompositeLit); !isLit {
+				return false
+			}
+			tv, ok := c.pass.TypesInfo.Types[e]
+			return ok && closeable(tv.Type)
+		case *ast.CompositeLit:
+			tv, ok := c.pass.TypesInfo.Types[e]
+			return ok && closeable(tv.Type)
+		}
+		return false
+	}
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			res := ast.Unparen(res)
+			if fresh(res) {
+				found = true
+				return false
+			}
+			if id, ok := res.(*ast.Ident); ok {
+				if v, ok := c.objOf(id).(*types.Var); ok {
+					for _, rhs := range assigned[v] {
+						if fresh(rhs) {
+							found = true
+							return false
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ---- per-function leak analysis ----
+
+func (c *checker) checkFunc(decl *ast.FuncDecl) {
+	c.sites = nil
+	c.byVar = map[*types.Var][]*site{}
+	c.byGen = map[ast.Node]*site{}
+	c.reports = map[int]token.Pos{}
+	c.collectSites(decl)
+	if len(c.sites) == 0 {
+		return
+	}
+	cfg := nodbvet.BuildCFG(decl.Body, c.pass.TypesInfo)
+	_, out := nodbvet.Solve(cfg, nodbvet.FlowProblem[state]{
+		Boundary: state{},
+		Bottom:   state{},
+		Transfer: c.transfer,
+		Edge:     c.refineEdge(cfg),
+		Join:     joinStates,
+		Equal:    equalStates,
+	})
+
+	// Report: a site open in the out-state of a block that edges into Exit
+	// on a normal (non-panic) path leaks at that exit.
+	for _, b := range cfg.Blocks {
+		if b.Panics {
+			continue
+		}
+		leaksHere := false
+		for _, s := range b.Succs {
+			if s == cfg.Exit {
+				leaksHere = true
+			}
+		}
+		if !leaksHere {
+			continue
+		}
+		exitPos := decl.End()
+		if b.Return != nil {
+			exitPos = b.Return.Pos()
+		}
+		for id, bits := range out[b] {
+			if bits&stOpen == 0 {
+				continue
+			}
+			if cur, seen := c.reports[id]; !seen || exitPos < cur {
+				c.reports[id] = exitPos
+			}
+		}
+	}
+	ids := make([]int, 0, len(c.reports))
+	for id := range c.reports {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := c.sites[id]
+		exit := c.pass.Fset.Position(c.reports[id])
+		what := "the " + s.callee + " result"
+		if s.v == nil {
+			c.pass.Reportf(s.pos, "result of %s is discarded without Close: the resource leaks "+
+				"immediately — bind and close it, or suppress with //nodbvet:closeleak-ok <why>", s.callee)
+			continue
+		}
+		c.pass.Reportf(s.pos, "%s (%s) is not closed on the path exiting at line %d: close it, "+
+			"return it, or hand it off on every path (defer %s.Close() right after the error check), "+
+			"or suppress with //nodbvet:closeleak-ok <why>", what, s.v.Name(), exit.Line, s.v.Name())
+	}
+}
+
+// collectSites finds every acquisition in the function body: assignments
+// whose RHS is a call to an opener (tracking each closeable result bound
+// to a plain local), and bare opener calls whose result is dropped.
+// Nested function literals are skipped — they get their own CFG when their
+// enclosing declaration is analyzed, and an opener call inside a literal
+// belongs to the literal's execution, not this function's paths.
+func (c *checker) collectSites(decl *ast.FuncDecl) {
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := c.calleeOf(call)
+			if !c.isOpener(callee) {
+				return true
+			}
+			sig := callee.Type().(*types.Signature)
+			var errv *types.Var
+			if len(n.Lhs) == sig.Results().Len() {
+				for i := 0; i < sig.Results().Len(); i++ {
+					if !isErrorType(sig.Results().At(i).Type()) {
+						continue
+					}
+					if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						errv, _ = c.objOf(id).(*types.Var)
+					}
+				}
+			}
+			for i := 0; i < sig.Results().Len(); i++ {
+				if !closeable(sig.Results().At(i).Type()) {
+					continue
+				}
+				if len(n.Lhs) != sig.Results().Len() && !(sig.Results().Len() == 1 && len(n.Lhs) == 1) {
+					continue
+				}
+				lhs := n.Lhs[i]
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue // stored straight into a field/index: escaped at birth
+				}
+				s := &site{id: len(c.sites), pos: call.Pos(), callee: nodbvet.ShortName(callee), gen: ast.Stmt(n), errv: errv}
+				if id.Name == "_" {
+					// Blank-bound closeable: dropped on the floor at the
+					// assignment itself.
+					s.v = nil
+				} else {
+					v, ok := c.objOf(id).(*types.Var)
+					if !ok {
+						continue
+					}
+					s.v = v
+					c.byVar[v] = append(c.byVar[v], s)
+				}
+				c.sites = append(c.sites, s)
+				c.byGen[ast.Stmt(n)] = s
+			}
+		case *ast.ExprStmt:
+			call, ok := ast.Unparen(n.X).(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := c.calleeOf(call)
+			if !c.isOpener(callee) {
+				return true
+			}
+			s := &site{id: len(c.sites), pos: call.Pos(), callee: nodbvet.ShortName(callee), gen: ast.Stmt(n)}
+			c.sites = append(c.sites, s)
+			c.byGen[ast.Stmt(n)] = s
+		}
+		return true
+	})
+}
+
+// event kinds a node can apply to a tracked variable.
+type event int
+
+const (
+	evRead  event = iota // benign use: method receiver, field read, nil compare
+	evClose              // Close/Release called (incl. deferred)
+	evKill               // ownership left this function: returned, stored, passed
+)
+
+func (c *checker) transfer(b *nodbvet.Block, in state) state {
+	s := in.clone()
+	for _, n := range b.Nodes {
+		// Acquisition first-class: gen the site (and retire earlier sites
+		// bound to the same variable or error variable).
+		if st, ok := n.(ast.Stmt); ok {
+			if site, isGen := c.byGen[st]; isGen {
+				// Uses inside the opener call's arguments still apply.
+				c.scanUses(n, func(v *types.Var, ev event) { applyEvent(s, c.byVar[v], ev) })
+				for id, bits := range s {
+					other := c.sites[id]
+					if site.v != nil && other.v == site.v && other != site {
+						delete(s, id) // rebinding the variable retires the old site
+						continue
+					}
+					if site.errv != nil && other.errv == site.errv && other != site {
+						s[id] = bits &^ stErrLive // err now describes the new call
+					}
+				}
+				if site.v == nil {
+					// Discarded result: report unconditionally (once).
+					if _, seen := c.reports[site.id]; !seen {
+						c.reports[site.id] = site.pos
+					}
+					continue
+				}
+				s[site.id] = stOpen | stErrLive
+				continue
+			}
+		}
+		// Overwriting a site's error variable unlinks the err-check
+		// refinement from that site.
+		if as, ok := n.(*ast.AssignStmt); ok {
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					if v, ok := c.objOf(id).(*types.Var); ok {
+						for sid, bits := range s {
+							if c.sites[sid].errv == v {
+								s[sid] = bits &^ stErrLive
+							}
+						}
+					}
+				}
+			}
+		}
+		c.scanUses(n, func(v *types.Var, ev event) { applyEvent(s, c.byVar[v], ev) })
+	}
+	return s
+}
+
+func applyEvent(s state, sites []*site, ev event) {
+	if ev == evRead {
+		return
+	}
+	for _, site := range sites {
+		delete(s, site.id)
+	}
+}
+
+// refineEdge narrows states along branch edges: on the edge where the
+// site's bound error is non-nil the constructor failed (nothing to
+// close), and on the edge where the tracked value itself is nil there is
+// equally nothing to close.
+func (c *checker) refineEdge(cfg *nodbvet.CFG) func(from, to *nodbvet.Block, s state) state {
+	return func(from, to *nodbvet.Block, s state) state {
+		cond, isTrue, ok := cfg.TrueEdge(from, to)
+		if !ok || len(s) == 0 {
+			return s
+		}
+		v, isNeq, isNilCmp := nilComparison(c.pass, cond)
+		if !isNilCmp {
+			return s
+		}
+		// `x != nil` true-edge and `x == nil` false-edge both mean "x is
+		// non-nil here"; the complementary edges mean "x is nil here".
+		nonNilOnEdge := isNeq == isTrue
+		out := s.clone()
+		for id, bits := range s {
+			site := c.sites[id]
+			// Bound error non-nil: the constructor failed, nothing opened.
+			if nonNilOnEdge && site.errv == v && bits&stErrLive != 0 {
+				delete(out, id)
+			}
+			// Tracked value nil: equally nothing to close on this edge.
+			if !nonNilOnEdge && site.v == v {
+				delete(out, id)
+			}
+		}
+		return out
+	}
+}
+
+// nilComparison decomposes `x != nil` / `x == nil` (either operand order)
+// into the compared variable and the operator.
+func nilComparison(pass *nodbvet.Pass, cond ast.Expr) (v *types.Var, isNeq, ok bool) {
+	be, isBin := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !isBin || (be.Op != token.NEQ && be.Op != token.EQL) {
+		return nil, false, false
+	}
+	x, y := ast.Unparen(be.X), ast.Unparen(be.Y)
+	if isNilIdent(pass, y) {
+		// fallthrough with x as the variable side
+	} else if isNilIdent(pass, x) {
+		x = y
+	} else {
+		return nil, false, false
+	}
+	id, isIdent := x.(*ast.Ident)
+	if !isIdent {
+		return nil, false, false
+	}
+	vv, isVar := pass.TypesInfo.Uses[id].(*types.Var)
+	if !isVar {
+		return nil, false, false
+	}
+	return vv, be.Op == token.NEQ, true
+}
+
+func isNilIdent(pass *nodbvet.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name != "nil" {
+		return false
+	}
+	_, isNil := pass.TypesInfo.Uses[id].(*types.Nil)
+	return isNil || pass.TypesInfo.Uses[id] == nil
+}
+
+// scanUses walks one CFG node and classifies every reference to a tracked
+// variable: Close/Release receiver (direct, deferred, or inside a closure)
+// closes; method receivers, field reads and nil comparisons are benign;
+// any other use — return result, call argument, store, capture, send,
+// address-of — transfers ownership and ends tracking.
+func (c *checker) scanUses(n ast.Node, emit func(*types.Var, event)) {
+	var visitExpr func(e ast.Expr)
+	var visitStmt func(s ast.Stmt)
+
+	trackedIdent := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, ok := c.objOf(id).(*types.Var)
+		if !ok || len(c.byVar[v]) == 0 {
+			return nil
+		}
+		return v
+	}
+
+	visitExpr = func(e ast.Expr) {
+		switch e := ast.Unparen(e).(type) {
+		case nil:
+		case *ast.Ident:
+			if v := trackedIdent(e); v != nil {
+				emit(v, evKill)
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				if v := trackedIdent(sel.X); v != nil {
+					if closeMethods[sel.Sel.Name] {
+						emit(v, evClose)
+					} else {
+						emit(v, evRead) // plain method call: receiver stays owned here
+					}
+				} else {
+					visitExpr(sel.X)
+				}
+			} else {
+				visitExpr(e.Fun)
+			}
+			for _, a := range e.Args {
+				visitExpr(a)
+			}
+		case *ast.SelectorExpr:
+			if v := trackedIdent(e.X); v != nil {
+				if closeMethods[e.Sel.Name] {
+					emit(v, evClose) // method value: r.Close handed to a cleanup registry
+				} else {
+					emit(v, evRead) // field read: the resource itself stays put
+				}
+			} else {
+				visitExpr(e.X)
+			}
+		case *ast.BinaryExpr:
+			if _, _, ok := nilComparisonExpr(c.pass, e); ok {
+				return // nil check: benign on both sides
+			}
+			visitExpr(e.X)
+			visitExpr(e.Y)
+		case *ast.UnaryExpr:
+			visitExpr(e.X) // &v or <-v: ident rule applies (escape)
+		case *ast.StarExpr:
+			visitExpr(e.X)
+		case *ast.TypeAssertExpr:
+			visitExpr(e.X)
+		case *ast.IndexExpr:
+			visitExpr(e.X)
+			visitExpr(e.Index)
+		case *ast.SliceExpr:
+			visitExpr(e.X)
+			for _, x := range []ast.Expr{e.Low, e.High, e.Max} {
+				visitExpr(x)
+			}
+		case *ast.CompositeLit:
+			for _, el := range e.Elts {
+				visitExpr(el)
+			}
+		case *ast.KeyValueExpr:
+			visitExpr(e.Key)
+			visitExpr(e.Value)
+		case *ast.FuncLit:
+			// Closure body: same classification applies — a deferred
+			// func(){ v.Close() } closes, any other capture escapes.
+			for _, st := range e.Body.List {
+				visitStmt(st)
+			}
+		}
+	}
+
+	visitStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case nil:
+		case *ast.ExprStmt:
+			visitExpr(s.X)
+		case *ast.AssignStmt:
+			// `_ = v` is a keep-alive idiom, not an ownership transfer.
+			if len(s.Lhs) == 1 && len(s.Rhs) == 1 {
+				if id, ok := ast.Unparen(s.Lhs[0]).(*ast.Ident); ok && id.Name == "_" {
+					if trackedIdent(s.Rhs[0]) != nil {
+						return
+					}
+				}
+			}
+			for _, r := range s.Rhs {
+				visitExpr(r)
+			}
+			for _, l := range s.Lhs {
+				if _, ok := ast.Unparen(l).(*ast.Ident); ok {
+					continue // rebinding is handled by the transfer itself
+				}
+				visitExpr(l)
+			}
+		case *ast.ReturnStmt:
+			for _, r := range s.Results {
+				visitExpr(r) // returning v = ownership to the caller (evKill)
+			}
+		case *ast.DeferStmt:
+			visitExpr(s.Call)
+		case *ast.GoStmt:
+			visitExpr(s.Call)
+		case *ast.SendStmt:
+			visitExpr(s.Chan)
+			visitExpr(s.Value)
+		case *ast.IncDecStmt:
+			visitExpr(s.X)
+		case *ast.DeclStmt:
+			if gd, ok := s.Decl.(*ast.GenDecl); ok {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, v := range vs.Values {
+							visitExpr(v)
+						}
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			visitExpr(s.X)
+		case *ast.BlockStmt:
+			for _, st := range s.List {
+				visitStmt(st)
+			}
+		case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.LabeledStmt:
+			// Control statements never appear whole inside CFG nodes; their
+			// evaluated parts arrive as separate nodes.
+		case *ast.CaseClause:
+			for _, e := range s.List {
+				visitExpr(e)
+			}
+		}
+	}
+
+	switch n := n.(type) {
+	case ast.Stmt:
+		visitStmt(n)
+	case ast.Expr:
+		visitExpr(n)
+	}
+}
+
+// nilComparisonExpr is nilComparison over an already-unwrapped BinaryExpr.
+func nilComparisonExpr(pass *nodbvet.Pass, be *ast.BinaryExpr) (*types.Var, bool, bool) {
+	return nilComparison(pass, be)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func (c *checker) objOf(id *ast.Ident) types.Object {
+	if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return c.pass.TypesInfo.Uses[id]
+}
+
+func (c *checker) calleeOf(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func joinStates(a, b state) state {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := a.clone()
+	for id, bits := range b {
+		if cur, ok := out[id]; ok {
+			// Open if open on either path; the err link survives only when
+			// live on both (killing on a stale link would hide leaks).
+			out[id] = ((cur | bits) & stOpen) | ((cur & bits) & stErrLive)
+		} else {
+			out[id] = bits
+		}
+	}
+	return out
+}
+
+func equalStates(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

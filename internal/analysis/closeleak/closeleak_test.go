@@ -1,0 +1,45 @@
+package closeleak_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/closeleak"
+	"nodb/internal/analysis/loadpkg"
+	"nodb/internal/analysis/nodbvet"
+)
+
+func TestCloseleak(t *testing.T) {
+	analysistest.Run(t, closeleak.Analyzer, "testdata/core", "testdata/res")
+}
+
+// TestOpensFactExports pins exactly which res functions export the
+// constructor fact: the direct, wrapped and method constructors do, the
+// borrowed-handle accessor does not.
+func TestOpensFactExports(t *testing.T) {
+	pkg, err := loadpkg.Dir("testdata/res")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, out, err := nodbvet.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info,
+		[]*nodbvet.Analyzer{closeleak.Analyzer}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in res fixture: %s", d.Message)
+	}
+	want := map[string]bool{
+		"res.OpenHandle":          true,
+		"res.OpenWrapped":         true,
+		"(*res.Pool).Acquire":     true,
+		"(*res.Registry).Current": false,
+		"(*res.Registry).Adopt":   false,
+		"res.NewPool":             false, // *Pool is not closeable
+	}
+	for id, wantFact := range want {
+		if got := out.FuncHas(id, closeleak.OpensFact); got != wantFact {
+			t.Errorf("opens fact for %s = %v, want %v", id, got, wantFact)
+		}
+	}
+}

@@ -1,0 +1,212 @@
+// Consumer fixture for closeleak: acquisitions from the res package (its
+// constructors carry the closeleak.opens fact) and from a same-package
+// constructor, across the path shapes that matter — early-error returns,
+// branches, loops, defer, stores and hand-offs.
+package core
+
+import "res"
+
+func bad() bool { return false }
+
+// LeakEarlyReturn is the canonical bug: the error check passes, then a
+// second early return skips the Close.
+func LeakEarlyReturn() error {
+	h, err := res.OpenHandle() // want `not closed on the path exiting at line`
+	if err != nil {
+		return err
+	}
+	if bad() {
+		return res.ErrBusy // leaks h
+	}
+	return h.Close()
+}
+
+// LeakNoCloseAtAll never closes.
+func LeakNoCloseAtAll() error {
+	h, err := res.OpenHandle() // want `not closed on the path exiting at line`
+	if err != nil {
+		return err
+	}
+	h.Ping()
+	return nil
+}
+
+// LeakDiscarded drops the handle on the floor at the call itself.
+func LeakDiscarded() {
+	res.OpenHandle() // want `discarded without Close`
+}
+
+// LeakBlankBound binds the closeable result to the blank identifier.
+func LeakBlankBound() error {
+	_, err := res.OpenHandle() // want `discarded without Close`
+	return err
+}
+
+// LeakFromMethodConstructor: method constructors carry the fact too.
+func LeakFromMethodConstructor(p *res.Pool) error {
+	h, err := p.Acquire() // want `not closed on the path exiting at line`
+	if err != nil {
+		return err
+	}
+	if bad() {
+		return res.ErrBusy // leaks h
+	}
+	h.Close()
+	return nil
+}
+
+// LeakBreakOutOfLoop: the break path skips the per-iteration close.
+func LeakBreakOutOfLoop(n int) error {
+	for i := 0; i < n; i++ {
+		h, err := res.OpenHandle() // want `not closed on the path exiting at line`
+		if err != nil {
+			return err
+		}
+		if bad() {
+			break // leaks this iteration's h
+		}
+		h.Close()
+	}
+	return nil
+}
+
+// CleanDeferred closes via defer registered right after the error check:
+// every later path is covered.
+func CleanDeferred() error {
+	h, err := res.OpenHandle()
+	if err != nil {
+		return err
+	}
+	defer h.Close()
+	if bad() {
+		return res.ErrBusy
+	}
+	return nil
+}
+
+// CleanDeferredClosure: the deferred closure closes; capture for closing
+// is not an escape.
+func CleanDeferredClosure() error {
+	h, err := res.OpenHandle()
+	if err != nil {
+		return err
+	}
+	defer func() { _ = h.Close() }()
+	return nil
+}
+
+// CleanReturned transfers ownership to the caller (and is thereby itself
+// an opener).
+func CleanReturned() (*res.Handle, error) {
+	h, err := res.OpenHandle()
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// CleanFieldStored escapes to a struct field: the holder owns it now.
+type holder struct{ h *res.Handle }
+
+func (x *holder) CleanFieldStored() error {
+	h, err := res.OpenHandle()
+	if err != nil {
+		return err
+	}
+	x.h = h
+	return nil
+}
+
+// CleanTransferred hands the handle to another owner.
+func CleanTransferred(r *res.Registry) error {
+	h, err := res.OpenHandle()
+	if err != nil {
+		return err
+	}
+	r.Adopt(h)
+	return nil
+}
+
+// CleanClosedOnBothBranches closes on the error path and the happy path.
+func CleanClosedOnBothBranches() error {
+	h, err := res.OpenHandle()
+	if err != nil {
+		return err
+	}
+	if bad() {
+		h.Close()
+		return res.ErrBusy
+	}
+	return h.Close()
+}
+
+// CleanNilChecked: the nil branch has nothing to close.
+func CleanNilChecked() error {
+	h, err := res.OpenHandle()
+	if err != nil {
+		return err
+	}
+	if h == nil {
+		return nil
+	}
+	return h.Close()
+}
+
+// CleanBorrowed uses a handle it does not own: Registry.Current carries
+// no opens fact, so nothing is tracked.
+func CleanBorrowed(r *res.Registry) {
+	h := r.Current()
+	h.Ping()
+}
+
+// CleanPanicPath: panic edges are exempt (defer is the only cleanup that
+// runs there, and the happy path closes).
+func CleanPanicPath() error {
+	h, err := res.OpenHandle()
+	if err != nil {
+		return err
+	}
+	if bad() {
+		panic("invariant violated")
+	}
+	return h.Close()
+}
+
+// CleanSentToOwner: sending on a channel hands the resource off.
+func CleanSentToOwner(ch chan *res.Handle) error {
+	h, err := res.OpenHandle()
+	if err != nil {
+		return err
+	}
+	ch <- h
+	return nil
+}
+
+// localRes is a same-package closeable with a same-package constructor:
+// the opener fixpoint must recognize it without any imported fact.
+type localRes struct{ on bool }
+
+func (l *localRes) Release() { l.on = false }
+
+func newLocalRes() *localRes { return &localRes{on: true} }
+
+// LeakLocalConstructor: same-package constructor, early return leaks.
+func LeakLocalConstructor() error {
+	l := newLocalRes() // want `not closed on the path exiting at line`
+	if bad() {
+		return res.ErrBusy // leaks l
+	}
+	l.Release()
+	return nil
+}
+
+// SuppressedLeak documents an intentional hand-off the analyzer cannot
+// see; the justified directive silences it.
+func SuppressedLeak() error {
+	h, err := res.OpenHandle() //nodbvet:closeleak-ok fd ownership recorded in the process-global handle table
+	if err != nil {
+		return err
+	}
+	_ = h
+	return nil
+}

@@ -1,0 +1,54 @@
+// Dep fixture for closeleak: constructors of a closeable type. OpenHandle,
+// OpenWrapped (transitively) and NewPool.Acquire export the
+// closeleak.opens fact; Registry.Current hands out a borrowed handle and
+// must not.
+package res
+
+import "errors"
+
+// Handle is the closeable resource.
+type Handle struct{ open bool }
+
+// Close releases the handle.
+func (h *Handle) Close() error { h.open = false; return nil }
+
+// Ping is a benign method: calling it does not affect ownership.
+func (h *Handle) Ping() {}
+
+// ErrBusy is returned by failing constructors.
+var ErrBusy = errors.New("busy")
+
+// OpenHandle is the direct constructor: exports closeleak.opens.
+func OpenHandle() (*Handle, error) {
+	return &Handle{open: true}, nil
+}
+
+// OpenWrapped wraps OpenHandle without closing: also an opener.
+func OpenWrapped() (*Handle, error) {
+	h, err := OpenHandle()
+	if err != nil {
+		return nil, err
+	}
+	return h, nil
+}
+
+// Pool vends handles.
+type Pool struct{}
+
+// NewPool builds a pool (no Close on Pool: not itself tracked).
+func NewPool() *Pool { return &Pool{} }
+
+// Acquire is a method constructor: exports closeleak.opens.
+func (p *Pool) Acquire() (*Handle, error) {
+	return &Handle{open: true}, nil
+}
+
+// Registry holds a long-lived handle.
+type Registry struct{ h *Handle }
+
+// Adopt stores the handle: ownership transfers to the registry.
+func (r *Registry) Adopt(h *Handle) { r.h = h }
+
+// Current returns the registry's borrowed handle: callers do not own it,
+// so this must NOT export closeleak.opens.
+func (r *Registry) Current() *Handle { return r.h }

@@ -1,0 +1,392 @@
+// Package mustdefer enforces structural lock hygiene in the scan packages
+// (nodb, core, engine, rawfile, sched): a mutex acquired in a function must
+// be released on *every* non-panic path out of it — by a deferred Unlock,
+// by an Unlock that dominates the exit, or by handing the critical section
+// to a release helper. The PR 8 sweep found DB.Close holding db.mu across
+// table-close I/O by mutex-identity special cases; this analyzer catches
+// the whole class structurally: any early return that skips the Unlock is
+// a finding at the Lock site, path-computed over the nodbvet CFG rather
+// than pattern-matched.
+//
+// Lock identity is structural, as in lockorder: "(pkg.Type).field" for a
+// struct-field mutex, "pkg.var" for a package-level one. Lock pairs with
+// Unlock and RLock with RUnlock. A function that unlocks a mutex it did
+// not itself lock is a release helper: it exports the "mustdefer.releases"
+// fact (with the lock IDs it releases), and a call to it — same package or
+// imported — counts as the release on that path.
+package mustdefer
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// ReleasesFact marks a function that releases locks it did not acquire;
+// its values are the structural lock IDs released.
+const ReleasesFact = "mustdefer.releases"
+
+// Packages lists the package names whose functions are checked. The fact
+// still exports everywhere, so helpers in other packages participate.
+var Packages = map[string]bool{"nodb": true, "core": true, "engine": true, "rawfile": true, "sched": true}
+
+// Analyzer is the mustdefer check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "mustdefer",
+	Directive: "mustdefer-ok",
+	Doc: "a mutex locked in a scan-package function must be unlocked on every non-panic path out of " +
+		"it (defer it, unlock before each return, or call a mustdefer.releases helper); an early " +
+		"return holding the lock freezes every other path into the critical section",
+	Run: run,
+}
+
+// acqSite is one Lock/RLock call being tracked through the CFG.
+type acqSite struct {
+	id     int
+	lockID string
+	read   bool // RLock (pairs with RUnlock)
+	pos    token.Pos
+	call   *ast.CallExpr
+}
+
+type state map[int]bool // site id -> may still be held
+
+type checker struct {
+	pass     *nodbvet.Pass
+	graph    *nodbvet.CallGraph
+	releases map[*types.Func]map[string]bool // local release helpers
+
+	sites  []*acqSite
+	byCall map[*ast.CallExpr]*acqSite
+}
+
+func run(pass *nodbvet.Pass) error {
+	c := &checker{
+		pass:     pass,
+		graph:    nodbvet.BuildCallGraph(pass),
+		releases: map[*types.Func]map[string]bool{},
+	}
+	c.findReleaseHelpers()
+
+	fns := make([]*types.Func, 0, len(c.graph.Decls()))
+	for fn := range c.graph.Decls() {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	if Packages[pass.Pkg.Name()] {
+		for _, fn := range fns {
+			decl, _ := c.graph.Decl(fn)
+			c.checkFunc(decl)
+		}
+	}
+
+	for fn, ids := range c.releases {
+		if len(ids) == 0 {
+			continue
+		}
+		sorted := make([]string, 0, len(ids))
+		for id := range ids {
+			sorted = append(sorted, id)
+		}
+		sort.Strings(sorted)
+		pass.Out.AddFunc(nodbvet.FuncID(fn), ReleasesFact, sorted...)
+	}
+	return nil
+}
+
+// findReleaseHelpers marks functions that unlock locks they never lock:
+// their callers may rely on them to close a critical section.
+func (c *checker) findReleaseHelpers() {
+	for fn, decl := range c.graph.Decls() {
+		locked := map[string]bool{}
+		released := map[string]bool{}
+		ast.Inspect(decl.Body, func(n ast.Node) bool {
+			if _, isLit := n.(*ast.FuncLit); isLit {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, op, _, ok := c.lockOp(call); ok {
+				if op == "acquire" {
+					locked[id] = true
+				} else {
+					released[id] = true
+				}
+			}
+			return true
+		})
+		helper := map[string]bool{}
+		for id := range released {
+			if !locked[id] {
+				helper[id] = true
+			}
+		}
+		if len(helper) > 0 {
+			c.releases[fn] = helper
+		}
+	}
+}
+
+// releasedBy returns the lock IDs a call releases on behalf of the caller:
+// a local release helper or an imported mustdefer.releases carrier.
+func (c *checker) releasedBy(call *ast.CallExpr) []string {
+	callee := c.callee(call)
+	if callee == nil {
+		return nil
+	}
+	if ids, ok := c.releases[callee]; ok {
+		out := make([]string, 0, len(ids))
+		for id := range ids {
+			out = append(out, id)
+		}
+		sort.Strings(out)
+		return out
+	}
+	return c.pass.Deps.FuncValues(nodbvet.FuncID(callee), ReleasesFact)
+}
+
+func (c *checker) checkFunc(decl *ast.FuncDecl) {
+	c.sites = nil
+	c.byCall = map[*ast.CallExpr]*acqSite{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false // a literal's critical sections are its own
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, op, read, ok := c.lockOp(call); ok && op == "acquire" {
+			s := &acqSite{id: len(c.sites), lockID: id, read: read, pos: call.Pos(), call: call}
+			c.sites = append(c.sites, s)
+			c.byCall[call] = s
+		}
+		return true
+	})
+	if len(c.sites) == 0 {
+		return
+	}
+
+	cfg := nodbvet.BuildCFG(decl.Body, c.pass.TypesInfo)
+	_, out := nodbvet.Solve(cfg, nodbvet.FlowProblem[state]{
+		Boundary: state{},
+		Bottom:   state{},
+		Transfer: c.transfer,
+		Join:     joinStates,
+		Equal:    equalStates,
+	})
+
+	leaks := map[int]token.Pos{} // site -> first exit position still held
+	for _, b := range cfg.Blocks {
+		if b.Panics {
+			continue
+		}
+		toExit := false
+		for _, s := range b.Succs {
+			if s == cfg.Exit {
+				toExit = true
+			}
+		}
+		if !toExit {
+			continue
+		}
+		exitPos := decl.End()
+		if b.Return != nil {
+			exitPos = b.Return.Pos()
+		}
+		for id, held := range out[b] {
+			if !held {
+				continue
+			}
+			if cur, seen := leaks[id]; !seen || exitPos < cur {
+				leaks[id] = exitPos
+			}
+		}
+	}
+	ids := make([]int, 0, len(leaks))
+	for id := range leaks {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		s := c.sites[id]
+		verb := "Unlock"
+		if s.read {
+			verb = "RUnlock"
+		}
+		exit := c.pass.Fset.Position(leaks[id])
+		c.pass.Reportf(s.pos, "%s is still held on the path exiting at line %d: defer the %s right "+
+			"after acquiring, release before every return, or suppress with //nodbvet:mustdefer-ok <why>",
+			s.lockID, exit.Line, verb)
+	}
+}
+
+// transfer applies a block's lock operations: acquisitions set their
+// site's held bit; a matching Unlock (direct, deferred, or via a release
+// helper) clears every matching site.
+func (c *checker) transfer(b *nodbvet.Block, in state) state {
+	s := make(state, len(in))
+	for k, v := range in {
+		s[k] = v
+	}
+	for _, n := range b.Nodes {
+		ast.Inspect(n, func(x ast.Node) bool {
+			if _, isLit := x.(*ast.FuncLit); isLit {
+				// Deferred closures run at exit: a release inside one
+				// covers every later exit, same as a direct defer.
+				if !underDefer(n, x) {
+					return false
+				}
+				return true
+			}
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if site, isAcq := c.byCall[call]; isAcq {
+				s[site.id] = true
+				return true
+			}
+			if id, op, read, ok := c.lockOp(call); ok && op == "release" {
+				for _, site := range c.sites {
+					if site.lockID == id && site.read == read {
+						delete(s, site.id)
+					}
+				}
+				return true
+			}
+			for _, id := range c.releasedBy(call) {
+				for _, site := range c.sites {
+					if site.lockID == id {
+						delete(s, site.id)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// underDefer reports whether lit is (part of) the call of a defer
+// statement rooted at node n.
+func underDefer(n ast.Node, lit ast.Node) bool {
+	ds, ok := n.(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	found := false
+	ast.Inspect(ds.Call, func(x ast.Node) bool {
+		if x == lit {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// lockOp classifies a call as a mutex acquire/release, naming the lock
+// structurally and distinguishing the read flavor.
+func (c *checker) lockOp(call *ast.CallExpr) (id, op string, read, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false, false
+	}
+	m, isFn := c.pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !isFn || m.Pkg() == nil || m.Pkg().Path() != "sync" {
+		return "", "", false, false
+	}
+	switch m.Name() {
+	case "Lock":
+		op = "acquire"
+	case "RLock":
+		op, read = "acquire", true
+	case "Unlock":
+		op = "release"
+	case "RUnlock":
+		op, read = "release", true
+	default:
+		return "", "", false, false
+	}
+	id = c.lockID(sel.X)
+	if id == "" {
+		return "", "", false, false
+	}
+	return id, op, read, true
+}
+
+// lockID names the mutex expression: "(pkg.Type).field" for a struct
+// field, "pkg.var" for a package-level var (same scheme as lockorder).
+func (c *checker) lockID(x ast.Expr) string {
+	switch x := x.(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[x]; ok {
+			t := sel.Recv()
+			if ptr, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				t = ptr.Elem()
+			}
+			if named, isNamed := t.(*types.Named); isNamed && named.Obj().Pkg() != nil {
+				return fmt.Sprintf("(%s.%s).%s", named.Obj().Pkg().Name(), named.Obj().Name(), x.Sel.Name)
+			}
+			return ""
+		}
+		if v, ok := c.pass.TypesInfo.Uses[x.Sel].(*types.Var); ok && v.Pkg() != nil {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.Uses[x].(*types.Var); ok && v.Pkg() != nil &&
+			v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name()
+		}
+	}
+	return ""
+}
+
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func joinStates(a, b state) state {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(state, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = out[k] || v
+	}
+	return out
+}
+
+func equalStates(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,39 @@
+package mustdefer_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/loadpkg"
+	"nodb/internal/analysis/mustdefer"
+	"nodb/internal/analysis/nodbvet"
+)
+
+func TestMustdefer(t *testing.T) {
+	analysistest.Run(t, mustdefer.Analyzer, "testdata/sched", "testdata/locks")
+}
+
+// TestReleasesFactExports pins which locks functions carry the release
+// helper fact: Finish unlocks a mutex it never locked (helper), Bump is
+// balanced (not a helper).
+func TestReleasesFactExports(t *testing.T) {
+	pkg, err := loadpkg.Dir("testdata/locks")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, out, err := nodbvet.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info,
+		[]*nodbvet.Analyzer{mustdefer.Analyzer}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in locks fixture: %s", d.Message)
+	}
+	got := out.FuncValues("(*locks.Guard).Finish", mustdefer.ReleasesFact)
+	if len(got) != 1 || got[0] != "(locks.Guard).Mu" {
+		t.Errorf("releases fact for Finish = %v, want [(locks.Guard).Mu]", got)
+	}
+	if out.FuncHas("(*locks.Guard).Bump", mustdefer.ReleasesFact) {
+		t.Errorf("Bump is balanced and must not export %s", mustdefer.ReleasesFact)
+	}
+}

@@ -1,0 +1,26 @@
+// Dep fixture for mustdefer: Guard.Finish releases a critical section its
+// caller opened, so it exports the mustdefer.releases fact; Bump is
+// balanced (locks and unlocks) and must not.
+package locks
+
+import "sync"
+
+// Guard wraps a mutex whose critical sections span helper calls.
+type Guard struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Finish closes a critical section opened by the caller: it unlocks a
+// mutex it never locked, so it carries mustdefer.releases.
+func (g *Guard) Finish() {
+	g.n++
+	g.Mu.Unlock()
+}
+
+// Bump is a self-contained critical section: no fact.
+func (g *Guard) Bump() {
+	g.Mu.Lock()
+	g.n++
+	g.Mu.Unlock()
+}

@@ -1,0 +1,163 @@
+// Consumer fixture for mustdefer: lock/unlock shapes from the scan
+// packages — early returns, read locks, flavor mismatches, loop
+// re-locking, release helpers (local and via the imported
+// mustdefer.releases fact), panic paths, and patterns that need a
+// justified suppression.
+package sched
+
+import (
+	"sync"
+
+	"locks"
+)
+
+type pool struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+	n  int
+}
+
+func busy() bool { return false }
+
+// LeakEarlyReturn is the canonical bug: the fast path returns without
+// unlocking, freezing every later caller.
+func (p *pool) LeakEarlyReturn() int {
+	p.mu.Lock() // want `still held on the path exiting at line`
+	if p.n == 0 {
+		return 0 // leaks the lock
+	}
+	n := p.n
+	p.mu.Unlock()
+	return n
+}
+
+// LeakRLockNoRUnlock takes the read lock and never gives it back on the
+// early path.
+func (p *pool) LeakRLockNoRUnlock() int {
+	p.rw.RLock() // want `still held on the path exiting at line`
+	if busy() {
+		return -1
+	}
+	n := p.n
+	p.rw.RUnlock()
+	return n
+}
+
+// LeakWrongFlavor pairs RLock with Unlock: the flavors must match, so
+// the read lock is never released.
+func (p *pool) LeakWrongFlavor() int {
+	p.rw.RLock() // want `still held on the path exiting at line`
+	n := p.n
+	p.rw.Unlock()
+	return n
+}
+
+// LeakBreakInLoop: the break path escapes the loop between Lock and
+// Unlock.
+func (p *pool) LeakBreakInLoop() {
+	for i := 0; i < 4; i++ {
+		p.mu.Lock() // want `still held on the path exiting at line`
+		if busy() {
+			break // leaks this iteration's lock
+		}
+		p.n++
+		p.mu.Unlock()
+	}
+}
+
+// CleanDefer is the house style: defer right after acquiring covers
+// every exit, panics included.
+func (p *pool) CleanDefer() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.n == 0 {
+		return 0
+	}
+	return p.n
+}
+
+// CleanDeferredClosure releases inside a deferred closure.
+func (p *pool) CleanDeferredClosure() {
+	p.mu.Lock()
+	defer func() {
+		p.n++
+		p.mu.Unlock()
+	}()
+	p.n++
+}
+
+// CleanAllPaths unlocks manually on every route out.
+func (p *pool) CleanAllPaths() int {
+	p.mu.Lock()
+	if p.n == 0 {
+		p.mu.Unlock()
+		return 0
+	}
+	n := p.n
+	p.mu.Unlock()
+	return n
+}
+
+// CleanWorkerLoop is the sched pool protocol: hold across bookkeeping,
+// drop the lock around the work, re-take it for the next iteration.
+func (p *pool) CleanWorkerLoop(work func()) {
+	p.mu.Lock()
+	for p.n > 0 {
+		p.n--
+		p.mu.Unlock()
+		work()
+		p.mu.Lock()
+	}
+	p.mu.Unlock()
+}
+
+// done is a local release helper: it unlocks a mutex it never locked,
+// so callers may end their critical sections through it.
+func (p *pool) done() {
+	p.n++
+	p.mu.Unlock()
+}
+
+// CleanLocalHelper closes the critical section via the local helper.
+func (p *pool) CleanLocalHelper() {
+	p.mu.Lock()
+	p.done()
+}
+
+// CleanFactHelper closes the critical section via an imported helper
+// that carries the mustdefer.releases fact.
+func CleanFactHelper(g *locks.Guard) {
+	g.Mu.Lock()
+	g.Finish()
+}
+
+// CleanPanicPath: panic edges are exempt — defer is the only cleanup
+// that runs there, and the normal path unlocks.
+func (p *pool) CleanPanicPath() {
+	p.mu.Lock()
+	if p.n < 0 {
+		panic("negative refcount")
+	}
+	p.n--
+	p.mu.Unlock()
+}
+
+// SuppressedFlagGuard locks conditionally under a caller flag; both
+// branches agree but the analyzer cannot correlate them.
+func (p *pool) SuppressedFlagGuard(locked bool) {
+	if locked {
+		p.mu.Lock() //nodbvet:mustdefer-ok lock/unlock both gated on the same caller flag
+	}
+	p.n++
+	if locked {
+		p.mu.Unlock()
+	}
+}
+
+// SuppressedAcquireHelper intentionally returns holding the lock: its
+// pair lives in done. The invariant is real, so the exemption must be
+// spelled out.
+func (p *pool) SuppressedAcquireHelper() {
+	p.mu.Lock() //nodbvet:mustdefer-ok acquire half of the done() protocol; every caller pairs them
+	p.n++
+}

@@ -1,0 +1,496 @@
+// Package nilguard flags dereferences of values whose constructor can
+// return nil alongside a nil error. The Go convention "err == nil implies
+// the value is usable" does not hold for lookup-style functions that
+// signal absence with (nil, nil); callers that only check err then
+// dereference crash on the absent case. Functions with a nilable first
+// result and an error second result that contain `return nil, nil` (or
+// tail-call another such function) export the "nilguard.maynil" fact;
+// consumers track each binding from a carrier through the CFG and report
+// a dereference on any path where the value was not first proven non-nil
+// by an explicit nil check. The check is path-sensitive via edge
+// refinement: `if v == nil { return }` or `if err != nil || v == nil`
+// guards clear the state on the surviving branch.
+package nilguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"nodb/internal/analysis/nodbvet"
+)
+
+// MaynilFact marks a function that may return a nil first result together
+// with a nil error.
+const MaynilFact = "nilguard.maynil"
+
+// Analyzer is the nilguard check.
+var Analyzer = &nodbvet.Analyzer{
+	Name:      "nilguard",
+	Directive: "nilguard-ok",
+	Doc: "a value from a function that can return (nil, nil) must be nil-checked before it is " +
+		"dereferenced; checking only the error misses the absent case the constructor signals " +
+		"with two nils",
+	Run: run,
+}
+
+// site is one binding of a maybe-nil result.
+type site struct {
+	id     int
+	v      *types.Var
+	pos    token.Pos
+	callee string
+}
+
+type state map[int]bool // site id -> may be nil
+
+type checker struct {
+	pass   *nodbvet.Pass
+	graph  *nodbvet.CallGraph
+	maynil map[*types.Func]bool
+
+	sites []*site
+	genAt map[*ast.AssignStmt]*site
+
+	reporting bool
+	reported  map[token.Pos]bool
+}
+
+func run(pass *nodbvet.Pass) error {
+	c := &checker{
+		pass:     pass,
+		graph:    nodbvet.BuildCallGraph(pass),
+		maynil:   map[*types.Func]bool{},
+		reported: map[token.Pos]bool{},
+	}
+	c.findCarriers()
+
+	fns := make([]*types.Func, 0, len(c.graph.Decls()))
+	for fn := range c.graph.Decls() {
+		fns = append(fns, fn)
+	}
+	sort.Slice(fns, func(i, j int) bool { return fns[i].Pos() < fns[j].Pos() })
+	for _, fn := range fns {
+		decl, _ := c.graph.Decl(fn)
+		c.checkFunc(decl)
+	}
+
+	for fn, is := range c.maynil {
+		if is {
+			pass.Out.AddFunc(nodbvet.FuncID(fn), MaynilFact)
+		}
+	}
+	return nil
+}
+
+// findCarriers computes, to a fixpoint, the in-package functions that may
+// return (nil, nil): a literal `return nil, nil`, or a tail call to
+// another carrier (local or via an imported fact).
+func (c *checker) findCarriers() {
+	for {
+		changed := false
+		for fn, decl := range c.graph.Decls() {
+			if c.maynil[fn] || !nilableResultShape(fn) {
+				continue
+			}
+			if c.returnsNilNil(decl) {
+				c.maynil[fn] = true
+				changed = true
+			}
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// nilableResultShape reports whether fn returns (nilable, error).
+func nilableResultShape(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() != 2 {
+		return false
+	}
+	if !types.Implements(sig.Results().At(1).Type(), errorIface()) {
+		return false
+	}
+	switch sig.Results().At(0).Type().Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Slice, *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}
+
+var errIface *types.Interface
+
+func errorIface() *types.Interface {
+	if errIface == nil {
+		errIface = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	}
+	return errIface
+}
+
+func (c *checker) returnsNilNil(decl *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		switch len(ret.Results) {
+		case 2:
+			if c.isNil(ret.Results[0]) && c.isNil(ret.Results[1]) {
+				found = true
+			}
+		case 1:
+			if call, isCall := ast.Unparen(ret.Results[0]).(*ast.CallExpr); isCall {
+				if fn := c.callee(call); fn != nil && c.isCarrier(fn) {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func (c *checker) isNil(e ast.Expr) bool {
+	tv, ok := c.pass.TypesInfo.Types[ast.Unparen(e)]
+	return ok && tv.IsNil()
+}
+
+func (c *checker) isCarrier(fn *types.Func) bool {
+	return c.maynil[fn] || c.pass.Deps.FuncHas(nodbvet.FuncID(fn), MaynilFact)
+}
+
+func (c *checker) checkFunc(decl *ast.FuncDecl) {
+	c.sites = nil
+	c.genAt = map[*ast.AssignStmt]*site{}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) < 1 {
+			return true
+		}
+		call, isCall := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !isCall {
+			return true
+		}
+		fn := c.callee(call)
+		if fn == nil || !c.isCarrier(fn) {
+			return true
+		}
+		v := c.lhsVar(as.Lhs[0])
+		if v == nil {
+			return true
+		}
+		s := &site{id: len(c.sites), v: v, pos: as.Rhs[0].Pos(), callee: nodbvet.ShortName(fn)}
+		c.sites = append(c.sites, s)
+		c.genAt[as] = s
+		return true
+	})
+	if len(c.sites) == 0 {
+		return
+	}
+
+	cfg := nodbvet.BuildCFG(decl.Body, c.pass.TypesInfo)
+	c.reporting = false
+	in, _ := nodbvet.Solve(cfg, nodbvet.FlowProblem[state]{
+		Boundary: state{},
+		Bottom:   state{},
+		Transfer: c.transfer,
+		Edge: func(from, to *nodbvet.Block, s state) state {
+			cond, isTrue, ok := cfg.TrueEdge(from, to)
+			if !ok {
+				return s
+			}
+			out := copyState(s)
+			c.refine(cond, isTrue, out)
+			return out
+		},
+		Join:  joinStates,
+		Equal: equalStates,
+	})
+
+	// Reporting pass: re-run the transfer at the fixpoint with diagnostics
+	// enabled, so each dereference is judged against its block's in-state.
+	c.reporting = true
+	for _, b := range cfg.Blocks {
+		c.transfer(b, in[b])
+	}
+	c.reporting = false
+}
+
+// refine narrows the state along a branch edge. On an edge where the
+// condition proves v non-nil (`v != nil` true, `v == nil` false, or the
+// false edge of `... || v == nil`, the true edge of `... && v != nil`),
+// sites bound to v are cleared.
+func (c *checker) refine(cond ast.Expr, isTrue bool, s state) {
+	switch e := ast.Unparen(cond).(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			c.refine(e.X, !isTrue, s)
+		}
+	case *ast.BinaryExpr:
+		switch {
+		case e.Op == token.LOR && !isTrue:
+			// Both disjuncts are false on this edge.
+			c.refine(e.X, false, s)
+			c.refine(e.Y, false, s)
+		case e.Op == token.LAND && isTrue:
+			// Both conjuncts are true on this edge.
+			c.refine(e.X, true, s)
+			c.refine(e.Y, true, s)
+		case e.Op == token.EQL || e.Op == token.NEQ:
+			v, ok := c.nilComparedVar(e)
+			if !ok {
+				return
+			}
+			if nonNil := (e.Op == token.NEQ) == isTrue; nonNil {
+				for _, site := range c.sites {
+					if site.v == v {
+						delete(s, site.id)
+					}
+				}
+			}
+		}
+	}
+}
+
+// nilComparedVar extracts v from `v == nil` / `nil != v` comparisons.
+func (c *checker) nilComparedVar(e *ast.BinaryExpr) (*types.Var, bool) {
+	x, y := ast.Unparen(e.X), ast.Unparen(e.Y)
+	if c.isNil(y) {
+		return c.exprVar(x)
+	}
+	if c.isNil(x) {
+		return c.exprVar(y)
+	}
+	return nil, false
+}
+
+func (c *checker) exprVar(e ast.Expr) (*types.Var, bool) {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+	return v, ok
+}
+
+func (c *checker) transfer(b *nodbvet.Block, in state) state {
+	s := copyState(in)
+	for _, n := range b.Nodes {
+		c.visitNode(n, s)
+	}
+	return s
+}
+
+func (c *checker) visitNode(n ast.Node, s state) {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		for _, r := range n.Rhs {
+			c.visitExpr(r, s)
+		}
+		if site, ok := c.genAt[n]; ok {
+			for _, old := range c.sites {
+				if old.v == site.v {
+					delete(s, old.id)
+				}
+			}
+			s[site.id] = true
+			return
+		}
+		// A reassignment retires the old binding; handing the value to a
+		// new name is not tracked further.
+		for _, l := range n.Lhs {
+			if v, ok := c.lhsVarUse(l); ok {
+				c.killVar(v, s)
+			}
+		}
+	default:
+		ast.Inspect(n, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.AssignStmt:
+				c.visitNode(x, s)
+				return false
+			case ast.Expr:
+				c.visitExpr(x, s)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// visitExpr walks one expression, reporting dereferences of maybe-nil
+// values and killing sites whose value escapes to another owner (argument,
+// return, send, composite literal): the receiver may do its own checking.
+func (c *checker) visitExpr(e ast.Expr, s state) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		if v, ok := c.exprVar(e.X); ok {
+			c.deref(e.X.Pos(), v, s)
+			return
+		}
+		c.visitExpr(e.X, s)
+	case *ast.StarExpr:
+		if v, ok := c.exprVar(e.X); ok {
+			c.deref(e.X.Pos(), v, s)
+			return
+		}
+		c.visitExpr(e.X, s)
+	case *ast.IndexExpr:
+		if v, ok := c.exprVar(e.X); ok {
+			c.deref(e.X.Pos(), v, s)
+		} else {
+			c.visitExpr(e.X, s)
+		}
+		c.visitExpr(e.Index, s)
+	case *ast.SliceExpr:
+		if v, ok := c.exprVar(e.X); ok {
+			c.deref(e.X.Pos(), v, s)
+		} else {
+			c.visitExpr(e.X, s)
+		}
+	case *ast.CallExpr:
+		c.visitExpr(e.Fun, s)
+		for _, a := range e.Args {
+			if v, ok := c.exprVar(a); ok {
+				c.killVar(v, s) // passed along: the callee owns the check now
+				continue
+			}
+			c.visitExpr(a, s)
+		}
+	case *ast.BinaryExpr:
+		if (e.Op == token.EQL || e.Op == token.NEQ) && (c.isNil(e.X) || c.isNil(e.Y)) {
+			return // the comparison itself is the guard, not a use
+		}
+		c.visitExpr(e.X, s)
+		c.visitExpr(e.Y, s)
+	case *ast.UnaryExpr:
+		c.visitExpr(e.X, s)
+	case *ast.Ident:
+		// A bare use (return v, ch <- v, x = v handled by caller contexts
+		// that reach here) hands the value on; stop tracking it.
+		if v, ok := c.exprVar(e); ok {
+			c.killVar(v, s)
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			c.visitExpr(el, s)
+		}
+	case *ast.KeyValueExpr:
+		c.visitExpr(e.Value, s)
+	case *ast.TypeAssertExpr:
+		c.visitExpr(e.X, s)
+	}
+}
+
+func (c *checker) deref(pos token.Pos, v *types.Var, s state) {
+	for _, site := range c.sites {
+		if site.v != v || !s[site.id] {
+			continue
+		}
+		if c.reporting && !c.reported[pos] {
+			c.reported[pos] = true
+			c.pass.Reportf(pos, "%s may be nil here even though the error was nil (%s can return "+
+				"nil, nil); add a nil check before dereferencing", v.Name(), site.callee)
+		}
+		// One diagnostic per path suffices; the value stays maybe-nil so
+		// later guards still refine it, but we do not re-report.
+	}
+}
+
+func (c *checker) killVar(v *types.Var, s state) {
+	for _, site := range c.sites {
+		if site.v == v {
+			delete(s, site.id)
+		}
+	}
+}
+
+func (c *checker) lhsVar(e ast.Expr) *types.Var {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := c.pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+func (c *checker) lhsVarUse(e ast.Expr) (*types.Var, bool) {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil, false
+	}
+	if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	v, ok := c.pass.TypesInfo.Defs[id].(*types.Var)
+	return v, ok
+}
+
+func (c *checker) callee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := c.pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func copyState(in state) state {
+	out := make(state, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+func joinStates(a, b state) state {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make(state, len(a)+len(b))
+	for k, v := range a {
+		out[k] = v
+	}
+	for k, v := range b {
+		out[k] = out[k] || v
+	}
+	return out
+}
+
+func equalStates(a, b state) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,42 @@
+package nilguard_test
+
+import (
+	"testing"
+
+	"nodb/internal/analysis/analysistest"
+	"nodb/internal/analysis/loadpkg"
+	"nodb/internal/analysis/nilguard"
+	"nodb/internal/analysis/nodbvet"
+)
+
+func TestNilguard(t *testing.T) {
+	analysistest.Run(t, nilguard.Analyzer, "testdata/engine", "testdata/store")
+}
+
+// TestMaynilFactExports pins which store functions carry the fact: the
+// (nil, nil) returner and its tail-call wrapper do, the always-usable
+// constructor does not.
+func TestMaynilFactExports(t *testing.T) {
+	pkg, err := loadpkg.Dir("testdata/store")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, out, err := nodbvet.RunAnalyzers(pkg.Fset, pkg.Files, pkg.Types, pkg.Info,
+		[]*nodbvet.Analyzer{nilguard.Analyzer}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("unexpected diagnostic in store fixture: %s", d.Message)
+	}
+	want := map[string]bool{
+		"store.Lookup":  true,
+		"store.Fetch":   true,
+		"store.MustGet": false,
+	}
+	for id, wantFact := range want {
+		if got := out.FuncHas(id, nilguard.MaynilFact); got != wantFact {
+			t.Errorf("maynil fact for %s = %v, want %v", id, got, wantFact)
+		}
+	}
+}

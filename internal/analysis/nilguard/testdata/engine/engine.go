@@ -1,0 +1,135 @@
+// Consumer fixture for nilguard: bindings from store's maynil carriers
+// dereferenced with and without nil checks, across guard shapes —
+// standalone checks, combined err-or-nil conditions, negated guards —
+// plus a same-package carrier and the suppression escape hatch.
+package engine
+
+import "store"
+
+func sink(string) {}
+
+// DerefErrCheckOnly is the canonical bug: the error check passes but the
+// record may still be nil.
+func DerefErrCheckOnly(k string) string {
+	r, err := store.Lookup(k)
+	if err != nil {
+		return ""
+	}
+	return r.Key // want `may be nil here even though the error was nil`
+}
+
+// DerefTransitive: Fetch inherits the fact from Lookup.
+func DerefTransitive(k string) string {
+	r, err := store.Fetch(k)
+	if err != nil {
+		return ""
+	}
+	return r.Key // want `may be nil here even though the error was nil`
+}
+
+// DerefMethodCall: calling a method on the maybe-nil pointer counts.
+func DerefMethodCall(k string) {
+	r, err := store.Lookup(k)
+	if err != nil {
+		return
+	}
+	r.Bump() // want `may be nil here even though the error was nil`
+}
+
+// localFind is a same-package carrier: recognized without any fact.
+func localFind(k string) (*store.Rec, error) {
+	if k == "x" {
+		return nil, nil
+	}
+	return store.MustGet(k)
+}
+
+// DerefLocalCarrier: the same-package carrier is tracked too.
+func DerefLocalCarrier(k string) string {
+	r, err := localFind(k)
+	if err != nil {
+		return ""
+	}
+	return r.Key // want `may be nil here even though the error was nil`
+}
+
+// CleanNilChecked returns on the nil branch before dereferencing.
+func CleanNilChecked(k string) string {
+	r, err := store.Lookup(k)
+	if err != nil {
+		return ""
+	}
+	if r == nil {
+		return "absent"
+	}
+	return r.Key
+}
+
+// CleanNonNilBranch dereferences only inside the proven branch.
+func CleanNonNilBranch(k string) string {
+	r, err := store.Lookup(k)
+	if err == nil && r != nil {
+		return r.Key
+	}
+	return ""
+}
+
+// CleanCombinedGuard uses the idiomatic single condition: on the
+// surviving edge both disjuncts are false, so r is non-nil.
+func CleanCombinedGuard(k string) string {
+	r, err := store.Lookup(k)
+	if err != nil || r == nil {
+		return ""
+	}
+	return r.Key
+}
+
+// CleanNegatedGuard proves non-nil through a negation.
+func CleanNegatedGuard(k string) string {
+	r, err := store.Lookup(k)
+	if !(err == nil && r != nil) {
+		return ""
+	}
+	return r.Key
+}
+
+// CleanFromMust: MustGet carries no fact, the usual contract applies.
+func CleanFromMust(k string) string {
+	r, err := store.MustGet(k)
+	if err != nil {
+		return ""
+	}
+	return r.Key
+}
+
+// CleanPassedAlong hands the maybe-nil value to another function, which
+// owns the check from then on.
+func CleanPassedAlong(k string) {
+	r, err := store.Lookup(k)
+	if err != nil {
+		return
+	}
+	use(r)
+}
+
+func use(r *store.Rec) {
+	if r != nil {
+		sink(r.Key)
+	}
+}
+
+// CleanReturned forwards the pair to the caller unchanged.
+func CleanReturned(k string) (*store.Rec, error) {
+	r, err := store.Lookup(k)
+	return r, err
+}
+
+// SuppressedDeref documents an out-of-band invariant the analyzer cannot
+// see; the justified directive silences it.
+func SuppressedDeref(k string) string {
+	r, err := store.Lookup(k)
+	if err != nil {
+		return ""
+	}
+	return r.Key //nodbvet:nilguard-ok k comes from the seeded keyspace, always present
+}

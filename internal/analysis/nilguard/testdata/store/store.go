@@ -1,0 +1,42 @@
+// Dep fixture for nilguard: lookup-style constructors. Lookup returns
+// (nil, nil) for an absent key, Fetch tail-calls it — both export the
+// nilguard.maynil fact. MustGet upholds "err == nil implies usable" and
+// must not.
+package store
+
+import "errors"
+
+// ErrBad is returned for malformed keys.
+var ErrBad = errors.New("bad key")
+
+// Rec is a stored record.
+type Rec struct {
+	Key string
+	n   int
+}
+
+// Bump touches the record.
+func (r *Rec) Bump() { r.n++ }
+
+// Lookup returns the record for k, or (nil, nil) when k is absent:
+// absence is not an error. Exports nilguard.maynil.
+func Lookup(k string) (*Rec, error) {
+	if k == "" {
+		return nil, ErrBad
+	}
+	return nil, nil
+}
+
+// Fetch wraps Lookup without adding a guarantee: transitively maynil.
+func Fetch(k string) (*Rec, error) {
+	return Lookup(k)
+}
+
+// MustGet never returns (nil, nil): a nil record always comes with an
+// error, so callers may rely on the usual contract. No fact.
+func MustGet(k string) (*Rec, error) {
+	if k == "" {
+		return nil, ErrBad
+	}
+	return &Rec{Key: k}, nil
+}

@@ -1,0 +1,504 @@
+// Control-flow graphs for the nodbvet suite. BuildCFG lowers one function
+// body from go/ast into basic blocks with explicit edges for every Go
+// control construct — if/else chains, for and range loops, switch and
+// type-switch (including fallthrough), select, goto and labeled
+// break/continue, returns, and panic calls — so analyzers can reason about
+// *paths* ("is this resource closed on every route to return?") instead of
+// syntax. The PR-7/PR-8 analyzers walk statements and over-approximate;
+// the CFG-based ones (closeleak, mustdefer, nilguard) are path-sensitive:
+// they distinguish the early-error return that skips a Close from the main
+// path that reaches it.
+//
+// Deliberate simplifications, shared by every client:
+//
+//   - Defer bodies are not inlined into the block sequence. Each DeferStmt
+//     appears as an ordinary node where it executes (registering the call)
+//     and is also collected in CFG.Defers; analyzers model "runs at every
+//     exit" themselves, which is the only property they need.
+//   - A call to panic (or os.Exit/runtime.Goexit/log.Fatal*) terminates its
+//     block with an edge to Exit marked Panics; analyzers typically exempt
+//     those edges, since defer is the only cleanup mechanism on them.
+//   - Function literals are opaque nodes: they execute on a different
+//     schedule (or goroutine), so their bodies get their own CFG when an
+//     analyzer cares.
+package nodbvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Block is one basic block: a maximal straight-line run of nodes with a
+// single entry and explicit successor edges.
+type Block struct {
+	Index int
+	// Nodes holds the block's statements and control expressions in
+	// execution order. Control statements contribute their evaluated parts
+	// only (an if contributes its Init and Cond; the branches are separate
+	// blocks), so a node never spans a branch point.
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+
+	// Branch, when non-nil, is the boolean condition this block evaluates
+	// last; Succs[0] is then the true edge and Succs[1] the false edge.
+	// Dataflow clients refine states along these edges (nil checks,
+	// err != nil early returns).
+	Branch ast.Expr
+
+	// Return is the return statement terminating this block, if any.
+	Return *ast.ReturnStmt
+	// Panics marks a block terminated by panic/os.Exit/Goexit/Fatal: its
+	// edge to Exit is not a normal return path.
+	Panics bool
+}
+
+// CFG is the control-flow graph of one function body. Entry starts the
+// body; Exit is synthetic — every return, terminal panic and fall-off-end
+// edges into it, so "all paths out of the function" is exactly "all edges
+// into Exit".
+type CFG struct {
+	Blocks []*Block
+	Entry  *Block
+	Exit   *Block
+	// Defers lists every defer statement in the body, in source order,
+	// including those nested in branches and loops.
+	Defers []*ast.DeferStmt
+}
+
+// TrueEdge reports whether the from→to edge is the true branch of from's
+// condition (ok is false when from does not end in a two-way branch or to
+// is not its successor).
+func (c *CFG) TrueEdge(from, to *Block) (cond ast.Expr, isTrue, ok bool) {
+	if from.Branch == nil || len(from.Succs) != 2 || from.Succs[0] == from.Succs[1] {
+		return nil, false, false
+	}
+	switch to {
+	case from.Succs[0]:
+		return from.Branch, true, true
+	case from.Succs[1]:
+		return from.Branch, false, true
+	}
+	return nil, false, false
+}
+
+// String renders the graph for tests and debugging: one line per block
+// with its node kinds and successor indices.
+func (c *CFG) String() string {
+	var b strings.Builder
+	for _, blk := range c.Blocks {
+		fmt.Fprintf(&b, "b%d:", blk.Index)
+		if blk == c.Entry {
+			b.WriteString(" entry")
+		}
+		if blk == c.Exit {
+			b.WriteString(" exit")
+		}
+		if blk.Panics {
+			b.WriteString(" panics")
+		}
+		for _, n := range blk.Nodes {
+			fmt.Fprintf(&b, " %T", n)
+		}
+		b.WriteString(" ->")
+		for _, s := range blk.Succs {
+			fmt.Fprintf(&b, " b%d", s.Index)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// cfgBuilder carries the construction state: the open block, the
+// break/continue target stacks, and the label table for goto and labeled
+// break/continue.
+type cfgBuilder struct {
+	cfg  *CFG
+	cur  *Block // nil after a terminator: next statement opens a fresh (unreachable) block
+	info *types.Info
+
+	breaks    []loopTarget
+	continues []loopTarget
+	labels    map[string]*Block // label -> first block of the labeled statement
+	gotos     []pendingGoto
+	nextCase  *Block // fallthrough target while building a switch case body
+}
+
+type loopTarget struct {
+	label string // "" = innermost
+	block *Block
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// BuildCFG constructs the control-flow graph of one function body. info is
+// used to recognize the panic builtin and no-return stdlib calls; it may
+// be nil (name-based recognition then applies).
+func BuildCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		info:   info,
+		labels: map[string]*Block{},
+	}
+	b.cfg.Exit = b.newBlock() // Index 0: exit, so it renders first and is stable
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmts(body.List)
+	if b.cur != nil {
+		b.edge(b.cur, b.cfg.Exit) // fall off the end
+	}
+	for _, g := range b.gotos {
+		if target, ok := b.labels[g.label]; ok {
+			b.edge(g.from, target)
+		} else {
+			b.edge(g.from, b.cfg.Exit) // malformed source: degrade, don't crash
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// use returns the current block, opening a fresh unreachable one if the
+// previous statement terminated control flow (code after return/goto).
+func (b *cfgBuilder) use() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n != nil {
+		b.use().Nodes = append(b.use().Nodes, n)
+	}
+}
+
+func (b *cfgBuilder) stmts(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s, "")
+	}
+}
+
+// stmt lowers one statement. label is the label attached to it (loops,
+// switches and selects consume it for labeled break/continue).
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmts(s.List)
+
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so goto L lands on it.
+		head := b.newBlock()
+		b.edge(b.use(), head)
+		b.cur = head
+		b.labels[s.Label.Name] = head
+		b.stmt(s.Stmt, s.Label.Name)
+
+	case *ast.ReturnStmt:
+		blk := b.use()
+		blk.Nodes = append(blk.Nodes, s)
+		blk.Return = s
+		b.edge(blk, b.cfg.Exit)
+		b.cur = nil
+
+	case *ast.BranchStmt:
+		blk := b.use()
+		switch s.Tok {
+		case token.BREAK:
+			if t, ok := b.findTarget(b.breaks, s.Label); ok {
+				b.edge(blk, t)
+			}
+		case token.CONTINUE:
+			if t, ok := b.findTarget(b.continues, s.Label); ok {
+				b.edge(blk, t)
+			}
+		case token.GOTO:
+			b.gotos = append(b.gotos, pendingGoto{from: blk, label: s.Label.Name})
+		case token.FALLTHROUGH:
+			if b.nextCase != nil {
+				b.edge(blk, b.nextCase)
+			}
+		}
+		b.cur = nil
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Cond)
+		head := b.use()
+		head.Branch = s.Cond
+		then := b.newBlock()
+		after := b.newBlock()
+		b.edge(head, then) // Succs[0]: true edge
+		if s.Else != nil {
+			els := b.newBlock()
+			b.edge(head, els) // Succs[1]: false edge
+			b.cur = then
+			b.stmts(s.Body.List)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+			b.cur = els
+			b.stmt(s.Else, "")
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		} else {
+			b.edge(head, after) // Succs[1]: false edge
+			b.cur = then
+			b.stmts(s.Body.List)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		head := b.newBlock()
+		b.edge(b.use(), head)
+		after := b.newBlock()
+		body := b.newBlock()
+		if s.Cond != nil {
+			head.Nodes = append(head.Nodes, s.Cond)
+			head.Branch = s.Cond
+			b.edge(head, body)  // true
+			b.edge(head, after) // false
+		} else {
+			b.edge(head, body) // for{}: after is reachable only via break
+		}
+		// continue runs Post then re-tests; model Post as its own block.
+		cont := head
+		if s.Post != nil {
+			post := b.newBlock()
+			post.Nodes = append(post.Nodes, s.Post)
+			b.edge(post, head)
+			cont = post
+		}
+		b.pushLoop(label, after, cont)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, cont)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		b.edge(b.use(), head)
+		// The range statement itself is the head's node: per-iteration
+		// key/value binding and the ranged expression live there.
+		head.Nodes = append(head.Nodes, s)
+		after := b.newBlock()
+		body := b.newBlock()
+		b.edge(head, body)  // next element
+		b.edge(head, after) // exhausted
+		b.pushLoop(label, after, head)
+		b.cur = body
+		b.stmts(s.Body.List)
+		if b.cur != nil {
+			b.edge(b.cur, head)
+		}
+		b.popLoop()
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.caseClauses(s.Body.List, label, true)
+
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.add(s.Init)
+		}
+		b.add(s.Assign)
+		b.caseClauses(s.Body.List, label, false)
+
+	case *ast.SelectStmt:
+		head := b.use()
+		after := b.newBlock()
+		b.breaks = append(b.breaks, loopTarget{label: label, block: after}, loopTarget{label: "", block: after})
+		for _, cl := range s.Body.List {
+			cc, ok := cl.(*ast.CommClause)
+			if !ok {
+				continue
+			}
+			caseBlk := b.newBlock()
+			b.edge(head, caseBlk)
+			if cc.Comm != nil {
+				caseBlk.Nodes = append(caseBlk.Nodes, cc.Comm)
+			}
+			b.cur = caseBlk
+			b.stmts(cc.Body)
+			if b.cur != nil {
+				b.edge(b.cur, after)
+			}
+		}
+		b.breaks = b.breaks[:len(b.breaks)-2]
+		if len(s.Body.List) == 0 {
+			// select{} blocks forever: no way out of head.
+			b.cur = nil
+			return
+		}
+		b.cur = after
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && b.noReturnCall(call) {
+			blk := b.use()
+			blk.Panics = true
+			b.edge(blk, b.cfg.Exit)
+			b.cur = nil
+		}
+
+	case *ast.DeferStmt:
+		b.add(s)
+		b.cfg.Defers = append(b.cfg.Defers, s)
+
+	case *ast.EmptyStmt:
+		// nothing
+
+	default:
+		// Assign, Decl, IncDec, Send, Go and anything else: straight-line.
+		b.add(s)
+	}
+}
+
+// caseClauses lowers the body of a switch or type switch: the head fans
+// out to every case block (plus after when there is no default), and
+// fallthrough chains a case into the next one's body.
+func (b *cfgBuilder) caseClauses(list []ast.Stmt, label string, allowFallthrough bool) {
+	head := b.use()
+	after := b.newBlock()
+	b.breaks = append(b.breaks, loopTarget{label: label, block: after}, loopTarget{label: "", block: after})
+	// Pre-create the case bodies so fallthrough can target the next one.
+	var clauses []*ast.CaseClause
+	var bodies []*Block
+	hasDefault := false
+	for _, cl := range list {
+		cc, ok := cl.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		clauses = append(clauses, cc)
+		bodies = append(bodies, b.newBlock())
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	for i, cc := range clauses {
+		blk := bodies[i]
+		b.edge(head, blk)
+		// Case expressions (or the type-switch clause itself, for its
+		// implicit binding) evaluate at the top of the clause block.
+		blk.Nodes = append(blk.Nodes, cc)
+		prevNext := b.nextCase
+		b.nextCase = nil
+		if allowFallthrough && i+1 < len(bodies) {
+			b.nextCase = bodies[i+1]
+		}
+		b.cur = blk
+		b.stmts(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+		b.nextCase = prevNext
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	b.breaks = b.breaks[:len(b.breaks)-2]
+	b.cur = after
+}
+
+func (b *cfgBuilder) pushLoop(label string, brk, cont *Block) {
+	b.breaks = append(b.breaks, loopTarget{label: "", block: brk})
+	b.continues = append(b.continues, loopTarget{label: "", block: cont})
+	if label != "" {
+		b.breaks = append(b.breaks, loopTarget{label: label, block: brk})
+		b.continues = append(b.continues, loopTarget{label: label, block: cont})
+	}
+}
+
+func (b *cfgBuilder) popLoop() {
+	trim := func(s []loopTarget) []loopTarget {
+		n := len(s) - 1
+		if n >= 0 && s[n].label != "" {
+			n--
+		}
+		return s[:n]
+	}
+	b.breaks = trim(b.breaks)
+	b.continues = trim(b.continues)
+}
+
+// findTarget resolves a break/continue target: the innermost unlabeled
+// entry, or the entry matching the label.
+func (b *cfgBuilder) findTarget(stack []loopTarget, label *ast.Ident) (*Block, bool) {
+	if label == nil {
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].label == "" {
+				return stack[i].block, true
+			}
+		}
+		return nil, false
+	}
+	for i := len(stack) - 1; i >= 0; i-- {
+		if stack[i].label == label.Name {
+			return stack[i].block, true
+		}
+	}
+	return nil, false
+}
+
+// noReturnCall recognizes calls that never return: the panic builtin and
+// the conventional process/goroutine terminators.
+func (b *cfgBuilder) noReturnCall(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if b.info != nil {
+			if _, isBuiltin := b.info.Uses[fun].(*types.Builtin); isBuiltin {
+				return true
+			}
+			return false // shadowed panic
+		}
+		return true
+	case *ast.SelectorExpr:
+		pkg, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		switch pkg.Name + "." + fun.Sel.Name {
+		case "os.Exit", "runtime.Goexit", "log.Fatal", "log.Fatalf", "log.Fatalln":
+			return true
+		}
+	}
+	return false
+}

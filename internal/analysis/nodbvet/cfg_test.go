@@ -1,0 +1,513 @@
+package nodbvet
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFunc parses a function body and builds its CFG (no type info:
+// name-based panic recognition).
+func buildFunc(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\nfunc f() error {\n" + body + "\n}\n"
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	fn := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	return BuildCFG(fn.Body, nil)
+}
+
+// exitPaths counts distinct acyclic paths from Entry to Exit.
+func exitPaths(c *CFG) int {
+	var count func(b *Block, seen map[*Block]bool) int
+	count = func(b *Block, seen map[*Block]bool) int {
+		if b == c.Exit {
+			return 1
+		}
+		if seen[b] {
+			return 0
+		}
+		seen[b] = true
+		defer delete(seen, b)
+		n := 0
+		for _, s := range b.Succs {
+			n += count(s, seen)
+		}
+		return n
+	}
+	return count(c.Entry, map[*Block]bool{})
+}
+
+// returnBlocks collects the blocks terminated by a return statement.
+func returnBlocks(c *CFG) []*Block {
+	var out []*Block
+	for _, b := range c.Blocks {
+		if b.Return != nil {
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	c := buildFunc(t, "x := 1\n_ = x\nreturn nil")
+	if got := exitPaths(c); got != 1 {
+		t.Fatalf("straight line: %d exit paths, want 1\n%s", got, c)
+	}
+	if len(returnBlocks(c)) != 1 {
+		t.Fatalf("want one return block\n%s", c)
+	}
+}
+
+func TestCFGIfElseJoin(t *testing.T) {
+	c := buildFunc(t, `
+x := 1
+if x > 0 {
+	x = 2
+} else {
+	x = 3
+}
+_ = x
+return nil`)
+	// Two paths through the diamond, rejoining before the single return.
+	if got := exitPaths(c); got != 2 {
+		t.Fatalf("if/else: %d exit paths, want 2\n%s", got, c)
+	}
+}
+
+func TestCFGEarlyReturn(t *testing.T) {
+	c := buildFunc(t, `
+x := 1
+if x > 0 {
+	return nil
+}
+x = 2
+return nil`)
+	if got := exitPaths(c); got != 2 {
+		t.Fatalf("early return: %d exit paths, want 2\n%s", got, c)
+	}
+	if got := len(returnBlocks(c)); got != 2 {
+		t.Fatalf("early return: %d return blocks, want 2\n%s", got, c)
+	}
+	// Both returns edge straight into Exit.
+	for _, b := range returnBlocks(c) {
+		if len(b.Succs) != 1 || b.Succs[0] != c.Exit {
+			t.Fatalf("return block b%d does not edge to exit\n%s", b.Index, c)
+		}
+	}
+}
+
+func TestCFGTrueFalseEdges(t *testing.T) {
+	c := buildFunc(t, `
+x := 1
+if x > 0 {
+	x = 2
+}
+return nil`)
+	var head *Block
+	for _, b := range c.Blocks {
+		if b.Branch != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no branch block\n%s", c)
+	}
+	if _, isTrue, ok := c.TrueEdge(head, head.Succs[0]); !ok || !isTrue {
+		t.Fatalf("Succs[0] should be the true edge")
+	}
+	if _, isTrue, ok := c.TrueEdge(head, head.Succs[1]); !ok || isTrue {
+		t.Fatalf("Succs[1] should be the false edge")
+	}
+}
+
+func TestCFGForLoop(t *testing.T) {
+	c := buildFunc(t, `
+s := 0
+for i := 0; i < 10; i++ {
+	if s > 5 {
+		break
+	}
+	if i == 2 {
+		continue
+	}
+	s += i
+}
+return nil`)
+	// The loop head must be reachable from the body (back edge via post).
+	var head *Block
+	for _, b := range c.Blocks {
+		if b.Branch != nil && len(b.Preds) >= 2 { // entry edge + back edge
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head with a back edge\n%s", c)
+	}
+	if got := exitPaths(c); got < 2 {
+		t.Fatalf("loop with break: %d exit paths, want >= 2\n%s", got, c)
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	c := buildFunc(t, `
+xs := []int{1, 2}
+t := 0
+for _, x := range xs {
+	t += x
+}
+_ = t
+return nil`)
+	// Range head has two successors: body and after.
+	found := false
+	for _, b := range c.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.RangeStmt); ok {
+				if len(b.Succs) != 2 {
+					t.Fatalf("range head has %d succs, want 2\n%s", len(b.Succs), c)
+				}
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no range head block\n%s", c)
+	}
+}
+
+func TestCFGSwitchFallthrough(t *testing.T) {
+	c := buildFunc(t, `
+x := 1
+r := 0
+switch x {
+case 1:
+	r = 1
+	fallthrough
+case 2:
+	r = 2
+case 3:
+	return nil
+default:
+	r = 4
+}
+_ = r
+return nil`)
+	// case 1 falls into case 2: paths = (1→2), (2), (3 early return), (default) = 4.
+	if got := exitPaths(c); got != 4 {
+		t.Fatalf("switch with fallthrough: %d exit paths, want 4\n%s", got, c)
+	}
+}
+
+func TestCFGSwitchNoDefault(t *testing.T) {
+	c := buildFunc(t, `
+x := 1
+switch x {
+case 1:
+	x = 2
+}
+return nil`)
+	// No default: the no-match path skips the clause. 2 paths.
+	if got := exitPaths(c); got != 2 {
+		t.Fatalf("switch without default: %d exit paths, want 2\n%s", got, c)
+	}
+}
+
+func TestCFGTypeSwitch(t *testing.T) {
+	c := buildFunc(t, `
+var v any = 1
+switch v.(type) {
+case int:
+	return nil
+case string:
+	v = "s"
+}
+_ = v
+return nil`)
+	if got := exitPaths(c); got != 3 {
+		t.Fatalf("type switch: %d exit paths, want 3\n%s", got, c)
+	}
+}
+
+func TestCFGSelect(t *testing.T) {
+	c := buildFunc(t, `
+ch := make(chan int)
+done := make(chan struct{})
+select {
+case v := <-ch:
+	_ = v
+case <-done:
+	return nil
+}
+return nil`)
+	if got := exitPaths(c); got != 2 {
+		t.Fatalf("select: %d exit paths, want 2\n%s", got, c)
+	}
+	// select{} never proceeds: everything after is unreachable.
+	c = buildFunc(t, "select {}\nreturn nil")
+	if got := exitPaths(c); got != 0 {
+		t.Fatalf("select{}: %d exit paths, want 0\n%s", got, c)
+	}
+}
+
+func TestCFGGotoAndLabeledBreak(t *testing.T) {
+	c := buildFunc(t, `
+x := 0
+loop:
+for {
+	for {
+		if x > 3 {
+			break loop
+		}
+		x++
+		goto retry
+	}
+}
+retry:
+_ = x
+return nil`)
+	if got := exitPaths(c); got == 0 {
+		t.Fatalf("goto/labeled break: no exit path\n%s", c)
+	}
+}
+
+func TestCFGPanicTerminates(t *testing.T) {
+	c := buildFunc(t, `
+x := 1
+if x > 0 {
+	panic("boom")
+}
+return nil`)
+	var panicBlock *Block
+	for _, b := range c.Blocks {
+		if b.Panics {
+			panicBlock = b
+		}
+	}
+	if panicBlock == nil {
+		t.Fatalf("no panic-terminated block\n%s", c)
+	}
+	if len(panicBlock.Succs) != 1 || panicBlock.Succs[0] != c.Exit {
+		t.Fatalf("panic block must edge to exit only\n%s", c)
+	}
+	if panicBlock.Return != nil {
+		t.Fatalf("panic block must not be a return block")
+	}
+}
+
+func TestCFGDefersCollected(t *testing.T) {
+	c := buildFunc(t, `
+x := 1
+defer func() { _ = x }()
+if x > 0 {
+	defer func() { x = 0 }()
+}
+return nil`)
+	if len(c.Defers) != 2 {
+		t.Fatalf("collected %d defers, want 2\n%s", len(c.Defers), c)
+	}
+}
+
+func TestCFGDeadCodeAfterReturn(t *testing.T) {
+	c := buildFunc(t, `
+return nil
+x := 1
+_ = x
+return nil`)
+	// The trailing statements live in a block with no predecessors.
+	dead := 0
+	for _, b := range c.Blocks {
+		if b != c.Entry && b != c.Exit && len(b.Preds) == 0 && len(b.Nodes) > 0 {
+			dead++
+		}
+	}
+	if dead == 0 {
+		t.Fatalf("dead code should land in an unreachable block\n%s", c)
+	}
+}
+
+// TestSolveForwardMayReach exercises the forward solver with the exact
+// shape closeleak uses: a boolean "cleanup may have been skipped" state.
+// The fixture marks cleanup by calling close(); a path that reaches exit
+// without it must be visible in the solved states.
+func TestSolveForwardMayReach(t *testing.T) {
+	type tc struct {
+		name     string
+		body     string
+		wantOpen bool // some non-panic path reaches Exit without close()
+	}
+	cases := []tc{
+		{"closed on straight line", "open()\nclose()\nreturn nil", false},
+		{"early return skips close", "open()\nif cond() {\n\treturn nil\n}\nclose()\nreturn nil", true},
+		{"closed on both branches", "open()\nif cond() {\n\tclose()\n\treturn nil\n}\nclose()\nreturn nil", false},
+		{"loop break without close", "open()\nfor {\n\tif cond() {\n\t\tbreak\n\t}\n}\nreturn nil", true},
+		{"panic path exempt", "open()\nif cond() {\n\tpanic(\"x\")\n}\nclose()\nreturn nil", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			src := "package p\nfunc open() {}\nfunc close() {}\nfunc cond() bool { return false }\nfunc f() error {\n" + c.body + "\n}\n"
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			fn := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+			cfg := BuildCFG(fn.Body, nil)
+
+			calls := func(n ast.Node, name string) bool {
+				found := false
+				ast.Inspect(n, func(x ast.Node) bool {
+					if call, ok := x.(*ast.CallExpr); ok {
+						if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+							found = true
+						}
+					}
+					return true
+				})
+				return found
+			}
+			// State: 0 = not open, 1 = open (close pending), joined by max.
+			_, out := Solve(cfg, FlowProblem[int]{
+				Boundary: 0,
+				Bottom:   0,
+				Transfer: func(b *Block, in int) int {
+					s := in
+					for _, n := range b.Nodes {
+						if calls(n, "open") {
+							s = 1
+						}
+						if calls(n, "close") {
+							s = 0
+						}
+					}
+					return s
+				},
+				Join:  func(a, b int) int { return max(a, b) },
+				Equal: func(a, b int) bool { return a == b },
+			})
+			open := false
+			for _, b := range cfg.Blocks {
+				if b.Panics {
+					continue
+				}
+				for _, s := range b.Succs {
+					if s == cfg.Exit && out[b] == 1 {
+						open = true
+					}
+				}
+			}
+			if open != c.wantOpen {
+				t.Fatalf("may-be-open at exit = %v, want %v\n%s", open, c.wantOpen, cfg)
+			}
+		})
+	}
+}
+
+// TestSolveEdgeRefinement checks the Edge hook: a state narrowed on the
+// false edge of `err != nil` (the constructor-failed convention).
+func TestSolveEdgeRefinement(t *testing.T) {
+	src := `package p
+func cond() bool { return false }
+func f() error {
+	x := 1
+	if cond() {
+		x = 2
+	}
+	_ = x
+	return nil
+}`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "f.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	fn := f.Decls[len(f.Decls)-1].(*ast.FuncDecl)
+	cfg := BuildCFG(fn.Body, nil)
+
+	// Taint everything 1; the edge hook clears the state on true edges.
+	// The then-block must observe the refined state, the join must
+	// re-merge the unrefined false edge.
+	var thenIn, joinIn int
+	in, _ := Solve(cfg, FlowProblem[int]{
+		Boundary: 1,
+		Bottom:   0,
+		Transfer: func(b *Block, s int) int { return s },
+		Edge: func(from, to *Block, s int) int {
+			if _, isTrue, ok := cfg.TrueEdge(from, to); ok && isTrue {
+				return 0
+			}
+			return s
+		},
+		Join:  func(a, b int) int { return max(a, b) },
+		Equal: func(a, b int) bool { return a == b },
+	})
+	var head *Block
+	for _, b := range cfg.Blocks {
+		if b.Branch != nil {
+			head = b
+		}
+	}
+	if head == nil {
+		t.Fatalf("no branch head\n%s", cfg)
+	}
+	thenIn = in[head.Succs[0]]
+	joinIn = in[head.Succs[1]]
+	if thenIn != 0 {
+		t.Fatalf("true edge not refined: then-in = %d, want 0\n%s", thenIn, cfg)
+	}
+	if joinIn != 1 {
+		t.Fatalf("false edge must keep the unrefined state: join-in = %d, want 1\n%s", joinIn, cfg)
+	}
+}
+
+// TestSolveBackwardLiveness runs the solver backward: a "needed later"
+// analysis (is close() still ahead?) must propagate against the edges.
+func TestSolveBackwardLiveness(t *testing.T) {
+	c := buildFunc(t, `
+x := 1
+if x > 0 {
+	return nil
+}
+_ = x
+return nil`)
+	// Backward problem: state 1 at any block containing `_ = x`, propagated
+	// toward entry. Entry must see 1 (some path ahead uses x).
+	_, out := Solve(c, FlowProblem[int]{
+		Backward: true,
+		Boundary: 0,
+		Bottom:   0,
+		Transfer: func(b *Block, in int) int {
+			for _, n := range b.Nodes {
+				if as, ok := n.(*ast.AssignStmt); ok {
+					if id, ok := as.Lhs[0].(*ast.Ident); ok && id.Name == "_" {
+						return 1
+					}
+				}
+			}
+			return in
+		},
+		Join:  func(a, b int) int { return max(a, b) },
+		Equal: func(a, b int) bool { return a == b },
+	})
+	if out[c.Entry] != 1 {
+		t.Fatalf("backward propagation failed: entry out = %d, want 1\n%s", out[c.Entry], c)
+	}
+}
+
+func TestCFGStringDump(t *testing.T) {
+	c := buildFunc(t, "return nil")
+	s := c.String()
+	for _, want := range []string{"entry", "exit", "->"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("dump missing %q:\n%s", want, s)
+		}
+	}
+	if !strings.Contains(s, fmt.Sprintf("b%d", c.Entry.Index)) {
+		t.Fatalf("dump missing entry index:\n%s", s)
+	}
+}

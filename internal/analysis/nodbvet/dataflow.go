@@ -1,0 +1,108 @@
+// A generic worklist dataflow solver over the nodbvet CFG. Clients define
+// a lattice of per-block states (typically keyed by local values: "which
+// open sites may still be open", "which vars may be nil"), a transfer
+// function over a block's nodes, a join, and optionally a per-edge
+// refinement (how a branch condition narrows the state on its true/false
+// edge). Solve iterates to fixpoint and returns the state at the entry of
+// every block; analyzers then make one reporting pass re-running their
+// transfer with diagnostics enabled, so reports fire exactly once and only
+// on fixpoint states.
+package nodbvet
+
+// FlowProblem describes one dataflow analysis over a CFG.
+//
+// States must be treated as immutable by Transfer, Edge and Join: return a
+// fresh value instead of mutating the input (the solver caches and
+// compares states across iterations). For a may-analysis, Bottom is the
+// empty state and Join is set union; convergence is guaranteed as long as
+// Transfer and Edge are monotone and the lattice has finite height.
+type FlowProblem[S any] struct {
+	// Backward flips the traversal: Transfer sees a block's out-state and
+	// produces its in-state, and Boundary seeds Exit instead of Entry.
+	Backward bool
+	// Boundary is the state at the graph's boundary block (Entry, or Exit
+	// when Backward).
+	Boundary S
+	// Bottom is the identity of Join: the initial state of every other
+	// block (and the final state of unreachable ones).
+	Bottom S
+	// Transfer applies a block's nodes to an incoming state.
+	Transfer func(b *Block, in S) S
+	// Edge, if non-nil, refines a state as it flows across the from→to
+	// edge (branch-condition narrowing). It runs in the flow direction:
+	// forward from→to, backward to→from.
+	Edge func(from, to *Block, s S) S
+	// Join merges two states flowing into the same block.
+	Join func(a, b S) S
+	// Equal reports state equality; the fixpoint terminates when no
+	// block's state changes.
+	Equal func(a, b S) bool
+}
+
+// Solve runs the worklist iteration and returns each block's in-state and
+// out-state at fixpoint (in flow direction: for a backward problem, "in"
+// is the state at block exit and "out" the state at block entry).
+func Solve[S any](cfg *CFG, p FlowProblem[S]) (in, out map[*Block]S) {
+	in = make(map[*Block]S, len(cfg.Blocks))
+	out = make(map[*Block]S, len(cfg.Blocks))
+	boundary := cfg.Entry
+	if p.Backward {
+		boundary = cfg.Exit
+	}
+	preds := func(b *Block) []*Block {
+		if p.Backward {
+			return b.Succs
+		}
+		return b.Preds
+	}
+	succs := func(b *Block) []*Block {
+		if p.Backward {
+			return b.Preds
+		}
+		return b.Succs
+	}
+	for _, b := range cfg.Blocks {
+		in[b] = p.Bottom
+		out[b] = p.Bottom
+	}
+	in[boundary] = p.Boundary
+
+	// Worklist seeded with every block (stable order: slice order is
+	// construction order, roughly topological for forward problems).
+	work := make([]*Block, len(cfg.Blocks))
+	copy(work, cfg.Blocks)
+	queued := make(map[*Block]bool, len(cfg.Blocks))
+	for _, b := range work {
+		queued[b] = true
+	}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b] = false
+
+		state := p.Bottom
+		if b == boundary {
+			state = p.Boundary
+		}
+		for _, pr := range preds(b) {
+			s := out[pr]
+			if p.Edge != nil {
+				s = p.Edge(pr, b, s)
+			}
+			state = p.Join(state, s)
+		}
+		in[b] = state
+		newOut := p.Transfer(b, state)
+		if p.Equal(newOut, out[b]) {
+			continue
+		}
+		out[b] = newOut
+		for _, s := range succs(b) {
+			if !queued[s] {
+				queued[s] = true
+				work = append(work, s)
+			}
+		}
+	}
+	return in, out
+}

@@ -9,6 +9,7 @@ import (
 	"go/types"
 
 	"nodb/internal/analysis/chanleak"
+	"nodb/internal/analysis/closeleak"
 	"nodb/internal/analysis/commitscope"
 	"nodb/internal/analysis/counterflow"
 	"nodb/internal/analysis/ctxloop"
@@ -17,6 +18,8 @@ import (
 	"nodb/internal/analysis/hotalloc"
 	"nodb/internal/analysis/lockorder"
 	"nodb/internal/analysis/mapiter"
+	"nodb/internal/analysis/mustdefer"
+	"nodb/internal/analysis/nilguard"
 	"nodb/internal/analysis/nodbvet"
 	"nodb/internal/analysis/panicroute"
 )
@@ -33,6 +36,9 @@ var Suite = []*nodbvet.Analyzer{
 	chanleak.Analyzer,
 	floatdet.Analyzer,
 	counterflow.Analyzer,
+	closeleak.Analyzer,
+	mustdefer.Analyzer,
+	nilguard.Analyzer,
 }
 
 // RunSuite executes every analyzer in Suite over one type-checked package

